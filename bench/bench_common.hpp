@@ -1,0 +1,55 @@
+// Shared configuration for the experiment benches.
+//
+// Every bench regenerates one table or figure of the paper and prints the
+// paper's reference values alongside the values measured on this
+// substrate (synthetic dataset + MiniResNet; see DESIGN.md). Absolute
+// numbers differ from the paper by construction — the *shape* (ordering,
+// crossovers, recovery factors) is what is being reproduced.
+//
+// The interesting ENOB range shifts with network scale: ResNet-50 layers
+// have N_tot up to 4608 and ImageNet demands fine logits, putting the
+// paper's accuracy cliff at ENOB 9-13; MiniResNet's N_tot tops out at 288
+// on an easier task, putting ours at ENOB ~4.5-8. Equivalence: accuracy
+// depends on sqrt(Ntot * Nmult) * 2^-ENOB (Eq. 2), so the sweep below is
+// the same experiment at this substrate's operating point.
+#pragma once
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace ams::bench {
+
+/// ENOB sweep for the Fig. 4 / Fig. 5 analogues (Nmult = 8 throughout,
+/// matching the paper).
+inline std::vector<double> enob_sweep() {
+    if (core::env_flag("REPRO_FAST")) return {4.5, 5.5, 7.0};
+    return {4.5, 5.0, 5.5, 6.0, 6.5, 7.0, 8.0, 9.0, 10.0};
+}
+
+/// ENOB used for the Table 2 freezing study: clearly inside the lossy
+/// region (the paper uses ENOB 10 for the same reason at its scale).
+inline double freezing_enob() {
+    return 5.0;
+}
+
+/// AMS variants plotted in the Fig. 6 analogue (noise decreasing).
+inline std::vector<double> fig6_enobs() {
+    if (core::env_flag("REPRO_FAST")) return {4.5, 7.0};
+    return {4.5, 5.5, 6.5, 8.0};
+}
+
+/// The paper sweeps Nmult over powers of two in Fig. 8.
+inline std::vector<std::size_t> nmult_sweep() {
+    return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+inline vmac::VmacConfig vmac_at(double enob, std::size_t nmult = 8) {
+    vmac::VmacConfig v;
+    v.enob = enob;
+    v.nmult = nmult;
+    return v;
+}
+
+}  // namespace ams::bench

@@ -1,0 +1,118 @@
+// Section 4 extension 2: quantization-error recycling (first-order
+// delta-sigma in place of the ADC).
+//
+// Paper claims, measured with the bit-exact datapath: recycling removes
+// the accumulated per-cycle quantization error, leaving only the final
+// (higher-resolution) conversion's error plus thermal noise; thermal
+// noise is NOT reduced; the error reduction can be traded for energy by
+// lowering the nominal per-cycle ENOB.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "ams/delta_sigma.hpp"
+#include "ams/error_model.hpp"
+#include "core/report.hpp"
+
+using namespace ams;
+
+namespace {
+
+double rms(double sq, int n) {
+    return std::sqrt(sq / n);
+}
+
+}  // namespace
+
+int main() {
+    core::print_banner(std::cout, "Extension 2: quantization error recycling (delta-sigma)",
+                       "Sec. 4, method 2 (only final conversion's error survives)");
+
+    const std::size_t nmult = 8;
+    Rng rng(7);
+
+    core::Table table({"Dot length", "Plain RMS", "DeltaSigma RMS", "Improvement",
+                       "Model bound (plain)"});
+    for (std::size_t len : {16u, 64u, 256u, 1024u}) {
+        vmac::VmacConfig c;
+        c.enob = 8.0;
+        c.nmult = nmult;
+        vmac::VmacCell plain(c);
+        vmac::VmacCell exact([] {
+            vmac::VmacConfig e;
+            e.enob = 24.0;
+            e.nmult = 8;
+            return e;
+        }());
+
+        double plain_sq = 0.0, ds_sq = 0.0;
+        const int trials = 2000;
+        for (int t = 0; t < trials; ++t) {
+            std::vector<double> w(len), x(len);
+            for (double& v : w) v = rng.uniform(-1.0, 1.0);
+            for (double& v : x) v = rng.uniform(0.0, 1.0);
+            double ideal = 0.0;
+            for (std::size_t s = 0; s < len; s += nmult) {
+                ideal += exact.dot_ideal(std::span(w).subspan(s, nmult),
+                                         std::span(x).subspan(s, nmult));
+            }
+            const double pe = plain.dot_tiled(w, x, rng) - ideal;
+            plain_sq += pe * pe;
+            vmac::DeltaSigmaVmac ds(c, /*final_enob=*/12.0);
+            const double de = ds.dot(w, x, rng) - ideal;
+            ds_sq += de * de;
+        }
+        const double model_sigma = vmac::total_error_stddev(c, len);
+        table.add_row({std::to_string(len), core::fmt_fixed(rms(plain_sq, trials), 5),
+                       core::fmt_fixed(rms(ds_sq, trials), 5),
+                       core::fmt_fixed(rms(plain_sq, trials) / rms(ds_sq, trials), 1) + "x",
+                       core::fmt_fixed(model_sigma, 5)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading: plain tiling's error grows as sqrt(dot length / Nmult) (matching the\n"
+           "Eq. 2 column); delta-sigma's stays pinned at the final conversion's error, so\n"
+           "the improvement factor grows with output stationarity — the paper's claim.\n";
+
+    // Thermal noise is not recycled: compare with thermal-dominated cells.
+    vmac::AnalogOptions noisy;
+    noisy.adc_noise_sigma = 0.05;
+    vmac::VmacConfig fine;
+    fine.enob = 14.0;
+    fine.nmult = nmult;
+    Rng rng2(8);
+    double plain_sq = 0.0, ds_sq = 0.0;
+    const int trials = 2000;
+    const std::size_t len = 64;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> w(len), x(len);
+        for (double& v : w) v = rng2.uniform(-1.0, 1.0);
+        for (double& v : x) v = rng2.uniform(0.0, 1.0);
+        vmac::VmacCell plain(fine, noisy);
+        vmac::VmacCell exact_cell([] {
+            vmac::VmacConfig e;
+            e.enob = 24.0;
+            e.nmult = 8;
+            return e;
+        }());
+        double ideal = 0.0;
+        for (std::size_t s = 0; s < len; s += nmult) {
+            ideal += exact_cell.dot_ideal(std::span(w).subspan(s, nmult),
+                                          std::span(x).subspan(s, nmult));
+        }
+        const double pe = plain.dot_tiled(w, x, rng2) - ideal;
+        plain_sq += pe * pe;
+        vmac::DeltaSigmaVmac ds(fine, 16.0, noisy);
+        const double de = ds.dot(w, x, rng2) - ideal;
+        ds_sq += de * de;
+    }
+    std::cout << "\nThermal-noise-dominated comparison (sigma_th = 0.05, ENOB 14):\n"
+              << "  plain RMS = " << core::fmt_fixed(rms(plain_sq, trials), 4)
+              << ", delta-sigma RMS = " << core::fmt_fixed(rms(ds_sq, trials), 4)
+              << "  -> recycling does NOT beat thermal noise (paper's caveat): "
+              << (rms(ds_sq, trials) > 0.8 * rms(plain_sq, trials) ? "REPRODUCED"
+                                                                   : "NOT REPRODUCED")
+              << "\n";
+    return 0;
+}

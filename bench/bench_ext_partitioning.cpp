@@ -1,0 +1,114 @@
+// Section 4 extension 1: multiplication partitioning.
+//
+// Splits each BW x BX multiply into NW x NX chunk multiplies, converts
+// each partial VMAC with a lower-resolution ADC, and adds the shifted
+// results digitally. The paper's claims, measured here with the bit-exact
+// datapath: (a) less injected error than one conversion at the same
+// per-conversion resolution; (b) possibly lower energy per MAC if
+// E(low-res) < E(high-res)/(NW*NX); (c) discounting the resolution of
+// low-significance partials saves energy at little error cost.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "ams/partitioned.hpp"
+#include "core/report.hpp"
+#include "energy/adc_energy.hpp"
+
+using namespace ams;
+
+namespace {
+
+struct Measured {
+    double rms_error = 0.0;
+    double effective_enob = 0.0;
+};
+
+template <typename DotFn>
+Measured measure(std::size_t nmult, Rng& rng, DotFn&& dot_and_ideal) {
+    double sq = 0.0;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> w(nmult), x(nmult);
+        for (double& v : w) v = rng.uniform(-1.0, 1.0);
+        for (double& v : x) v = rng.uniform(0.0, 1.0);
+        const double err = dot_and_ideal(w, x);
+        sq += err * err;
+    }
+    Measured m;
+    m.rms_error = std::sqrt(sq / trials);
+    const double lsb_eff = std::sqrt(12.0) * m.rms_error;
+    m.effective_enob = std::log2(2.0 * static_cast<double>(nmult) / lsb_eff);
+    return m;
+}
+
+}  // namespace
+
+int main() {
+    core::print_banner(std::cout, "Extension 1: multiplication partitioning (long multiply)",
+                       "Sec. 4, method 1 (lower-res ADCs, less injected error overall)");
+
+    const std::size_t nmult = 8;
+    vmac::VmacConfig base;
+    base.nmult = nmult;
+    base.bits_w = 9;  // 8 magnitude bits: cleanly partitionable
+    base.bits_x = 9;
+    Rng rng(2024);
+
+    core::Table table({"Datapath", "ADC res", "Conv/VMAC", "RMS error", "Eff. ENOB",
+                       "E_MAC [fJ]"});
+
+    // Monolithic references at several resolutions.
+    for (double enob : {8.0, 10.0, 12.0}) {
+        vmac::VmacConfig c = base;
+        c.enob = enob;
+        vmac::VmacCell cell(c);
+        const Measured m = measure(nmult, rng, [&](const auto& w, const auto& x) {
+            return cell.dot(w, x, rng) - cell.dot_ideal(w, x);
+        });
+        table.add_row({"monolithic", core::fmt_fixed(enob, 0) + "b", "1",
+                       core::fmt_fixed(m.rms_error, 5), core::fmt_fixed(m.effective_enob, 2),
+                       core::fmt_fixed(energy::emac_lower_bound_fj(enob, nmult), 1)});
+    }
+
+    // Partitioned variants.
+    struct Part {
+        std::size_t nw, nx;
+        double enob;
+        double drop;
+    };
+    for (const Part p : {Part{2, 2, 8.0, 0.0}, Part{2, 2, 10.0, 0.0}, Part{4, 4, 8.0, 0.0},
+                         Part{2, 2, 10.0, 2.0}}) {
+        vmac::PartitionOptions opt;
+        opt.nw = p.nw;
+        opt.nx = p.nx;
+        opt.enob_partial = p.enob;
+        opt.significance_drop = p.drop;
+        opt.min_enob = 4.0;
+        vmac::PartitionedVmac pv(base, opt);
+        const Measured m = measure(nmult, rng, [&](const auto& w, const auto& x) {
+            return pv.dot(w, x, rng) - pv.dot_ideal(w, x);
+        });
+        // Energy: one conversion per (p,q) partial, each at its own
+        // (possibly discounted) resolution, amortized over Nmult MACs.
+        double energy_pj = 0.0;
+        for (std::size_t a = 0; a < p.nw; ++a) {
+            for (std::size_t b = 0; b < p.nx; ++b) {
+                energy_pj += energy::adc_energy_lower_bound_pj(pv.partial_enob(a, b));
+            }
+        }
+        const double emac_fj = energy_pj / static_cast<double>(nmult) * 1e3;
+        table.add_row({"partitioned " + std::to_string(p.nw) + "x" + std::to_string(p.nx) +
+                           (p.drop > 0.0 ? " (LSB discount)" : ""),
+                       core::fmt_fixed(p.enob, 0) + "b",
+                       std::to_string(pv.conversions_per_vmac()),
+                       core::fmt_fixed(m.rms_error, 5), core::fmt_fixed(m.effective_enob, 2),
+                       core::fmt_fixed(emac_fj, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: at equal per-conversion resolution, the partitioned datapath's\n"
+                 "effective ENOB is higher (less injected error), at the cost of NW*NX\n"
+                 "conversions — the paper's claimed error/energy/speed tradeoff.\n";
+    return 0;
+}

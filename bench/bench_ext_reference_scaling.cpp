@@ -1,0 +1,96 @@
+// Section 4 extension 3: ADC reference-voltage scaling.
+//
+// The paper: shrinking the ADC reference below the multiplier supply cuts
+// off MSBs of the partial dot product in exchange for finer LSBs, and
+// "the effectiveness of this scheme is network- and data-dependent, and
+// therefore needs to be confirmed with runs" — so this bench evaluates it
+// on *empirical* per-VMAC partial sums assembled from the trained 8b
+// network's own quantized stem weights and quantized input activations.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "ams/reference_scaling.hpp"
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "quant/dorefa.hpp"
+
+using namespace ams;
+
+int main() {
+    core::print_banner(std::cout, "Extension 3: ADC reference scaling on real layer data",
+                       "Sec. 4, method 3 (dynamic range vs resolution; data-dependent)");
+
+    core::ExperimentEnv env(core::ExperimentOptions::standard());
+    const TensorMap q88 = env.quantized_state(8, 8);
+    auto model = env.make_model(env.quant_common(8, 8));
+    model->load_state("", q88);
+
+    // Assemble per-VMAC analog partial sums from the stem conv's DoReFa-
+    // quantized weights and the dataset's quantized input activations —
+    // the actual operand streams that layer's VMACs would see.
+    const quant::DorefaWeights wq =
+        quant::dorefa_quantize_weights(model->conv_units()[0]->conv().conv().weight().value, 8);
+    auto input_model = env.make_model(env.quant_common(8, 8));
+    input_model->load_state("", q88);
+
+    const Tensor& images = env.dataset().val_images();
+    const float max_abs = env.dataset().max_abs_value();
+    const std::size_t nmult = 8;
+    std::vector<double> partial_sums;
+    Rng pick(99);
+    const std::size_t samples = 60000;
+    partial_sums.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+        double acc = 0.0;
+        for (std::size_t m = 0; m < nmult; ++m) {
+            const float w = wq.quantized[pick.uniform_index(wq.quantized.size())];
+            // Input activations after the paper's first-layer rescale.
+            float a = images[pick.uniform_index(images.size())] / max_abs;
+            a = std::clamp(a, -1.0f, 1.0f);
+            acc += static_cast<double>(w) * a;
+        }
+        partial_sums.push_back(acc);
+    }
+    double mean = 0.0, sq = 0.0;
+    for (double v : partial_sums) {
+        mean += v;
+        sq += v * v;
+    }
+    mean /= static_cast<double>(samples);
+    const double stddev = std::sqrt(sq / samples - mean * mean);
+    std::cout << "Empirical partial-sum distribution (stem layer, Nmult=8): mean "
+              << core::fmt_fixed(mean, 3) << ", std " << core::fmt_fixed(stddev, 3)
+              << ", natural full scale " << nmult << "\n\n";
+
+    vmac::VmacConfig c;
+    c.enob = 8.0;
+    c.nmult = nmult;
+    const std::vector<double> scales{1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125};
+    const auto results = vmac::sweep_reference_scales(c, partial_sums, scales);
+
+    core::Table table({"Reference scale", "RMS error", "Clip fraction", "Effective ENOB"});
+    // Print in scale order for readability.
+    for (double s : scales) {
+        for (const auto& r : results) {
+            if (r.reference_scale == s) {
+                table.add_row({core::fmt_fixed(s, 5), core::fmt_fixed(r.rms_error, 5),
+                               core::fmt_pct(r.clip_fraction),
+                               core::fmt_fixed(r.effective_enob, 2)});
+            }
+        }
+    }
+    table.print(std::cout);
+
+    const auto& best = results.front();
+    std::cout << "\nBest reference scale for this layer/data: "
+              << core::fmt_fixed(best.reference_scale, 5) << " (effective ENOB gain "
+              << core::fmt_fixed(best.effective_enob - 8.0, 2)
+              << "b over the unscaled converter)\n"
+              << "Shape check — an intermediate scale beats both extremes: "
+              << ((best.reference_scale < 1.0 && best.reference_scale > scales.back())
+                      ? "REPRODUCED (data-dependent sweet spot exists)"
+                      : "boundary optimum (distribution-dependent)")
+              << "\n";
+    return 0;
+}

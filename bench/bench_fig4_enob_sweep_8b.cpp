@@ -1,0 +1,94 @@
+// Figure 4 reproduction: top-1 accuracy loss vs ENOB_VMAC (Nmult = 8)
+// relative to the 8b quantized network, for AMS error injected (a) at
+// evaluation only and (b) during retraining as well.
+//
+// Paper shape claims to reproduce (ImageNet ENOB range 9-13; ours shifts
+// to ~4.5-8, see bench_common.hpp):
+//   1. Eval-only loss grows steeply as ENOB falls.
+//   2. For low ENOB, retraining with AMS error recovers up to ~half the
+//      lost accuracy (~0.5 ENOB worth).
+//   3. For high ENOB, retraining gives no benefit (can slightly hurt).
+//   4. There is a cutoff ENOB above which loss is within one sample
+//      standard deviation of the quantized baseline.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/csv.hpp"
+#include "core/report.hpp"
+
+using namespace ams;
+
+int main() {
+    core::print_banner(std::cout,
+                       "Figure 4: accuracy loss vs ENOB_VMAC (Nmult=8), rel. 8b quantized",
+                       "Fig. 4 (crossover ~ENOB 11; within 1 sigma at 12.5 on ResNet-50)");
+
+    core::ExperimentEnv env(core::ExperimentOptions::standard());
+    const TensorMap q88 = env.quantized_state(8, 8);
+    const train::EvalResult base = env.evaluate_state(q88, env.quant_common(8, 8));
+    std::cout << "8b quantized baseline: " << core::fmt_mean_std(base.mean, base.stddev)
+              << "\n\n";
+
+    core::Table table({"ENOB", "Eval-only loss", "Retrained loss", "Recovery",
+                       "Eval std", "Retrain std"});
+    core::CsvWriter csv(core::artifact_dir() + "/fig4_enob_sweep.csv",
+                        {"enob", "loss_eval_only", "loss_retrained", "eval_std",
+                         "retrain_std"});
+
+    double max_recovery = 0.0;
+    double last_recovery = 0.0;
+    double cutoff_within_sigma = 0.0;
+    const auto sweep = bench::enob_sweep();
+    for (double enob : sweep) {
+        const auto vmac_cfg = bench::vmac_at(enob);
+        // (a) AMS error at evaluation time only, on the quantized network.
+        const train::EvalResult eval_only =
+            env.evaluate_state(q88, env.ams_common(8, 8, vmac_cfg));
+        // (b) AMS error also during retraining.
+        const TensorMap retrained = env.ams_retrained_state(8, 8, vmac_cfg);
+        const train::EvalResult retrain =
+            env.evaluate_state(retrained, env.ams_common(8, 8, vmac_cfg));
+
+        const double loss_eval = base.mean - eval_only.mean;
+        const double loss_retrain = base.mean - retrain.mean;
+        const double recovery = loss_eval - loss_retrain;
+        max_recovery = std::max(max_recovery, recovery);
+        // "Within one sample standard deviation": our quantized baseline
+        // is deterministic (sigma 0), so the relevant sigma is the AMS
+        // run's own error bar, as in the paper's plots.
+        const double sigma = std::max(base.stddev, retrain.stddev);
+        if (loss_retrain <= sigma && cutoff_within_sigma == 0.0) {
+            cutoff_within_sigma = enob;
+        }
+        last_recovery = recovery;
+
+        table.add_row({core::fmt_fixed(enob, 1), core::fmt_pct(loss_eval),
+                       core::fmt_pct(loss_retrain), core::fmt_pct(recovery),
+                       core::fmt_fixed(eval_only.stddev, 4),
+                       core::fmt_fixed(retrain.stddev, 4)});
+        csv.add_row({core::fmt_fixed(enob, 2), core::fmt_fixed(loss_eval, 6),
+                     core::fmt_fixed(loss_retrain, 6), core::fmt_fixed(eval_only.stddev, 6),
+                     core::fmt_fixed(retrain.stddev, 6)});
+    }
+    table.print(std::cout);
+    std::cout << "\nSeries written to " << csv.path() << "\n";
+
+    std::cout << "\nShape checks:\n"
+              << "  - max accuracy recovered by retraining with AMS error: "
+              << core::fmt_pct(max_recovery) << "\n"
+              << "  - first swept ENOB with retrained loss within 1 baseline sigma: "
+              << (cutoff_within_sigma > 0.0 ? core::fmt_fixed(cutoff_within_sigma, 1)
+                                            : std::string("none in sweep"))
+              << " (paper: 12.5 at ResNet-50 scale)\n"
+              << "  - retraining benefit collapses as ENOB grows (recovery at top of sweep\n"
+              << "    vs maximum): " << core::fmt_pct(last_recovery) << " vs "
+              << core::fmt_pct(max_recovery) << "  "
+              << (last_recovery < 0.25 * max_recovery ? "REPRODUCED" : "NOT REPRODUCED")
+              << "\n"
+              << "  (Note: negative retrained-loss cells mean retraining with near-zero\n"
+              << "   noise acts as extra fine-tuning on this substrate; the paper's fully\n"
+              << "   converged ResNet-50 baseline instead loses slightly — see\n"
+              << "   EXPERIMENTS.md.)\n";
+    return 0;
+}

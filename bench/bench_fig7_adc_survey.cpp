@@ -1,0 +1,77 @@
+// Figure 7 reproduction: Murmann's ADC survey — P/f_snyq vs ENOB with the
+// constant-energy floor and the (slightly shifted) Schreier FOM_S = 187 dB
+// line whose lower envelope is the paper's Eq. 3.
+//
+// The survey population here is synthetic but envelope-consistent (see
+// DESIGN.md): the checks that matter for the paper — no published design
+// beats the bound; the envelope hugs the floor below ENOB ~10.5 and the
+// thermal wall above it — are asserted against the generated population.
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "core/report.hpp"
+#include "energy/adc_energy.hpp"
+#include "energy/adc_survey.hpp"
+
+using namespace ams;
+
+int main() {
+    core::print_banner(std::cout, "Figure 7: ADC survey envelope vs the Eq. 3 energy bound",
+                       "Fig. 7 (floor ~0.3 pJ below ENOB 10.5; FOM_S=187 dB wall above)");
+
+    energy::SurveyOptions opts;
+    opts.designs = 1000;
+    const auto survey = energy::generate_survey(opts);
+
+    std::size_t isscc = 0;
+    for (const auto& d : survey) {
+        if (d.venue == energy::Venue::kIsscc) ++isscc;
+    }
+    std::cout << "Synthetic survey population: " << survey.size() << " designs ("
+              << isscc << " ISSCC, " << survey.size() - isscc << " VLSI), years "
+              << opts.year_min << "-" << opts.year_max << "\n\n";
+
+    const auto envelope = energy::survey_envelope(survey, 1.0);
+    // Per-bin minimum excess over the bound, evaluated at each design's
+    // own ENOB (the bin-center bound would misstate designs near edges).
+    std::map<long long, double> min_excess;
+    for (const auto& d : survey) {
+        const long long bin = static_cast<long long>(std::floor(d.enob));
+        const double excess =
+            d.energy_per_sample_pj / energy::adc_energy_lower_bound_pj(d.enob);
+        const auto it = min_excess.find(bin);
+        if (it == min_excess.end() || excess < it->second) min_excess[bin] = excess;
+    }
+
+    core::Table table({"ENOB bin", "Envelope P/fs [pJ]", "Eq.3 bound [pJ]",
+                       "min(design/bound)", "Regime"});
+    for (const auto& p : envelope) {
+        const double bound = energy::adc_energy_lower_bound_pj(p.enob);
+        const long long bin = static_cast<long long>(std::floor(p.enob));
+        table.add_row({core::fmt_fixed(p.enob, 1), core::fmt_fixed(p.energy_pj, 3),
+                       core::fmt_fixed(bound, 3), core::fmt_fixed(min_excess.at(bin), 2),
+                       p.enob <= energy::kThermalCrossoverEnob ? "floor" : "thermal"});
+    }
+    table.print(std::cout);
+
+    // Invariants the figure encodes.
+    bool none_below = true;
+    for (const auto& d : survey) {
+        if (d.energy_per_sample_pj < energy::adc_energy_lower_bound_pj(d.enob) * (1 - 1e-9)) {
+            none_below = false;
+        }
+    }
+    const double wall_ratio = energy::adc_energy_lower_bound_pj(14.0) /
+                              energy::adc_energy_lower_bound_pj(13.0);
+    std::cout << "\nShape checks:\n"
+              << "  - no design beats the Eq. 3 bound: "
+              << (none_below ? "REPRODUCED" : "VIOLATED") << "\n"
+              << "  - thermal wall slope (energy ratio per extra bit above 10.5): "
+              << core::fmt_fixed(wall_ratio, 2) << "x (paper: ~4x)\n"
+              << "  - Schreier line consistency at ENOB 12: Eq.3 = "
+              << core::fmt_fixed(energy::adc_energy_lower_bound_pj(12.0), 3)
+              << " pJ vs FOM_S(187dB) = "
+              << core::fmt_fixed(energy::schreier_energy_pj(12.0), 3) << " pJ\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+// Section 2 claim: "DoReFa-based quantization and AMS error injection
+// together incur a roughly 50% overhead in forward pass computation time
+// compared to the out-of-the-box FP32 network."
+//
+// Google-benchmark of the MiniResNet forward pass in the three variants.
+#include <benchmark/benchmark.h>
+
+#include "models/resnet.hpp"
+
+namespace {
+
+using namespace ams;
+
+models::LayerCommon variant(std::size_t bits, bool ams) {
+    models::LayerCommon c;
+    c.bits_w = bits;
+    c.bits_x = bits;
+    c.ams_enabled = ams;
+    c.vmac.enob = 6.0;
+    c.vmac.nmult = 8;
+    return c;
+}
+
+Tensor make_input() {
+    Rng rng(1);
+    Tensor x(Shape{8, 3, 16, 16});
+    x.fill_uniform(rng, -2.0f, 2.0f);
+    return x;
+}
+
+void BM_ForwardFp32(benchmark::State& state) {
+    models::ResNet model(models::mini_resnet_config(variant(quant::kFloatBits, false)));
+    model.set_training(false);
+    const Tensor x = make_input();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.forward(x));
+    }
+}
+BENCHMARK(BM_ForwardFp32)->Unit(benchmark::kMillisecond);
+
+void BM_ForwardQuantized8b(benchmark::State& state) {
+    models::ResNet model(models::mini_resnet_config(variant(8, false), 10, 2.5f));
+    model.set_training(false);
+    const Tensor x = make_input();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.forward(x));
+    }
+}
+BENCHMARK(BM_ForwardQuantized8b)->Unit(benchmark::kMillisecond);
+
+void BM_ForwardQuantizedAms(benchmark::State& state) {
+    models::ResNet model(models::mini_resnet_config(variant(8, true), 10, 2.5f));
+    model.set_training(false);
+    const Tensor x = make_input();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.forward(x));
+    }
+}
+BENCHMARK(BM_ForwardQuantizedAms)->Unit(benchmark::kMillisecond);
+
+// Training step (forward + backward + update) comparison, since the
+// paper's 50% figure is about the retraining loop.
+void BM_TrainStepFp32(benchmark::State& state) {
+    models::ResNet model(models::mini_resnet_config(variant(quant::kFloatBits, false)));
+    model.set_training(true);
+    const Tensor x = make_input();
+    Tensor g(Shape{8, 10}, 0.01f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.forward(x));
+        benchmark::DoNotOptimize(model.backward(g));
+    }
+}
+BENCHMARK(BM_TrainStepFp32)->Unit(benchmark::kMillisecond);
+
+void BM_TrainStepQuantizedAms(benchmark::State& state) {
+    models::ResNet model(models::mini_resnet_config(variant(8, true), 10, 2.5f));
+    model.set_training(true);
+    const Tensor x = make_input();
+    Tensor g(Shape{8, 10}, 0.01f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.forward(x));
+        benchmark::DoNotOptimize(model.backward(g));
+    }
+}
+BENCHMARK(BM_TrainStepQuantizedAms)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// VMAC model-validation microbench (paper Sec. 4, "improving our error
+// models"): compares the lumped statistical injector against the
+// bit-exact per-VMAC simulation — both in distribution (printed agreement
+// check) and in throughput (google-benchmark timers), quantifying the
+// speed/fidelity tradeoff the paper describes.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ams/error_injector.hpp"
+#include "ams/vmac_cell.hpp"
+
+namespace {
+
+using namespace ams;
+
+vmac::VmacConfig cfg(double enob = 8.0, std::size_t nmult = 8) {
+    vmac::VmacConfig c;
+    c.enob = enob;
+    c.nmult = nmult;
+    return c;
+}
+
+void BM_BitExactVmacDot(benchmark::State& state) {
+    const auto nmult = static_cast<std::size_t>(state.range(0));
+    vmac::VmacCell cell(cfg(8.0, nmult));
+    Rng rng(1);
+    std::vector<double> w(nmult), x(nmult);
+    for (double& v : w) v = rng.uniform(-1.0, 1.0);
+    for (double& v : x) v = rng.uniform(0.0, 1.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cell.dot(w, x, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(nmult));
+}
+BENCHMARK(BM_BitExactVmacDot)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_LumpedInjectorPerElement(benchmark::State& state) {
+    vmac::ErrorInjector inj(cfg(), 72, Rng(2));
+    Tensor t(Shape{4096});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(inj.forward(t));
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_LumpedInjectorPerElement);
+
+void BM_PerVmacInjectorPerElement(benchmark::State& state) {
+    vmac::ErrorInjector inj(cfg(), 72, Rng(3), vmac::InjectionMode::kPerVmacUniform);
+    Tensor t(Shape{4096});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(inj.forward(t));
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PerVmacInjectorPerElement);
+
+/// Printed (non-timed) agreement check between the statistical model and
+/// the bit-exact cell: error variance ratio should be ~1.
+void print_agreement() {
+    std::printf("\n=== Lumped statistical model vs bit-exact VMAC agreement ===\n");
+    std::printf("%-8s %-8s %-14s %-14s %-8s\n", "ENOB", "Nmult", "bit-exact var",
+                "Eq.1 variance", "ratio");
+    Rng rng(42);
+    for (double enob : {6.0, 8.0, 10.0}) {
+        for (std::size_t nmult : {std::size_t{8}, std::size_t{16}}) {
+            vmac::VmacCell cell(cfg(enob, nmult));
+            double sq = 0.0;
+            const int trials = 20000;
+            std::vector<double> w(nmult), x(nmult);
+            for (int t = 0; t < trials; ++t) {
+                for (double& v : w) v = rng.uniform(-1.0, 1.0);
+                for (double& v : x) v = rng.uniform(0.0, 1.0);
+                const double err = cell.dot(w, x, rng) - cell.dot_ideal(w, x);
+                sq += err * err;
+            }
+            const double empirical = sq / trials;
+            const double model = vmac::vmac_error_variance(cfg(enob, nmult));
+            std::printf("%-8.1f %-8zu %-14.6g %-14.6g %-8.3f\n", enob, nmult, empirical,
+                        model, empirical / model);
+        }
+    }
+    std::printf("ratio ~ 1 validates lumping all VMAC error into Eq. 1/2 (paper Sec. 2).\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_agreement();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

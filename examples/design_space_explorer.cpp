@@ -1,0 +1,96 @@
+// Design-space explorer: the "lookup table for circuit designers" of
+// Fig. 8 as a command-line tool.
+//
+//   ./examples/design_space_explorer --max-loss 0.01
+//   ./examples/design_space_explorer --max-emac-fj 50
+//
+// Builds the accuracy curve from the cached AMS retraining sweep, maps it
+// over the full (ENOB, Nmult) grid via the Eq. 2 equivalence, and answers
+// the two questions a system designer asks: "what is the cheapest
+// hardware meeting my accuracy spec?" and "what is the most accurate
+// hardware within my energy budget?".
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "energy/energy_accuracy.hpp"
+
+using namespace ams;
+
+namespace {
+
+energy::AccuracyCurve measure_curve(core::ExperimentEnv& env) {
+    const TensorMap q88 = env.quantized_state(8, 8);
+    const train::EvalResult base = env.evaluate_state(q88, env.quant_common(8, 8));
+    std::vector<energy::AccuracyCurve::Point> points;
+    for (double enob : {4.5, 5.0, 5.5, 6.0, 6.5, 7.0, 8.0}) {
+        vmac::VmacConfig v;
+        v.enob = enob;
+        v.nmult = 8;
+        const TensorMap state = env.ams_retrained_state(8, 8, v);
+        const train::EvalResult r = env.evaluate_state(state, env.ams_common(8, 8, v));
+        points.push_back({enob, std::max(0.0, base.mean - r.mean)});
+        std::cout << "  measured: ENOB " << enob << " -> loss "
+                  << core::fmt_pct(std::max(0.0, base.mean - r.mean)) << "\n";
+    }
+    return energy::AccuracyCurve(points, 8);
+}
+
+void describe(const char* question, const energy::DesignPoint* p) {
+    std::cout << question;
+    if (p == nullptr) {
+        std::cout << "  -> no design on the grid qualifies\n";
+        return;
+    }
+    std::cout << "  -> ENOB " << core::fmt_fixed(p->enob, 1) << ", Nmult " << p->nmult
+              << ": loss " << core::fmt_pct(p->accuracy_loss) << ", E_MAC "
+              << core::fmt_energy_fj(p->emac_fj) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    double max_loss = 0.01;
+    double max_emac_fj = 100.0;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        if (flag == "--max-loss") max_loss = std::stod(argv[i + 1]);
+        if (flag == "--max-emac-fj") max_emac_fj = std::stod(argv[i + 1]);
+    }
+
+    std::cout << "Measuring the accuracy-vs-ENOB curve at Nmult=8 (cached after first run):\n";
+    core::ExperimentEnv env(core::ExperimentOptions::standard());
+    const energy::AccuracyCurve curve = measure_curve(env);
+
+    std::vector<double> enobs;
+    for (double e = 4.0; e <= 14.0; e += 0.5) enobs.push_back(e);
+    const energy::EnergyAccuracyMap map(
+        curve, enobs, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+
+    std::cout << "\nDesign-space queries over a " << enobs.size() << " x 11 grid:\n";
+    describe(("cheapest design with loss < " + core::fmt_pct(max_loss)).c_str(),
+             map.cheapest_for_loss(max_loss));
+    describe(("most accurate design within " + core::fmt_energy_fj(max_emac_fj) + "/MAC")
+                 .c_str(),
+             map.best_accuracy_for_energy(max_emac_fj));
+
+    // A designer's sensitivity sweep: cheapest energy vs accuracy target.
+    std::cout << "\nEnergy floor as a function of the accuracy spec:\n";
+    core::Table table({"max loss", "E_MAC,min", "at (ENOB, Nmult)"});
+    for (double spec : {0.002, 0.005, 0.01, 0.02, 0.05, 0.10}) {
+        const auto* p = map.cheapest_for_loss(spec);
+        if (p == nullptr) {
+            table.add_row({core::fmt_pct(spec, 1), "unachievable", "-"});
+        } else {
+            table.add_row({core::fmt_pct(spec, 1), core::fmt_energy_fj(p->emac_fj),
+                           "(" + core::fmt_fixed(p->enob, 1) + ", " +
+                               std::to_string(p->nmult) + ")"});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nThe monotone, one-to-one loss <-> E_MAC,min relationship is the paper's\n"
+                 "central design-space conclusion (Sec. 4).\n";
+    return 0;
+}

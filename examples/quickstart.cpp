@@ -1,0 +1,62 @@
+// Quickstart: build a quantized ResNet, inject AMS error at a chosen
+// ENOB, evaluate it, and ask the energy model what the hardware would
+// cost per MAC.
+//
+//   ./examples/quickstart [enob] [nmult]
+//
+// This is the 60-second tour of the library's core loop: dataset ->
+// model -> (train) -> AMS error -> accuracy + energy.
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "energy/adc_energy.hpp"
+
+using namespace ams;
+
+int main(int argc, char** argv) {
+    const double enob = argc > 1 ? std::stod(argv[1]) : 6.0;
+    const std::size_t nmult = argc > 2 ? std::stoul(argv[2]) : 8;
+
+    std::cout << "amsnet quickstart: AMS VMAC with ENOB " << enob << ", Nmult " << nmult
+              << "\n\n";
+
+    // 1. Dataset + experiment environment (REPRO_FAST=1 shrinks it).
+    core::ExperimentEnv env(core::ExperimentOptions::standard());
+    std::cout << "Synthetic dataset: " << env.dataset().train_images().dim(0)
+              << " train / " << env.dataset().val_images().dim(0) << " val images, "
+              << env.options().dataset.classes << " classes\n";
+
+    // 2. The 8b DoReFa-quantized network (trains on first run, cached after).
+    const TensorMap quantized = env.quantized_state(8, 8);
+    const train::EvalResult base = env.evaluate_state(quantized, env.quant_common(8, 8));
+    std::cout << "8b quantized top-1 (no AMS error): "
+              << core::fmt_mean_std(base.mean, base.stddev) << "\n";
+
+    // 3. Same weights on AMS hardware: additive error per Eq. 2 at every
+    //    conv and FC output.
+    vmac::VmacConfig vmac_cfg;
+    vmac_cfg.enob = enob;
+    vmac_cfg.nmult = nmult;
+    const train::EvalResult ams =
+        env.evaluate_state(quantized, env.ams_common(8, 8, vmac_cfg));
+    std::cout << "Top-1 on AMS hardware (eval-only injection): "
+              << core::fmt_mean_std(ams.mean, ams.stddev) << "  (loss "
+              << core::fmt_pct(base.mean - ams.mean) << ")\n";
+
+    // 4. Retrain with the error in the loop: batch norm recovers accuracy.
+    const TensorMap retrained = env.ams_retrained_state(8, 8, vmac_cfg);
+    const train::EvalResult rec =
+        env.evaluate_state(retrained, env.ams_common(8, 8, vmac_cfg));
+    std::cout << "Top-1 after retraining with AMS error:    "
+              << core::fmt_mean_std(rec.mean, rec.stddev) << "  (recovered "
+              << core::fmt_pct(rec.mean - ams.mean) << ")\n";
+
+    // 5. What would this hardware cost? (Eqs. 3-4 lower bound.)
+    std::cout << "\nEnergy model: E_ADC >= "
+              << core::fmt_fixed(energy::adc_energy_lower_bound_pj(enob), 3)
+              << " pJ/conversion  ->  E_MAC >= "
+              << core::fmt_energy_fj(energy::emac_lower_bound_fj(enob, nmult)) << "/MAC\n";
+    return 0;
+}

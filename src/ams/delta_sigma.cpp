@@ -1,0 +1,71 @@
+#include "ams/delta_sigma.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ams::vmac {
+
+namespace {
+VmacConfig with_enob(VmacConfig c, double enob) {
+    c.enob = enob;
+    return c;
+}
+}  // namespace
+
+DeltaSigmaVmac::DeltaSigmaVmac(const VmacConfig& config, double final_enob,
+                               const AnalogOptions& analog)
+    : cell_(config, analog),
+      final_cell_(with_enob(config, final_enob), analog),
+      final_enob_(final_enob) {
+    if (final_enob < config.enob) {
+        throw std::invalid_argument(
+            "DeltaSigmaVmac: final conversion must be at least as fine as the per-cycle one");
+    }
+}
+
+double DeltaSigmaVmac::accumulate(std::span<const double> weights,
+                                  std::span<const double> activations, Rng& rng) {
+    // Ideal analog partial sum of this cycle plus the carried residual.
+    // Thermal noise enters each cycle and is NOT recycled (the paper:
+    // "reduces the total incurred quantization error, but does not change
+    // the impact of thermal noise").
+    double analog = cell_.dot_ideal(weights, activations) + residual_;
+    if (cell_.analog().multiplier_noise_sigma > 0.0) {
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            analog += rng.normal(0.0, cell_.analog().multiplier_noise_sigma);
+        }
+    }
+    if (cell_.analog().adc_noise_sigma > 0.0) {
+        analog += rng.normal(0.0, cell_.analog().adc_noise_sigma);
+    }
+    const double digital = cell_.convert(analog);
+    residual_ = analog - digital;
+    return digital;
+}
+
+double DeltaSigmaVmac::finalize(Rng& rng) {
+    double analog = residual_;
+    if (final_cell_.analog().adc_noise_sigma > 0.0) {
+        analog += rng.normal(0.0, final_cell_.analog().adc_noise_sigma);
+    }
+    const double digital = final_cell_.convert(analog);
+    residual_ = 0.0;
+    return digital;
+}
+
+double DeltaSigmaVmac::dot(std::span<const double> weights,
+                           std::span<const double> activations, Rng& rng) {
+    if (weights.size() != activations.size()) {
+        throw std::invalid_argument("DeltaSigmaVmac::dot: size mismatch");
+    }
+    const std::size_t nmult = cell_.config().nmult;
+    double acc = 0.0;
+    for (std::size_t start = 0; start < weights.size(); start += nmult) {
+        const std::size_t len = std::min(nmult, weights.size() - start);
+        acc += accumulate(weights.subspan(start, len), activations.subspan(start, len), rng);
+    }
+    acc += finalize(rng);
+    return acc;
+}
+
+}  // namespace ams::vmac

@@ -1,0 +1,49 @@
+#include "ams/error_injector.hpp"
+
+#include <stdexcept>
+
+namespace ams::vmac {
+
+ErrorInjector::ErrorInjector(VmacConfig config, std::size_t n_tot, Rng rng, InjectionMode mode)
+    : config_(config), n_tot_(n_tot), rng_(rng), mode_(mode) {
+    config_.validate();
+    if (n_tot == 0) throw std::invalid_argument("ErrorInjector: n_tot must be > 0");
+}
+
+void ErrorInjector::set_config(const VmacConfig& config) {
+    config.validate();
+    config_ = config;
+}
+
+double ErrorInjector::error_stddev() const {
+    return total_error_stddev(config_, n_tot_);
+}
+
+Tensor ErrorInjector::forward(const Tensor& input) {
+    if (!enabled_) return input;
+    Tensor out = input;
+    switch (mode_) {
+        case InjectionMode::kLumpedGaussian: {
+            const double sigma = total_error_stddev(config_, n_tot_);
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                out[i] += static_cast<float>(rng_.normal(0.0, sigma));
+            }
+            break;
+        }
+        case InjectionMode::kPerVmacUniform: {
+            const double lsb = vmac_lsb(config_);
+            const std::size_t cells = vmacs_per_output(config_, n_tot_);
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                double err = 0.0;
+                for (std::size_t v = 0; v < cells; ++v) {
+                    err += rng_.uniform(-0.5 * lsb, 0.5 * lsb);
+                }
+                out[i] += static_cast<float>(err);
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace ams::vmac

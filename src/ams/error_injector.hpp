@@ -1,0 +1,65 @@
+// ErrorInjector: network-level AMS error injection (paper Sec. 2, Fig. 3).
+//
+// The injector sits between a (quantized) convolution / FC layer and its
+// batch norm, lumping the error of all the VMAC cells that compute one
+// output activation into a single additive sample at the digitally
+// accumulated output. The error is applied in the forward pass only; the
+// backward pass is the identity ("we inject this error during only the
+// forward pass, leaving the backward pass untouched").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ams/error_model.hpp"
+#include "nn/module.hpp"
+
+namespace ams::vmac {
+
+/// How the lumped error sample is drawn.
+enum class InjectionMode {
+    /// Eq. 2: one N(0, sqrt(Ntot/Nmult) * LSB / sqrt(12)) sample per output.
+    /// This is the model the paper trains and evaluates with.
+    kLumpedGaussian,
+    /// Section 4 "improving our error models": draw ceil(Ntot/Nmult)
+    /// independent uniform(-LSB/2, LSB/2) samples per output and sum them —
+    /// per-VMAC granularity without the normality assumption. Used by the
+    /// ablation bench to validate the lumped model.
+    kPerVmacUniform,
+};
+
+/// Additive AMS noise module.
+class ErrorInjector : public nn::Module {
+public:
+    /// `n_tot` is the multiplications per output activation of the layer
+    /// this injector follows. Throws std::invalid_argument on bad config.
+    ErrorInjector(VmacConfig config, std::size_t n_tot, Rng rng,
+                  InjectionMode mode = InjectionMode::kLumpedGaussian);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override { return grad_output; }
+    [[nodiscard]] std::string name() const override { return "ErrorInjector"; }
+
+    /// Master switch; a disabled injector is an exact pass-through. The
+    /// training harness uses this to realize the paper's per-phase policy
+    /// (e.g. no injection in the last layer during training).
+    void set_enabled(bool enabled) { enabled_ = enabled; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Retunes the cell (used by the ENOB sweeps).
+    void set_config(const VmacConfig& config);
+    [[nodiscard]] const VmacConfig& config() const { return config_; }
+    [[nodiscard]] std::size_t n_tot() const { return n_tot_; }
+
+    /// Std-dev of the injected error (Eq. 2); the "dashes" of Fig. 6.
+    [[nodiscard]] double error_stddev() const;
+
+private:
+    VmacConfig config_;
+    std::size_t n_tot_;
+    Rng rng_;
+    InjectionMode mode_;
+    bool enabled_ = true;
+};
+
+}  // namespace ams::vmac

@@ -1,0 +1,48 @@
+#include "ams/error_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ams::vmac {
+
+double vmac_lsb(const VmacConfig& config) {
+    config.validate();
+    return static_cast<double>(config.nmult) * std::exp2(-(config.enob - 1.0));
+}
+
+double vmac_error_variance(const VmacConfig& config) {
+    const double lsb = vmac_lsb(config);
+    return lsb * lsb / 12.0;
+}
+
+std::size_t vmacs_per_output(const VmacConfig& config, std::size_t n_tot) {
+    config.validate();
+    if (n_tot == 0) throw std::invalid_argument("vmacs_per_output: n_tot must be > 0");
+    return (n_tot + config.nmult - 1) / config.nmult;
+}
+
+double total_error_variance(const VmacConfig& config, std::size_t n_tot) {
+    if (n_tot == 0) throw std::invalid_argument("total_error_variance: n_tot must be > 0");
+    const double ratio =
+        static_cast<double>(n_tot) / static_cast<double>(config.nmult);
+    return ratio * vmac_error_variance(config);
+}
+
+double total_error_stddev(const VmacConfig& config, std::size_t n_tot) {
+    return std::sqrt(total_error_variance(config, n_tot));
+}
+
+double equivalent_enob(double enob, std::size_t nmult_from, std::size_t nmult_to) {
+    if (nmult_from == 0 || nmult_to == 0) {
+        throw std::invalid_argument("equivalent_enob: nmult must be > 0");
+    }
+    return enob + 0.5 * std::log2(static_cast<double>(nmult_to) /
+                                  static_cast<double>(nmult_from));
+}
+
+double noise_scale(double enob, std::size_t nmult) {
+    if (nmult == 0) throw std::invalid_argument("noise_scale: nmult must be > 0");
+    return std::sqrt(static_cast<double>(nmult)) * std::exp2(-(enob - 1.0));
+}
+
+}  // namespace ams::vmac

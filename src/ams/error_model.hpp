@@ -1,0 +1,49 @@
+// The paper's statistical AMS error model (Section 2, Eqs. 1-2).
+//
+// With DoReFa capping |weights| <= 1 and activations in [0, 1], the ideal
+// analog dot product of Nmult pairwise products spans [-Nmult, +Nmult].
+// An ADC with ENOB_VMAC effective bits therefore has
+//     LSB = 2 * Nmult * 2^-ENOB = Nmult * 2^-(ENOB-1)
+// and, regardless of the error's distribution, an error variance of
+// LSB^2 / 12 referred to its input (the definition of ENOB). A convolution
+// output activation needs Ntot multiplications = Ntot/Nmult VMAC cells;
+// their i.i.d. errors add, so the total error is approximately normal with
+// variance (Ntot/Nmult) * LSB^2 / 12.
+#pragma once
+
+#include <cstddef>
+
+#include "ams/vmac_config.hpp"
+
+namespace ams::vmac {
+
+/// LSB of the VMAC's ADC in dot-product units: Nmult * 2^-(ENOB-1). (Eq. 1)
+[[nodiscard]] double vmac_lsb(const VmacConfig& config);
+
+/// Var(E_VMAC) = LSB^2 / 12 — the error variance of one VMAC conversion. (Eq. 1)
+[[nodiscard]] double vmac_error_variance(const VmacConfig& config);
+
+/// Number of VMAC cells needed per output activation: ceil(Ntot / Nmult).
+[[nodiscard]] std::size_t vmacs_per_output(const VmacConfig& config, std::size_t n_tot);
+
+/// Var(E_tot) = (Ntot / Nmult) * Var(E_VMAC). (Eq. 2)
+/// `n_tot` is the total multiplications per output activation (for a conv
+/// layer: C_in * K_h * K_w). Throws std::invalid_argument if n_tot == 0.
+[[nodiscard]] double total_error_variance(const VmacConfig& config, std::size_t n_tot);
+
+/// Standard deviation of the total injected error: sqrt(Eq. 2).
+[[nodiscard]] double total_error_stddev(const VmacConfig& config, std::size_t n_tot);
+
+/// ENOB that keeps the injected error standard deviation unchanged when
+/// moving a result measured at `nmult_from` to hardware with `nmult_to`:
+/// sigma ∝ sqrt(Nmult) * 2^-ENOB at fixed Ntot, hence
+///     ENOB' = ENOB + 0.5 * log2(nmult_to / nmult_from).
+/// This is how Fig. 8 maps the Nmult = 8 accuracy sweep onto the whole
+/// (ENOB, Nmult) design grid.
+[[nodiscard]] double equivalent_enob(double enob, std::size_t nmult_from, std::size_t nmult_to);
+
+/// Inverse view of the same equivalence: the error std-dev scale factor
+/// sqrt(nmult) * 2^-(enob-1) that determines accuracy at fixed Ntot.
+[[nodiscard]] double noise_scale(double enob, std::size_t nmult);
+
+}  // namespace ams::vmac

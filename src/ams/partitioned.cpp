@@ -1,0 +1,113 @@
+#include "ams/partitioned.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ams::vmac {
+
+PartitionedVmac::PartitionedVmac(const VmacConfig& base, const PartitionOptions& options)
+    : base_(base),
+      options_(options),
+      mag_bits_w_(base.bits_w - 1),
+      mag_bits_x_(base.bits_x - 1),
+      weight_codec_(base.bits_w),
+      act_codec_(base.bits_x) {
+    base_.validate();
+    if (options.nw == 0 || options.nx == 0) {
+        throw std::invalid_argument("PartitionedVmac: chunk counts must be > 0");
+    }
+    if (mag_bits_w_ % options.nw != 0 || mag_bits_x_ % options.nx != 0) {
+        throw std::invalid_argument(
+            "PartitionedVmac: magnitude bits must divide evenly into chunks");
+    }
+    if (options.enob_partial <= 0.0) {
+        throw std::invalid_argument("PartitionedVmac: enob_partial must be positive");
+    }
+    chunk_bits_w_ = mag_bits_w_ / options.nw;
+    chunk_bits_x_ = mag_bits_x_ / options.nx;
+    if (chunk_bits_w_ == 0 || chunk_bits_x_ == 0) {
+        throw std::invalid_argument("PartitionedVmac: empty chunks");
+    }
+}
+
+double PartitionedVmac::partial_enob(std::size_t p, std::size_t q) const {
+    const double depth = static_cast<double>(p + q);
+    return std::max(options_.min_enob,
+                    options_.enob_partial - options_.significance_drop * depth);
+}
+
+double PartitionedVmac::dot_ideal(std::span<const double> weights,
+                                  std::span<const double> activations) const {
+    if (weights.size() != activations.size() || weights.size() > base_.nmult) {
+        throw std::invalid_argument("PartitionedVmac::dot_ideal: bad operand count");
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weight_codec_.quantize(weights[i]) * act_codec_.quantize(activations[i]);
+    }
+    return acc;
+}
+
+double PartitionedVmac::dot(std::span<const double> weights,
+                            std::span<const double> activations, Rng& rng) const {
+    if (weights.size() != activations.size() || weights.size() > base_.nmult) {
+        throw std::invalid_argument("PartitionedVmac::dot: bad operand count");
+    }
+    const std::size_t n = weights.size();
+
+    // Encode operands once; chunk the integer magnitudes.
+    std::vector<quant::SignMagCode> wc(n), xc(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        wc[i] = weight_codec_.encode(weights[i]);
+        xc[i] = act_codec_.encode(activations[i]);
+    }
+    const double fs_w = static_cast<double>(weight_codec_.full_scale());
+    const double fs_x = static_cast<double>(act_codec_.full_scale());
+    const std::uint32_t chunk_max_w = (1u << chunk_bits_w_) - 1u;
+    const std::uint32_t chunk_max_x = (1u << chunk_bits_x_) - 1u;
+
+    double result = 0.0;
+    for (std::size_t p = 0; p < options_.nw; ++p) {
+        // Shift of weight chunk p (p = 0 most significant).
+        const std::size_t shift_w = chunk_bits_w_ * (options_.nw - 1 - p);
+        for (std::size_t q = 0; q < options_.nx; ++q) {
+            const std::size_t shift_x = chunk_bits_x_ * (options_.nx - 1 - q);
+
+            // Analog VMAC over normalized chunk products in [-1, 1].
+            double analog = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint32_t cw = (wc[i].magnitude >> shift_w) & chunk_max_w;
+                const std::uint32_t cx = (xc[i].magnitude >> shift_x) & chunk_max_x;
+                const double sign =
+                    (wc[i].negative != xc[i].negative) ? -1.0 : 1.0;
+                double product = sign * (static_cast<double>(cw) / chunk_max_w) *
+                                 (static_cast<double>(cx) / chunk_max_x);
+                if (options_.analog.multiplier_noise_sigma > 0.0) {
+                    product += rng.normal(0.0, options_.analog.multiplier_noise_sigma);
+                }
+                analog += product;
+            }
+            if (options_.analog.adc_noise_sigma > 0.0) {
+                analog += rng.normal(0.0, options_.analog.adc_noise_sigma);
+            }
+
+            // Partial ADC: full scale Nmult, resolution discounted with depth.
+            const double fs = static_cast<double>(base_.nmult) * options_.analog.reference_scale;
+            const double lsb = 2.0 * fs * std::exp2(-partial_enob(p, q));
+            const double clipped = std::clamp(analog, -fs, fs);
+            const double digital = std::round(clipped / lsb) * lsb;
+
+            // Digital shift-and-add: undo the chunk normalizations, apply
+            // the binary-weighted significance, renormalize by full scales.
+            const double weight_of_partial =
+                static_cast<double>(chunk_max_w) * std::exp2(static_cast<double>(shift_w)) /
+                fs_w * static_cast<double>(chunk_max_x) *
+                std::exp2(static_cast<double>(shift_x)) / fs_x;
+            result += digital * weight_of_partial;
+        }
+    }
+    return result;
+}
+
+}  // namespace ams::vmac

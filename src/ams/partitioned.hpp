@@ -1,0 +1,78 @@
+// PartitionedVmac: multiplication partitioning (paper Sec. 4, method 1).
+//
+// "Based on long multiplication ... splitting the weight into NW parts
+// and the activation into NX parts would require NW*NX multiplications of
+// BW/NW-bit and BX/NX-bit numbers. Because the full precision of any
+// partial product is smaller than that of the whole product, a
+// lower-resolution ADC could be used than in the unpartitioned case while
+// still incurring less injected error overall."
+//
+// Each (p, q) chunk pair forms its own analog VMAC over the Nmult operand
+// pairs; its digital output is shifted by the chunk significances and the
+// NW*NX partial results are added digitally.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ams/vmac_cell.hpp"
+
+namespace ams::vmac {
+
+/// Partitioning parameters.
+struct PartitionOptions {
+    std::size_t nw = 2;          ///< weight chunks
+    std::size_t nx = 2;          ///< activation chunks
+    double enob_partial = 8.0;   ///< ADC resolution for each partial conversion
+    /// ENOB reduction per unit of chunk-significance depth (p + q): the
+    /// paper notes low-significance partial products can be converted at
+    /// lower precision. 0 disables the discount.
+    double significance_drop = 0.0;
+    /// Floor for the discounted resolution.
+    double min_enob = 4.0;
+    AnalogOptions analog;
+};
+
+/// AMS VMAC computed via partitioned long multiplication.
+class PartitionedVmac {
+public:
+    /// `base.bits_w - 1` must be divisible by nw and `base.bits_x - 1` by
+    /// nx (sign-magnitude: the sign bit is shared by all chunks). Throws
+    /// std::invalid_argument otherwise.
+    PartitionedVmac(const VmacConfig& base, const PartitionOptions& options);
+
+    /// Digital dot product of up to Nmult operand pairs through the
+    /// partitioned datapath.
+    [[nodiscard]] double dot(std::span<const double> weights,
+                             std::span<const double> activations, Rng& rng) const;
+
+    /// Operand-quantized exact dot product (no conversion error), for
+    /// measuring the partitioned datapath's injected error.
+    [[nodiscard]] double dot_ideal(std::span<const double> weights,
+                                   std::span<const double> activations) const;
+
+    /// ADC conversions needed per VMAC (= nw * nx).
+    [[nodiscard]] std::size_t conversions_per_vmac() const {
+        return options_.nw * options_.nx;
+    }
+
+    /// ADC resolution used for chunk pair (p, q); p = q = 0 is most
+    /// significant.
+    [[nodiscard]] double partial_enob(std::size_t p, std::size_t q) const;
+
+    [[nodiscard]] const VmacConfig& base_config() const { return base_; }
+    [[nodiscard]] const PartitionOptions& options() const { return options_; }
+
+private:
+    VmacConfig base_;
+    PartitionOptions options_;
+    std::size_t mag_bits_w_;    ///< BW - 1
+    std::size_t mag_bits_x_;    ///< BX - 1
+    std::size_t chunk_bits_w_;  ///< mag_bits_w / nw
+    std::size_t chunk_bits_x_;  ///< mag_bits_x / nx
+    quant::SignMagCodec weight_codec_;
+    quant::SignMagCodec act_codec_;
+};
+
+}  // namespace ams::vmac

@@ -1,0 +1,59 @@
+#include "ams/reference_scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ams::vmac {
+
+ReferenceScaleResult evaluate_reference_scale(const VmacConfig& config,
+                                              std::span<const double> samples,
+                                              double reference_scale) {
+    config.validate();
+    if (samples.empty()) {
+        throw std::invalid_argument("evaluate_reference_scale: need samples");
+    }
+    if (reference_scale <= 0.0) {
+        throw std::invalid_argument("evaluate_reference_scale: scale must be positive");
+    }
+    const double fs = static_cast<double>(config.nmult);
+    const double ref = reference_scale * fs;
+    const double lsb = 2.0 * ref * std::exp2(-config.enob);
+
+    double sq_err = 0.0;
+    std::size_t clipped = 0;
+    for (double v : samples) {
+        const double c = std::clamp(v, -ref, ref);
+        if (c != v) ++clipped;
+        const double digital = std::round(c / lsb) * lsb;
+        const double err = digital - v;
+        sq_err += err * err;
+    }
+    ReferenceScaleResult r;
+    r.reference_scale = reference_scale;
+    r.rms_error = std::sqrt(sq_err / static_cast<double>(samples.size()));
+    r.clip_fraction = static_cast<double>(clipped) / static_cast<double>(samples.size());
+    // ENOB implied by the error, per the same LSB <-> variance convention
+    // as the error model (LSB_eff = sqrt(12) * rms).
+    const double lsb_eff = std::sqrt(12.0) * std::max(r.rms_error, 1e-300);
+    r.effective_enob = std::log2(2.0 * fs / lsb_eff);
+    return r;
+}
+
+std::vector<ReferenceScaleResult> sweep_reference_scales(
+    const VmacConfig& config, std::span<const double> samples,
+    std::span<const double> candidate_scales) {
+    if (candidate_scales.empty()) {
+        throw std::invalid_argument("sweep_reference_scales: need candidates");
+    }
+    std::vector<ReferenceScaleResult> results;
+    results.reserve(candidate_scales.size());
+    for (double s : candidate_scales) {
+        results.push_back(evaluate_reference_scale(config, samples, s));
+    }
+    std::sort(results.begin(), results.end(),
+              [](const auto& a, const auto& b) { return a.rms_error < b.rms_error; });
+    return results;
+}
+
+}  // namespace ams::vmac

@@ -1,0 +1,41 @@
+// Reference-voltage scaling analysis (paper Sec. 4, method 3).
+//
+// "Scale the ADC reference voltage with respect to the multiplier supply
+// in order to play with the dynamic range-resolution tradeoff. By making
+// the ADC reference voltage smaller than the multiplier supply, at least
+// one of the most significant magnitude bits of the partial dot product
+// is cut off; the resolution of the ADC can then be increased. The
+// effectiveness of this scheme is network- and data-dependent" — so this
+// module evaluates it against *empirical* partial-sum samples captured
+// from real layers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ams/vmac_cell.hpp"
+
+namespace ams::vmac {
+
+/// Outcome of evaluating one reference scale against a sample set.
+struct ReferenceScaleResult {
+    double reference_scale = 1.0;  ///< ADC reference / natural full scale
+    double rms_error = 0.0;        ///< RMS conversion error over the samples
+    double clip_fraction = 0.0;    ///< fraction of samples that clipped
+    double effective_enob = 0.0;   ///< ENOB implied by the measured RMS error
+};
+
+/// Simulates an ENOB-bit ADC with the given reference scale over empirical
+/// analog dot-product samples (in dot-product units, natural full scale =
+/// Nmult). Returns the measured error statistics.
+/// Throws std::invalid_argument if samples is empty or scale <= 0.
+[[nodiscard]] ReferenceScaleResult evaluate_reference_scale(
+    const VmacConfig& config, std::span<const double> samples, double reference_scale);
+
+/// Evaluates each candidate scale and returns all results, best (lowest
+/// RMS error) first.
+[[nodiscard]] std::vector<ReferenceScaleResult> sweep_reference_scales(
+    const VmacConfig& config, std::span<const double> samples,
+    std::span<const double> candidate_scales);
+
+}  // namespace ams::vmac

@@ -1,0 +1,48 @@
+// VmacConfig: the parameters of the AMS vector multiply-accumulate cell.
+//
+// Fig. 1 of the paper: the VMAC takes Nmult (weight, activation) pairs,
+// multiplies each digitally-to-analog, sums (or averages) the analog
+// products, and digitizes the result with an ADC whose effective number
+// of bits, ENOB_VMAC, lumps every AMS error source (multiplier thermal
+// noise and nonlinearity; ADC thermal noise, nonlinearity, and
+// quantization) referred to the ADC input.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace ams::vmac {
+
+/// Whether the analog network sums or averages the multiplier outputs.
+/// Section 2 shows the two are equivalent up to a digital rescale; the
+/// library supports both so the equivalence can be tested.
+enum class Accumulation { kSum, kAverage };
+
+/// Static description of one AMS VMAC cell.
+struct VmacConfig {
+    double enob = 12.0;        ///< ENOB_VMAC; may be fractional (paper sweeps 12.5)
+    std::size_t nmult = 8;     ///< vector length per cell
+    std::size_t bits_w = 8;    ///< BW: weight bits (sign-magnitude)
+    std::size_t bits_x = 8;    ///< BX: activation bits (sign-magnitude)
+    Accumulation accumulation = Accumulation::kSum;
+
+    /// Throws std::invalid_argument if any field is out of range.
+    void validate() const {
+        if (enob <= 0.0 || enob > 32.0) {
+            throw std::invalid_argument("VmacConfig: enob must be in (0, 32]");
+        }
+        if (nmult == 0) throw std::invalid_argument("VmacConfig: nmult must be > 0");
+        if (bits_w < 2 || bits_x < 2) {
+            throw std::invalid_argument("VmacConfig: operand bitwidths must be >= 2");
+        }
+    }
+
+    [[nodiscard]] std::string str() const {
+        return "VmacConfig{enob=" + std::to_string(enob) + ", nmult=" + std::to_string(nmult) +
+               ", bw=" + std::to_string(bits_w) + ", bx=" + std::to_string(bits_x) +
+               (accumulation == Accumulation::kSum ? ", sum}" : ", avg}");
+    }
+};
+
+}  // namespace ams::vmac

@@ -1,0 +1,93 @@
+#include "ams/vmac_conv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ams::vmac {
+
+VmacConv2d::VmacConv2d(Tensor weight, std::size_t stride, std::size_t padding,
+                       const VmacConfig& config, const AnalogOptions& analog,
+                       VmacConvMode mode, Rng rng)
+    : weight_(std::move(weight)),
+      stride_(stride),
+      padding_(padding),
+      cell_(config, analog),
+      mode_(mode),
+      rng_(rng) {
+    if (weight_.rank() != 4) {
+        throw std::invalid_argument("VmacConv2d: weight must be {Cout, Cin, K, K}, got " +
+                                    weight_.shape().str());
+    }
+    if (weight_.dim(2) != weight_.dim(3)) {
+        throw std::invalid_argument("VmacConv2d: only square kernels supported");
+    }
+    if (stride == 0) throw std::invalid_argument("VmacConv2d: stride must be nonzero");
+}
+
+std::size_t VmacConv2d::n_tot() const {
+    return weight_.dim(1) * weight_.dim(2) * weight_.dim(3);
+}
+
+Tensor VmacConv2d::forward(const Tensor& input) {
+    if (input.rank() != 4 || input.dim(1) != weight_.dim(1)) {
+        throw std::invalid_argument("VmacConv2d::forward: bad input " + input.shape().str());
+    }
+    const std::size_t batch = input.dim(0);
+    const std::size_t cout = weight_.dim(0);
+    const std::size_t kernel = weight_.dim(2);
+    ConvGeometry g{weight_.dim(1), input.dim(2), input.dim(3), kernel, kernel,
+                   stride_,        stride_,      padding_,     padding_};
+    g.validate();
+    const std::size_t oh = g.out_h();
+    const std::size_t ow = g.out_w();
+    const std::size_t out_spatial = oh * ow;
+    const std::size_t patch = g.patch_size();
+    const std::size_t nmult = cell_.config().nmult;
+    const std::size_t in_image = g.in_channels * g.in_h * g.in_w;
+
+    Tensor output(Shape{batch, cout, oh, ow});
+    std::vector<float> columns(patch * out_spatial);
+    std::vector<double> w_chunk(nmult), x_chunk(nmult);
+
+    const double lsb = cell_.adc_lsb();
+    for (std::size_t b = 0; b < batch; ++b) {
+        im2col(input.data() + b * in_image, g, columns.data());
+        for (std::size_t oc = 0; oc < cout; ++oc) {
+            const float* wrow = weight_.data() + oc * patch;
+            for (std::size_t pix = 0; pix < out_spatial; ++pix) {
+                double acc = 0.0;
+                for (std::size_t start = 0; start < patch; start += nmult) {
+                    const std::size_t len = std::min(nmult, patch - start);
+                    if (mode_ == VmacConvMode::kBitExact) {
+                        for (std::size_t i = 0; i < len; ++i) {
+                            w_chunk[i] = wrow[start + i];
+                            x_chunk[i] = columns[(start + i) * out_spatial + pix];
+                        }
+                        acc += cell_.dot(std::span(w_chunk).first(len),
+                                         std::span(x_chunk).first(len), rng_);
+                    } else {
+                        double partial = 0.0;
+                        for (std::size_t i = 0; i < len; ++i) {
+                            partial += static_cast<double>(wrow[start + i]) *
+                                       columns[(start + i) * out_spatial + pix];
+                        }
+                        acc += partial + rng_.uniform(-0.5 * lsb, 0.5 * lsb);
+                    }
+                }
+                output.data()[(b * cout + oc) * out_spatial + pix] =
+                    static_cast<float>(acc);
+            }
+        }
+    }
+    return output;
+}
+
+Tensor VmacConv2d::backward(const Tensor& /*grad_output*/) {
+    throw std::logic_error(
+        "VmacConv2d is evaluation-only (paper Sec. 4: per-VMAC modeling is applied at "
+        "evaluation time); use QuantConv2d + ErrorInjector for training");
+}
+
+}  // namespace ams::vmac

@@ -1,0 +1,66 @@
+// VmacConv2d: convolution computed through explicit AMS VMAC cells.
+//
+// Section 4, "improving our error models": "One method that would be
+// closer to a hardware implementation would be to split up the
+// convolution into VMAC-sized units and inject error at the output of
+// each VMAC separately. This avoids assuming that these additive errors
+// from separate VMACs are uncorrelated, but at the cost of slowing down
+// the computation of each convolution. ... this modeling can be performed
+// for evaluation only."
+//
+// This module does exactly that: it lowers the convolution with im2col,
+// slices each output activation's N_tot products into ceil(N_tot/Nmult)
+// VMAC-sized chunks, pushes every chunk through the *bit-exact* VmacCell
+// (operand quantization, analog accumulation, thermal noise, ADC), and
+// sums the digital outputs. It is evaluation-only, as the paper suggests.
+#pragma once
+
+#include <memory>
+
+#include "ams/vmac_cell.hpp"
+#include "nn/module.hpp"
+#include "tensor/im2col.hpp"
+
+namespace ams::vmac {
+
+/// Fidelity of the per-VMAC computation.
+enum class VmacConvMode {
+    /// Full behavioural simulation: operand codecs + ADC per chunk.
+    kBitExact,
+    /// Exact digital partial sums + one uniform(-LSB/2, LSB/2) error per
+    /// chunk — per-VMAC granularity without the operand re-quantization.
+    kPerVmacNoise,
+};
+
+/// Evaluation-only convolution through explicit VMAC hardware.
+class VmacConv2d : public nn::Module {
+public:
+    /// `weight` layout {out_channels, in_channels, k, k}; values are used
+    /// as-is (pass DoReFa-quantized weights for a faithful pipeline).
+    /// Throws std::invalid_argument on shape/config mismatch.
+    VmacConv2d(Tensor weight, std::size_t stride, std::size_t padding,
+               const VmacConfig& config, const AnalogOptions& analog, VmacConvMode mode,
+               Rng rng);
+
+    Tensor forward(const Tensor& input) override;
+
+    /// Evaluation-only: backward is not implemented (the paper's proposal
+    /// applies this model at evaluation time).
+    Tensor backward(const Tensor& grad_output) override;
+
+    [[nodiscard]] std::string name() const override { return "VmacConv2d"; }
+
+    [[nodiscard]] std::size_t n_tot() const;
+    [[nodiscard]] const VmacConfig& config() const { return cell_.config(); }
+    [[nodiscard]] const VmacCell& cell() const { return cell_; }
+
+private:
+    Tensor weight_;
+    std::size_t stride_;
+    std::size_t padding_;
+    VmacCell cell_;
+    VmacConvMode mode_;
+    Rng rng_;
+};
+
+}  // namespace ams::vmac

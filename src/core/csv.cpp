@@ -1,0 +1,53 @@
+#include "core/csv.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+namespace ams::core {
+
+namespace {
+
+std::string escape(const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+std::string artifact_dir() {
+    if (const char* env = std::getenv("AMSNET_ARTIFACT_DIR"); env != nullptr && *env != '\0') {
+        return env;
+    }
+    return "artifacts";
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& headers)
+    : path_(path), columns_(headers.size()) {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+    out_.open(path);
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    write_row(headers);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < columns_; ++i) {
+        if (i != 0) out_ << ',';
+        if (i < cells.size()) out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+    if (!out_) throw std::runtime_error("CsvWriter: write failed for " + path_);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+    write_row(cells);
+}
+
+}  // namespace ams::core

@@ -1,0 +1,35 @@
+// CSV artifact writer: every experiment bench can dump its series to
+// ./artifacts/*.csv for external plotting alongside the printed tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ams::core {
+
+/// Minimal RFC-4180-ish CSV writer (quotes fields containing commas,
+/// quotes, or newlines).
+class CsvWriter {
+public:
+    /// Opens `path` for writing (parent directories are created) and
+    /// emits the header row. Throws std::runtime_error on failure.
+    CsvWriter(const std::string& path, const std::vector<std::string>& headers);
+
+    /// Writes one row; pads or truncates to the header count.
+    void add_row(const std::vector<std::string>& cells);
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+    std::ofstream out_;
+    std::size_t columns_;
+
+    void write_row(const std::vector<std::string>& cells);
+};
+
+/// Default artifact directory, honoring $AMSNET_ARTIFACT_DIR.
+[[nodiscard]] std::string artifact_dir();
+
+}  // namespace ams::core

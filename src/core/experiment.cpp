@@ -1,0 +1,156 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ams::core {
+
+bool env_flag(const char* name) {
+    const char* v = std::getenv(name);
+    return v != nullptr && std::string(v) == "1";
+}
+
+ExperimentOptions ExperimentOptions::standard() {
+    ExperimentOptions opts;
+    const bool fast = env_flag("REPRO_FAST");
+    opts.verbose = env_flag("AMSNET_VERBOSE");
+
+    opts.dataset.classes = 10;
+    opts.dataset.train_per_class = fast ? 60 : 200;
+    opts.dataset.val_per_class = fast ? 20 : 50;
+    opts.dataset.image_size = 16;
+    opts.dataset.channels = 3;
+    opts.dataset.noise_sigma = 0.4f;
+    opts.dataset.seed = 0x1337C0DEULL;
+
+    opts.eval_passes = 5;
+    opts.batch_size = 64;
+
+    opts.fp32_train.epochs = fast ? 4 : 16;
+    opts.fp32_train.batch_size = opts.batch_size;
+    opts.fp32_train.patience = 4;
+    opts.fp32_train.sgd = {/*lr=*/0.05f, /*momentum=*/0.9f, /*weight_decay=*/5e-4f};
+    opts.fp32_train.shuffle_seed = 99;
+
+    // The paper retrains with a fixed small learning rate and no schedule.
+    opts.retrain.epochs = fast ? 3 : 8;
+    opts.retrain.batch_size = opts.batch_size;
+    opts.retrain.patience = 3;
+    opts.retrain.sgd = {/*lr=*/0.01f, /*momentum=*/0.9f, /*weight_decay=*/0.0f};
+    opts.retrain.shuffle_seed = 177;
+
+    opts.cache_dir = train::default_cache_dir();
+    return opts;
+}
+
+ExperimentEnv::ExperimentEnv(ExperimentOptions options)
+    : options_(std::move(options)), dataset_(options_.dataset) {}
+
+models::LayerCommon ExperimentEnv::fp32_common() const {
+    models::LayerCommon c;
+    c.bits_w = quant::kFloatBits;
+    c.bits_x = quant::kFloatBits;
+    c.ams_enabled = false;
+    return c;
+}
+
+models::LayerCommon ExperimentEnv::quant_common(std::size_t bits_w, std::size_t bits_x) const {
+    models::LayerCommon c;
+    c.bits_w = bits_w;
+    c.bits_x = bits_x;
+    c.ams_enabled = false;
+    return c;
+}
+
+models::LayerCommon ExperimentEnv::ams_common(std::size_t bits_w, std::size_t bits_x,
+                                              const vmac::VmacConfig& vmac_cfg,
+                                              vmac::InjectionMode mode) const {
+    models::LayerCommon c;
+    c.bits_w = bits_w;
+    c.bits_x = bits_x;
+    c.ams_enabled = true;
+    c.vmac = vmac_cfg;
+    c.mode = mode;
+    return c;
+}
+
+std::unique_ptr<models::ResNet> ExperimentEnv::make_model(
+    const models::LayerCommon& common) const {
+    return std::make_unique<models::ResNet>(models::mini_resnet_config(
+        common, options_.dataset.classes, dataset_.max_abs_value(), /*seed=*/42));
+}
+
+std::string ExperimentEnv::base_key() const {
+    std::ostringstream os;
+    os << "mini_c" << options_.dataset.classes << "_t" << options_.dataset.train_per_class
+       << "_v" << options_.dataset.val_per_class << "_s" << options_.dataset.image_size
+       << "_seed" << options_.dataset.seed;
+    return os.str();
+}
+
+TensorMap ExperimentEnv::train_from(const TensorMap* init_state,
+                                    const models::LayerCommon& common,
+                                    const train::TrainOptions& train_opts,
+                                    const std::vector<models::LayerGroup>& frozen,
+                                    const std::string& phase_name) {
+    auto model = make_model(common);
+    if (init_state != nullptr) model->load_state("", *init_state);
+    for (models::LayerGroup g : frozen) model->set_group_frozen(g, true);
+
+    train::TrainOptions opts = train_opts;
+    if (options_.verbose) {
+        opts.on_epoch = [&phase_name](std::size_t epoch, double loss, double acc) {
+            std::cerr << "[" << phase_name << "] epoch " << epoch << " loss " << loss
+                      << " val top-1 " << acc << "\n";
+        };
+    }
+    const train::TrainResult result =
+        fit(*model, dataset_.train_images(), dataset_.train_labels(), dataset_.val_images(),
+            dataset_.val_labels(), opts);
+    return result.best_state;
+}
+
+TensorMap ExperimentEnv::fp32_state() {
+    const std::string key = base_key() + "_fp32";
+    return train::cached_state(options_.cache_dir, key, [this] {
+        return train_from(nullptr, fp32_common(), options_.fp32_train, {}, "fp32");
+    });
+}
+
+TensorMap ExperimentEnv::quantized_state(std::size_t bits_w, std::size_t bits_x) {
+    std::ostringstream key;
+    key << base_key() << "_q_w" << bits_w << "_x" << bits_x;
+    return train::cached_state(options_.cache_dir, key.str(), [this, bits_w, bits_x] {
+        const TensorMap fp32 = fp32_state();
+        return train_from(&fp32, quant_common(bits_w, bits_x), options_.retrain, {},
+                          "quant_w" + std::to_string(bits_w) + "x" + std::to_string(bits_x));
+    });
+}
+
+TensorMap ExperimentEnv::ams_retrained_state(std::size_t bits_w, std::size_t bits_x,
+                                             const vmac::VmacConfig& vmac_cfg,
+                                             const std::vector<models::LayerGroup>& frozen) {
+    std::ostringstream key;
+    key << base_key() << "_ams_w" << bits_w << "_x" << bits_x << "_enob" << vmac_cfg.enob
+        << "_nm" << vmac_cfg.nmult;
+    for (models::LayerGroup g : frozen) {
+        key << "_f" << static_cast<int>(g);
+    }
+    return train::cached_state(
+        options_.cache_dir, key.str(), [this, bits_w, bits_x, &vmac_cfg, &frozen] {
+            const TensorMap quant = quantized_state(bits_w, bits_x);
+            return train_from(&quant, ams_common(bits_w, bits_x, vmac_cfg), options_.retrain,
+                              frozen, "ams_enob" + std::to_string(vmac_cfg.enob));
+        });
+}
+
+train::EvalResult ExperimentEnv::evaluate_state(const TensorMap& state,
+                                                const models::LayerCommon& common) {
+    auto model = make_model(common);
+    model->load_state("", state);
+    return train::evaluate_top1(*model, dataset_.val_images(), dataset_.val_labels(),
+                                options_.batch_size, options_.eval_passes);
+}
+
+}  // namespace ams::core

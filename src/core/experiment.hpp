@@ -1,0 +1,97 @@
+// ExperimentEnv: the paper's experimental pipeline, end to end.
+//
+// Owns the dataset and the three model phases:
+//   1. pretrained FP32 network          (paper: pretrained ResNet-50)
+//   2. DoReFa-quantized retrained nets  (Table 1 rows)
+//   3. AMS-error retrained nets         (Figs. 4-6, Table 2)
+// Each phase starts from the previous phase's weights, exactly as in the
+// paper ("retraining refers to taking a pretrained FP32 network and
+// continuing to train it after modifying the network to reflect the
+// intended underlying hardware"). Trained states are cached on disk so
+// every bench binary can run standalone without repeating training.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic_imagenet.hpp"
+#include "models/resnet.hpp"
+#include "train/checkpoint_cache.hpp"
+#include "train/trainer.hpp"
+
+namespace ams::core {
+
+/// Everything that parameterizes an experiment campaign.
+struct ExperimentOptions {
+    data::DatasetOptions dataset;
+    std::size_t eval_passes = 5;  ///< paper: sample mean of five passes
+    std::size_t batch_size = 64;
+    train::TrainOptions fp32_train;
+    train::TrainOptions retrain;
+    std::string cache_dir;
+    bool verbose = false;
+
+    /// Standard configuration; honors two environment variables:
+    ///   REPRO_FAST=1      shrink dataset/epochs for quick runs
+    ///   AMSNET_VERBOSE=1  per-epoch progress logging
+    [[nodiscard]] static ExperimentOptions standard();
+};
+
+/// The pipeline.
+class ExperimentEnv {
+public:
+    explicit ExperimentEnv(ExperimentOptions options);
+
+    [[nodiscard]] const data::SyntheticImageNet& dataset() const { return dataset_; }
+    [[nodiscard]] const ExperimentOptions& options() const { return options_; }
+
+    // ----- model variant factories -----
+    [[nodiscard]] models::LayerCommon fp32_common() const;
+    [[nodiscard]] models::LayerCommon quant_common(std::size_t bits_w, std::size_t bits_x) const;
+    [[nodiscard]] models::LayerCommon ams_common(
+        std::size_t bits_w, std::size_t bits_x, const vmac::VmacConfig& vmac_cfg,
+        vmac::InjectionMode mode = vmac::InjectionMode::kLumpedGaussian) const;
+    [[nodiscard]] std::unique_ptr<models::ResNet> make_model(
+        const models::LayerCommon& common) const;
+
+    // ----- cached pipeline phases -----
+    /// Trains (or loads) the FP32 baseline and returns its weights.
+    [[nodiscard]] TensorMap fp32_state();
+
+    /// Retrains (or loads) the DoReFa-quantized network at the given
+    /// bitwidths, starting from the FP32 weights. No AMS error.
+    [[nodiscard]] TensorMap quantized_state(std::size_t bits_w, std::size_t bits_x);
+
+    /// Retrains (or loads) with AMS error injected in the loop, starting
+    /// from the quantized weights. `frozen` lists parameter groups held
+    /// fixed during retraining (Table 2); they still forward/backward.
+    [[nodiscard]] TensorMap ams_retrained_state(
+        std::size_t bits_w, std::size_t bits_x, const vmac::VmacConfig& vmac_cfg,
+        const std::vector<models::LayerGroup>& frozen = {});
+
+    // ----- evaluation -----
+    /// Loads `state` into a fresh model of the given variant and runs the
+    /// paper's multi-pass validation protocol.
+    [[nodiscard]] train::EvalResult evaluate_state(const TensorMap& state,
+                                                   const models::LayerCommon& common);
+
+    /// Key prefix identifying the dataset + model architecture, used to
+    /// build cache keys.
+    [[nodiscard]] std::string base_key() const;
+
+private:
+    ExperimentOptions options_;
+    data::SyntheticImageNet dataset_;
+
+    [[nodiscard]] TensorMap train_from(const TensorMap* init_state,
+                                       const models::LayerCommon& common,
+                                       const train::TrainOptions& train_opts,
+                                       const std::vector<models::LayerGroup>& frozen,
+                                       const std::string& phase_name);
+};
+
+/// Reads a boolean environment flag ("1" = true).
+[[nodiscard]] bool env_flag(const char* name);
+
+}  // namespace ams::core

@@ -1,0 +1,43 @@
+#include "core/network_energy.hpp"
+
+#include <stdexcept>
+
+namespace ams::core {
+
+std::vector<energy::LayerEnergy> extract_layer_shapes(models::ResNet& model,
+                                                      const Tensor& probe) {
+    if (probe.rank() != 4 || probe.dim(0) != 1) {
+        throw std::invalid_argument("extract_layer_shapes: probe must be a batch of 1");
+    }
+    const bool was_training = model.training();
+    model.set_training(false);
+    model.reset_stats();
+    model.set_recording(true);
+    (void)model.forward(probe);
+    model.set_recording(false);
+    model.set_training(was_training);
+
+    std::vector<energy::LayerEnergy> shapes;
+    const auto units = model.conv_units();
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        energy::LayerEnergy row;
+        row.name = "conv" + std::to_string(i) + " (" +
+                   std::to_string(units[i]->conv().conv().options().kernel) + "x" +
+                   std::to_string(units[i]->conv().conv().options().kernel) + ", C" +
+                   std::to_string(units[i]->conv().conv().options().in_channels) + "->" +
+                   std::to_string(units[i]->conv().conv().options().out_channels) + ")";
+        row.n_tot = units[i]->conv().n_tot();
+        row.outputs = units[i]->stats().count();  // elements of one forward
+        shapes.push_back(std::move(row));
+    }
+    model.reset_stats();
+
+    energy::LayerEnergy fc;
+    fc.name = "fc";
+    fc.n_tot = model.fc_injector().n_tot();
+    fc.outputs = model.config().num_classes;
+    shapes.push_back(std::move(fc));
+    return shapes;
+}
+
+}  // namespace ams::core

@@ -1,0 +1,22 @@
+// Bridges the model zoo and the energy accountant: extracts per-layer
+// (n_tot, output count) shapes from a live ResNet by probing it with one
+// input, so whole-network inference energy can be computed for any
+// (ENOB, Nmult) without hand-maintained layer tables.
+#pragma once
+
+#include <vector>
+
+#include "energy/vmac_energy.hpp"
+#include "models/resnet.hpp"
+
+namespace ams::core {
+
+/// Runs a single probe input (batch of 1) through `model` and returns one
+/// LayerEnergy shape row per conv layer plus the FC head, in forward
+/// order. Only `name`, `n_tot`, and `outputs` are filled; feed the result
+/// to energy::account_network. Throws std::invalid_argument if the probe
+/// batch is not 1.
+[[nodiscard]] std::vector<energy::LayerEnergy> extract_layer_shapes(models::ResNet& model,
+                                                                    const Tensor& probe);
+
+}  // namespace ams::core

@@ -1,0 +1,68 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ams::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i])) << cells[i];
+            if (i + 1 != cells.size()) os << "  ";
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (widths.size() - 1);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_fixed(double value, int decimals) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+    return fmt_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_mean_std(double mean, double stddev, int decimals) {
+    return fmt_fixed(mean, decimals) + " +/- " + fmt_fixed(stddev, decimals);
+}
+
+std::string fmt_energy_fj(double femtojoules) {
+    if (femtojoules >= 1000.0) {
+        return fmt_fixed(femtojoules / 1000.0, 2) + " pJ";
+    }
+    return fmt_fixed(femtojoules, 1) + " fJ";
+}
+
+void print_banner(std::ostream& os, const std::string& title, const std::string& reference) {
+    os << '\n' << std::string(72, '=') << '\n';
+    os << title << '\n';
+    os << "Paper reference: " << reference << '\n';
+    os << std::string(72, '=') << "\n\n";
+}
+
+}  // namespace ams::core

@@ -1,0 +1,40 @@
+// Console table/report formatting for the experiment benches: every bench
+// prints the paper's reference values next to the values measured on this
+// substrate, in aligned fixed-width columns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ams::core {
+
+/// A simple column-aligned text table.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Adds one row; pads or truncates to the header count.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with a header underline and two-space gutters.
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-point formatting helpers.
+[[nodiscard]] std::string fmt_fixed(double value, int decimals);
+/// Percentage with sign preserved, e.g. "3.53%".
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 2);
+/// "0.781 +/- 0.003".
+[[nodiscard]] std::string fmt_mean_std(double mean, double stddev, int decimals = 3);
+/// Scientific-ish energy formatting: "313 fJ", "1.25 pJ".
+[[nodiscard]] std::string fmt_energy_fj(double femtojoules);
+
+/// Prints a bench banner: title plus paper reference note.
+void print_banner(std::ostream& os, const std::string& title, const std::string& reference);
+
+}  // namespace ams::core

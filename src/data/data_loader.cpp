@@ -1,0 +1,57 @@
+#include "data/data_loader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace ams::data {
+
+DataLoader::DataLoader(const Tensor& images, const std::vector<std::size_t>& labels,
+                       std::size_t batch_size, Rng rng, bool shuffle)
+    : images_(images),
+      labels_(labels),
+      batch_size_(batch_size),
+      rng_(rng),
+      shuffle_(shuffle) {
+    if (images.rank() != 4) {
+        throw std::invalid_argument("DataLoader: images must be NCHW");
+    }
+    if (images.dim(0) != labels.size()) {
+        throw std::invalid_argument("DataLoader: image/label count mismatch");
+    }
+    if (batch_size == 0) throw std::invalid_argument("DataLoader: batch_size must be > 0");
+    order_.resize(images.dim(0));
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    reshuffle();
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+    return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::reshuffle() {
+    if (shuffle_) std::shuffle(order_.begin(), order_.end(), rng_);
+}
+
+Batch DataLoader::next() {
+    if (cursor_ >= order_.size()) {
+        cursor_ = 0;
+        reshuffle();
+    }
+    const std::size_t count = std::min(batch_size_, order_.size() - cursor_);
+    const std::size_t image =
+        images_.dim(1) * images_.dim(2) * images_.dim(3);
+    Batch batch{Tensor(Shape{count, images_.dim(1), images_.dim(2), images_.dim(3)}), {}};
+    batch.labels.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t src = order_[cursor_ + i];
+        std::memcpy(batch.images.data() + i * image, images_.data() + src * image,
+                    image * sizeof(float));
+        batch.labels.push_back(labels_[src]);
+    }
+    cursor_ += count;
+    return batch;
+}
+
+}  // namespace ams::data

@@ -1,0 +1,53 @@
+// DataLoader: minibatch iteration with per-epoch shuffling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ams::data {
+
+/// One minibatch: images {B, C, H, W} and labels of length B.
+struct Batch {
+    Tensor images;
+    std::vector<std::size_t> labels;
+};
+
+/// Iterates a dataset (non-owning views are copied per batch) in shuffled
+/// minibatches. The final partial batch of an epoch is emitted.
+class DataLoader {
+public:
+    /// Keeps references to `images` / `labels`; they must outlive the
+    /// loader. Throws std::invalid_argument on size mismatch or batch 0.
+    DataLoader(const Tensor& images, const std::vector<std::size_t>& labels,
+               std::size_t batch_size, Rng rng, bool shuffle = true);
+
+    /// Number of batches per epoch.
+    [[nodiscard]] std::size_t batches_per_epoch() const;
+
+    /// Returns the next batch, reshuffling at each epoch boundary.
+    [[nodiscard]] Batch next();
+
+    /// True when the next call to next() starts a new epoch. (The epoch
+    /// wrap is lazy: the cursor resets on the next next() call.)
+    [[nodiscard]] bool at_epoch_start() const {
+        return cursor_ == 0 || cursor_ >= order_.size();
+    }
+
+    [[nodiscard]] std::size_t dataset_size() const { return order_.size(); }
+
+private:
+    const Tensor& images_;
+    const std::vector<std::size_t>& labels_;
+    std::size_t batch_size_;
+    Rng rng_;
+    bool shuffle_;
+    std::vector<std::size_t> order_;
+    std::size_t cursor_ = 0;
+
+    void reshuffle();
+};
+
+}  // namespace ams::data

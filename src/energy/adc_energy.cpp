@@ -1,0 +1,46 @@
+#include "energy/adc_energy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ams::energy {
+
+double enob_to_sndr_db(double enob) {
+    return 6.02 * enob + 1.76;
+}
+
+double sndr_db_to_enob(double sndr_db) {
+    return (sndr_db - 1.76) / 6.02;
+}
+
+double schreier_energy_pj(double enob, double fom_db) {
+    if (enob <= 0.0) throw std::invalid_argument("schreier_energy_pj: enob must be positive");
+    // FOM_S = SNDR + 10 log10((fs/2) / P)  =>  P / fs = 0.5 * 10^((SNDR - FOM)/10) J
+    const double joules_per_sample =
+        0.5 * std::pow(10.0, (enob_to_sndr_db(enob) - fom_db) / 10.0);
+    return joules_per_sample * 1e12;
+}
+
+double adc_energy_lower_bound_pj(double enob) {
+    if (enob <= 0.0) {
+        throw std::invalid_argument("adc_energy_lower_bound_pj: enob must be positive");
+    }
+    if (enob <= kThermalCrossoverEnob) return kEnergyFloorPj;
+    return std::pow(10.0, 0.1 * (6.02 * enob - 68.25));
+}
+
+double emac_lower_bound_pj(double enob, std::size_t nmult) {
+    if (nmult == 0) throw std::invalid_argument("emac_lower_bound_pj: nmult must be > 0");
+    return adc_energy_lower_bound_pj(enob) / static_cast<double>(nmult);
+}
+
+double emac_lower_bound_fj(double enob, std::size_t nmult) {
+    return emac_lower_bound_pj(enob, nmult) * 1e3;
+}
+
+double walden_fom_fj(double energy_pj, double enob) {
+    if (enob <= 0.0) throw std::invalid_argument("walden_fom_fj: enob must be positive");
+    return energy_pj * 1e3 / std::exp2(enob);
+}
+
+}  // namespace ams::energy

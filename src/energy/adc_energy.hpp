@@ -1,0 +1,54 @@
+// ADC energy model (paper Sec. 4, Eqs. 3-4).
+//
+// The VMAC energy is assumed to be dominated by its ADC, with
+// ENOB_VMAC = ENOB_ADC; the model is therefore a lower bound on energy
+// and an upper bound on accuracy. The bound is derived from the lower
+// envelope of Murmann's ADC survey (July 2018): a constant ~0.3 pJ/sample
+// floor for low-to-mid resolutions and a Schreier-FOM-limited thermal
+// wall (~FOM_S = 187 dB) above ENOB ~ 10.5, where energy quadruples per
+// extra bit.
+#pragma once
+
+#include <cstddef>
+
+namespace ams::energy {
+
+/// ENOB where the paper's piecewise bound switches from the constant
+/// floor to the thermal-noise-limited regime.
+inline constexpr double kThermalCrossoverEnob = 10.5;
+
+/// The constant low-resolution energy floor, in pJ per conversion.
+inline constexpr double kEnergyFloorPj = 0.3;
+
+/// Schreier figure of merit of the paper's (slightly shifted) state-of-
+/// the-art line, in dB.
+inline constexpr double kSchreierFomDb = 187.0;
+
+/// Energy per sample P/f_snyq implied by a Schreier FOM, in pJ:
+///   FOM_S = SNDR + 10 log10((f_s / 2) / P),  SNDR = 6.02 ENOB + 1.76 dB.
+/// Throws std::invalid_argument if enob <= 0.
+[[nodiscard]] double schreier_energy_pj(double enob, double fom_db = kSchreierFomDb);
+
+/// SNDR (dB) corresponding to an ENOB: 6.02 * ENOB + 1.76.
+[[nodiscard]] double enob_to_sndr_db(double enob);
+
+/// ENOB corresponding to an SNDR (dB).
+[[nodiscard]] double sndr_db_to_enob(double sndr_db);
+
+/// Eq. 3: lower bound on ADC conversion energy, in pJ:
+///   E >= 0.3 pJ                          for ENOB <= 10.5
+///   E >= 10^(0.1 (6.02 ENOB - 68.25)) pJ for ENOB > 10.5
+/// (The second branch equals the FOM_S = 187 dB Schreier line.)
+[[nodiscard]] double adc_energy_lower_bound_pj(double enob);
+
+/// Eq. 4: minimum energy per MAC, in pJ: the ADC energy amortized over
+/// the Nmult multiplications it digitizes. Throws if nmult == 0.
+[[nodiscard]] double emac_lower_bound_pj(double enob, std::size_t nmult);
+
+/// Same in femtojoules (the unit the paper quotes: "~300 fJ/MAC").
+[[nodiscard]] double emac_lower_bound_fj(double enob, std::size_t nmult);
+
+/// Walden figure of merit, fJ per conversion-step: E / 2^ENOB.
+[[nodiscard]] double walden_fom_fj(double energy_pj, double enob);
+
+}  // namespace ams::energy

@@ -1,0 +1,79 @@
+#include "energy/adc_survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "energy/adc_energy.hpp"
+
+namespace ams::energy {
+
+namespace {
+
+std::string pick_architecture(double enob, Rng& rng) {
+    // Rough architectural plausibility: flash at low resolution, SAR in
+    // the middle, pipelines broad, delta-sigma at high resolution.
+    if (enob < 6.0) return rng.uniform() < 0.6 ? "flash" : "SAR";
+    if (enob < 11.0) return rng.uniform() < 0.55 ? "SAR" : "pipeline";
+    return rng.uniform() < 0.7 ? "delta-sigma" : "pipeline";
+}
+
+}  // namespace
+
+std::vector<AdcDesign> generate_survey(const SurveyOptions& options) {
+    if (options.designs == 0) throw std::invalid_argument("generate_survey: need designs > 0");
+    if (options.enob_min <= 0.0 || options.enob_max <= options.enob_min) {
+        throw std::invalid_argument("generate_survey: bad ENOB range");
+    }
+    if (options.year_max < options.year_min) {
+        throw std::invalid_argument("generate_survey: bad year range");
+    }
+    Rng rng(options.seed);
+    std::vector<AdcDesign> survey;
+    survey.reserve(options.designs);
+    for (std::size_t i = 0; i < options.designs; ++i) {
+        AdcDesign d;
+        d.enob = rng.uniform(options.enob_min, options.enob_max);
+        d.year = options.year_min +
+                 static_cast<int>(rng.uniform_index(
+                     static_cast<std::uint64_t>(options.year_max - options.year_min + 1)));
+        d.venue = rng.uniform() < 0.65 ? Venue::kIsscc : Venue::kVlsi;
+        d.architecture = pick_architecture(d.enob, rng);
+
+        // Excess above the envelope, in decades: exponential spread whose
+        // mean grows with design age. |normal| keeps a heavy shoulder.
+        const double age_decades =
+            static_cast<double>(options.year_max - d.year) / 10.0;
+        const double mean_excess =
+            options.mean_excess_decades + options.era_decades_per_decade * age_decades;
+        const double u = std::max(rng.uniform(), 1e-12);
+        double excess = -mean_excess * std::log(u);  // exponential(mean_excess)
+        excess = std::min(excess, 5.0);              // keep the plot bounded
+        d.energy_per_sample_pj =
+            adc_energy_lower_bound_pj(d.enob) * std::pow(10.0, excess);
+        survey.push_back(std::move(d));
+    }
+    return survey;
+}
+
+std::vector<EnvelopePoint> survey_envelope(const std::vector<AdcDesign>& survey,
+                                           double bin_width) {
+    if (bin_width <= 0.0) throw std::invalid_argument("survey_envelope: bad bin width");
+    std::map<long long, double> best;
+    for (const AdcDesign& d : survey) {
+        const long long bin = static_cast<long long>(std::floor(d.enob / bin_width));
+        const auto it = best.find(bin);
+        if (it == best.end() || d.energy_per_sample_pj < it->second) {
+            best[bin] = d.energy_per_sample_pj;
+        }
+    }
+    std::vector<EnvelopePoint> envelope;
+    envelope.reserve(best.size());
+    for (const auto& [bin, energy] : best) {
+        envelope.push_back({(static_cast<double>(bin) + 0.5) * bin_width, energy});
+    }
+    return envelope;
+}
+
+}  // namespace ams::energy

@@ -1,0 +1,60 @@
+// Synthetic ADC survey consistent with Murmann's published envelope.
+//
+// Figure 7 of the paper plots P/f_snyq against ENOB for every ADC
+// published at ISSCC/VLSI 1997-2018 and draws (a) the ~0.3 pJ constant-
+// energy-per-sample floor and (b) a slightly shifted Schreier FOM_S =
+// 187 dB line. The actual spreadsheet is not redistributable, so this
+// module *generates* a survey whose population respects the same lower
+// envelope (no design beats the bound) with a realistic spread above it —
+// enough to regenerate the figure and to property-test Eq. 3 as a true
+// lower bound of the population.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace ams::energy {
+
+/// Publication venue categories used in Murmann's survey.
+enum class Venue { kIsscc, kVlsi };
+
+/// One published ADC design point.
+struct AdcDesign {
+    Venue venue = Venue::kIsscc;
+    int year = 2018;
+    std::string architecture;      ///< SAR, pipeline, delta-sigma, flash
+    double enob = 10.0;            ///< ENOB at high input frequency
+    double energy_per_sample_pj = 1.0;  ///< P / f_snyq
+};
+
+/// Parameters of the synthetic survey population.
+struct SurveyOptions {
+    std::size_t designs = 500;
+    int year_min = 1997;
+    int year_max = 2018;
+    double enob_min = 4.0;
+    double enob_max = 20.0;
+    /// Mean decades of energy above the state-of-the-art envelope for a
+    /// 2018 design; older designs sit higher (see era_decades_per_decade).
+    double mean_excess_decades = 0.8;
+    /// Additional mean excess per decade of age (technology progress).
+    double era_decades_per_decade = 0.5;
+    std::uint64_t seed = 0x5EEDADC5u;
+};
+
+/// Generates a survey population. Every design satisfies
+/// energy >= adc_energy_lower_bound_pj(enob) (the Eq. 3 envelope).
+[[nodiscard]] std::vector<AdcDesign> generate_survey(const SurveyOptions& options);
+
+/// Lower envelope of a population: for each ENOB bin, the minimum energy.
+struct EnvelopePoint {
+    double enob = 0.0;
+    double energy_pj = 0.0;
+};
+[[nodiscard]] std::vector<EnvelopePoint> survey_envelope(const std::vector<AdcDesign>& survey,
+                                                         double bin_width = 0.5);
+
+}  // namespace ams::energy

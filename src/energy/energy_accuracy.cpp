@@ -1,0 +1,88 @@
+#include "energy/energy_accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ams/error_model.hpp"
+#include "energy/adc_energy.hpp"
+
+namespace ams::energy {
+
+AccuracyCurve::AccuracyCurve(std::vector<Point> points, std::size_t reference_nmult)
+    : points_(std::move(points)), reference_nmult_(reference_nmult) {
+    if (points_.size() < 2) {
+        throw std::invalid_argument("AccuracyCurve: need at least two points");
+    }
+    if (reference_nmult == 0) {
+        throw std::invalid_argument("AccuracyCurve: reference_nmult must be > 0");
+    }
+    std::sort(points_.begin(), points_.end(),
+              [](const Point& a, const Point& b) { return a.enob < b.enob; });
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].enob == points_[i - 1].enob) {
+            throw std::invalid_argument("AccuracyCurve: duplicate ENOB point");
+        }
+    }
+}
+
+double AccuracyCurve::loss_at(double enob, std::size_t nmult) const {
+    // Map (enob, nmult) to the ENOB at the reference Nmult with the same
+    // injected-noise scale (Eq. 2 equivalence).
+    const double eq_enob = vmac::equivalent_enob(enob, nmult, reference_nmult_);
+    if (eq_enob <= points_.front().enob) return points_.front().loss;
+    if (eq_enob >= points_.back().enob) return points_.back().loss;
+    const auto upper = std::lower_bound(
+        points_.begin(), points_.end(), eq_enob,
+        [](const Point& p, double e) { return p.enob < e; });
+    const Point& hi = *upper;
+    const Point& lo = *(upper - 1);
+    const double t = (eq_enob - lo.enob) / (hi.enob - lo.enob);
+    return lo.loss + t * (hi.loss - lo.loss);
+}
+
+EnergyAccuracyMap::EnergyAccuracyMap(const AccuracyCurve& curve, std::vector<double> enobs,
+                                     std::vector<std::size_t> nmults)
+    : enobs_(std::move(enobs)), nmults_(std::move(nmults)) {
+    if (enobs_.empty() || nmults_.empty()) {
+        throw std::invalid_argument("EnergyAccuracyMap: need a non-empty grid");
+    }
+    grid_.reserve(enobs_.size() * nmults_.size());
+    for (double enob : enobs_) {
+        for (std::size_t nmult : nmults_) {
+            DesignPoint p;
+            p.enob = enob;
+            p.nmult = nmult;
+            p.accuracy_loss = curve.loss_at(enob, nmult);
+            p.emac_fj = emac_lower_bound_fj(enob, nmult);
+            grid_.push_back(p);
+        }
+    }
+}
+
+const DesignPoint& EnergyAccuracyMap::at(std::size_t enob_idx, std::size_t nmult_idx) const {
+    if (enob_idx >= enobs_.size() || nmult_idx >= nmults_.size()) {
+        throw std::out_of_range("EnergyAccuracyMap::at: index out of range");
+    }
+    return grid_[enob_idx * nmults_.size() + nmult_idx];
+}
+
+const DesignPoint* EnergyAccuracyMap::cheapest_for_loss(double max_loss) const {
+    const DesignPoint* best = nullptr;
+    for (const DesignPoint& p : grid_) {
+        if (p.accuracy_loss >= max_loss) continue;
+        if (best == nullptr || p.emac_fj < best->emac_fj) best = &p;
+    }
+    return best;
+}
+
+const DesignPoint* EnergyAccuracyMap::best_accuracy_for_energy(double max_emac_fj) const {
+    const DesignPoint* best = nullptr;
+    for (const DesignPoint& p : grid_) {
+        if (p.emac_fj > max_emac_fj) continue;
+        if (best == nullptr || p.accuracy_loss < best->accuracy_loss) best = &p;
+    }
+    return best;
+}
+
+}  // namespace ams::energy

@@ -1,0 +1,81 @@
+// The Fig. 8 energy-accuracy design-space map.
+//
+// Accuracy results are measured once at a reference Nmult (the paper uses
+// 8) across an ENOB sweep; Eq. 2 implies the injected error depends on
+// (ENOB, Nmult) only through sqrt(Nmult) * 2^-ENOB, so the sweep maps
+// onto the full (ENOB, Nmult) grid via an equivalent-ENOB shift. Energy
+// comes from Eqs. 3-4. The paper's headline observation falls out of the
+// grid: accuracy-loss and minimum-energy level curves are parallel in the
+// thermal-noise-limited regime, so the two metrics trade off one-for-one.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ams::energy {
+
+/// Piecewise-linear accuracy-loss curve measured at a reference Nmult.
+/// Points map ENOB (at the reference Nmult) to top-1 accuracy loss.
+class AccuracyCurve {
+public:
+    struct Point {
+        double enob = 0.0;
+        double loss = 0.0;
+    };
+
+    /// `reference_nmult` is the Nmult at which the points were measured.
+    /// Points are sorted by ENOB; throws std::invalid_argument if fewer
+    /// than two points or duplicate ENOBs are given.
+    AccuracyCurve(std::vector<Point> points, std::size_t reference_nmult);
+
+    /// Loss at an arbitrary (ENOB, Nmult): shifts to the equivalent ENOB
+    /// at the reference Nmult and interpolates linearly, clamping to the
+    /// end points outside the measured range.
+    [[nodiscard]] double loss_at(double enob, std::size_t nmult) const;
+
+    [[nodiscard]] std::size_t reference_nmult() const { return reference_nmult_; }
+    [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+private:
+    std::vector<Point> points_;
+    std::size_t reference_nmult_;
+};
+
+/// One cell of the Fig. 8 lookup grid.
+struct DesignPoint {
+    double enob = 0.0;
+    std::size_t nmult = 0;
+    double accuracy_loss = 0.0;  ///< relative to the quantized baseline
+    double emac_fj = 0.0;        ///< minimum energy per MAC (Eq. 3-4)
+};
+
+/// Dense (ENOB x Nmult) grid of accuracy loss and energy.
+class EnergyAccuracyMap {
+public:
+    /// Evaluates the grid. `enobs` and `nmults` must be non-empty.
+    EnergyAccuracyMap(const AccuracyCurve& curve, std::vector<double> enobs,
+                      std::vector<std::size_t> nmults);
+
+    [[nodiscard]] const std::vector<DesignPoint>& grid() const { return grid_; }
+    [[nodiscard]] const std::vector<double>& enobs() const { return enobs_; }
+    [[nodiscard]] const std::vector<std::size_t>& nmults() const { return nmults_; }
+
+    /// Grid cell accessor (row = enob index, col = nmult index).
+    [[nodiscard]] const DesignPoint& at(std::size_t enob_idx, std::size_t nmult_idx) const;
+
+    /// Cheapest design meeting `max_loss`, or nullptr if none on the grid
+    /// qualifies. This is the lookup a system designer performs ("for
+    /// < 0.4% accuracy loss, EMAC_min = ~313 fJ").
+    [[nodiscard]] const DesignPoint* cheapest_for_loss(double max_loss) const;
+
+    /// Most accurate design within an energy budget (fJ/MAC), or nullptr.
+    [[nodiscard]] const DesignPoint* best_accuracy_for_energy(double max_emac_fj) const;
+
+private:
+    std::vector<double> enobs_;
+    std::vector<std::size_t> nmults_;
+    std::vector<DesignPoint> grid_;
+};
+
+}  // namespace ams::energy

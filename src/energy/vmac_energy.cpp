@@ -1,0 +1,42 @@
+#include "energy/vmac_energy.hpp"
+
+#include <stdexcept>
+
+namespace ams::energy {
+
+VmacEnergyBreakdown VmacEnergyModel::vmac_energy(double enob, std::size_t nmult) const {
+    if (nmult == 0) throw std::invalid_argument("VmacEnergyModel: nmult must be > 0");
+    VmacEnergyBreakdown b;
+    b.adc_fj = adc_margin * adc_energy_lower_bound_pj(enob) * 1e3;
+    b.mult_fj = mult_fj_per_op * static_cast<double>(nmult);
+    // One digital add per VMAC output into the accumulator.
+    b.digital_fj = digital_fj_per_add;
+    return b;
+}
+
+double VmacEnergyModel::emac_fj(double enob, std::size_t nmult) const {
+    return vmac_energy(enob, nmult).total_fj() / static_cast<double>(nmult);
+}
+
+NetworkEnergyReport account_network(const std::vector<LayerEnergy>& layer_shapes,
+                                    const VmacEnergyModel& model, double enob,
+                                    std::size_t nmult) {
+    if (nmult == 0) throw std::invalid_argument("account_network: nmult must be > 0");
+    NetworkEnergyReport report;
+    const double emac_fj = model.emac_fj(enob, nmult);
+    for (const LayerEnergy& shape : layer_shapes) {
+        if (shape.n_tot == 0 || shape.outputs == 0) {
+            throw std::invalid_argument("account_network: degenerate layer " + shape.name);
+        }
+        LayerEnergy layer = shape;
+        layer.macs = layer.n_tot * layer.outputs;
+        layer.vmacs = ((layer.n_tot + nmult - 1) / nmult) * layer.outputs;
+        layer.energy_nj = emac_fj * static_cast<double>(layer.macs) * 1e-6;
+        report.total_macs += layer.macs;
+        report.total_nj += layer.energy_nj;
+        report.layers.push_back(std::move(layer));
+    }
+    return report;
+}
+
+}  // namespace ams::energy

@@ -1,0 +1,74 @@
+// Component-level VMAC energy model and whole-network energy accounting.
+//
+// The paper's Eq. 3-4 model is deliberately ADC-dominated ("our results
+// therefore provide a lower bound on energy"); Section 4 invites "more
+// sophisticated energy models [to] be substituted into the presented
+// framework". This module adds the next level of detail: per-component
+// energy (D-to-A multipliers, ADC, digital accumulation) and a
+// network-level accountant that multiplies per-MAC energy by the MAC
+// counts of every layer of a ResNet to estimate whole-inference energy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "energy/adc_energy.hpp"
+
+namespace ams::energy {
+
+/// Per-component energy of one VMAC evaluation, in femtojoules.
+struct VmacEnergyBreakdown {
+    double adc_fj = 0.0;      ///< one conversion (Eq. 3 bound by default)
+    double mult_fj = 0.0;     ///< Nmult D-to-A multiplications
+    double digital_fj = 0.0;  ///< digital accumulation of the VMAC output
+
+    [[nodiscard]] double total_fj() const { return adc_fj + mult_fj + digital_fj; }
+};
+
+/// Tunable component costs. Defaults follow the paper's assumptions: the
+/// ADC dominates and everything else is (optionally) small but nonzero.
+struct VmacEnergyModel {
+    /// Energy of one D-to-A multiply, fJ (switched-capacitor multipliers
+    /// are O(1-10 fJ) at 8b in 28 nm, e.g. Bankman & Murmann 2016).
+    double mult_fj_per_op = 0.0;
+    /// Energy of one digital add in the accumulation tree, fJ.
+    double digital_fj_per_add = 0.0;
+    /// Multiplier on the Eq. 3 ADC bound (1.0 = state-of-the-art).
+    double adc_margin = 1.0;
+
+    /// Breakdown for one VMAC at (enob, nmult).
+    /// Throws std::invalid_argument on non-positive enob / zero nmult.
+    [[nodiscard]] VmacEnergyBreakdown vmac_energy(double enob, std::size_t nmult) const;
+
+    /// Energy per MAC = total VMAC energy / Nmult, fJ.
+    [[nodiscard]] double emac_fj(double enob, std::size_t nmult) const;
+};
+
+/// One layer's contribution to network inference energy.
+struct LayerEnergy {
+    std::string name;
+    std::size_t n_tot = 0;        ///< multiplications per output activation
+    std::size_t outputs = 0;      ///< output activations per inference
+    std::size_t macs = 0;         ///< n_tot * outputs
+    std::size_t vmacs = 0;        ///< ceil(n_tot/nmult) * outputs
+    double energy_nj = 0.0;       ///< layer energy per inference, nanojoules
+};
+
+/// Whole-network accounting: layer rows plus totals.
+struct NetworkEnergyReport {
+    std::vector<LayerEnergy> layers;
+    std::size_t total_macs = 0;
+    double total_nj = 0.0;
+    [[nodiscard]] double mean_emac_fj() const {
+        return total_macs == 0 ? 0.0 : total_nj * 1e6 / static_cast<double>(total_macs);
+    }
+};
+
+/// Builds the report from per-layer (name, n_tot, outputs) descriptions.
+/// Throws std::invalid_argument if any layer is degenerate.
+[[nodiscard]] NetworkEnergyReport account_network(
+    const std::vector<LayerEnergy>& layer_shapes, const VmacEnergyModel& model, double enob,
+    std::size_t nmult);
+
+}  // namespace ams::energy

@@ -1,0 +1,66 @@
+#include "models/fold.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/gemm.hpp"
+
+namespace ams::models {
+
+FoldedConv fold_conv_bn(ConvUnit& unit, float eps) {
+    if (unit.injector().enabled()) {
+        throw std::invalid_argument(
+            "fold_conv_bn: disable the AMS injector before folding (deployment step)");
+    }
+    const nn::Conv2d& conv = unit.conv().conv();
+    const nn::BatchNorm2d& bn = unit.bn();
+    const Tensor& w = conv.weight().value;
+    const std::size_t cout = w.dim(0);
+    const std::size_t per_filter = w.size() / cout;
+
+    FoldedConv folded{Tensor(w.shape()), Tensor(Shape{cout})};
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+        const float inv_std =
+            1.0f / std::sqrt(bn.running_var()[oc] + eps);
+        const float gamma = unit.bn().gamma().value[oc];
+        const float beta = unit.bn().beta().value[oc];
+        const float mean = bn.running_mean()[oc];
+        const float scale = gamma * inv_std;
+        for (std::size_t i = 0; i < per_filter; ++i) {
+            folded.weight[oc * per_filter + i] = w[oc * per_filter + i] * scale;
+        }
+        folded.bias[oc] = beta - scale * mean;
+    }
+    return folded;
+}
+
+Tensor apply_folded(const FoldedConv& folded, const Tensor& input, std::size_t stride,
+                    std::size_t padding) {
+    if (input.rank() != 4 || folded.weight.rank() != 4) {
+        throw std::invalid_argument("apply_folded: expected NCHW input and 4-d weights");
+    }
+    const std::size_t cout = folded.weight.dim(0);
+    const std::size_t kernel = folded.weight.dim(2);
+    ConvGeometry g{folded.weight.dim(1), input.dim(2), input.dim(3), kernel, kernel,
+                   stride,               stride,       padding,      padding};
+    g.validate();
+    const std::size_t batch = input.dim(0);
+    const std::size_t out_spatial = g.out_h() * g.out_w();
+    const std::size_t patch = g.patch_size();
+    const std::size_t in_image = g.in_channels * g.in_h * g.in_w;
+
+    Tensor output(Shape{batch, cout, g.out_h(), g.out_w()});
+    std::vector<float> columns(patch * out_spatial);
+    for (std::size_t b = 0; b < batch; ++b) {
+        im2col(input.data() + b * in_image, g, columns.data());
+        gemm(folded.weight.data(), columns.data(),
+             output.data() + b * cout * out_spatial, cout, patch, out_spatial);
+        for (std::size_t oc = 0; oc < cout; ++oc) {
+            float* chan = output.data() + (b * cout + oc) * out_spatial;
+            for (std::size_t i = 0; i < out_spatial; ++i) chan[i] += folded.bias[oc];
+        }
+    }
+    return output;
+}
+
+}  // namespace ams::models

@@ -1,0 +1,37 @@
+// Batch-norm folding (paper Sec. 2): "Batch normalization weights and
+// biases are also not quantized; this is acceptable because, after
+// retraining, weights can be folded into the convolutional layer, while
+// biases can be added digitally at little extra energy cost."
+//
+// This module performs that fold: given a ConvUnit in evaluation mode
+// (running statistics), it produces the equivalent single convolution
+//   y = conv(x; W') + b'
+//   W'[oc,...] = W[oc,...] * gamma[oc] / sqrt(var[oc] + eps)
+//   b'[oc]     = beta[oc] - gamma[oc] * mean[oc] / sqrt(var[oc] + eps)
+// so the deployed AMS hardware runs one conv plus a digital bias add.
+#pragma once
+
+#include "models/conv_unit.hpp"
+
+namespace ams::models {
+
+/// The folded layer: convolution weights plus a per-channel digital bias.
+struct FoldedConv {
+    Tensor weight;  ///< same shape as the source conv weight
+    Tensor bias;    ///< {out_channels}
+};
+
+/// Folds `unit`'s batch norm (running statistics) into its convolution
+/// weights. The unit must hold FP32 (latent) weights; for a quantized
+/// deployment the folded weights are re-quantized afterwards, as the
+/// paper assumes ("after retraining"). Throws std::invalid_argument if
+/// the unit's injector is enabled (folding is a deployment step — noise
+/// belongs to the hardware, not the fold).
+[[nodiscard]] FoldedConv fold_conv_bn(ConvUnit& unit, float eps = 1e-5f);
+
+/// Applies the folded layer to an input (NCHW), for verification and for
+/// deployment-time evaluation: conv with W' then add b' per channel.
+[[nodiscard]] Tensor apply_folded(const FoldedConv& folded, const Tensor& input,
+                                  std::size_t stride, std::size_t padding);
+
+}  // namespace ams::models

@@ -1,0 +1,52 @@
+#include "nn/activations.hpp"
+
+#include <stdexcept>
+
+namespace ams::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+    cached_input_ = input;
+    Tensor out = input;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out[i] < 0.0f) out[i] = 0.0f;
+    }
+    return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+    check_same_shape(grad_output, cached_input_, "ReLU::backward");
+    Tensor grad = grad_output;
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+        if (cached_input_[i] <= 0.0f) grad[i] = 0.0f;
+    }
+    return grad;
+}
+
+ClippedReLU::ClippedReLU(float ceiling) : ceiling_(ceiling) {
+    if (ceiling <= 0.0f) throw std::invalid_argument("ClippedReLU: ceiling must be positive");
+}
+
+Tensor ClippedReLU::forward(const Tensor& input) {
+    cached_input_ = input;
+    Tensor out = input;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out[i] < 0.0f) {
+            out[i] = 0.0f;
+        } else if (out[i] > ceiling_) {
+            out[i] = ceiling_;
+        }
+    }
+    return out;
+}
+
+Tensor ClippedReLU::backward(const Tensor& grad_output) {
+    check_same_shape(grad_output, cached_input_, "ClippedReLU::backward");
+    Tensor grad = grad_output;
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+        const float x = cached_input_[i];
+        if (x <= 0.0f || x >= ceiling_) grad[i] = 0.0f;
+    }
+    return grad;
+}
+
+}  // namespace ams::nn

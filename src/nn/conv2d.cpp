@@ -1,0 +1,144 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+
+namespace ams::nn {
+
+Conv2d::Conv2d(const Conv2dOptions& opts, Rng& rng)
+    : opts_(opts),
+      weight_("weight",
+              Tensor(Shape{opts.out_channels, opts.in_channels, opts.kernel, opts.kernel})) {
+    if (opts.in_channels == 0 || opts.out_channels == 0 || opts.kernel == 0) {
+        throw std::invalid_argument("Conv2d: channels and kernel must be nonzero");
+    }
+    if (opts.stride == 0) throw std::invalid_argument("Conv2d: stride must be nonzero");
+    weight_.value.fill_he_normal(rng, opts.in_channels * opts.kernel * opts.kernel);
+    if (opts.bias) {
+        bias_.emplace("bias", Tensor(Shape{opts.out_channels}));
+    }
+}
+
+void Conv2d::set_effective_weight(Tensor w) {
+    if (w.shape() != weight_.value.shape()) {
+        throw std::invalid_argument("Conv2d::set_effective_weight: shape mismatch " +
+                                    w.shape().str() + " vs " + weight_.value.shape().str());
+    }
+    effective_weight_ = std::move(w);
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+    if (input.rank() != 4) {
+        throw std::invalid_argument("Conv2d::forward: expected NCHW input, got " +
+                                    input.shape().str());
+    }
+    if (input.dim(1) != opts_.in_channels) {
+        throw std::invalid_argument("Conv2d::forward: input channels " +
+                                    std::to_string(input.dim(1)) + " != configured " +
+                                    std::to_string(opts_.in_channels));
+    }
+    geometry_ = ConvGeometry{opts_.in_channels, input.dim(2),  input.dim(3),
+                             opts_.kernel,      opts_.kernel,  opts_.stride,
+                             opts_.stride,      opts_.padding, opts_.padding};
+    geometry_.validate();
+    cached_input_ = input;
+
+    const std::size_t batch = input.dim(0);
+    const std::size_t oh = geometry_.out_h();
+    const std::size_t ow = geometry_.out_w();
+    const std::size_t out_spatial = oh * ow;
+    const std::size_t patch = geometry_.patch_size();
+
+    Tensor output(Shape{batch, opts_.out_channels, oh, ow});
+    std::vector<float> columns(patch * out_spatial);
+    const Tensor& w = forward_weight();
+
+    const std::size_t in_image = opts_.in_channels * geometry_.in_h * geometry_.in_w;
+    const std::size_t out_image = opts_.out_channels * out_spatial;
+    for (std::size_t b = 0; b < batch; ++b) {
+        im2col(input.data() + b * in_image, geometry_, columns.data());
+        // out (Cout x OHW) = W (Cout x patch) * columns (patch x OHW)
+        gemm(w.data(), columns.data(), output.data() + b * out_image,
+             opts_.out_channels, patch, out_spatial);
+    }
+    if (bias_) {
+        for (std::size_t b = 0; b < batch; ++b) {
+            for (std::size_t c = 0; c < opts_.out_channels; ++c) {
+                float* chan = output.data() + b * out_image + c * out_spatial;
+                const float bv = bias_->value[c];
+                for (std::size_t i = 0; i < out_spatial; ++i) chan[i] += bv;
+            }
+        }
+    }
+    return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+    if (cached_input_.empty()) {
+        throw std::logic_error("Conv2d::backward called before forward");
+    }
+    const std::size_t batch = cached_input_.dim(0);
+    const std::size_t oh = geometry_.out_h();
+    const std::size_t ow = geometry_.out_w();
+    const std::size_t out_spatial = oh * ow;
+    const std::size_t patch = geometry_.patch_size();
+    const Shape expected{batch, opts_.out_channels, oh, ow};
+    if (grad_output.shape() != expected) {
+        throw std::invalid_argument("Conv2d::backward: grad shape " + grad_output.shape().str() +
+                                    " != " + expected.str());
+    }
+
+    Tensor grad_input(cached_input_.shape());
+    std::vector<float> columns(patch * out_spatial);
+    std::vector<float> grad_columns(patch * out_spatial);
+    std::vector<float> grad_w_sample(opts_.out_channels * patch);
+    const Tensor& w = forward_weight();
+
+    const std::size_t in_image = opts_.in_channels * geometry_.in_h * geometry_.in_w;
+    const std::size_t out_image = opts_.out_channels * out_spatial;
+    for (std::size_t b = 0; b < batch; ++b) {
+        const float* gout = grad_output.data() + b * out_image;
+
+        // dW (Cout x patch) += gout (Cout x OHW) * columns^T (OHW x patch)
+        im2col(cached_input_.data() + b * in_image, geometry_, columns.data());
+        gemm_bt(gout, columns.data(), grad_w_sample.data(), opts_.out_channels, out_spatial,
+                patch);
+        for (std::size_t i = 0; i < grad_w_sample.size(); ++i) {
+            weight_.grad[i] += grad_w_sample[i];
+        }
+
+        // dColumns (patch x OHW) = W^T (patch x Cout) * gout (Cout x OHW)
+        gemm_at(w.data(), gout, grad_columns.data(), patch, opts_.out_channels, out_spatial);
+        col2im(grad_columns.data(), geometry_, grad_input.data() + b * in_image);
+
+        if (bias_) {
+            for (std::size_t c = 0; c < opts_.out_channels; ++c) {
+                const float* chan = gout + c * out_spatial;
+                double acc = 0.0;
+                for (std::size_t i = 0; i < out_spatial; ++i) acc += chan[i];
+                bias_->grad[c] += static_cast<float>(acc);
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+    std::vector<Parameter*> out{&weight_};
+    if (bias_) out.push_back(&*bias_);
+    return out;
+}
+
+std::vector<const Parameter*> Conv2d::own_parameters() const {
+    std::vector<const Parameter*> out{&weight_};
+    if (bias_) out.push_back(&*bias_);
+    return out;
+}
+
+std::vector<Parameter*> Conv2d::own_parameters() {
+    return parameters();
+}
+
+}  // namespace ams::nn

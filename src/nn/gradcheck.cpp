@@ -1,0 +1,122 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ams::nn {
+
+namespace {
+
+double objective(Module& module, const Tensor& input, const Tensor& weights) {
+    Tensor out = module.forward(input);
+    check_same_shape(out, weights, "gradcheck objective");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        acc += static_cast<double>(out[i]) * weights[i];
+    }
+    return acc;
+}
+
+void update_result(GradCheckResult& r, double analytic, double numeric) {
+    const double abs_err = std::fabs(analytic - numeric);
+    const double scale = std::max({std::fabs(analytic), std::fabs(numeric), 1e-4});
+    r.max_abs_error = std::max(r.max_abs_error, abs_err);
+    r.max_rel_error = std::max(r.max_rel_error, abs_err / scale);
+    ++r.checked;
+}
+
+}  // namespace
+
+GradCheckResult check_input_gradient(Module& module, const Tensor& input, Rng& rng,
+                                     double epsilon, std::size_t sample_stride) {
+    if (sample_stride == 0) throw std::invalid_argument("gradcheck: stride must be > 0");
+    // Analytic pass: forward once to learn the output shape, weight the
+    // output, then backward.
+    Tensor probe = module.forward(input);
+    Tensor weights(probe.shape());
+    weights.fill_uniform(rng, -1.0f, 1.0f);
+    zero_grads(module.parameters());
+    module.forward(input);
+    Tensor analytic = module.backward(weights);
+
+    GradCheckResult result;
+    Tensor perturbed = input;
+    for (std::size_t i = 0; i < input.size(); i += sample_stride) {
+        const float orig = perturbed[i];
+        perturbed[i] = orig + static_cast<float>(epsilon);
+        const double plus = objective(module, perturbed, weights);
+        perturbed[i] = orig - static_cast<float>(epsilon);
+        const double minus = objective(module, perturbed, weights);
+        perturbed[i] = orig;
+        update_result(result, analytic[i], (plus - minus) / (2.0 * epsilon));
+    }
+    return result;
+}
+
+GradCheckResult check_parameter_gradients(Module& module, const Tensor& input, Rng& rng,
+                                          double epsilon, std::size_t sample_stride) {
+    if (sample_stride == 0) throw std::invalid_argument("gradcheck: stride must be > 0");
+    Tensor probe = module.forward(input);
+    Tensor weights(probe.shape());
+    weights.fill_uniform(rng, -1.0f, 1.0f);
+    zero_grads(module.parameters());
+    module.forward(input);
+    module.backward(weights);
+
+    GradCheckResult result;
+    for (Parameter* p : module.parameters()) {
+        // Copy analytic grads before the finite-difference passes disturb them.
+        Tensor analytic = p->grad;
+        for (std::size_t i = 0; i < p->value.size(); i += sample_stride) {
+            const float orig = p->value[i];
+            p->value[i] = orig + static_cast<float>(epsilon);
+            const double plus = objective(module, input, weights);
+            p->value[i] = orig - static_cast<float>(epsilon);
+            const double minus = objective(module, input, weights);
+            p->value[i] = orig;
+            update_result(result, analytic[i], (plus - minus) / (2.0 * epsilon));
+        }
+    }
+    return result;
+}
+
+double directional_gradient_error(Module& module, const Tensor& input, Rng& rng,
+                                  double epsilon) {
+    Tensor probe = module.forward(input);
+    Tensor weights(probe.shape());
+    weights.fill_uniform(rng, -1.0f, 1.0f);
+    zero_grads(module.parameters());
+    module.forward(input);
+    Tensor analytic = module.backward(weights);
+
+    // Random unit direction.
+    Tensor direction(input.shape());
+    direction.fill_normal(rng, 0.0f, 1.0f);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < direction.size(); ++i) {
+        norm += static_cast<double>(direction[i]) * direction[i];
+    }
+    norm = std::sqrt(norm);
+    for (std::size_t i = 0; i < direction.size(); ++i) {
+        direction[i] = static_cast<float>(direction[i] / norm);
+    }
+
+    double analytic_dd = 0.0;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        analytic_dd += static_cast<double>(analytic[i]) * direction[i];
+    }
+
+    Tensor plus = input, minus = input;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        plus[i] += static_cast<float>(epsilon) * direction[i];
+        minus[i] -= static_cast<float>(epsilon) * direction[i];
+    }
+    const double numeric_dd =
+        (objective(module, plus, weights) - objective(module, minus, weights)) /
+        (2.0 * epsilon);
+
+    const double scale = std::max({std::fabs(analytic_dd), std::fabs(numeric_dd), 1e-6});
+    return std::fabs(analytic_dd - numeric_dd) / scale;
+}
+
+}  // namespace ams::nn

@@ -1,0 +1,39 @@
+// Finite-difference gradient verification utilities (used by the tests).
+#pragma once
+
+#include <functional>
+
+#include "nn/module.hpp"
+
+namespace ams::nn {
+
+/// Result of a gradient check: worst relative error over all coordinates.
+struct GradCheckResult {
+    double max_rel_error = 0.0;
+    double max_abs_error = 0.0;
+    std::size_t checked = 0;
+};
+
+/// Checks d(scalar objective)/d(input) of `module` against central finite
+/// differences. The scalar objective is sum(weights * output) for a fixed
+/// random weighting, which exercises all output coordinates at once.
+///
+/// `sample_stride` checks every k-th input coordinate to bound cost.
+GradCheckResult check_input_gradient(Module& module, const Tensor& input, Rng& rng,
+                                     double epsilon = 1e-3, std::size_t sample_stride = 1);
+
+/// Same, but for every trainable parameter of the module.
+GradCheckResult check_parameter_gradients(Module& module, const Tensor& input, Rng& rng,
+                                          double epsilon = 1e-3, std::size_t sample_stride = 1);
+
+/// Directional gradient check: compares the analytic directional
+/// derivative <grad, d> along one random unit direction d against a
+/// central finite difference of the scalar objective. Because the fp32
+/// forward-pass noise averages over all coordinates, this is the robust
+/// check for deep composite modules (residual blocks, whole networks)
+/// where per-coordinate differences drown in rounding error.
+/// Returns the relative error.
+double directional_gradient_error(Module& module, const Tensor& input, Rng& rng,
+                                  double epsilon = 1e-2);
+
+}  // namespace ams::nn

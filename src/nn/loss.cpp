@@ -1,0 +1,83 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ams::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::size_t>& labels) {
+    if (logits.rank() != 2) {
+        throw std::invalid_argument("SoftmaxCrossEntropy: expected {N, classes}, got " +
+                                    logits.shape().str());
+    }
+    const std::size_t n = logits.dim(0), classes = logits.dim(1);
+    if (labels.size() != n) {
+        throw std::invalid_argument("SoftmaxCrossEntropy: label count " +
+                                    std::to_string(labels.size()) + " != batch " +
+                                    std::to_string(n));
+    }
+    probs_ = Tensor(logits.shape());
+    labels_ = labels;
+    double total = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+        if (labels[b] >= classes) {
+            throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+        }
+        const float* row = logits.data() + b * classes;
+        float* prow = probs_.data() + b * classes;
+        const float mx = *std::max_element(row, row + classes);
+        double denom = 0.0;
+        for (std::size_t c = 0; c < classes; ++c) {
+            const double e = std::exp(static_cast<double>(row[c] - mx));
+            prow[c] = static_cast<float>(e);
+            denom += e;
+        }
+        const double inv = 1.0 / denom;
+        for (std::size_t c = 0; c < classes; ++c) prow[c] = static_cast<float>(prow[c] * inv);
+        // -log p[label]; clamp to avoid -inf on underflow.
+        total -= std::log(std::max(static_cast<double>(prow[labels[b]]), 1e-30));
+    }
+    return static_cast<float>(total / static_cast<double>(n));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+    if (probs_.empty()) throw std::logic_error("SoftmaxCrossEntropy::backward before forward");
+    const std::size_t n = probs_.dim(0), classes = probs_.dim(1);
+    Tensor grad = probs_;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t b = 0; b < n; ++b) {
+        grad[b * classes + labels_[b]] -= 1.0f;
+    }
+    grad *= inv_n;
+    return grad;
+}
+
+double top1_accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+    return topk_accuracy(logits, labels, 1);
+}
+
+double topk_accuracy(const Tensor& logits, const std::vector<std::size_t>& labels,
+                     std::size_t k) {
+    if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+        throw std::invalid_argument("topk_accuracy: shape/label mismatch");
+    }
+    if (k == 0) throw std::invalid_argument("topk_accuracy: k must be > 0");
+    const std::size_t n = logits.dim(0), classes = logits.dim(1);
+    std::size_t hits = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+        const float* row = logits.data() + b * classes;
+        const float label_score = row[labels[b]];
+        // Count strictly-greater entries; label is in the top-k if fewer
+        // than k entries beat it.
+        std::size_t greater = 0;
+        for (std::size_t c = 0; c < classes; ++c) {
+            if (row[c] > label_score) ++greater;
+        }
+        if (greater < k) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace ams::nn

@@ -1,0 +1,37 @@
+// Softmax cross-entropy loss with integer class labels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ams::nn {
+
+/// Numerically stable softmax + cross-entropy over {N, classes} logits.
+class SoftmaxCrossEntropy {
+public:
+    /// Returns mean loss over the batch. `labels` must have one entry per
+    /// row of `logits`, each < logits.dim(1). Throws std::invalid_argument
+    /// otherwise.
+    float forward(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+    /// Gradient of the mean loss w.r.t. the logits of the last forward().
+    [[nodiscard]] Tensor backward() const;
+
+    /// Softmax probabilities from the last forward() ({N, classes}).
+    [[nodiscard]] const Tensor& probabilities() const { return probs_; }
+
+private:
+    Tensor probs_;
+    std::vector<std::size_t> labels_;
+};
+
+/// Fraction of rows whose argmax equals the label (top-1 accuracy).
+[[nodiscard]] double top1_accuracy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+/// Fraction of rows whose label is among the k largest logits.
+[[nodiscard]] double topk_accuracy(const Tensor& logits, const std::vector<std::size_t>& labels,
+                                   std::size_t k);
+
+}  // namespace ams::nn

@@ -1,0 +1,43 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace ams::nn {
+
+void Module::collect_state(const std::string& prefix, TensorMap& out) const {
+    for (const Parameter* p : own_parameters()) {
+        out[prefix + p->name] = p->value;
+    }
+}
+
+void Module::load_state(const std::string& prefix, const TensorMap& in) {
+    for (Parameter* p : own_parameters()) {
+        const auto it = in.find(prefix + p->name);
+        if (it == in.end()) {
+            throw std::runtime_error("Module::load_state: missing entry " + prefix + p->name);
+        }
+        if (it->second.shape() != p->value.shape()) {
+            throw std::runtime_error("Module::load_state: shape mismatch for " + prefix + p->name +
+                                     ": " + it->second.shape().str() + " vs " +
+                                     p->value.shape().str());
+        }
+        p->value = it->second;
+        p->grad = Tensor(p->value.shape());
+    }
+}
+
+void Module::set_frozen(bool frozen) {
+    for (Parameter* p : parameters()) p->frozen = frozen;
+}
+
+void zero_grads(const std::vector<Parameter*>& params) {
+    for (Parameter* p : params) p->zero_grad();
+}
+
+std::size_t parameter_count(const std::vector<Parameter*>& params) {
+    std::size_t n = 0;
+    for (const Parameter* p : params) n += p->value.size();
+    return n;
+}
+
+}  // namespace ams::nn

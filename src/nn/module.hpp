@@ -1,0 +1,90 @@
+// Module: the base abstraction for differentiable network layers.
+//
+// amsnet uses module-level backpropagation (as opposed to a taped autograd
+// graph): every Module caches whatever it needs during forward() and
+// produces the input gradient in backward(), accumulating parameter
+// gradients as a side effect. This mirrors how Distiller-wrapped PyTorch
+// layers behave from the error-injection point of view, and keeps the
+// framework small and auditable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ams::nn {
+
+/// A trainable tensor with its gradient accumulator.
+///
+/// `frozen` implements the paper's selective-freezing study (Table 2):
+/// a frozen parameter still participates in forward/backward (gradients
+/// flow *through* its layer) but the optimizer does not update it.
+struct Parameter {
+    std::string name;
+    Tensor value;
+    Tensor grad;
+    bool frozen = false;
+
+    Parameter() = default;
+    Parameter(std::string n, Tensor v)
+        : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+    void zero_grad() { grad.zero(); }
+};
+
+/// Base class for all layers.
+class Module {
+public:
+    Module() = default;
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+    virtual ~Module() = default;
+
+    /// Computes the layer output, caching state needed by backward().
+    virtual Tensor forward(const Tensor& input) = 0;
+
+    /// Given dL/d(output), accumulates parameter gradients and returns
+    /// dL/d(input). Must be called after forward() on the same input.
+    virtual Tensor backward(const Tensor& grad_output) = 0;
+
+    /// All trainable parameters of this module (recursively for containers).
+    virtual std::vector<Parameter*> parameters() { return {}; }
+
+    /// Switches between training and evaluation behaviour (e.g. batch norm
+    /// batch statistics vs running statistics). Default: stateless.
+    virtual void set_training(bool training) { training_ = training; }
+    [[nodiscard]] bool training() const { return training_; }
+
+    /// Short human-readable layer kind, e.g. "Conv2d".
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Serializes parameters and persistent buffers under `prefix`.
+    virtual void collect_state(const std::string& prefix, TensorMap& out) const;
+
+    /// Restores state written by collect_state. Throws std::runtime_error
+    /// if a required entry is missing or has the wrong shape.
+    virtual void load_state(const std::string& prefix, const TensorMap& in);
+
+    /// Freezes / unfreezes every parameter of this module.
+    void set_frozen(bool frozen);
+
+protected:
+    /// Non-virtual parameter access used by the default state (de)serializers.
+    /// Containers override collect_state/load_state instead.
+    virtual std::vector<const Parameter*> own_parameters() const { return {}; }
+    virtual std::vector<Parameter*> own_parameters() { return {}; }
+
+private:
+    bool training_ = true;
+};
+
+/// Convenience: zero the gradients of a parameter set.
+void zero_grads(const std::vector<Parameter*>& params);
+
+/// Total number of scalar weights in a parameter set.
+[[nodiscard]] std::size_t parameter_count(const std::vector<Parameter*>& params);
+
+}  // namespace ams::nn

@@ -1,0 +1,40 @@
+// Spatial pooling layers over NCHW tensors.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace ams::nn {
+
+/// Max pooling with square window and stride.
+class MaxPool2d : public Module {
+public:
+    /// Throws std::invalid_argument if window or stride is zero.
+    explicit MaxPool2d(std::size_t window, std::size_t stride = 0, std::size_t padding = 0);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+
+private:
+    std::size_t window_;
+    std::size_t stride_;
+    std::size_t padding_;
+    Shape input_shape_{std::vector<std::size_t>{}};
+    Shape output_shape_{std::vector<std::size_t>{}};
+    std::vector<std::size_t> argmax_;  ///< flat input index of each output max
+};
+
+/// Global average pooling: {N,C,H,W} -> {N,C}.
+class GlobalAvgPool : public Module {
+public:
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+
+private:
+    Shape input_shape_{std::vector<std::size_t>{}};
+};
+
+}  // namespace ams::nn

@@ -1,0 +1,40 @@
+#include "nn/sgd.hpp"
+
+#include <stdexcept>
+
+namespace ams::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, const SgdOptions& opts)
+    : params_(std::move(params)), opts_(opts) {
+    if (opts.lr <= 0.0f) throw std::invalid_argument("Sgd: lr must be positive");
+    if (opts.momentum < 0.0f) throw std::invalid_argument("Sgd: momentum must be >= 0");
+    velocity_.reserve(params_.size());
+    for (const Parameter* p : params_) {
+        if (p == nullptr) throw std::invalid_argument("Sgd: null parameter");
+        velocity_.emplace_back(p->value.shape());
+    }
+}
+
+void Sgd::step() {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Parameter& p = *params_[i];
+        if (p.frozen) continue;
+        Tensor& v = velocity_[i];
+        for (std::size_t j = 0; j < p.value.size(); ++j) {
+            const float g = p.grad[j] + opts_.weight_decay * p.value[j];
+            v[j] = opts_.momentum * v[j] + g;
+            p.value[j] -= opts_.lr * v[j];
+        }
+    }
+}
+
+void Sgd::zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+}
+
+void Sgd::set_lr(float lr) {
+    if (lr <= 0.0f) throw std::invalid_argument("Sgd::set_lr: lr must be positive");
+    opts_.lr = lr;
+}
+
+}  // namespace ams::nn

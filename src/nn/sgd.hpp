@@ -1,0 +1,44 @@
+// SGD optimizer with momentum and weight decay.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace ams::nn {
+
+/// Hyperparameters for SGD. The paper retrains with minibatch 1024 and
+/// learning rate 0.004 and no schedule; our defaults are scaled for the
+/// synthetic workload but the semantics are identical.
+struct SgdOptions {
+    float lr = 0.004f;
+    float momentum = 0.9f;
+    float weight_decay = 0.0f;
+};
+
+/// Stochastic gradient descent with classical momentum:
+///   v <- momentum * v + (grad + weight_decay * w);  w <- w - lr * v
+/// Frozen parameters (Parameter::frozen) are skipped entirely, which is
+/// how the selective-freezing study (Table 2) is implemented.
+class Sgd {
+public:
+    /// Keeps non-owning pointers to `params`; they must outlive the optimizer.
+    /// Throws std::invalid_argument if lr <= 0 or momentum < 0.
+    Sgd(std::vector<Parameter*> params, const SgdOptions& opts);
+
+    /// Applies one update from the accumulated gradients.
+    void step();
+
+    /// Zeroes all parameter gradients.
+    void zero_grad();
+
+    [[nodiscard]] const SgdOptions& options() const { return opts_; }
+    void set_lr(float lr);
+
+private:
+    std::vector<Parameter*> params_;
+    std::vector<Tensor> velocity_;
+    SgdOptions opts_;
+};
+
+}  // namespace ams::nn

@@ -1,0 +1,74 @@
+#include "quant/dorefa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ams::quant {
+
+std::size_t magnitude_levels(std::size_t bits) {
+    if (bits < 2) {
+        throw std::invalid_argument("magnitude_levels: need >= 2 bits (sign + magnitude)");
+    }
+    if (bits >= kFloatBits) {
+        throw std::invalid_argument("magnitude_levels: bits >= 32 means no quantization");
+    }
+    return (std::size_t{1} << (bits - 1)) - 1;
+}
+
+float quantize_unit(float x, std::size_t levels) {
+    if (levels == 0) throw std::invalid_argument("quantize_unit: levels must be > 0");
+    const float clamped = std::clamp(x, 0.0f, 1.0f);
+    const float n = static_cast<float>(levels);
+    return std::round(clamped * n) / n;
+}
+
+void quantize_unit_inplace(Tensor& t, std::size_t levels) {
+    if (levels == 0) throw std::invalid_argument("quantize_unit_inplace: levels must be > 0");
+    const float n = static_cast<float>(levels);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t[i] = std::round(std::clamp(t[i], 0.0f, 1.0f) * n) / n;
+    }
+}
+
+DorefaWeights dorefa_quantize_weights(const Tensor& w, std::size_t bits) {
+    if (bits >= kFloatBits) {
+        return DorefaWeights{w, Tensor(w.shape(), 1.0f)};
+    }
+    const std::size_t levels = magnitude_levels(bits);
+
+    // max|tanh(w)| over the tensor; guards the degenerate all-zero case.
+    float max_tanh = 0.0f;
+    Tensor tanh_w(w.shape());
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        tanh_w[i] = std::tanh(w[i]);
+        max_tanh = std::max(max_tanh, std::fabs(tanh_w[i]));
+    }
+    if (max_tanh == 0.0f) max_tanh = 1.0f;
+
+    DorefaWeights out{Tensor(w.shape()), Tensor(w.shape())};
+    const float inv_max = 1.0f / max_tanh;
+    const float n = static_cast<float>(levels);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        // Sign-magnitude grid: quantize |tanh(w)|/max on the B-1 magnitude
+        // bits and restore the sign. Unlike the textbook DoReFa grid
+        // (2 q(f(w)) - 1, which cannot represent 0 for odd level counts),
+        // this matches the paper's sign-magnitude hardware exactly.
+        const float unit = tanh_w[i] * inv_max;  // in [-1, 1]
+        const float mag = std::round(std::fabs(unit) * n) / n;
+        out.quantized[i] = std::copysign(mag, unit);
+        // STE: d(w_q)/dw = (1 - tanh^2 w) / max|tanh w|, treating the max
+        // and the rounding as constants.
+        out.ste_scale[i] = (1.0f - tanh_w[i] * tanh_w[i]) / max_tanh;
+    }
+    return out;
+}
+
+Tensor dorefa_quantize_activations(const Tensor& a, std::size_t bits) {
+    if (bits >= kFloatBits) return a;
+    Tensor out = a;
+    quantize_unit_inplace(out, magnitude_levels(bits));
+    return out;
+}
+
+}  // namespace ams::quant

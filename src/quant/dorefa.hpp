@@ -1,0 +1,51 @@
+// DoReFa-style quantization primitives (Zhou et al., arXiv 2016), as used
+// by Distiller and by the paper (Sec. 2):
+//   - weights:     tanh-normalize to [-1, 1], then quantize the magnitude
+//                  on the sign-magnitude grid (so 0 stays representable,
+//                  per the paper's sign-magnitude operand convention)
+//   - activations: a_q = quantize(clip(a, 0, 1))
+// Quantization uses uniform levels; gradients pass through the rounding
+// via the straight-through estimator (STE). Following the paper's
+// sign-magnitude convention, a B-bit signed operand carries B-1 magnitude
+// bits, so the quantization step for a unit-range operand is
+// 1 / (2^(B-1) - 1).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace ams::quant {
+
+/// Bitwidth treated as "no quantization" (the FP32 baseline).
+inline constexpr std::size_t kFloatBits = 32;
+
+/// Number of uniform levels spanning [0, 1] for a B-bit signed
+/// sign-magnitude operand (B-1 magnitude bits): 2^(B-1) - 1 steps.
+/// Throws std::invalid_argument for bits < 2 (a sign bit alone cannot
+/// represent magnitude).
+[[nodiscard]] std::size_t magnitude_levels(std::size_t bits);
+
+/// Uniform quantization of x in [0,1] to `levels` steps:
+/// round(levels * x) / levels. Values outside [0,1] are clamped first.
+[[nodiscard]] float quantize_unit(float x, std::size_t levels);
+
+/// Applies quantize_unit elementwise.
+void quantize_unit_inplace(Tensor& t, std::size_t levels);
+
+/// Result of the DoReFa weight transform.
+struct DorefaWeights {
+    Tensor quantized;  ///< w_q in [-1, 1]
+    Tensor ste_scale;  ///< elementwise d(w_q)/d(w) under the STE
+};
+
+/// Full DoReFa weight transform for a latent FP32 weight tensor.
+/// For bits == kFloatBits the transform is the identity (scale = 1).
+/// Throws std::invalid_argument for bits < 2.
+[[nodiscard]] DorefaWeights dorefa_quantize_weights(const Tensor& w, std::size_t bits);
+
+/// DoReFa activation quantization: quantize_unit over [0,1] with the
+/// sign-magnitude level count for `bits`. Identity for kFloatBits.
+[[nodiscard]] Tensor dorefa_quantize_activations(const Tensor& a, std::size_t bits);
+
+}  // namespace ams::quant

@@ -1,0 +1,52 @@
+// Sign-magnitude fixed-point codec.
+//
+// The paper's VMAC cell consumes BW-bit weights and BX-bit activations in
+// sign-magnitude representation (one sign bit + B-1 magnitude bits
+// spanning [0, 1]). This codec converts between that digital encoding and
+// the real values the rest of the library works with; the bit-exact VMAC
+// simulator (ams::vmac::VmacCell) operates on these codes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ams::quant {
+
+/// A sign-magnitude code word: value = (negative ? -1 : +1) * magnitude / full_scale.
+struct SignMagCode {
+    bool negative = false;
+    std::uint32_t magnitude = 0;
+};
+
+/// Sign-magnitude codec with B-1 magnitude bits.
+class SignMagCodec {
+public:
+    /// Throws std::invalid_argument unless 2 <= bits <= 24.
+    explicit SignMagCodec(std::size_t bits);
+
+    [[nodiscard]] std::size_t bits() const { return bits_; }
+    /// Largest representable magnitude code: 2^(bits-1) - 1.
+    [[nodiscard]] std::uint32_t full_scale() const { return full_scale_; }
+    /// Quantization step: 1 / full_scale().
+    [[nodiscard]] double lsb() const { return 1.0 / static_cast<double>(full_scale_); }
+
+    /// Encodes x (clamped to [-1, 1]) to the nearest representable code.
+    /// -0.0 encodes as non-negative zero.
+    [[nodiscard]] SignMagCode encode(double x) const;
+
+    /// Decodes a code to its real value in [-1, 1].
+    /// Throws std::invalid_argument if magnitude exceeds full_scale().
+    [[nodiscard]] double decode(const SignMagCode& code) const;
+
+    /// Round-trip: the representable value nearest to x.
+    [[nodiscard]] double quantize(double x) const { return decode(encode(x)); }
+
+    /// Encodes a span of values.
+    [[nodiscard]] std::vector<SignMagCode> encode_all(const std::vector<double>& xs) const;
+
+private:
+    std::size_t bits_;
+    std::uint32_t full_scale_;
+};
+
+}  // namespace ams::quant

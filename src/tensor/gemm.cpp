@@ -1,0 +1,97 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace ams {
+
+namespace {
+
+// Block sizes tuned for a typical 32 KiB L1 / 1 MiB L2; exact values are
+// not critical at our problem sizes.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockK = 256;
+constexpr std::size_t kBlockN = 256;
+
+void gemm_block_accumulate(const float* a, const float* b, float* c,
+                           std::size_t m, std::size_t k, std::size_t n) {
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+        const std::size_t i_end = std::min(i0 + kBlockM, m);
+        for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+            const std::size_t k_end = std::min(k0 + kBlockK, k);
+            for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+                const std::size_t j_end = std::min(j0 + kBlockN, n);
+                for (std::size_t i = i0; i < i_end; ++i) {
+                    float* crow = c + i * n;
+                    for (std::size_t kk = k0; kk < k_end; ++kk) {
+                        const float aik = a[i * k + kk];
+                        const float* brow = b + kk * n;
+                        for (std::size_t j = j0; j < j_end; ++j) {
+                            crow[j] += aik * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void gemm_accumulate(const float* a, const float* b, float* c,
+                     std::size_t m, std::size_t k, std::size_t n) {
+    gemm_block_accumulate(a, b, c, m, k, n);
+}
+
+void gemm(const float* a, const float* b, float* c,
+          std::size_t m, std::size_t k, std::size_t n) {
+    std::memset(c, 0, m * n * sizeof(float));
+    gemm_block_accumulate(a, b, c, m, k, n);
+}
+
+void gemm_at(const float* a, const float* b, float* c,
+             std::size_t m, std::size_t k, std::size_t n) {
+    // A is stored KxM; transpose into a scratch MxK buffer, then reuse the
+    // blocked kernel. The transpose is O(MK) against the O(MKN) multiply.
+    std::vector<float> at(m * k);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        for (std::size_t i = 0; i < m; ++i) {
+            at[i * k + kk] = a[kk * m + i];
+        }
+    }
+    gemm(at.data(), b, c, m, k, n);
+}
+
+void gemm_bt(const float* a, const float* b, float* c,
+             std::size_t m, std::size_t k, std::size_t n) {
+    // B is stored NxK. Dot-product formulation keeps both operands streaming.
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a + i * k;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = b + j * k;
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+    if (a.rank() != 2 || b.rank() != 2) {
+        throw std::invalid_argument("matmul: expects rank-2 tensors, got " + a.shape().str() +
+                                    " and " + b.shape().str());
+    }
+    const std::size_t m = a.dim(0), k = a.dim(1);
+    if (b.dim(0) != k) {
+        throw std::invalid_argument("matmul: inner dimension mismatch " + a.shape().str() +
+                                    " vs " + b.shape().str());
+    }
+    const std::size_t n = b.dim(1);
+    Tensor c(Shape{m, n});
+    gemm(a.data(), b.data(), c.data(), m, k, n);
+    return c;
+}
+
+}  // namespace ams

@@ -1,0 +1,35 @@
+// Blocked single-precision matrix multiplication kernels.
+//
+// These are the computational workhorse of the convolution (im2col + GEMM)
+// and fully-connected layers. The kernels are cache-blocked and written so
+// the inner loop vectorizes under -O2; no external BLAS is required.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace ams {
+
+/// C (MxN) = A (MxK) * B (KxN). Row-major raw-pointer kernel.
+/// `C` is overwritten. Aliasing between C and A/B is not allowed.
+void gemm(const float* a, const float* b, float* c,
+          std::size_t m, std::size_t k, std::size_t n);
+
+/// C (MxN) += A (MxK) * B (KxN).
+void gemm_accumulate(const float* a, const float* b, float* c,
+                     std::size_t m, std::size_t k, std::size_t n);
+
+/// C (MxN) = A^T (stored KxM) * B (KxN).
+void gemm_at(const float* a, const float* b, float* c,
+             std::size_t m, std::size_t k, std::size_t n);
+
+/// C (MxN) = A (MxK) * B^T (stored NxK).
+void gemm_bt(const float* a, const float* b, float* c,
+             std::size_t m, std::size_t k, std::size_t n);
+
+/// Tensor-level convenience: returns A*B for rank-2 tensors.
+/// Throws std::invalid_argument on rank or inner-dimension mismatch.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace ams

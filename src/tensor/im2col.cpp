@@ -1,0 +1,83 @@
+#include "tensor/im2col.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ams {
+
+void ConvGeometry::validate() const {
+    if (in_channels == 0 || in_h == 0 || in_w == 0) {
+        throw std::invalid_argument("ConvGeometry: input dimensions must be nonzero");
+    }
+    if (kernel_h == 0 || kernel_w == 0) {
+        throw std::invalid_argument("ConvGeometry: kernel dimensions must be nonzero");
+    }
+    if (stride_h == 0 || stride_w == 0) {
+        throw std::invalid_argument("ConvGeometry: stride must be nonzero");
+    }
+    if (in_h + 2 * pad_h < kernel_h || in_w + 2 * pad_w < kernel_w) {
+        throw std::invalid_argument("ConvGeometry: kernel larger than padded input");
+    }
+}
+
+void im2col(const float* image, const ConvGeometry& g, float* columns) {
+    const std::size_t oh = g.out_h();
+    const std::size_t ow = g.out_w();
+    const std::size_t out_spatial = oh * ow;
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < g.in_channels; ++c) {
+        const float* chan = image + c * g.in_h * g.in_w;
+        for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+            for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+                float* out_row = columns + row * out_spatial;
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    // Signed arithmetic: padding can take the tap off-image.
+                    const long long iy = static_cast<long long>(oy * g.stride_h + kh) -
+                                         static_cast<long long>(g.pad_h);
+                    if (iy < 0 || iy >= static_cast<long long>(g.in_h)) {
+                        for (std::size_t ox = 0; ox < ow; ++ox) out_row[oy * ow + ox] = 0.0f;
+                        continue;
+                    }
+                    const float* in_row = chan + static_cast<std::size_t>(iy) * g.in_w;
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const long long ix = static_cast<long long>(ox * g.stride_w + kw) -
+                                             static_cast<long long>(g.pad_w);
+                        out_row[oy * ow + ox] =
+                            (ix < 0 || ix >= static_cast<long long>(g.in_w))
+                                ? 0.0f
+                                : in_row[static_cast<std::size_t>(ix)];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void col2im(const float* columns, const ConvGeometry& g, float* image) {
+    const std::size_t oh = g.out_h();
+    const std::size_t ow = g.out_w();
+    const std::size_t out_spatial = oh * ow;
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < g.in_channels; ++c) {
+        float* chan = image + c * g.in_h * g.in_w;
+        for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+            for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+                const float* in_row = columns + row * out_spatial;
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    const long long iy = static_cast<long long>(oy * g.stride_h + kh) -
+                                         static_cast<long long>(g.pad_h);
+                    if (iy < 0 || iy >= static_cast<long long>(g.in_h)) continue;
+                    float* img_row = chan + static_cast<std::size_t>(iy) * g.in_w;
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const long long ix = static_cast<long long>(ox * g.stride_w + kw) -
+                                             static_cast<long long>(g.pad_w);
+                        if (ix < 0 || ix >= static_cast<long long>(g.in_w)) continue;
+                        img_row[static_cast<std::size_t>(ix)] += in_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace ams

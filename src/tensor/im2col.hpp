@@ -1,0 +1,47 @@
+// im2col / col2im lowering for convolution via GEMM.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace ams {
+
+/// Geometry of a 2-D convolution over NCHW tensors.
+struct ConvGeometry {
+    std::size_t in_channels = 0;
+    std::size_t in_h = 0;
+    std::size_t in_w = 0;
+    std::size_t kernel_h = 1;
+    std::size_t kernel_w = 1;
+    std::size_t stride_h = 1;
+    std::size_t stride_w = 1;
+    std::size_t pad_h = 0;
+    std::size_t pad_w = 0;
+
+    [[nodiscard]] std::size_t out_h() const {
+        return (in_h + 2 * pad_h - kernel_h) / stride_h + 1;
+    }
+    [[nodiscard]] std::size_t out_w() const {
+        return (in_w + 2 * pad_w - kernel_w) / stride_w + 1;
+    }
+    /// Rows of the lowered patch matrix: C_in * K_h * K_w.
+    [[nodiscard]] std::size_t patch_size() const {
+        return in_channels * kernel_h * kernel_w;
+    }
+    /// Throws std::invalid_argument if the geometry is degenerate
+    /// (zero dims, kernel larger than padded input, zero stride).
+    void validate() const;
+};
+
+/// Lowers one image (C,H,W, contiguous) into a (patch_size x out_h*out_w)
+/// column matrix. Out-of-bounds (padding) taps are written as 0.
+/// `columns` must hold geometry.patch_size() * out_h * out_w floats.
+void im2col(const float* image, const ConvGeometry& g, float* columns);
+
+/// Adjoint of im2col: scatters a column matrix back into an image buffer,
+/// accumulating where patches overlap. `image` must be pre-zeroed by the
+/// caller if a pure adjoint is wanted.
+void col2im(const float* columns, const ConvGeometry& g, float* image);
+
+}  // namespace ams

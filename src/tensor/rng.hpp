@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// We implement xoshiro256** (Blackman & Vigna) seeded via SplitMix64 rather
+// than relying on std::mt19937/std::normal_distribution, whose outputs are
+// not guaranteed to be identical across standard library implementations.
+// Every experiment in this repository is reproducible from a single seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ams {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next();
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with 256-bit state.
+///
+/// Also provides the floating-point helpers used throughout the library
+/// (uniform, normal via Box-Muller). Satisfies UniformRandomBitGenerator
+/// so it can be used with std::shuffle.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the full 256-bit state from `seed` via SplitMix64.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+    /// Next raw 64-bit output.
+    result_type operator()() { return next_u64(); }
+    std::uint64_t next_u64();
+
+    /// Uniform double in [0, 1) with 53 bits of precision.
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [0, n). Requires n > 0.
+    std::uint64_t uniform_index(std::uint64_t n);
+
+    /// Standard normal deviate (Box-Muller, cached pair).
+    double normal();
+
+    /// Normal deviate with the given mean and standard deviation.
+    double normal(double mean, double stddev);
+
+    /// Derives an independent generator for a named substream. Combining the
+    /// current state with `stream_id` through SplitMix64 gives decorrelated
+    /// child streams (used to give each layer its own noise stream).
+    [[nodiscard]] Rng split(std::uint64_t stream_id) const;
+
+private:
+    std::array<std::uint64_t, 4> s_{};
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+}  // namespace ams

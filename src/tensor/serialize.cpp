@@ -1,0 +1,98 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ams {
+
+namespace {
+
+constexpr std::uint32_t kTensorMagic = 0x414D5354;  // "AMST"
+constexpr std::uint32_t kMapMagic = 0x414D534D;     // "AMSM"
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+    os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    if (!os) throw std::runtime_error("serialize: write failed");
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+    T value{};
+    is.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!is) throw std::runtime_error("serialize: unexpected end of stream");
+    return value;
+}
+
+}  // namespace
+
+void save_tensor(std::ostream& os, const Tensor& t) {
+    write_pod(os, kTensorMagic);
+    write_pod(os, static_cast<std::uint32_t>(t.rank()));
+    for (std::size_t i = 0; i < t.rank(); ++i) {
+        write_pod(os, static_cast<std::uint64_t>(t.dim(i)));
+    }
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!os) throw std::runtime_error("serialize: tensor data write failed");
+}
+
+Tensor load_tensor(std::istream& is) {
+    if (read_pod<std::uint32_t>(is) != kTensorMagic) {
+        throw std::runtime_error("load_tensor: bad magic (not an amsnet tensor)");
+    }
+    const auto rank = read_pod<std::uint32_t>(is);
+    if (rank > 16) throw std::runtime_error("load_tensor: implausible rank");
+    std::vector<std::size_t> dims(rank);
+    for (auto& d : dims) d = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    Tensor t(Shape{dims});
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!is) throw std::runtime_error("load_tensor: truncated tensor data");
+    return t;
+}
+
+void save_tensor_map(std::ostream& os, const TensorMap& tensors) {
+    write_pod(os, kMapMagic);
+    write_pod(os, static_cast<std::uint64_t>(tensors.size()));
+    for (const auto& [name, tensor] : tensors) {
+        write_pod(os, static_cast<std::uint64_t>(name.size()));
+        os.write(name.data(), static_cast<std::streamsize>(name.size()));
+        if (!os) throw std::runtime_error("save_tensor_map: name write failed");
+        save_tensor(os, tensor);
+    }
+}
+
+TensorMap load_tensor_map(std::istream& is) {
+    if (read_pod<std::uint32_t>(is) != kMapMagic) {
+        throw std::runtime_error("load_tensor_map: bad magic (not an amsnet checkpoint)");
+    }
+    const auto count = read_pod<std::uint64_t>(is);
+    TensorMap map;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto name_len = read_pod<std::uint64_t>(is);
+        if (name_len > 4096) throw std::runtime_error("load_tensor_map: implausible name length");
+        std::string name(name_len, '\0');
+        is.read(name.data(), static_cast<std::streamsize>(name_len));
+        if (!is) throw std::runtime_error("load_tensor_map: truncated name");
+        map.emplace(std::move(name), load_tensor(is));
+    }
+    return map;
+}
+
+void save_tensor_map_file(const std::string& path, const TensorMap& tensors) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("save_tensor_map_file: cannot open " + path);
+    save_tensor_map(os, tensors);
+}
+
+TensorMap load_tensor_map_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("load_tensor_map_file: cannot open " + path);
+    return load_tensor_map(is);
+}
+
+}  // namespace ams

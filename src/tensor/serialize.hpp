@@ -1,0 +1,34 @@
+// Binary serialization for tensors and named tensor maps (checkpoints).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace ams {
+
+/// Writes `t` to `os` in the amsnet binary format (magic, rank, dims, data).
+/// Throws std::runtime_error on stream failure.
+void save_tensor(std::ostream& os, const Tensor& t);
+
+/// Reads a tensor previously written by save_tensor.
+/// Throws std::runtime_error on malformed input or stream failure.
+[[nodiscard]] Tensor load_tensor(std::istream& is);
+
+/// Ordered name -> tensor map used for model checkpoints.
+using TensorMap = std::map<std::string, Tensor>;
+
+/// Writes a named tensor map (count, then name-length/name/tensor records).
+void save_tensor_map(std::ostream& os, const TensorMap& tensors);
+
+/// Reads a map written by save_tensor_map.
+[[nodiscard]] TensorMap load_tensor_map(std::istream& is);
+
+/// File-path conveniences; throw std::runtime_error if the file cannot be
+/// opened or parsed.
+void save_tensor_map_file(const std::string& path, const TensorMap& tensors);
+[[nodiscard]] TensorMap load_tensor_map_file(const std::string& path);
+
+}  // namespace ams

@@ -1,0 +1,55 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ams {
+
+std::size_t Shape::numel() const {
+    std::size_t n = 1;
+    for (std::size_t d : dims_) n *= d;
+    return n;
+}
+
+std::vector<std::size_t> Shape::strides() const {
+    std::vector<std::size_t> s(dims_.size());
+    std::size_t acc = 1;
+    for (std::size_t i = dims_.size(); i-- > 0;) {
+        s[i] = acc;
+        acc *= dims_[i];
+    }
+    return s;
+}
+
+std::size_t Shape::offset(const std::vector<std::size_t>& index) const {
+    if (index.size() != dims_.size()) {
+        throw std::invalid_argument("Shape::offset: rank mismatch: index rank " +
+                                    std::to_string(index.size()) + " vs shape rank " +
+                                    std::to_string(dims_.size()));
+    }
+    std::size_t off = 0;
+    std::size_t stride = 1;
+    for (std::size_t i = dims_.size(); i-- > 0;) {
+        if (index[i] >= dims_[i]) {
+            throw std::invalid_argument("Shape::offset: index " + std::to_string(index[i]) +
+                                        " out of range for dim " + std::to_string(i) + " of size " +
+                                        std::to_string(dims_[i]));
+        }
+        off += index[i] * stride;
+        stride *= dims_[i];
+    }
+    return off;
+}
+
+std::string Shape::str() const {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << dims_[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+}  // namespace ams

@@ -1,0 +1,50 @@
+// Shape: dimension vector and indexing arithmetic for dense row-major tensors.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ams {
+
+/// Describes the extents of an N-dimensional dense row-major tensor.
+///
+/// A Shape is an ordered list of dimension sizes. Rank-0 shapes are valid
+/// and denote scalars (numel() == 1). All indexing in the library is
+/// row-major: the last dimension varies fastest.
+class Shape {
+public:
+    Shape() = default;
+    Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+    explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+    /// Number of dimensions (0 for a scalar shape).
+    [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+
+    /// Size of dimension `axis`; throws std::out_of_range if invalid.
+    [[nodiscard]] std::size_t dim(std::size_t axis) const { return dims_.at(axis); }
+
+    /// Total number of elements (product of all dims; 1 for scalars).
+    [[nodiscard]] std::size_t numel() const;
+
+    /// Row-major strides, in elements. Empty for scalars.
+    [[nodiscard]] std::vector<std::size_t> strides() const;
+
+    /// Flat row-major offset of a multidimensional index.
+    /// Throws std::invalid_argument on rank mismatch or out-of-range index.
+    [[nodiscard]] std::size_t offset(const std::vector<std::size_t>& index) const;
+
+    [[nodiscard]] const std::vector<std::size_t>& dims() const { return dims_; }
+
+    /// Human-readable form, e.g. "[2, 3, 4]".
+    [[nodiscard]] std::string str() const;
+
+    friend bool operator==(const Shape& a, const Shape& b) { return a.dims_ == b.dims_; }
+    friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+private:
+    std::vector<std::size_t> dims_;
+};
+
+}  // namespace ams

@@ -1,0 +1,165 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ams {
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_.numel(), fill) {}
+
+Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
+    if (shape.numel() != data.size()) {
+        throw std::invalid_argument("Tensor::from_data: shape " + shape.str() + " needs " +
+                                    std::to_string(shape.numel()) + " elements, got " +
+                                    std::to_string(data.size()));
+    }
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = std::move(data);
+    return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const& {
+    Tensor copy = *this;
+    return std::move(copy).reshaped(std::move(new_shape));
+}
+
+Tensor Tensor::reshaped(Shape new_shape) && {
+    if (new_shape.numel() != data_.size()) {
+        throw std::invalid_argument("Tensor::reshaped: cannot reshape " + shape_.str() + " (" +
+                                    std::to_string(data_.size()) + " elems) to " + new_shape.str());
+    }
+    shape_ = std::move(new_shape);
+    return std::move(*this);
+}
+
+void Tensor::fill(float value) {
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::apply(const std::function<float(float)>& fn) {
+    for (float& v : data_) v = fn(v);
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+    for (float& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+    for (float& v : data_) v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void Tensor::fill_he_normal(Rng& rng, std::size_t fan_in) {
+    if (fan_in == 0) throw std::invalid_argument("fill_he_normal: fan_in must be > 0");
+    const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+    fill_normal(rng, 0.0f, static_cast<float>(stddev));
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+    if (a.shape() != b.shape()) {
+        throw std::invalid_argument(std::string(what) + ": shape mismatch " + a.shape().str() +
+                                    " vs " + b.shape().str());
+    }
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+    check_same_shape(*this, other, "Tensor::operator+=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+    check_same_shape(*this, other, "Tensor::operator-=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+    check_same_shape(*this, other, "Tensor::operator*=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+    return *this;
+}
+
+Tensor& Tensor::operator+=(float s) {
+    for (float& v : data_) v += s;
+    return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+    for (float& v : data_) v *= s;
+    return *this;
+}
+
+float Tensor::sum() const {
+    // Pairwise-ish accumulation in double: adequate accuracy for our sizes.
+    double acc = 0.0;
+    for (float v : data_) acc += v;
+    return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+    if (data_.empty()) return 0.0f;
+    return static_cast<float>(static_cast<double>(sum()) / static_cast<double>(data_.size()));
+}
+
+float Tensor::variance() const {
+    if (data_.empty()) return 0.0f;
+    const double m = mean();
+    double acc = 0.0;
+    for (float v : data_) {
+        const double d = v - m;
+        acc += d * d;
+    }
+    return static_cast<float>(acc / static_cast<double>(data_.size()));
+}
+
+float Tensor::min() const {
+    if (data_.empty()) throw std::logic_error("Tensor::min on empty tensor");
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+    if (data_.empty()) throw std::logic_error("Tensor::max on empty tensor");
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+    float m = 0.0f;
+    for (float v : data_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+std::size_t Tensor::argmax() const {
+    if (data_.empty()) throw std::logic_error("Tensor::argmax on empty tensor");
+    return static_cast<std::size_t>(
+        std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+Tensor operator+(Tensor a, const Tensor& b) {
+    a += b;
+    return a;
+}
+
+Tensor operator-(Tensor a, const Tensor& b) {
+    a -= b;
+    return a;
+}
+
+Tensor operator*(Tensor a, const Tensor& b) {
+    a *= b;
+    return a;
+}
+
+Tensor operator*(Tensor a, float s) {
+    a *= s;
+    return a;
+}
+
+Tensor operator*(float s, Tensor a) {
+    a *= s;
+    return a;
+}
+
+}  // namespace ams

@@ -1,0 +1,107 @@
+// Tensor: dense row-major N-dimensional array of float with value semantics.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace ams {
+
+/// Dense row-major N-dimensional float array.
+///
+/// Tensors have value semantics: copies are deep, moves are cheap. The
+/// storage is a contiguous std::vector<float>. The library deliberately
+/// avoids strided views; operations that need a sub-range copy it. This
+/// keeps every kernel simple and cache-friendly, which matters more on a
+/// single CPU core than avoiding copies does.
+class Tensor {
+public:
+    /// Empty tensor: rank 0, one element, value 0 is NOT allocated; numel()==0.
+    Tensor() = default;
+
+    /// Allocates a tensor of `shape` filled with `fill`.
+    explicit Tensor(Shape shape, float fill = 0.0f);
+
+    /// Convenience: Tensor({2,3}) allocates a 2x3 zero tensor.
+    Tensor(std::initializer_list<std::size_t> dims) : Tensor(Shape(dims)) {}
+
+    /// Wraps existing data; throws std::invalid_argument if sizes mismatch.
+    static Tensor from_data(Shape shape, std::vector<float> data);
+
+    [[nodiscard]] const Shape& shape() const { return shape_; }
+    [[nodiscard]] std::size_t rank() const { return shape_.rank(); }
+    [[nodiscard]] std::size_t dim(std::size_t axis) const { return shape_.dim(axis); }
+    [[nodiscard]] std::size_t size() const { return data_.size(); }
+    [[nodiscard]] bool empty() const { return data_.empty(); }
+
+    [[nodiscard]] float* data() { return data_.data(); }
+    [[nodiscard]] const float* data() const { return data_.data(); }
+    [[nodiscard]] std::span<float> values() { return data_; }
+    [[nodiscard]] std::span<const float> values() const { return data_; }
+
+    /// Flat (row-major) element access; no bounds check in release builds.
+    float& operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /// Multi-index access with bounds checking.
+    float& at(const std::vector<std::size_t>& index) { return data_[shape_.offset(index)]; }
+    float at(const std::vector<std::size_t>& index) const { return data_[shape_.offset(index)]; }
+
+    /// Returns a tensor with the same data and a new shape.
+    /// Throws std::invalid_argument if the element counts differ.
+    [[nodiscard]] Tensor reshaped(Shape new_shape) const&;
+    [[nodiscard]] Tensor reshaped(Shape new_shape) &&;
+
+    /// In-place fills.
+    void fill(float value);
+    void zero() { fill(0.0f); }
+
+    /// In-place elementwise transform.
+    void apply(const std::function<float(float)>& fn);
+
+    /// In-place random fills.
+    void fill_uniform(Rng& rng, float lo, float hi);
+    void fill_normal(Rng& rng, float mean, float stddev);
+
+    /// Kaiming-He normal initialization: stddev = sqrt(2 / fan_in).
+    void fill_he_normal(Rng& rng, std::size_t fan_in);
+
+    // ----- in-place arithmetic (shapes must match exactly) -----
+    Tensor& operator+=(const Tensor& other);
+    Tensor& operator-=(const Tensor& other);
+    Tensor& operator*=(const Tensor& other);  ///< elementwise (Hadamard)
+    Tensor& operator+=(float s);
+    Tensor& operator*=(float s);
+
+    // ----- reductions -----
+    [[nodiscard]] float sum() const;
+    [[nodiscard]] float mean() const;
+    /// Population variance (divides by N).
+    [[nodiscard]] float variance() const;
+    [[nodiscard]] float min() const;  ///< throws std::logic_error when empty
+    [[nodiscard]] float max() const;  ///< throws std::logic_error when empty
+    [[nodiscard]] float abs_max() const;
+    /// Index of the first maximum element; throws std::logic_error when empty.
+    [[nodiscard]] std::size_t argmax() const;
+
+private:
+    Shape shape_{std::vector<std::size_t>{}};
+    std::vector<float> data_;
+};
+
+/// Elementwise binary ops; throw std::invalid_argument on shape mismatch.
+[[nodiscard]] Tensor operator+(Tensor a, const Tensor& b);
+[[nodiscard]] Tensor operator-(Tensor a, const Tensor& b);
+[[nodiscard]] Tensor operator*(Tensor a, const Tensor& b);
+[[nodiscard]] Tensor operator*(Tensor a, float s);
+[[nodiscard]] Tensor operator*(float s, Tensor a);
+
+/// Throws std::invalid_argument unless both shapes match.
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what);
+
+}  // namespace ams

@@ -1,0 +1,46 @@
+#include "train/checkpoint_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace ams::train {
+
+std::string sanitize_cache_key(const std::string& key) {
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+        out.push_back(safe ? c : '_');
+    }
+    return out;
+}
+
+std::string default_cache_dir() {
+    if (const char* env = std::getenv("AMSNET_CACHE_DIR"); env != nullptr && *env != '\0') {
+        return env;
+    }
+    return "amsnet_cache";
+}
+
+TensorMap cached_state(const std::string& cache_dir, const std::string& key,
+                       const std::function<TensorMap()>& produce) {
+    namespace fs = std::filesystem;
+    fs::create_directories(cache_dir);
+    const fs::path path = fs::path(cache_dir) / (sanitize_cache_key(key) + ".amsckpt");
+
+    const char* no_cache = std::getenv("AMSNET_NO_CACHE");
+    const bool read_cache = (no_cache == nullptr || std::string(no_cache) != "1");
+    if (read_cache && fs::exists(path)) {
+        try {
+            return load_tensor_map_file(path.string());
+        } catch (const std::exception&) {
+            // Corrupt or stale-format checkpoint: fall through and rebuild.
+        }
+    }
+    TensorMap state = produce();
+    save_tensor_map_file(path.string(), state);
+    return state;
+}
+
+}  // namespace ams::train

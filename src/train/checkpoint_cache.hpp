@@ -1,0 +1,30 @@
+// Disk cache for trained model states, keyed by an experiment string.
+//
+// The experiment benches share expensive artifacts (the pretrained FP32
+// network, the 8b/6b quantized retrained networks) through this cache so
+// each is trained exactly once per workspace regardless of which bench
+// runs first. Keys should encode every input that affects the result
+// (dataset seed, model config, bitwidths, training options).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tensor/serialize.hpp"
+
+namespace ams::train {
+
+/// Filesystem-safe encoding of a cache key.
+[[nodiscard]] std::string sanitize_cache_key(const std::string& key);
+
+/// Returns the state for `key`, producing and persisting it with
+/// `produce` on a miss. `cache_dir` is created if absent. A corrupt cache
+/// file is regenerated rather than propagated. Set the environment
+/// variable AMSNET_NO_CACHE=1 to bypass reads (writes still happen).
+[[nodiscard]] TensorMap cached_state(const std::string& cache_dir, const std::string& key,
+                                     const std::function<TensorMap()>& produce);
+
+/// Default cache directory: $AMSNET_CACHE_DIR or "amsnet_cache".
+[[nodiscard]] std::string default_cache_dir();
+
+}  // namespace ams::train

@@ -1,0 +1,108 @@
+#include "train/evaluate.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace ams::train {
+
+namespace {
+
+/// Restores the model's training flag on scope exit.
+class TrainingModeGuard {
+public:
+    explicit TrainingModeGuard(models::ResNet& model)
+        : model_(model), was_training_(model.training()) {}
+    ~TrainingModeGuard() { model_.set_training(was_training_); }
+    TrainingModeGuard(const TrainingModeGuard&) = delete;
+    TrainingModeGuard& operator=(const TrainingModeGuard&) = delete;
+
+private:
+    models::ResNet& model_;
+    bool was_training_;
+};
+
+Tensor slice_batch(const Tensor& images, std::size_t start, std::size_t count) {
+    const std::size_t image = images.dim(1) * images.dim(2) * images.dim(3);
+    Tensor batch(Shape{count, images.dim(1), images.dim(2), images.dim(3)});
+    std::memcpy(batch.data(), images.data() + start * image, count * image * sizeof(float));
+    return batch;
+}
+
+double one_pass_topk(models::ResNet& model, const Tensor& images,
+                     const std::vector<std::size_t>& labels, std::size_t k,
+                     std::size_t batch_size) {
+    const std::size_t n = images.dim(0);
+    double hits = 0.0;
+    for (std::size_t start = 0; start < n; start += batch_size) {
+        const std::size_t count = std::min(batch_size, n - start);
+        Tensor logits = model.forward(slice_batch(images, start, count));
+        const std::vector<std::size_t> batch_labels(labels.begin() + start,
+                                                    labels.begin() + start + count);
+        hits += nn::topk_accuracy(logits, batch_labels, k) * static_cast<double>(count);
+    }
+    return hits / static_cast<double>(n);
+}
+
+}  // namespace
+
+EvalResult evaluate_top1(models::ResNet& model, const Tensor& images,
+                         const std::vector<std::size_t>& labels, std::size_t batch_size,
+                         std::size_t passes) {
+    if (images.rank() != 4 || images.dim(0) == 0 || images.dim(0) != labels.size()) {
+        throw std::invalid_argument("evaluate_top1: bad images/labels");
+    }
+    if (passes == 0 || batch_size == 0) {
+        throw std::invalid_argument("evaluate_top1: passes and batch_size must be > 0");
+    }
+    TrainingModeGuard guard(model);
+    model.set_training(false);
+
+    EvalResult result;
+    result.passes.reserve(passes);
+    for (std::size_t p = 0; p < passes; ++p) {
+        result.passes.push_back(one_pass_topk(model, images, labels, 1, batch_size));
+    }
+    double sum = 0.0;
+    for (double a : result.passes) sum += a;
+    result.mean = sum / static_cast<double>(passes);
+    if (passes > 1) {
+        double sq = 0.0;
+        for (double a : result.passes) sq += (a - result.mean) * (a - result.mean);
+        result.stddev = std::sqrt(sq / static_cast<double>(passes - 1));
+    }
+    return result;
+}
+
+double evaluate_topk(models::ResNet& model, const Tensor& images,
+                     const std::vector<std::size_t>& labels, std::size_t k,
+                     std::size_t batch_size) {
+    if (images.dim(0) != labels.size() || images.dim(0) == 0) {
+        throw std::invalid_argument("evaluate_topk: bad images/labels");
+    }
+    TrainingModeGuard guard(model);
+    model.set_training(false);
+    return one_pass_topk(model, images, labels, k, batch_size);
+}
+
+std::vector<double> record_activation_means(models::ResNet& model, const Tensor& images,
+                                            std::size_t batch_size) {
+    if (images.rank() != 4 || images.dim(0) == 0) {
+        throw std::invalid_argument("record_activation_means: bad images");
+    }
+    TrainingModeGuard guard(model);
+    model.set_training(false);
+    model.reset_stats();
+    model.set_recording(true);
+    const std::size_t n = images.dim(0);
+    for (std::size_t start = 0; start < n; start += batch_size) {
+        const std::size_t count = std::min(batch_size, n - start);
+        (void)model.forward(slice_batch(images, start, count));
+    }
+    model.set_recording(false);
+    return model.activation_means();
+}
+
+}  // namespace ams::train

@@ -1,0 +1,41 @@
+// Validation-set evaluation with the paper's reporting protocol: each
+// reported accuracy is the sample mean of several passes of the validation
+// set through the network, with the sample standard deviation as the error
+// bar (the passes differ because AMS error injection is stochastic).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "models/resnet.hpp"
+
+namespace ams::train {
+
+/// Aggregated accuracy over repeated validation passes.
+struct EvalResult {
+    double mean = 0.0;          ///< sample mean of per-pass top-1 accuracy
+    double stddev = 0.0;        ///< sample standard deviation (n-1)
+    std::vector<double> passes; ///< per-pass top-1 accuracies
+};
+
+/// Runs `passes` full passes of (images, labels) through `model` in
+/// evaluation mode and reports top-1 statistics. Restores the model's
+/// previous training flag afterwards. Throws std::invalid_argument on
+/// empty input or passes == 0.
+[[nodiscard]] EvalResult evaluate_top1(models::ResNet& model, const Tensor& images,
+                                       const std::vector<std::size_t>& labels,
+                                       std::size_t batch_size = 64, std::size_t passes = 1);
+
+/// Single-pass top-k accuracy in evaluation mode.
+[[nodiscard]] double evaluate_topk(models::ResNet& model, const Tensor& images,
+                                   const std::vector<std::size_t>& labels, std::size_t k,
+                                   std::size_t batch_size = 64);
+
+/// Fig. 6 instrumentation: runs one evaluation pass with per-conv-layer
+/// activation recording enabled and returns the mean post-injection
+/// activation of every conv layer (stem first), evaluated across the
+/// whole set.
+[[nodiscard]] std::vector<double> record_activation_means(
+    models::ResNet& model, const Tensor& images, std::size_t batch_size = 64);
+
+}  // namespace ams::train

@@ -1,0 +1,37 @@
+#include "train/grad_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "quant/dorefa.hpp"
+
+namespace ams::train {
+
+void quantize_gradient(Tensor& grad, std::size_t bits, Rng& rng) {
+    if (bits < 2) throw std::invalid_argument("quantize_gradient: bits must be >= 2");
+    if (bits >= quant::kFloatBits) return;
+    const float max_abs = grad.abs_max();
+    if (max_abs == 0.0f) return;
+
+    const auto levels = static_cast<float>((std::size_t{1} << bits) - 1);
+    const float inv_2max = 0.5f / max_abs;
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+        // Map to [0, 1], add the unbiasing dither, quantize, map back.
+        const float unit = grad[i] * inv_2max + 0.5f;
+        const float dither =
+            static_cast<float>(rng.uniform(-0.5, 0.5)) / levels;
+        const float q =
+            std::round(std::clamp(unit + dither, 0.0f, 1.0f) * levels) / levels;
+        grad[i] = 2.0f * max_abs * (q - 0.5f);
+    }
+}
+
+void quantize_gradients(const std::vector<nn::Parameter*>& params, std::size_t bits,
+                        Rng& rng) {
+    for (nn::Parameter* p : params) {
+        if (!p->frozen) quantize_gradient(p->grad, bits, rng);
+    }
+}
+
+}  // namespace ams::train

@@ -1,0 +1,28 @@
+// Gradient quantization (original DoReFa, Zhou et al. Sec. 2.3).
+//
+// The paper notes: "As opposed to the original implementation,
+// Distiller's version of DoReFa does not quantize gradients." This module
+// supplies the missing piece so both variants can be compared: k-bit
+// quantization of the backward gradients with the stochastic offset the
+// original uses to keep the quantizer unbiased,
+//   g_q = 2 max|g| * ( quantize_k( g/(2 max|g|) + 1/2 + noise ) - 1/2 ),
+// with noise ~ U(-1/2, 1/2) / (2^k - 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace ams::train {
+
+/// Quantizes one gradient tensor in place to `bits` (>= 2). `bits` >= 32
+/// is a no-op (the Distiller behaviour). The stochastic offset keeps the
+/// estimator unbiased. Throws std::invalid_argument for bits < 2.
+void quantize_gradient(Tensor& grad, std::size_t bits, Rng& rng);
+
+/// Applies quantize_gradient to every non-frozen parameter's gradient.
+void quantize_gradients(const std::vector<nn::Parameter*>& params, std::size_t bits,
+                        Rng& rng);
+
+}  // namespace ams::train

@@ -1,0 +1,64 @@
+#include "train/trainer.hpp"
+
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "train/grad_quant.hpp"
+
+namespace ams::train {
+
+TrainResult fit(models::ResNet& model, const Tensor& train_images,
+                const std::vector<std::size_t>& train_labels, const Tensor& val_images,
+                const std::vector<std::size_t>& val_labels, const TrainOptions& options) {
+    if (options.epochs == 0) throw std::invalid_argument("fit: epochs must be > 0");
+    if (train_images.dim(0) == 0 || val_images.dim(0) == 0) {
+        throw std::invalid_argument("fit: empty dataset");
+    }
+
+    data::DataLoader loader(train_images, train_labels, options.batch_size,
+                            Rng(options.shuffle_seed), /*shuffle=*/true);
+    nn::Sgd optimizer(model.parameters(), options.sgd);
+    nn::SoftmaxCrossEntropy loss;
+    Rng grad_rng(options.shuffle_seed ^ 0x6D17B175ULL);
+    const auto params = model.parameters();
+
+    TrainResult result;
+    std::size_t epochs_since_best = 0;
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        model.set_training(true);
+        double loss_sum = 0.0;
+        const std::size_t batches = loader.batches_per_epoch();
+        for (std::size_t b = 0; b < batches; ++b) {
+            data::Batch batch = loader.next();
+            optimizer.zero_grad();
+            Tensor logits = model.forward(batch.images);
+            loss_sum += loss.forward(logits, batch.labels);
+            model.backward(loss.backward());
+            if (options.grad_bits < 32) {
+                quantize_gradients(params, options.grad_bits, grad_rng);
+            }
+            optimizer.step();
+        }
+        const double train_loss = loss_sum / static_cast<double>(batches);
+
+        const EvalResult val = evaluate_top1(model, val_images, val_labels, options.batch_size,
+                                             /*passes=*/1);
+        result.history.push_back({train_loss, val.mean});
+        if (options.on_epoch) options.on_epoch(epoch, train_loss, val.mean);
+
+        if (val.mean > result.best_val_top1 || result.history.size() == 1) {
+            result.best_val_top1 = val.mean;
+            result.best_epoch = epoch;
+            result.best_state.clear();
+            model.collect_state("", result.best_state);
+            epochs_since_best = 0;
+        } else {
+            ++epochs_since_best;
+            if (options.patience != 0 && epochs_since_best >= options.patience) break;
+        }
+    }
+    model.load_state("", result.best_state);
+    return result;
+}
+
+}  // namespace ams::train

@@ -1,0 +1,57 @@
+// Training / retraining harness implementing the paper's protocol:
+// fixed learning rate (no schedule), track validation accuracy each
+// epoch, and "if the validation set accuracy begins to decrease after
+// some time, the training run is stopped and the maximum validation
+// accuracy is reported" — i.e. early stopping with best-epoch snapshot.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "data/data_loader.hpp"
+#include "models/resnet.hpp"
+#include "nn/sgd.hpp"
+#include "train/evaluate.hpp"
+
+namespace ams::train {
+
+/// Training hyperparameters.
+struct TrainOptions {
+    std::size_t epochs = 6;
+    std::size_t batch_size = 64;
+    nn::SgdOptions sgd{};
+    /// Stop when validation accuracy has not improved for this many
+    /// consecutive epochs. 0 disables early stopping.
+    std::size_t patience = 2;
+    /// DoReFa gradient quantization bits; >= 32 disables it, matching
+    /// Distiller's DoReFa variant used in the paper (Sec. 2).
+    std::size_t grad_bits = 32;
+    std::uint64_t shuffle_seed = 1234;
+    /// Called after each epoch with (epoch, train_loss, val_top1); useful
+    /// for progress logging. May be empty.
+    std::function<void(std::size_t, double, double)> on_epoch;
+};
+
+/// Per-epoch record.
+struct EpochStats {
+    double train_loss = 0.0;
+    double val_top1 = 0.0;
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+    double best_val_top1 = 0.0;
+    std::size_t best_epoch = 0;
+    TensorMap best_state;  ///< snapshot of the best-epoch weights
+    std::vector<EpochStats> history;
+};
+
+/// Trains `model` on (train_images, train_labels), validating on
+/// (val_images, val_labels) after each epoch. The model is left loaded
+/// with its best-epoch weights. Throws std::invalid_argument on empty
+/// data or zero epochs.
+TrainResult fit(models::ResNet& model, const Tensor& train_images,
+                const std::vector<std::size_t>& train_labels, const Tensor& val_images,
+                const std::vector<std::size_t>& val_labels, const TrainOptions& options);
+
+}  // namespace ams::train

@@ -1,0 +1,90 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+
+namespace ams::nn {
+namespace {
+
+TEST(ReLUTest, ForwardClampsNegatives) {
+    ReLU relu;
+    Tensor x = Tensor::from_data(Shape{4}, {-2, -0.5, 0, 3});
+    Tensor y = relu.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+    EXPECT_FLOAT_EQ(y[2], 0.0f);
+    EXPECT_FLOAT_EQ(y[3], 3.0f);
+}
+
+TEST(ReLUTest, BackwardMasksNegatives) {
+    ReLU relu;
+    Tensor x = Tensor::from_data(Shape{4}, {-2, -0.5, 0.5, 3});
+    relu.forward(x);
+    Tensor g = Tensor::from_data(Shape{4}, {1, 1, 1, 1});
+    Tensor gx = relu.backward(g);
+    EXPECT_FLOAT_EQ(gx[0], 0.0f);
+    EXPECT_FLOAT_EQ(gx[1], 0.0f);
+    EXPECT_FLOAT_EQ(gx[2], 1.0f);
+    EXPECT_FLOAT_EQ(gx[3], 1.0f);
+}
+
+TEST(ClippedReLUTest, ForwardClipsBothEnds) {
+    ClippedReLU act(1.0f);
+    Tensor x = Tensor::from_data(Shape{5}, {-1, 0.25, 0.999f, 1.5, 100});
+    Tensor y = act.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.25f);
+    EXPECT_FLOAT_EQ(y[2], 0.999f);
+    EXPECT_FLOAT_EQ(y[3], 1.0f);
+    EXPECT_FLOAT_EQ(y[4], 1.0f);
+}
+
+TEST(ClippedReLUTest, BackwardMasksSaturatedRegions) {
+    ClippedReLU act(1.0f);
+    Tensor x = Tensor::from_data(Shape{4}, {-0.5, 0.5, 1.5, 0.9f});
+    act.forward(x);
+    Tensor g(Shape{4}, 2.0f);
+    Tensor gx = act.backward(g);
+    EXPECT_FLOAT_EQ(gx[0], 0.0f);
+    EXPECT_FLOAT_EQ(gx[1], 2.0f);
+    EXPECT_FLOAT_EQ(gx[2], 0.0f);
+    EXPECT_FLOAT_EQ(gx[3], 2.0f);
+}
+
+TEST(ClippedReLUTest, CustomCeiling) {
+    ClippedReLU act(6.0f);
+    Tensor x = Tensor::from_data(Shape{2}, {5, 7});
+    Tensor y = act.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 5.0f);
+    EXPECT_FLOAT_EQ(y[1], 6.0f);
+}
+
+TEST(ClippedReLUTest, RejectsNonPositiveCeiling) {
+    EXPECT_THROW(ClippedReLU(0.0f), std::invalid_argument);
+    EXPECT_THROW(ClippedReLU(-1.0f), std::invalid_argument);
+}
+
+TEST(ActivationGradcheck, ReLUInputGradient) {
+    // Keep inputs away from the kink at 0 for finite differences.
+    ReLU relu;
+    Rng rng(10);
+    Tensor x(Shape{3, 7});
+    x.fill_uniform(rng, 0.2f, 1.0f);
+    for (std::size_t i = 0; i < x.size(); i += 2) x[i] -= 1.4f;  // clearly negative
+    const auto result = check_input_gradient(relu, x, rng, 1e-3);
+    EXPECT_LT(result.max_rel_error, 1e-2);
+    EXPECT_EQ(result.checked, x.size());
+}
+
+TEST(ActivationGradcheck, ClippedReLUInputGradient) {
+    ClippedReLU act(1.0f);
+    Rng rng(11);
+    Tensor x(Shape{4, 5});
+    x.fill_uniform(rng, 0.1f, 0.9f);  // interior of the linear region
+    const auto result = check_input_gradient(act, x, rng, 1e-3);
+    EXPECT_LT(result.max_rel_error, 1e-2);
+}
+
+}  // namespace
+}  // namespace ams::nn

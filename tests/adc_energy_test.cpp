@@ -1,0 +1,86 @@
+#include "energy/adc_energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ams::energy {
+namespace {
+
+TEST(AdcEnergyTest, FloorBelowCrossover) {
+    EXPECT_DOUBLE_EQ(adc_energy_lower_bound_pj(4.0), kEnergyFloorPj);
+    EXPECT_DOUBLE_EQ(adc_energy_lower_bound_pj(10.5), kEnergyFloorPj);
+}
+
+TEST(AdcEnergyTest, ThermalBranchMatchesEquationThree) {
+    // E = 10^(0.1 (6.02 ENOB - 68.25)) pJ for ENOB > 10.5.
+    const double e12 = adc_energy_lower_bound_pj(12.0);
+    EXPECT_NEAR(e12, std::pow(10.0, 0.1 * (6.02 * 12.0 - 68.25)), 1e-12);
+}
+
+TEST(AdcEnergyTest, NearlyContinuousAtCrossover) {
+    const double below = adc_energy_lower_bound_pj(10.5);
+    const double above = adc_energy_lower_bound_pj(10.5 + 1e-9);
+    EXPECT_NEAR(above / below, 1.0, 0.05);
+}
+
+TEST(AdcEnergyTest, EnergyQuadruplesPerBitInThermalRegime) {
+    const double e12 = adc_energy_lower_bound_pj(12.0);
+    const double e13 = adc_energy_lower_bound_pj(13.0);
+    EXPECT_NEAR(e13 / e12, std::pow(10.0, 0.602), 1e-6);  // ~4x
+}
+
+TEST(AdcEnergyTest, ThermalBranchEqualsSchreierLine) {
+    // The paper's Eq. 3 exponent matches the FOM_S = 187 dB line (up to
+    // the rounding of the published 68.25 constant, < 0.01%).
+    for (double enob : {11.0, 12.5, 14.0, 16.0}) {
+        EXPECT_NEAR(adc_energy_lower_bound_pj(enob) / schreier_energy_pj(enob, 187.0), 1.0,
+                    1e-3);
+    }
+}
+
+TEST(AdcEnergyTest, EmacAmortizesOverNmult) {
+    EXPECT_DOUBLE_EQ(emac_lower_bound_pj(8.0, 1), kEnergyFloorPj);
+    EXPECT_DOUBLE_EQ(emac_lower_bound_pj(8.0, 8), kEnergyFloorPj / 8.0);
+    EXPECT_NEAR(emac_lower_bound_fj(8.0, 8), 37.5, 1e-9);
+    EXPECT_THROW((void)emac_lower_bound_pj(8.0, 0), std::invalid_argument);
+}
+
+TEST(AdcEnergyTest, PaperHeadlineNumbers) {
+    // The paper's Fig. 8 level curves: ~313 fJ/MAC and ~78 fJ/MAC occur at
+    // (ENOB, Nmult) combinations in the thermal regime. Verify two cells
+    // of the published grid: E_MAC(ENOB, Nmult) doubles per half bit.
+    const double e = emac_lower_bound_fj(12.5, 8);
+    const double e_half_bit_less = emac_lower_bound_fj(12.0, 8);
+    EXPECT_NEAR(e / e_half_bit_less, std::pow(10.0, 0.301), 1e-3);  // ~2x
+}
+
+TEST(AdcEnergyTest, SndrEnobRoundTrip) {
+    for (double enob : {6.0, 10.0, 14.0}) {
+        EXPECT_NEAR(sndr_db_to_enob(enob_to_sndr_db(enob)), enob, 1e-12);
+    }
+    EXPECT_NEAR(enob_to_sndr_db(10.0), 61.96, 1e-9);
+}
+
+TEST(AdcEnergyTest, WaldenFom) {
+    // 1 pJ at 10 ENOB -> 1000 fJ / 1024 steps.
+    EXPECT_NEAR(walden_fom_fj(1.0, 10.0), 1000.0 / 1024.0, 1e-9);
+    EXPECT_THROW((void)walden_fom_fj(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(AdcEnergyTest, MonotoneNonDecreasing) {
+    double prev = 0.0;
+    for (double enob = 1.0; enob <= 20.0; enob += 0.25) {
+        const double e = adc_energy_lower_bound_pj(enob);
+        EXPECT_GE(e, prev);
+        prev = e;
+    }
+}
+
+TEST(AdcEnergyTest, RejectsNonPositiveEnob) {
+    EXPECT_THROW((void)adc_energy_lower_bound_pj(0.0), std::invalid_argument);
+    EXPECT_THROW((void)schreier_energy_pj(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::energy

@@ -1,0 +1,108 @@
+#include "energy/adc_survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/adc_energy.hpp"
+
+namespace ams::energy {
+namespace {
+
+TEST(AdcSurveyTest, PopulationRespectsLowerBound) {
+    SurveyOptions opts;
+    opts.designs = 2000;
+    const auto survey = generate_survey(opts);
+    ASSERT_EQ(survey.size(), 2000u);
+    for (const AdcDesign& d : survey) {
+        EXPECT_GE(d.energy_per_sample_pj, adc_energy_lower_bound_pj(d.enob) * (1.0 - 1e-12))
+            << "design at ENOB " << d.enob;
+    }
+}
+
+TEST(AdcSurveyTest, DeterministicForSeed) {
+    SurveyOptions opts;
+    opts.designs = 50;
+    const auto a = generate_survey(opts);
+    const auto b = generate_survey(opts);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].enob, b[i].enob);
+        EXPECT_DOUBLE_EQ(a[i].energy_per_sample_pj, b[i].energy_per_sample_pj);
+    }
+    opts.seed = 999;
+    const auto c = generate_survey(opts);
+    EXPECT_NE(a[0].enob, c[0].enob);
+}
+
+TEST(AdcSurveyTest, FieldsWithinConfiguredRanges) {
+    SurveyOptions opts;
+    opts.designs = 500;
+    const auto survey = generate_survey(opts);
+    for (const AdcDesign& d : survey) {
+        EXPECT_GE(d.enob, opts.enob_min);
+        EXPECT_LE(d.enob, opts.enob_max);
+        EXPECT_GE(d.year, opts.year_min);
+        EXPECT_LE(d.year, opts.year_max);
+        EXPECT_FALSE(d.architecture.empty());
+    }
+}
+
+TEST(AdcSurveyTest, EnvelopeHugsTheBoundSomewhere) {
+    // State-of-the-art designs exist: in a large population, some bins'
+    // envelope should come within a factor ~3 of the theoretical bound.
+    SurveyOptions opts;
+    opts.designs = 3000;
+    const auto survey = generate_survey(opts);
+    const auto envelope = survey_envelope(survey, 1.0);
+    ASSERT_FALSE(envelope.empty());
+    std::size_t tight_bins = 0;
+    for (const EnvelopePoint& p : envelope) {
+        if (p.energy_pj < 3.0 * adc_energy_lower_bound_pj(p.enob)) ++tight_bins;
+    }
+    EXPECT_GE(tight_bins, envelope.size() / 3);
+}
+
+TEST(AdcSurveyTest, NewerDesignsAreMoreEfficientOnAverage) {
+    SurveyOptions opts;
+    opts.designs = 4000;
+    const auto survey = generate_survey(opts);
+    double old_excess = 0.0, new_excess = 0.0;
+    std::size_t old_n = 0, new_n = 0;
+    for (const AdcDesign& d : survey) {
+        const double excess =
+            std::log10(d.energy_per_sample_pj / adc_energy_lower_bound_pj(d.enob));
+        if (d.year < 2005) {
+            old_excess += excess;
+            ++old_n;
+        } else if (d.year > 2013) {
+            new_excess += excess;
+            ++new_n;
+        }
+    }
+    ASSERT_GT(old_n, 100u);
+    ASSERT_GT(new_n, 100u);
+    EXPECT_GT(old_excess / old_n, new_excess / new_n);
+}
+
+TEST(AdcSurveyTest, EnvelopeBinsAreSorted) {
+    SurveyOptions opts;
+    opts.designs = 300;
+    const auto envelope = survey_envelope(generate_survey(opts), 0.5);
+    for (std::size_t i = 1; i < envelope.size(); ++i) {
+        EXPECT_LT(envelope[i - 1].enob, envelope[i].enob);
+    }
+}
+
+TEST(AdcSurveyTest, ValidatesOptions) {
+    SurveyOptions bad;
+    bad.designs = 0;
+    EXPECT_THROW((void)generate_survey(bad), std::invalid_argument);
+    SurveyOptions bad_range;
+    bad_range.enob_min = 10.0;
+    bad_range.enob_max = 5.0;
+    EXPECT_THROW((void)generate_survey(bad_range), std::invalid_argument);
+    EXPECT_THROW((void)survey_envelope({}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::energy

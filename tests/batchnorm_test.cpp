@@ -1,0 +1,135 @@
+#include "nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.hpp"
+
+namespace ams::nn {
+namespace {
+
+TEST(BatchNormTest, NormalizesPerChannelInTraining) {
+    BatchNorm2d bn(2);
+    bn.set_training(true);
+    Rng rng(1);
+    Tensor x(Shape{4, 2, 3, 3});
+    x.fill_normal(rng, 5.0f, 2.0f);
+    Tensor y = bn.forward(x);
+
+    // With gamma=1, beta=0 the per-channel output should be ~N(0,1).
+    const std::size_t spatial = 9, batch = 4;
+    for (std::size_t c = 0; c < 2; ++c) {
+        double sum = 0.0, sq = 0.0;
+        for (std::size_t b = 0; b < batch; ++b) {
+            for (std::size_t i = 0; i < spatial; ++i) {
+                const float v = y.at({b, c, i / 3, i % 3});
+                sum += v;
+                sq += static_cast<double>(v) * v;
+            }
+        }
+        const double n = batch * spatial;
+        EXPECT_NEAR(sum / n, 0.0, 1e-4);
+        EXPECT_NEAR(sq / n, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNormTest, GammaBetaApplied) {
+    BatchNorm2d bn(1);
+    bn.set_training(true);
+    bn.gamma().value[0] = 3.0f;
+    bn.beta().value[0] = -1.0f;
+    Rng rng(2);
+    Tensor x(Shape{2, 1, 4, 4});
+    x.fill_normal(rng, 0.0f, 1.0f);
+    Tensor y = bn.forward(x);
+    EXPECT_NEAR(y.mean(), -1.0f, 1e-4f);
+    EXPECT_NEAR(std::sqrt(y.variance()), 3.0f, 5e-2f);
+}
+
+TEST(BatchNormTest, RunningStatsConvergeToDataStats) {
+    BatchNorm2d bn(1, 1e-5f, /*momentum=*/0.3f);
+    bn.set_training(true);
+    Rng rng(3);
+    for (int step = 0; step < 60; ++step) {
+        Tensor x(Shape{8, 1, 4, 4});
+        x.fill_normal(rng, 2.0f, 0.5f);
+        (void)bn.forward(x);
+    }
+    EXPECT_NEAR(bn.running_mean()[0], 2.0f, 0.1f);
+    EXPECT_NEAR(bn.running_var()[0], 0.25f, 0.05f);
+}
+
+TEST(BatchNormTest, EvalModeUsesRunningStats) {
+    BatchNorm2d bn(1, 1e-5f, 0.5f);
+    bn.set_training(true);
+    Rng rng(4);
+    for (int step = 0; step < 40; ++step) {
+        Tensor x(Shape{8, 1, 2, 2});
+        x.fill_normal(rng, 10.0f, 1.0f);
+        (void)bn.forward(x);
+    }
+    bn.set_training(false);
+    // A constant input at the running mean should map to ~beta = 0.
+    Tensor x(Shape{1, 1, 2, 2}, 10.0f);
+    Tensor y = bn.forward(x);
+    EXPECT_NEAR(y[0], 0.0f, 0.15f);
+}
+
+TEST(BatchNormTest, TrainingGradcheck) {
+    BatchNorm2d bn(3);
+    bn.set_training(true);
+    Rng rng(5);
+    bn.gamma().value.fill_uniform(rng, 0.5f, 1.5f);
+    bn.beta().value.fill_uniform(rng, -0.5f, 0.5f);
+    Tensor x(Shape{3, 3, 4, 4});
+    x.fill_uniform(rng, -2.0f, 2.0f);
+    const auto gi = check_input_gradient(bn, x, rng, 1e-2);
+    EXPECT_LT(gi.max_rel_error, 3e-2) << "input grad";
+    const auto gp = check_parameter_gradients(bn, x, rng, 1e-2);
+    EXPECT_LT(gp.max_rel_error, 3e-2) << "param grad";
+}
+
+TEST(BatchNormTest, EvalBackwardIsLinearScale) {
+    BatchNorm2d bn(1);
+    bn.set_training(false);
+    Tensor x(Shape{1, 1, 2, 2}, 3.0f);
+    (void)bn.forward(x);
+    Tensor g(Shape{1, 1, 2, 2}, 1.0f);
+    Tensor gx = bn.backward(g);
+    // gamma=1, running_var=1, eps tiny => scale ~ 1.
+    EXPECT_NEAR(gx[0], 1.0f, 1e-4f);
+}
+
+TEST(BatchNormTest, StateRoundTripIncludesRunningStats) {
+    BatchNorm2d bn(2);
+    bn.set_training(true);
+    Rng rng(6);
+    Tensor x(Shape{4, 2, 3, 3});
+    x.fill_normal(rng, 1.0f, 2.0f);
+    (void)bn.forward(x);
+
+    TensorMap state;
+    bn.collect_state("bn.", state);
+    EXPECT_TRUE(state.count("bn.gamma"));
+    EXPECT_TRUE(state.count("bn.running_mean"));
+
+    BatchNorm2d restored(2);
+    restored.load_state("bn.", state);
+    EXPECT_FLOAT_EQ(restored.running_mean()[0], bn.running_mean()[0]);
+    EXPECT_FLOAT_EQ(restored.running_var()[1], bn.running_var()[1]);
+}
+
+TEST(BatchNormTest, RejectsBadConstruction) {
+    EXPECT_THROW(BatchNorm2d(0), std::invalid_argument);
+    EXPECT_THROW(BatchNorm2d(4, -1.0f), std::invalid_argument);
+}
+
+TEST(BatchNormTest, RejectsWrongChannelCount) {
+    BatchNorm2d bn(3);
+    Tensor x(Shape{1, 2, 2, 2});
+    EXPECT_THROW((void)bn.forward(x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::nn

@@ -1,0 +1,101 @@
+#include "train/checkpoint_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace ams::train {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointCacheTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = (fs::temp_directory_path() / "amsnet_cache_test").string();
+        fs::remove_all(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+    std::string dir_;
+};
+
+TensorMap make_state(float value) {
+    TensorMap m;
+    m["w"] = Tensor(Shape{2, 2}, value);
+    return m;
+}
+
+TEST_F(CheckpointCacheTest, ProducesOnFirstCallOnly) {
+    int calls = 0;
+    auto produce = [&calls] {
+        ++calls;
+        return make_state(1.0f);
+    };
+    const TensorMap a = cached_state(dir_, "key1", produce);
+    EXPECT_EQ(calls, 1);
+    const TensorMap b = cached_state(dir_, "key1", produce);
+    EXPECT_EQ(calls, 1);  // served from disk
+    EXPECT_FLOAT_EQ(b.at("w")[0], 1.0f);
+}
+
+TEST_F(CheckpointCacheTest, DistinctKeysAreIndependent) {
+    int calls = 0;
+    auto produce1 = [&calls] {
+        ++calls;
+        return make_state(1.0f);
+    };
+    auto produce2 = [&calls] {
+        ++calls;
+        return make_state(2.0f);
+    };
+    (void)cached_state(dir_, "a", produce1);
+    const TensorMap b = cached_state(dir_, "b", produce2);
+    EXPECT_EQ(calls, 2);
+    EXPECT_FLOAT_EQ(b.at("w")[0], 2.0f);
+}
+
+TEST_F(CheckpointCacheTest, CorruptFileIsRegenerated) {
+    (void)cached_state(dir_, "key", [] { return make_state(3.0f); });
+    // Corrupt the cache file.
+    const fs::path path = fs::path(dir_) / (sanitize_cache_key("key") + ".amsckpt");
+    ASSERT_TRUE(fs::exists(path));
+    std::ofstream(path.string(), std::ios::trunc) << "garbage";
+    int calls = 0;
+    const TensorMap m = cached_state(dir_, "key", [&calls] {
+        ++calls;
+        return make_state(4.0f);
+    });
+    EXPECT_EQ(calls, 1);
+    EXPECT_FLOAT_EQ(m.at("w")[0], 4.0f);
+}
+
+TEST_F(CheckpointCacheTest, SanitizeReplacesUnsafeCharacters) {
+    EXPECT_EQ(sanitize_cache_key("a/b c:d"), "a_b_c_d");
+    EXPECT_EQ(sanitize_cache_key("Safe-Key_1.0"), "Safe-Key_1.0");
+}
+
+TEST_F(CheckpointCacheTest, DefaultDirHonorsEnvironment) {
+    // Without the env var, the fallback name is returned.
+    unsetenv("AMSNET_CACHE_DIR");
+    EXPECT_EQ(default_cache_dir(), "amsnet_cache");
+    setenv("AMSNET_CACHE_DIR", "/tmp/ckpt_env_test", 1);
+    EXPECT_EQ(default_cache_dir(), "/tmp/ckpt_env_test");
+    unsetenv("AMSNET_CACHE_DIR");
+}
+
+TEST_F(CheckpointCacheTest, NoCacheFlagBypassesReads) {
+    int calls = 0;
+    auto produce = [&calls] {
+        ++calls;
+        return make_state(5.0f);
+    };
+    (void)cached_state(dir_, "k", produce);
+    setenv("AMSNET_NO_CACHE", "1", 1);
+    (void)cached_state(dir_, "k", produce);
+    unsetenv("AMSNET_NO_CACHE");
+    EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace ams::train

@@ -1,0 +1,169 @@
+#include "nn/conv2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+
+namespace ams::nn {
+namespace {
+
+// Direct (non-GEMM) reference convolution for one batch item.
+Tensor naive_conv(const Tensor& input, const Tensor& weight, std::size_t stride,
+                  std::size_t pad) {
+    const std::size_t batch = input.dim(0), cin = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    const std::size_t cout = weight.dim(0), k = weight.dim(2);
+    const std::size_t oh = (h + 2 * pad - k) / stride + 1;
+    const std::size_t ow = (w + 2 * pad - k) / stride + 1;
+    Tensor out(Shape{batch, cout, oh, ow});
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t oc = 0; oc < cout; ++oc) {
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox) {
+                    double acc = 0.0;
+                    for (std::size_t ic = 0; ic < cin; ++ic) {
+                        for (std::size_t ky = 0; ky < k; ++ky) {
+                            for (std::size_t kx = 0; kx < k; ++kx) {
+                                const long long iy =
+                                    static_cast<long long>(oy * stride + ky) -
+                                    static_cast<long long>(pad);
+                                const long long ix =
+                                    static_cast<long long>(ox * stride + kx) -
+                                    static_cast<long long>(pad);
+                                if (iy < 0 || iy >= static_cast<long long>(h) || ix < 0 ||
+                                    ix >= static_cast<long long>(w)) {
+                                    continue;
+                                }
+                                acc += static_cast<double>(
+                                           input.at({b, ic, static_cast<std::size_t>(iy),
+                                                     static_cast<std::size_t>(ix)})) *
+                                       weight.at({oc, ic, ky, kx});
+                            }
+                        }
+                    }
+                    out.at({b, oc, oy, ox}) = static_cast<float>(acc);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+struct ConvCase {
+    std::size_t cin, cout, k, stride, pad, h, w;
+};
+
+class Conv2dVsNaive : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv2dVsNaive, ForwardMatchesReference) {
+    const auto p = GetParam();
+    Rng rng(31);
+    Conv2dOptions opts{p.cin, p.cout, p.k, p.stride, p.pad, false};
+    Conv2d conv(opts, rng);
+    Tensor x(Shape{2, p.cin, p.h, p.w});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    Tensor got = conv.forward(x);
+    Tensor expected = naive_conv(x, conv.weight().value, p.stride, p.pad);
+    ASSERT_EQ(got.shape(), expected.shape());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], expected[i], 1e-4f) << "at " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Conv2dVsNaive,
+                         ::testing::Values(ConvCase{1, 1, 3, 1, 1, 5, 5},
+                                           ConvCase{3, 4, 3, 1, 1, 6, 6},
+                                           ConvCase{2, 5, 1, 1, 0, 4, 7},
+                                           ConvCase{4, 2, 3, 2, 1, 8, 8},
+                                           ConvCase{3, 3, 5, 1, 2, 7, 7},
+                                           ConvCase{2, 6, 1, 2, 0, 6, 6}));
+
+TEST(Conv2dTest, BiasIsAddedPerChannel) {
+    Rng rng(32);
+    Conv2dOptions opts{1, 2, 1, 1, 0, true};
+    Conv2d conv(opts, rng);
+    conv.weight().value.zero();
+    conv.bias()->value[0] = 1.5f;
+    conv.bias()->value[1] = -2.0f;
+    Tensor x(Shape{1, 1, 2, 2}, 3.0f);
+    Tensor y = conv.forward(x);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 1.5f);
+    EXPECT_FLOAT_EQ(y.at({0, 1, 1, 1}), -2.0f);
+}
+
+TEST(Conv2dTest, GradcheckInputAndParams) {
+    Rng rng(33);
+    Conv2dOptions opts{2, 3, 3, 1, 1, true};
+    Conv2d conv(opts, rng);
+    Tensor x(Shape{2, 2, 5, 5});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    const auto gi = check_input_gradient(conv, x, rng, 1e-2);
+    EXPECT_LT(gi.max_rel_error, 2e-2) << "input grad";
+    const auto gp = check_parameter_gradients(conv, x, rng, 1e-2);
+    EXPECT_LT(gp.max_rel_error, 2e-2) << "param grad";
+}
+
+TEST(Conv2dTest, GradcheckStridedConv) {
+    Rng rng(34);
+    Conv2dOptions opts{2, 2, 3, 2, 1, false};
+    Conv2d conv(opts, rng);
+    Tensor x(Shape{1, 2, 6, 6});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    const auto gi = check_input_gradient(conv, x, rng, 1e-2);
+    EXPECT_LT(gi.max_rel_error, 2e-2);
+}
+
+TEST(Conv2dTest, EffectiveWeightSubstitutesForward) {
+    Rng rng(35);
+    Conv2dOptions opts{1, 1, 1, 1, 0, false};
+    Conv2d conv(opts, rng);
+    conv.weight().value[0] = 2.0f;
+    Tensor x(Shape{1, 1, 2, 2}, 1.0f);
+    Tensor sub(Shape{1, 1, 1, 1});
+    sub[0] = 10.0f;
+    conv.set_effective_weight(sub);
+    Tensor y = conv.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 10.0f);  // uses substituted weight
+    conv.clear_effective_weight();
+    Tensor y2 = conv.forward(x);
+    EXPECT_FLOAT_EQ(y2[0], 2.0f);  // back to latent weight
+}
+
+TEST(Conv2dTest, GradAccumulatesAcrossBackwardCalls) {
+    Rng rng(36);
+    Conv2dOptions opts{1, 1, 1, 1, 0, false};
+    Conv2d conv(opts, rng);
+    Tensor x(Shape{1, 1, 2, 2}, 1.0f);
+    Tensor g(Shape{1, 1, 2, 2}, 1.0f);
+    conv.forward(x);
+    conv.backward(g);
+    const float first = conv.weight().grad[0];
+    conv.forward(x);
+    conv.backward(g);
+    EXPECT_FLOAT_EQ(conv.weight().grad[0], 2.0f * first);
+}
+
+TEST(Conv2dTest, InvalidConfigsRejected) {
+    Rng rng(37);
+    EXPECT_THROW(Conv2d(Conv2dOptions{0, 1, 3, 1, 1, false}, rng), std::invalid_argument);
+    EXPECT_THROW(Conv2d(Conv2dOptions{1, 1, 0, 1, 1, false}, rng), std::invalid_argument);
+    EXPECT_THROW(Conv2d(Conv2dOptions{1, 1, 3, 0, 1, false}, rng), std::invalid_argument);
+}
+
+TEST(Conv2dTest, WrongInputChannelsRejected) {
+    Rng rng(38);
+    Conv2d conv(Conv2dOptions{3, 2, 3, 1, 1, false}, rng);
+    Tensor x(Shape{1, 2, 5, 5});
+    EXPECT_THROW((void)conv.forward(x), std::invalid_argument);
+    Tensor rank3(Shape{2, 5, 5});
+    EXPECT_THROW((void)conv.forward(rank3), std::invalid_argument);
+}
+
+TEST(Conv2dTest, NTotIsPatchSize) {
+    Rng rng(39);
+    Conv2d conv(Conv2dOptions{8, 4, 3, 1, 1, false}, rng);
+    EXPECT_EQ(conv.n_tot(), 72u);
+}
+
+}  // namespace
+}  // namespace ams::nn

@@ -1,0 +1,105 @@
+#include "data/data_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ams::data {
+namespace {
+
+Tensor indexed_images(std::size_t n) {
+    // Image i has every pixel equal to i, so batches reveal their sources.
+    Tensor t(Shape{n, 1, 2, 2});
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) t[i * 4 + j] = static_cast<float>(i);
+    }
+    return t;
+}
+
+std::vector<std::size_t> iota_labels(std::size_t n) {
+    std::vector<std::size_t> l(n);
+    for (std::size_t i = 0; i < n; ++i) l[i] = i;
+    return l;
+}
+
+TEST(DataLoaderTest, EpochCoversEverySampleExactlyOnce) {
+    const Tensor images = indexed_images(10);
+    const auto labels = iota_labels(10);
+    DataLoader loader(images, labels, 3, Rng(1));
+    EXPECT_EQ(loader.batches_per_epoch(), 4u);
+    std::multiset<std::size_t> seen;
+    for (std::size_t b = 0; b < loader.batches_per_epoch(); ++b) {
+        const Batch batch = loader.next();
+        EXPECT_EQ(batch.images.dim(0), batch.labels.size());
+        for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+            // Image content matches the label (source index).
+            EXPECT_FLOAT_EQ(batch.images[i * 4], static_cast<float>(batch.labels[i]));
+            seen.insert(batch.labels[i]);
+        }
+    }
+    EXPECT_EQ(seen.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(DataLoaderTest, PartialFinalBatch) {
+    const Tensor images = indexed_images(7);
+    const auto labels = iota_labels(7);
+    DataLoader loader(images, labels, 4, Rng(2));
+    EXPECT_EQ(loader.next().labels.size(), 4u);
+    EXPECT_EQ(loader.next().labels.size(), 3u);
+    EXPECT_TRUE(loader.at_epoch_start());
+}
+
+TEST(DataLoaderTest, ShufflePermutesOrder) {
+    const Tensor images = indexed_images(64);
+    const auto labels = iota_labels(64);
+    DataLoader loader(images, labels, 64, Rng(3));
+    const Batch b = loader.next();
+    bool out_of_order = false;
+    for (std::size_t i = 0; i < 64; ++i) {
+        if (b.labels[i] != i) {
+            out_of_order = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(out_of_order);
+}
+
+TEST(DataLoaderTest, NoShufflePreservesOrder) {
+    const Tensor images = indexed_images(6);
+    const auto labels = iota_labels(6);
+    DataLoader loader(images, labels, 2, Rng(4), /*shuffle=*/false);
+    EXPECT_EQ(loader.next().labels, (std::vector<std::size_t>{0, 1}));
+    EXPECT_EQ(loader.next().labels, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(DataLoaderTest, ReshufflesBetweenEpochs) {
+    const Tensor images = indexed_images(32);
+    const auto labels = iota_labels(32);
+    DataLoader loader(images, labels, 32, Rng(5));
+    const auto first = loader.next().labels;
+    const auto second = loader.next().labels;
+    EXPECT_NE(first, second);
+}
+
+TEST(DataLoaderTest, DeterministicForSeed) {
+    const Tensor images = indexed_images(16);
+    const auto labels = iota_labels(16);
+    DataLoader a(images, labels, 16, Rng(6));
+    DataLoader b(images, labels, 16, Rng(6));
+    EXPECT_EQ(a.next().labels, b.next().labels);
+}
+
+TEST(DataLoaderTest, ValidatesArguments) {
+    const Tensor images = indexed_images(4);
+    const auto labels = iota_labels(3);  // mismatch
+    EXPECT_THROW(DataLoader(images, labels, 2, Rng(7)), std::invalid_argument);
+    const auto ok_labels = iota_labels(4);
+    EXPECT_THROW(DataLoader(images, ok_labels, 0, Rng(7)), std::invalid_argument);
+    Tensor rank2(Shape{4, 4});
+    EXPECT_THROW(DataLoader(rank2, ok_labels, 2, Rng(7)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::data

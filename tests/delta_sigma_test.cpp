@@ -1,0 +1,126 @@
+#include "ams/delta_sigma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ams/error_model.hpp"
+
+namespace ams::vmac {
+namespace {
+
+VmacConfig cfg(double enob, std::size_t nmult) {
+    VmacConfig c;
+    c.enob = enob;
+    c.nmult = nmult;
+    return c;
+}
+
+std::vector<double> random_vec(std::size_t n, Rng& rng, double lo = -1.0, double hi = 1.0) {
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform(lo, hi);
+    return v;
+}
+
+TEST(DeltaSigmaTest, RequiresFinalAtLeastPerCycleResolution) {
+    EXPECT_THROW(DeltaSigmaVmac(cfg(10.0, 8), 8.0), std::invalid_argument);
+    EXPECT_NO_THROW(DeltaSigmaVmac(cfg(10.0, 8), 10.0));
+}
+
+TEST(DeltaSigmaTest, TotalErrorBoundedByFinalConversionOnly) {
+    // Telescoping: sum of cycle outputs + finalize() equals the exact dot
+    // product up to the *final* converter's half-LSB, regardless of how
+    // coarse the per-cycle ADC is.
+    const VmacConfig per_cycle = cfg(6.0, 8);  // deliberately coarse
+    const double final_enob = 14.0;
+    DeltaSigmaVmac ds(per_cycle, final_enob);
+    Rng rng(3);
+    const auto w = random_vec(64, rng);
+    const auto x = random_vec(64, rng, 0.0, 1.0);
+
+    VmacCell exact(cfg(24.0, 8));
+    double ideal = 0.0;
+    for (std::size_t s = 0; s < 64; s += 8) {
+        ideal += exact.dot_ideal(std::span(w).subspan(s, 8), std::span(x).subspan(s, 8));
+    }
+    const double got = ds.dot(w, x, rng);
+    const double final_lsb = 2.0 * 8.0 * std::exp2(-final_enob);
+    EXPECT_LE(std::fabs(got - ideal), 0.5 * final_lsb + 1e-12);
+}
+
+TEST(DeltaSigmaTest, BeatsPlainCellOfSameResolution) {
+    const VmacConfig c = cfg(7.0, 8);
+    Rng rng(4);
+    double ds_sq = 0.0, plain_sq = 0.0;
+    const int trials = 500;
+    for (int t = 0; t < trials; ++t) {
+        const auto w = random_vec(64, rng);
+        const auto x = random_vec(64, rng, 0.0, 1.0);
+        VmacCell exact(cfg(24.0, 8));
+        double ideal = 0.0;
+        for (std::size_t s = 0; s < 64; s += 8) {
+            ideal +=
+                exact.dot_ideal(std::span(w).subspan(s, 8), std::span(x).subspan(s, 8));
+        }
+        DeltaSigmaVmac ds(c, 12.0);
+        const double ds_err = ds.dot(w, x, rng) - ideal;
+        ds_sq += ds_err * ds_err;
+        VmacCell plain(c);
+        const double p_err = plain.dot_tiled(w, x, rng) - ideal;
+        plain_sq += p_err * p_err;
+    }
+    // Error recycling should cut the error variance by a large factor.
+    EXPECT_LT(ds_sq, plain_sq / 4.0);
+}
+
+TEST(DeltaSigmaTest, ResidualIsBoundedByHalfLsb) {
+    DeltaSigmaVmac ds(cfg(8.0, 8), 12.0);
+    Rng rng(5);
+    for (int t = 0; t < 100; ++t) {
+        const auto w = random_vec(8, rng);
+        const auto x = random_vec(8, rng, 0.0, 1.0);
+        (void)ds.accumulate(w, x, rng);
+        EXPECT_LE(std::fabs(ds.residual()), 0.5 * ds.cell().adc_lsb() + 1e-12);
+    }
+}
+
+TEST(DeltaSigmaTest, FinalizeResetsState) {
+    DeltaSigmaVmac ds(cfg(8.0, 8), 12.0);
+    Rng rng(6);
+    const auto w = random_vec(8, rng);
+    const auto x = random_vec(8, rng, 0.0, 1.0);
+    (void)ds.accumulate(w, x, rng);
+    (void)ds.finalize(rng);
+    EXPECT_DOUBLE_EQ(ds.residual(), 0.0);
+}
+
+TEST(DeltaSigmaTest, ThermalNoiseIsNotRecycled) {
+    // Paper: recycling reduces quantization error but not thermal noise.
+    AnalogOptions noisy;
+    noisy.adc_noise_sigma = 0.05;
+    const VmacConfig c = cfg(14.0, 8);  // quantization negligible
+    Rng rng(7);
+    double sq = 0.0;
+    const int trials = 2000;
+    const int chunks = 8;
+    for (int t = 0; t < trials; ++t) {
+        const auto w = random_vec(8 * chunks, rng);
+        const auto x = random_vec(8 * chunks, rng, 0.0, 1.0);
+        VmacCell exact(cfg(24.0, 8));
+        double ideal = 0.0;
+        for (std::size_t s = 0; s < w.size(); s += 8) {
+            ideal +=
+                exact.dot_ideal(std::span(w).subspan(s, 8), std::span(x).subspan(s, 8));
+        }
+        DeltaSigmaVmac ds(c, 16.0, noisy);
+        const double err = ds.dot(w, x, rng) - ideal;
+        sq += err * err;
+    }
+    // Thermal noise accumulates across the 8 chunk conversions (plus the
+    // final one): variance ~ (chunks + 1) * sigma^2.
+    EXPECT_NEAR(sq / trials, (chunks + 1) * 0.05 * 0.05, 1.5e-3);
+}
+
+}  // namespace
+}  // namespace ams::vmac

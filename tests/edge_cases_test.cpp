@@ -1,0 +1,149 @@
+// Cross-cutting edge cases and failure-injection tests that don't belong
+// to a single module's suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amsnet.hpp"
+
+namespace ams {
+namespace {
+
+TEST(EdgeCaseTest, LoadStateRejectsWrongShapes) {
+    models::LayerCommon common;
+    common.bits_w = quant::kFloatBits;
+    common.bits_x = quant::kFloatBits;
+    models::ResNet model(models::tiny_resnet_config(common));
+    TensorMap state;
+    model.collect_state("", state);
+    // Corrupt one entry's shape.
+    state["stem.conv.weight"] = Tensor(Shape{1, 1, 1, 1});
+    EXPECT_THROW(model.load_state("", state), std::runtime_error);
+    // Missing entry.
+    TensorMap empty;
+    EXPECT_THROW(model.load_state("", empty), std::runtime_error);
+}
+
+TEST(EdgeCaseTest, TopkWithKEqualToClassesAlwaysHits) {
+    Tensor logits(Shape{5, 3}, 0.0f);
+    EXPECT_DOUBLE_EQ(nn::topk_accuracy(logits, {0, 1, 2, 0, 1}, 3), 1.0);
+}
+
+TEST(EdgeCaseTest, PartitionedOneByOneMatchesMonolithicConverter) {
+    // NW = NX = 1 degenerates to a single conversion of the whole product:
+    // identical to a plain noiseless VmacCell of the same resolution.
+    vmac::VmacConfig c;
+    c.enob = 9.0;
+    c.nmult = 8;
+    c.bits_w = 9;
+    c.bits_x = 9;
+    vmac::PartitionOptions opt;
+    opt.nw = 1;
+    opt.nx = 1;
+    opt.enob_partial = 9.0;
+    vmac::PartitionedVmac pv(c, opt);
+    vmac::VmacCell cell(c);
+    Rng rng(3);
+    for (int t = 0; t < 200; ++t) {
+        std::vector<double> w(8), x(8);
+        for (double& v : w) v = rng.uniform(-1.0, 1.0);
+        for (double& v : x) v = rng.uniform(0.0, 1.0);
+        Rng r1(t), r2(t);
+        EXPECT_NEAR(pv.dot(w, x, r1), cell.dot(w, x, r2), 1e-9);
+    }
+}
+
+TEST(EdgeCaseTest, DeltaSigmaHandlesRaggedTailChunk) {
+    vmac::VmacConfig c;
+    c.enob = 8.0;
+    c.nmult = 8;
+    vmac::DeltaSigmaVmac ds(c, 14.0);
+    Rng rng(4);
+    std::vector<double> w(13), x(13);  // 8 + 5: last chunk is partial
+    for (double& v : w) v = rng.uniform(-1.0, 1.0);
+    for (double& v : x) v = rng.uniform(0.0, 1.0);
+    vmac::VmacCell exact([] {
+        vmac::VmacConfig e;
+        e.enob = 24.0;
+        e.nmult = 16;
+        return e;
+    }());
+    const double ideal = exact.dot_ideal(w, x);
+    const double got = ds.dot(w, x, rng);
+    const double final_lsb = 2.0 * 8.0 * std::exp2(-14.0);
+    EXPECT_LE(std::fabs(got - ideal), 0.5 * final_lsb + 1e-12);
+}
+
+TEST(EdgeCaseTest, InjectorWithNtotSmallerThanNmult) {
+    // A 1x1 conv over few channels can have N_tot < Nmult; Eq. 2's ratio
+    // is then < 1 (one partially-filled VMAC) and must still be sane.
+    vmac::VmacConfig c;
+    c.enob = 8.0;
+    c.nmult = 16;
+    EXPECT_GT(vmac::total_error_variance(c, 4), 0.0);
+    EXPECT_LT(vmac::total_error_variance(c, 4), vmac::vmac_error_variance(c));
+    EXPECT_EQ(vmac::vmacs_per_output(c, 4), 1u);
+}
+
+TEST(EdgeCaseTest, EvaluateOnSingleSample) {
+    models::LayerCommon common;
+    common.bits_w = quant::kFloatBits;
+    common.bits_x = quant::kFloatBits;
+    models::ResNet model(models::tiny_resnet_config(common));
+    Rng rng(5);
+    Tensor image(Shape{1, 3, 8, 8});
+    image.fill_uniform(rng, -1.0f, 1.0f);
+    const auto r = train::evaluate_top1(model, image, {0}, 16, 2);
+    EXPECT_TRUE(r.mean == 0.0 || r.mean == 1.0);
+}
+
+TEST(EdgeCaseTest, BatchOfOneThroughBatchNormTraining) {
+    // N=1 training batches make per-channel variance over H*W only;
+    // must not divide by zero for spatial size > 1.
+    nn::BatchNorm2d bn(2);
+    bn.set_training(true);
+    Rng rng(6);
+    Tensor x(Shape{1, 2, 4, 4});
+    x.fill_normal(rng, 0.0f, 1.0f);
+    Tensor y = bn.forward(x);
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_TRUE(std::isfinite(y[i]));
+}
+
+TEST(EdgeCaseTest, ReferenceScaleSweepWithConstantSamples) {
+    // Degenerate data (all samples identical) must not crash and must
+    // report zero clipping for scales that cover the value.
+    vmac::VmacConfig c;
+    c.enob = 8.0;
+    c.nmult = 8;
+    std::vector<double> samples(100, 1.5);
+    const auto r = vmac::evaluate_reference_scale(c, samples, 0.5);  // ref = 4
+    EXPECT_DOUBLE_EQ(r.clip_fraction, 0.0);
+    EXPECT_LE(r.rms_error, 0.5 * 2.0 * 4.0 * std::exp2(-8.0) + 1e-12);
+}
+
+TEST(EdgeCaseTest, QuantConvFullRangeWeightSurvivesRoundTrip) {
+    // Weights exactly at the tanh-normalized extremes map to +/-1 and
+    // back through state save/load without drift.
+    Rng rng(7);
+    nn::Conv2dOptions opts{1, 2, 1, 1, 0, false};
+    quant::QuantConv2d qconv(opts, 4, rng);
+    qconv.conv().weight().value[0] = 10.0f;   // tanh ~ 1
+    qconv.conv().weight().value[1] = -10.0f;  // tanh ~ -1
+    Tensor x(Shape{1, 1, 1, 1}, 1.0f);
+    Tensor y = qconv.forward(x);
+    EXPECT_NEAR(y[0], 1.0f, 1e-6f);
+    EXPECT_NEAR(y[1], -1.0f, 1e-6f);
+}
+
+TEST(EdgeCaseTest, SequentialEmptyActsAsIdentity) {
+    nn::Sequential seq;
+    Tensor x = Tensor::from_data(Shape{2}, {1.0f, -2.0f});
+    Tensor y = seq.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 1.0f);
+    Tensor g = seq.backward(y);
+    EXPECT_FLOAT_EQ(g[1], -2.0f);
+    EXPECT_TRUE(seq.parameters().empty());
+}
+
+}  // namespace
+}  // namespace ams

@@ -1,0 +1,101 @@
+#include "ams/error_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ams::vmac {
+namespace {
+
+VmacConfig cfg(double enob, std::size_t nmult) {
+    VmacConfig c;
+    c.enob = enob;
+    c.nmult = nmult;
+    return c;
+}
+
+TEST(ErrorInjectorTest, DisabledIsExactPassThrough) {
+    ErrorInjector inj(cfg(8.0, 8), 72, Rng(1));
+    inj.set_enabled(false);
+    Tensor x(Shape{4, 4}, 0.5f);
+    Tensor y = inj.forward(x);
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 0.5f);
+}
+
+TEST(ErrorInjectorTest, BackwardIsIdentity) {
+    ErrorInjector inj(cfg(8.0, 8), 72, Rng(2));
+    Tensor g(Shape{3, 3}, 2.5f);
+    Tensor gx = inj.backward(g);
+    for (std::size_t i = 0; i < gx.size(); ++i) EXPECT_FLOAT_EQ(gx[i], 2.5f);
+}
+
+struct VarCase {
+    double enob;
+    std::size_t nmult;
+    std::size_t ntot;
+    InjectionMode mode;
+};
+
+class InjectedVariance : public ::testing::TestWithParam<VarCase> {};
+
+TEST_P(InjectedVariance, EmpiricalVarianceMatchesEquationTwo) {
+    const auto p = GetParam();
+    ErrorInjector inj(cfg(p.enob, p.nmult), p.ntot, Rng(42), p.mode);
+    Tensor x(Shape{200, 250});  // 50k samples
+    Tensor y = inj.forward(x);
+    Tensor err = y - x;
+    const double expected = total_error_variance(cfg(p.enob, p.nmult), p.ntot);
+    EXPECT_NEAR(err.mean(), 0.0, 4.0 * std::sqrt(expected / 5e4));
+    // Per-VMAC uniform mode sums ceil(Ntot/Nmult) uniforms, so its variance
+    // is ceil(Ntot/Nmult) * LSB^2/12 — equal to Eq. 2 when Nmult | Ntot.
+    EXPECT_NEAR(err.variance() / expected, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InjectedVariance,
+    ::testing::Values(VarCase{8.0, 8, 72, InjectionMode::kLumpedGaussian},
+                      VarCase{6.0, 8, 32, InjectionMode::kLumpedGaussian},
+                      VarCase{10.0, 16, 1152, InjectionMode::kLumpedGaussian},
+                      VarCase{8.0, 8, 72, InjectionMode::kPerVmacUniform},
+                      VarCase{6.0, 4, 64, InjectionMode::kPerVmacUniform}));
+
+TEST(ErrorInjectorTest, PerVmacModeApproachesNormality) {
+    // With many VMACs per output the summed-uniform error should have
+    // normal-like tails: |err| beyond 3 sigma should be rare but present.
+    ErrorInjector inj(cfg(8.0, 8), 512, Rng(7), InjectionMode::kPerVmacUniform);
+    Tensor x(Shape{100000});
+    Tensor err = inj.forward(x) - x;
+    const double sigma = total_error_stddev(cfg(8.0, 8), 512);
+    std::size_t beyond2 = 0;
+    for (std::size_t i = 0; i < err.size(); ++i) {
+        if (std::fabs(err[i]) > 2.0 * sigma) ++beyond2;
+    }
+    const double frac = static_cast<double>(beyond2) / static_cast<double>(err.size());
+    EXPECT_NEAR(frac, 0.0455, 0.01);  // normal two-sided 2-sigma mass
+}
+
+TEST(ErrorInjectorTest, SetConfigRetunesNoise) {
+    ErrorInjector inj(cfg(6.0, 8), 72, Rng(3));
+    const double sigma_before = inj.error_stddev();
+    inj.set_config(cfg(8.0, 8));
+    EXPECT_NEAR(inj.error_stddev() / sigma_before, 0.25, 1e-9);
+}
+
+TEST(ErrorInjectorTest, ValidatesArguments) {
+    EXPECT_THROW(ErrorInjector(cfg(0.0, 8), 72, Rng(1)), std::invalid_argument);
+    EXPECT_THROW(ErrorInjector(cfg(8.0, 8), 0, Rng(1)), std::invalid_argument);
+    ErrorInjector inj(cfg(8.0, 8), 72, Rng(1));
+    EXPECT_THROW(inj.set_config(cfg(-2.0, 8)), std::invalid_argument);
+}
+
+TEST(ErrorInjectorTest, DeterministicGivenSameRngState) {
+    ErrorInjector a(cfg(8.0, 8), 72, Rng(99));
+    ErrorInjector b(cfg(8.0, 8), 72, Rng(99));
+    Tensor x(Shape{32}, 1.0f);
+    Tensor ya = a.forward(x);
+    Tensor yb = b.forward(x);
+    for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+}  // namespace
+}  // namespace ams::vmac

@@ -1,0 +1,114 @@
+#include "ams/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ams::vmac {
+namespace {
+
+VmacConfig cfg(double enob, std::size_t nmult) {
+    VmacConfig c;
+    c.enob = enob;
+    c.nmult = nmult;
+    return c;
+}
+
+TEST(ErrorModelTest, LsbMatchesEquationOne) {
+    // LSB = Nmult * 2^-(ENOB-1): paper Eq. 1.
+    EXPECT_DOUBLE_EQ(vmac_lsb(cfg(10.0, 8)), 8.0 * std::exp2(-9.0));
+    EXPECT_DOUBLE_EQ(vmac_lsb(cfg(12.5, 16)), 16.0 * std::exp2(-11.5));
+}
+
+TEST(ErrorModelTest, VarianceIsLsbSquaredOverTwelve) {
+    const VmacConfig c = cfg(10.0, 8);
+    const double lsb = vmac_lsb(c);
+    EXPECT_DOUBLE_EQ(vmac_error_variance(c), lsb * lsb / 12.0);
+}
+
+TEST(ErrorModelTest, TotalVarianceScalesWithNtotOverNmult) {
+    // Eq. 2: Var(E_tot) = (Ntot/Nmult) * Var(E_VMAC).
+    const VmacConfig c = cfg(11.0, 8);
+    EXPECT_DOUBLE_EQ(total_error_variance(c, 8), vmac_error_variance(c));
+    EXPECT_DOUBLE_EQ(total_error_variance(c, 80), 10.0 * vmac_error_variance(c));
+    EXPECT_DOUBLE_EQ(total_error_stddev(c, 72),
+                     std::sqrt(total_error_variance(c, 72)));
+}
+
+TEST(ErrorModelTest, EachExtraBitQuartersVariance) {
+    const double v10 = total_error_variance(cfg(10.0, 8), 64);
+    const double v11 = total_error_variance(cfg(11.0, 8), 64);
+    EXPECT_NEAR(v10 / v11, 4.0, 1e-9);
+}
+
+TEST(ErrorModelTest, NmultDependenceIsLinearAtFixedNtot) {
+    // Paper Sec. 4: quadratically more error per VMAC but linearly fewer
+    // VMACs -> overall linear in Nmult.
+    const double v8 = total_error_variance(cfg(10.0, 8), 64);
+    const double v16 = total_error_variance(cfg(10.0, 16), 64);
+    EXPECT_NEAR(v16 / v8, 2.0, 1e-9);
+}
+
+TEST(ErrorModelTest, VmacsPerOutputCeils) {
+    EXPECT_EQ(vmacs_per_output(cfg(10, 8), 8), 1u);
+    EXPECT_EQ(vmacs_per_output(cfg(10, 8), 9), 2u);
+    EXPECT_EQ(vmacs_per_output(cfg(10, 8), 72), 9u);
+    EXPECT_THROW((void)vmacs_per_output(cfg(10, 8), 0), std::invalid_argument);
+}
+
+TEST(ErrorModelTest, EquivalentEnobKeepsNoiseScale) {
+    // Shifting Nmult while applying the equivalent ENOB leaves the noise
+    // scale (and hence accuracy) unchanged.
+    for (std::size_t n_from : {1u, 8u, 64u}) {
+        for (std::size_t n_to : {2u, 8u, 256u}) {
+            const double e = equivalent_enob(10.0, n_from, n_to);
+            EXPECT_NEAR(noise_scale(e, n_to), noise_scale(10.0, n_from), 1e-12);
+        }
+    }
+}
+
+TEST(ErrorModelTest, EquivalentEnobKnownValues) {
+    // Quadrupling Nmult costs one ENOB.
+    EXPECT_DOUBLE_EQ(equivalent_enob(10.0, 8, 32), 11.0);
+    EXPECT_DOUBLE_EQ(equivalent_enob(10.0, 8, 2), 9.0);
+    EXPECT_DOUBLE_EQ(equivalent_enob(10.0, 8, 8), 10.0);
+}
+
+TEST(ErrorModelTest, ValidationErrors) {
+    VmacConfig bad = cfg(0.0, 8);
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    EXPECT_THROW((void)vmac_lsb(cfg(-1.0, 8)), std::invalid_argument);
+    EXPECT_THROW((void)total_error_variance(cfg(10, 8), 0), std::invalid_argument);
+    EXPECT_THROW((void)equivalent_enob(10.0, 0, 8), std::invalid_argument);
+    VmacConfig zero_n = cfg(10.0, 8);
+    zero_n.nmult = 0;
+    EXPECT_THROW(zero_n.validate(), std::invalid_argument);
+    VmacConfig bad_bits = cfg(10.0, 8);
+    bad_bits.bits_w = 1;
+    EXPECT_THROW(bad_bits.validate(), std::invalid_argument);
+}
+
+struct GridCase {
+    double enob;
+    std::size_t nmult;
+    std::size_t ntot;
+};
+
+class ErrorModelGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ErrorModelGrid, ClosedFormMatchesDirectEvaluation) {
+    const auto p = GetParam();
+    const VmacConfig c = cfg(p.enob, p.nmult);
+    // sigma = sqrt(Ntot * Nmult) * 2^-(ENOB-1) / sqrt(12)
+    const double expected = std::sqrt(static_cast<double>(p.ntot) * p.nmult) *
+                            std::exp2(-(p.enob - 1.0)) / std::sqrt(12.0);
+    EXPECT_NEAR(total_error_stddev(c, p.ntot), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ErrorModelGrid,
+                         ::testing::Values(GridCase{8.0, 8, 72}, GridCase{10.5, 16, 1152},
+                                           GridCase{12.5, 8, 4608}, GridCase{6.0, 4, 32},
+                                           GridCase{9.0, 64, 2304}));
+
+}  // namespace
+}  // namespace ams::vmac

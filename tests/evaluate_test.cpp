@@ -1,0 +1,110 @@
+#include "train/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_imagenet.hpp"
+
+namespace ams::train {
+namespace {
+
+data::DatasetOptions tiny_data() {
+    data::DatasetOptions o;
+    o.classes = 4;
+    o.train_per_class = 8;
+    o.val_per_class = 8;
+    o.image_size = 8;
+    o.seed = 9;
+    return o;
+}
+
+models::LayerCommon fp32_common() {
+    models::LayerCommon c;
+    c.bits_w = quant::kFloatBits;
+    c.bits_x = quant::kFloatBits;
+    return c;
+}
+
+models::LayerCommon ams_common(double enob) {
+    models::LayerCommon c;
+    c.bits_w = 8;
+    c.bits_x = 8;
+    c.ams_enabled = true;
+    c.vmac.enob = enob;
+    c.vmac.nmult = 8;
+    return c;
+}
+
+TEST(EvaluateTest, DeterministicModelHasZeroStddev) {
+    data::SyntheticImageNet ds(tiny_data());
+    models::ResNet model(models::tiny_resnet_config(fp32_common()));
+    const EvalResult r = evaluate_top1(model, ds.val_images(), ds.val_labels(), 16, 5);
+    EXPECT_EQ(r.passes.size(), 5u);
+    EXPECT_DOUBLE_EQ(r.stddev, 0.0);
+    for (double p : r.passes) EXPECT_DOUBLE_EQ(p, r.passes[0]);
+}
+
+TEST(EvaluateTest, StochasticAmsModelHasSpread) {
+    data::SyntheticImageNet ds(tiny_data());
+    // Very coarse ENOB: predictions flip between passes.
+    models::ResNet model(models::tiny_resnet_config(ams_common(2.0)));
+    const EvalResult r = evaluate_top1(model, ds.val_images(), ds.val_labels(), 16, 8);
+    bool any_diff = false;
+    for (double p : r.passes) {
+        if (p != r.passes[0]) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(EvaluateTest, RestoresTrainingFlag) {
+    data::SyntheticImageNet ds(tiny_data());
+    models::ResNet model(models::tiny_resnet_config(fp32_common()));
+    model.set_training(true);
+    (void)evaluate_top1(model, ds.val_images(), ds.val_labels(), 16, 1);
+    EXPECT_TRUE(model.training());
+    model.set_training(false);
+    (void)evaluate_top1(model, ds.val_images(), ds.val_labels(), 16, 1);
+    EXPECT_FALSE(model.training());
+}
+
+TEST(EvaluateTest, TopkIsMonotoneInK) {
+    data::SyntheticImageNet ds(tiny_data());
+    models::ResNet model(models::tiny_resnet_config(fp32_common()));
+    const double t1 = evaluate_topk(model, ds.val_images(), ds.val_labels(), 1, 16);
+    const double t3 = evaluate_topk(model, ds.val_images(), ds.val_labels(), 3, 16);
+    const double t4 = evaluate_topk(model, ds.val_images(), ds.val_labels(), 4, 16);
+    EXPECT_LE(t1, t3);
+    EXPECT_LE(t3, t4);
+    EXPECT_DOUBLE_EQ(t4, 1.0);  // k == classes
+}
+
+TEST(EvaluateTest, RecordActivationMeansCoversAllConvLayers) {
+    data::SyntheticImageNet ds(tiny_data());
+    models::ResNet model(models::tiny_resnet_config(fp32_common()));
+    const auto means = record_activation_means(model, ds.val_images(), 16);
+    EXPECT_EQ(means.size(), model.num_conv_layers());
+    bool any_nonzero = false;
+    for (double m : means) {
+        if (m != 0.0) any_nonzero = true;
+    }
+    EXPECT_TRUE(any_nonzero);
+    // Recording is switched off afterwards: further forwards don't count.
+    model.reset_stats();
+    model.set_training(false);
+    (void)model.forward(ds.val_images());
+    for (double m : model.activation_means()) EXPECT_EQ(m, 0.0);
+}
+
+TEST(EvaluateTest, ValidatesArguments) {
+    data::SyntheticImageNet ds(tiny_data());
+    models::ResNet model(models::tiny_resnet_config(fp32_common()));
+    EXPECT_THROW((void)evaluate_top1(model, ds.val_images(), ds.val_labels(), 16, 0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)evaluate_top1(model, ds.val_images(), ds.val_labels(), 0, 1),
+                 std::invalid_argument);
+    std::vector<std::size_t> wrong_labels(3, 0);
+    EXPECT_THROW((void)evaluate_top1(model, ds.val_images(), wrong_labels, 16, 1),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::train

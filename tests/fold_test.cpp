@@ -1,0 +1,90 @@
+#include "models/fold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/blocks.hpp"
+
+namespace ams::models {
+namespace {
+
+LayerCommon fp32_common() {
+    LayerCommon c;
+    c.bits_w = quant::kFloatBits;
+    c.bits_x = quant::kFloatBits;
+    return c;
+}
+
+std::unique_ptr<ConvUnit> trained_unit(Rng& rng) {
+    nn::Conv2dOptions opts{3, 4, 3, 1, 1, false};
+    LayerCommon c = fp32_common();
+    auto unit = std::make_unique<ConvUnit>(opts, c.bits_w, c.vmac, /*ams_enabled=*/false, rng,
+                                           c.mode, 1);
+    // Run a few training forwards so batch norm accumulates non-trivial
+    // running statistics and non-default gamma/beta.
+    unit->set_training(true);
+    unit->bn().gamma().value.fill_uniform(rng, 0.7f, 1.3f);
+    unit->bn().beta().value.fill_uniform(rng, -0.3f, 0.3f);
+    for (int i = 0; i < 20; ++i) {
+        Tensor x(Shape{4, 3, 6, 6});
+        x.fill_normal(rng, 0.2f, 1.0f);
+        (void)unit->forward(x);
+    }
+    unit->set_training(false);
+    return unit;
+}
+
+TEST(FoldTest, FoldedConvMatchesUnitInEvalMode) {
+    Rng rng(1);
+    auto unit = trained_unit(rng);
+    const FoldedConv folded = fold_conv_bn(*unit);
+
+    Tensor x(Shape{2, 3, 6, 6});
+    x.fill_normal(rng, 0.2f, 1.0f);
+    Tensor expected = unit->forward(x);  // eval mode: conv + BN(running)
+    Tensor got = apply_folded(folded, x, 1, 1);
+    ASSERT_EQ(got.shape(), expected.shape());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], expected[i], 2e-4f) << "at " << i;
+    }
+}
+
+TEST(FoldTest, BiasAbsorbsRunningMean) {
+    Rng rng(2);
+    auto unit = trained_unit(rng);
+    const FoldedConv folded = fold_conv_bn(*unit);
+    // Zero input: conv output is 0, so unit output is the BN affine of
+    // -running_mean, which must equal the folded bias.
+    Tensor zero(Shape{1, 3, 6, 6}, 0.0f);
+    Tensor expected = unit->forward(zero);
+    Tensor got = apply_folded(folded, zero, 1, 1);
+    for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], expected[i], 2e-4f);
+    // And the bias itself matches the closed form.
+    for (std::size_t oc = 0; oc < 4; ++oc) {
+        const float inv_std = 1.0f / std::sqrt(unit->bn().running_var()[oc] + 1e-5f);
+        const float expected_bias =
+            unit->bn().beta().value[oc] -
+            unit->bn().gamma().value[oc] * unit->bn().running_mean()[oc] * inv_std;
+        EXPECT_NEAR(folded.bias[oc], expected_bias, 1e-5f);
+    }
+}
+
+TEST(FoldTest, RefusesToFoldWithActiveInjector) {
+    Rng rng(3);
+    nn::Conv2dOptions opts{2, 2, 1, 1, 0, false};
+    LayerCommon c = fp32_common();
+    ConvUnit unit(opts, c.bits_w, c.vmac, /*ams_enabled=*/true, rng, c.mode, 1);
+    EXPECT_THROW((void)fold_conv_bn(unit), std::invalid_argument);
+    unit.injector().set_enabled(false);
+    EXPECT_NO_THROW((void)fold_conv_bn(unit));
+}
+
+TEST(FoldTest, ApplyFoldedValidatesShapes) {
+    FoldedConv folded{Tensor(Shape{2, 3, 3, 3}), Tensor(Shape{2})};
+    Tensor bad(Shape{3, 6, 6});
+    EXPECT_THROW((void)apply_folded(folded, bad, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::models

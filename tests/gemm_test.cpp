@@ -1,0 +1,113 @@
+#include "tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace ams {
+namespace {
+
+void naive_gemm(const std::vector<float>& a, const std::vector<float>& b, std::vector<float>& c,
+                std::size_t m, std::size_t k, std::size_t n) {
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+            }
+            c[i * n + j] = static_cast<float>(acc);
+        }
+    }
+}
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+    std::vector<float> m(rows * cols);
+    for (float& v : m) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return m;
+}
+
+using Dims = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class GemmVsNaive : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(GemmVsNaive, MatchesReference) {
+    const auto [m, k, n] = GetParam();
+    Rng rng(1000 + m * 31 + k * 7 + n);
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    std::vector<float> expected(m * n), actual(m * n);
+    naive_gemm(a, b, expected, m, k, n);
+    gemm(a.data(), b.data(), actual.data(), m, k, n);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_NEAR(actual[i], expected[i], 1e-3f) << "at " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmVsNaive,
+                         ::testing::Values(Dims{1, 1, 1}, Dims{2, 3, 4}, Dims{7, 5, 3},
+                                           Dims{16, 16, 16}, Dims{33, 65, 17},
+                                           Dims{64, 300, 70}, Dims{128, 64, 257}));
+
+TEST(GemmTest, AccumulateAddsOnTop) {
+    Rng rng(5);
+    const auto a = random_matrix(4, 6, rng);
+    const auto b = random_matrix(6, 5, rng);
+    std::vector<float> c(4 * 5, 1.0f);
+    std::vector<float> ref(4 * 5);
+    naive_gemm(a, b, ref, 4, 6, 5);
+    gemm_accumulate(a.data(), b.data(), c.data(), 4, 6, 5);
+    for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i] + 1.0f, 1e-4f);
+}
+
+TEST(GemmTest, TransposedAMatchesReference) {
+    Rng rng(6);
+    const std::size_t m = 9, k = 7, n = 11;
+    const auto a = random_matrix(m, k, rng);  // logical A is m x k
+    // Store A^T as k x m.
+    std::vector<float> at(k * m);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) at[kk * m + i] = a[i * k + kk];
+    }
+    const auto b = random_matrix(k, n, rng);
+    std::vector<float> expected(m * n), actual(m * n);
+    naive_gemm(a, b, expected, m, k, n);
+    gemm_at(at.data(), b.data(), actual.data(), m, k, n);
+    for (std::size_t i = 0; i < expected.size(); ++i) EXPECT_NEAR(actual[i], expected[i], 1e-4f);
+}
+
+TEST(GemmTest, TransposedBMatchesReference) {
+    Rng rng(8);
+    const std::size_t m = 6, k = 10, n = 4;
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    std::vector<float> bt(n * k);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        for (std::size_t j = 0; j < n; ++j) bt[j * k + kk] = b[kk * n + j];
+    }
+    std::vector<float> expected(m * n), actual(m * n);
+    naive_gemm(a, b, expected, m, k, n);
+    gemm_bt(a.data(), bt.data(), actual.data(), m, k, n);
+    for (std::size_t i = 0; i < expected.size(); ++i) EXPECT_NEAR(actual[i], expected[i], 1e-4f);
+}
+
+TEST(GemmTest, MatmulValidatesShapes) {
+    Tensor a(Shape{2, 3});
+    Tensor b(Shape{4, 2});
+    EXPECT_THROW((void)matmul(a, b), std::invalid_argument);
+    Tensor c(Shape{3});
+    EXPECT_THROW((void)matmul(a, c), std::invalid_argument);
+}
+
+TEST(GemmTest, MatmulComputesProduct) {
+    Tensor a = Tensor::from_data(Shape{2, 2}, {1, 2, 3, 4});
+    Tensor b = Tensor::from_data(Shape{2, 2}, {5, 6, 7, 8});
+    Tensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at({0, 0}), 19.0f);
+    EXPECT_FLOAT_EQ(c.at({0, 1}), 22.0f);
+    EXPECT_FLOAT_EQ(c.at({1, 0}), 43.0f);
+    EXPECT_FLOAT_EQ(c.at({1, 1}), 50.0f);
+}
+
+}  // namespace
+}  // namespace ams

@@ -1,0 +1,83 @@
+#include "train/grad_quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ams::train {
+namespace {
+
+TEST(GradQuantTest, FloatBitsIsNoOp) {
+    Rng rng(1);
+    Tensor g = Tensor::from_data(Shape{3}, {0.1f, -0.7f, 0.33f});
+    Tensor before = g;
+    quantize_gradient(g, 32, rng);
+    for (std::size_t i = 0; i < g.size(); ++i) EXPECT_FLOAT_EQ(g[i], before[i]);
+}
+
+TEST(GradQuantTest, ZeroGradientStaysZero) {
+    Rng rng(2);
+    Tensor g(Shape{8}, 0.0f);
+    quantize_gradient(g, 4, rng);
+    for (std::size_t i = 0; i < g.size(); ++i) EXPECT_FLOAT_EQ(g[i], 0.0f);
+}
+
+TEST(GradQuantTest, OutputBoundedByMaxAbs) {
+    Rng rng(3);
+    Tensor g(Shape{1000});
+    g.fill_normal(rng, 0.0f, 0.5f);
+    const float max_abs = g.abs_max();
+    quantize_gradient(g, 4, rng);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        EXPECT_LE(std::fabs(g[i]), max_abs + 1e-5f);
+    }
+}
+
+TEST(GradQuantTest, StochasticQuantizationIsUnbiased) {
+    // Repeatedly quantizing the same gradient must average back to it.
+    Rng rng(4);
+    const float value = 0.137f;
+    Tensor reference = Tensor::from_data(Shape{2}, {value, 1.0f});  // 1.0 sets the scale
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+        Tensor g = reference;
+        quantize_gradient(g, 4, rng);
+        sum += g[0];
+    }
+    EXPECT_NEAR(sum / trials, value, 5e-3);
+}
+
+TEST(GradQuantTest, CoarseQuantizationSnapsToFewLevels) {
+    Rng rng(5);
+    Tensor g(Shape{500});
+    g.fill_uniform(rng, -1.0f, 1.0f);
+    quantize_gradient(g, 2, rng);  // 3 levels across [-max, max]
+    std::set<float> values(g.values().begin(), g.values().end());
+    EXPECT_LE(values.size(), 4u);
+}
+
+TEST(GradQuantTest, SkipsFrozenParameters) {
+    Rng rng(6);
+    nn::Parameter live("a", Tensor(Shape{4}, 0.0f));
+    live.grad.fill_uniform(rng, -1.0f, 1.0f);
+    nn::Parameter frozen("b", Tensor(Shape{4}, 0.0f));
+    frozen.grad.fill_uniform(rng, -1.0f, 1.0f);
+    frozen.frozen = true;
+    Tensor frozen_before = frozen.grad;
+
+    quantize_gradients({&live, &frozen}, 2, rng);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_FLOAT_EQ(frozen.grad[i], frozen_before[i]);
+    }
+}
+
+TEST(GradQuantTest, RejectsBadBits) {
+    Rng rng(7);
+    Tensor g(Shape{2}, 0.5f);
+    EXPECT_THROW(quantize_gradient(g, 1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::train

@@ -1,0 +1,76 @@
+#include "nn/gradcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+
+namespace ams::nn {
+namespace {
+
+/// A module with a deliberately wrong backward: returns half the true
+/// input gradient. Both checkers must flag it.
+class BrokenScale : public Module {
+public:
+    Tensor forward(const Tensor& input) override {
+        cached_ = input;
+        return input * 3.0f;
+    }
+    Tensor backward(const Tensor& grad_output) override {
+        return grad_output * 1.5f;  // should be 3.0
+    }
+    [[nodiscard]] std::string name() const override { return "BrokenScale"; }
+
+private:
+    Tensor cached_;
+};
+
+TEST(GradcheckTest, AcceptsCorrectLinearModule) {
+    Rng rng(1);
+    Linear lin(4, 3, rng);
+    Tensor x(Shape{2, 4});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    EXPECT_LT(check_input_gradient(lin, x, rng).max_rel_error, 1e-2);
+    EXPECT_LT(directional_gradient_error(lin, x, rng), 1e-3);
+}
+
+TEST(GradcheckTest, FlagsBrokenBackward) {
+    Rng rng(2);
+    BrokenScale broken;
+    Tensor x(Shape{3, 3});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    EXPECT_GT(check_input_gradient(broken, x, rng).max_rel_error, 0.3);
+    EXPECT_GT(directional_gradient_error(broken, x, rng), 0.3);
+}
+
+TEST(GradcheckTest, SampleStrideReducesCheckedCount) {
+    Rng rng(3);
+    Linear lin(6, 2, rng);
+    Tensor x(Shape{2, 6});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    const auto full = check_input_gradient(lin, x, rng, 1e-3, 1);
+    const auto strided = check_input_gradient(lin, x, rng, 1e-3, 4);
+    EXPECT_EQ(full.checked, 12u);
+    EXPECT_EQ(strided.checked, 3u);
+}
+
+TEST(GradcheckTest, RejectsZeroStride) {
+    Rng rng(4);
+    Linear lin(2, 2, rng);
+    Tensor x(Shape{1, 2});
+    EXPECT_THROW((void)check_input_gradient(lin, x, rng, 1e-3, 0), std::invalid_argument);
+    EXPECT_THROW((void)check_parameter_gradients(lin, x, rng, 1e-3, 0),
+                 std::invalid_argument);
+}
+
+TEST(GradcheckTest, ParameterCheckerFindsPerturbedGradients) {
+    Rng rng(5);
+    Linear lin(3, 3, rng);
+    Tensor x(Shape{2, 3});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    const auto r = check_parameter_gradients(lin, x, rng, 1e-3);
+    EXPECT_EQ(r.checked, 12u);  // 9 weights + 3 biases
+    EXPECT_LT(r.max_rel_error, 1e-2);
+}
+
+}  // namespace
+}  // namespace ams::nn

@@ -1,0 +1,122 @@
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace ams {
+namespace {
+
+TEST(ConvGeometryTest, OutputDims) {
+    ConvGeometry g{3, 8, 8, 3, 3, 1, 1, 1, 1};
+    EXPECT_EQ(g.out_h(), 8u);
+    EXPECT_EQ(g.out_w(), 8u);
+    EXPECT_EQ(g.patch_size(), 27u);
+
+    ConvGeometry strided{1, 8, 8, 3, 3, 2, 2, 1, 1};
+    EXPECT_EQ(strided.out_h(), 4u);
+}
+
+TEST(ConvGeometryTest, ValidateRejectsDegenerate) {
+    ConvGeometry g{0, 8, 8, 3, 3, 1, 1, 0, 0};
+    EXPECT_THROW(g.validate(), std::invalid_argument);
+    ConvGeometry big_kernel{1, 2, 2, 5, 5, 1, 1, 0, 0};
+    EXPECT_THROW(big_kernel.validate(), std::invalid_argument);
+    ConvGeometry zero_stride{1, 8, 8, 3, 3, 0, 1, 0, 0};
+    EXPECT_THROW(zero_stride.validate(), std::invalid_argument);
+}
+
+TEST(Im2colTest, OneByOneKernelIsIdentity) {
+    const ConvGeometry g{2, 3, 3, 1, 1, 1, 1, 0, 0};
+    std::vector<float> image(18);
+    for (std::size_t i = 0; i < image.size(); ++i) image[i] = static_cast<float>(i);
+    std::vector<float> cols(g.patch_size() * g.out_h() * g.out_w());
+    im2col(image.data(), g, cols.data());
+    for (std::size_t i = 0; i < image.size(); ++i) EXPECT_FLOAT_EQ(cols[i], image[i]);
+}
+
+TEST(Im2colTest, PaddingProducesZeros) {
+    // 1x1 image, 3x3 kernel, pad 1: only the center tap is the pixel.
+    const ConvGeometry g{1, 1, 1, 3, 3, 1, 1, 1, 1};
+    const std::vector<float> image{7.0f};
+    std::vector<float> cols(9);
+    im2col(image.data(), g, cols.data());
+    for (std::size_t i = 0; i < 9; ++i) {
+        if (i == 4) {
+            EXPECT_FLOAT_EQ(cols[i], 7.0f);
+        } else {
+            EXPECT_FLOAT_EQ(cols[i], 0.0f);
+        }
+    }
+}
+
+TEST(Im2colTest, KnownSmallCase) {
+    // 1 channel 3x3 image, 2x2 kernel, stride 1, no pad -> 2x2 output.
+    const ConvGeometry g{1, 3, 3, 2, 2, 1, 1, 0, 0};
+    const std::vector<float> image{0, 1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<float> cols(4 * 4);
+    im2col(image.data(), g, cols.data());
+    // Row 0 = kernel tap (0,0) across output positions (0,0),(0,1),(1,0),(1,1)
+    EXPECT_FLOAT_EQ(cols[0], 0.0f);
+    EXPECT_FLOAT_EQ(cols[1], 1.0f);
+    EXPECT_FLOAT_EQ(cols[2], 3.0f);
+    EXPECT_FLOAT_EQ(cols[3], 4.0f);
+    // Row 3 = kernel tap (1,1)
+    EXPECT_FLOAT_EQ(cols[12], 4.0f);
+    EXPECT_FLOAT_EQ(cols[15], 8.0f);
+}
+
+struct GeomCase {
+    ConvGeometry g;
+};
+
+class Im2colAdjoint : public ::testing::TestWithParam<GeomCase> {};
+
+// col2im must be the exact adjoint of im2col:
+// <im2col(x), y> == <x, col2im(y)> for all x, y.
+TEST_P(Im2colAdjoint, AdjointIdentityHolds) {
+    const ConvGeometry g = GetParam().g;
+    g.validate();
+    Rng rng(77);
+    const std::size_t image_size = g.in_channels * g.in_h * g.in_w;
+    const std::size_t cols_size = g.patch_size() * g.out_h() * g.out_w();
+
+    std::vector<float> x(image_size), y(cols_size);
+    for (float& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (float& v : y) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    std::vector<float> ix(cols_size);
+    im2col(x.data(), g, ix.data());
+    std::vector<float> cy(image_size, 0.0f);
+    col2im(y.data(), g, cy.data());
+
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < cols_size; ++i) lhs += static_cast<double>(ix[i]) * y[i];
+    for (std::size_t i = 0; i < image_size; ++i) rhs += static_cast<double>(x[i]) * cy[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2colAdjoint,
+    ::testing::Values(GeomCase{{1, 5, 5, 3, 3, 1, 1, 1, 1}},
+                      GeomCase{{3, 8, 8, 3, 3, 2, 2, 1, 1}},
+                      GeomCase{{2, 7, 9, 1, 1, 1, 1, 0, 0}},
+                      GeomCase{{4, 6, 6, 5, 5, 1, 1, 2, 2}},
+                      GeomCase{{2, 9, 5, 3, 2, 2, 1, 0, 1}}));
+
+TEST(Col2imTest, AccumulatesOverlaps) {
+    // 3x3 image, 2x2 kernel stride 1: center pixel (1,1) belongs to all 4
+    // patches. col2im of all-ones must count patch membership.
+    const ConvGeometry g{1, 3, 3, 2, 2, 1, 1, 0, 0};
+    std::vector<float> cols(16, 1.0f);
+    std::vector<float> image(9, 0.0f);
+    col2im(cols.data(), g, image.data());
+    EXPECT_FLOAT_EQ(image[4], 4.0f);  // center
+    EXPECT_FLOAT_EQ(image[0], 1.0f);  // corner
+    EXPECT_FLOAT_EQ(image[1], 2.0f);  // edge
+}
+
+}  // namespace
+}  // namespace ams

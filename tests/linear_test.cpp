@@ -1,0 +1,80 @@
+#include "nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+
+namespace ams::nn {
+namespace {
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+    Rng rng(1);
+    Linear lin(2, 3, rng, /*bias=*/true);
+    // W = [[1,2],[3,4],[5,6]], b = [0.5, -0.5, 1]
+    lin.weight().value = Tensor::from_data(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+    lin.bias_param().value = Tensor::from_data(Shape{3}, {0.5f, -0.5f, 1.0f});
+    Tensor x = Tensor::from_data(Shape{1, 2}, {1, 1});
+    Tensor y = lin.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 3.5f);
+    EXPECT_FLOAT_EQ(y[1], 6.5f);
+    EXPECT_FLOAT_EQ(y[2], 12.0f);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+    Rng rng(2);
+    Linear lin(2, 1, rng, /*bias=*/false);
+    lin.weight().value = Tensor::from_data(Shape{1, 2}, {2, -1});
+    Tensor x = Tensor::from_data(Shape{2, 2}, {1, 1, 3, 0});
+    Tensor y = lin.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 1.0f);
+    EXPECT_FLOAT_EQ(y[1], 6.0f);
+    EXPECT_EQ(lin.parameters().size(), 1u);
+}
+
+TEST(LinearTest, GradcheckInputAndParams) {
+    Rng rng(3);
+    Linear lin(5, 4, rng);
+    Tensor x(Shape{3, 5});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    const auto gi = check_input_gradient(lin, x, rng, 1e-2);
+    EXPECT_LT(gi.max_rel_error, 1e-2);
+    const auto gp = check_parameter_gradients(lin, x, rng, 1e-2);
+    EXPECT_LT(gp.max_rel_error, 1e-2);
+}
+
+TEST(LinearTest, EffectiveWeightSubstitution) {
+    Rng rng(4);
+    Linear lin(1, 1, rng, /*bias=*/false);
+    lin.weight().value[0] = 5.0f;
+    Tensor sub(Shape{1, 1});
+    sub[0] = -1.0f;
+    lin.set_effective_weight(sub);
+    Tensor x = Tensor::from_data(Shape{1, 1}, {2});
+    EXPECT_FLOAT_EQ(lin.forward(x)[0], -2.0f);
+    lin.clear_effective_weight();
+    EXPECT_FLOAT_EQ(lin.forward(x)[0], 10.0f);
+}
+
+TEST(LinearTest, ShapeValidation) {
+    Rng rng(5);
+    EXPECT_THROW(Linear(0, 3, rng), std::invalid_argument);
+    Linear lin(4, 2, rng);
+    Tensor bad(Shape{2, 3});
+    EXPECT_THROW((void)lin.forward(bad), std::invalid_argument);
+}
+
+TEST(LinearTest, BackwardBeforeForwardThrows) {
+    Rng rng(6);
+    Linear lin(2, 2, rng);
+    Tensor g(Shape{1, 2});
+    EXPECT_THROW((void)lin.backward(g), std::logic_error);
+}
+
+TEST(LinearTest, NTotIsInFeatures) {
+    Rng rng(7);
+    Linear lin(128, 10, rng);
+    EXPECT_EQ(lin.n_tot(), 128u);
+}
+
+}  // namespace
+}  // namespace ams::nn

@@ -1,0 +1,85 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ams::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, MatchesManualComputation) {
+    SoftmaxCrossEntropy loss;
+    Tensor logits = Tensor::from_data(Shape{1, 3}, {1.0f, 2.0f, 3.0f});
+    const float l = loss.forward(logits, {2});
+    const double denom = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+    EXPECT_NEAR(l, -std::log(std::exp(3.0) / denom), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+    SoftmaxCrossEntropy loss;
+    Tensor logits(Shape{4, 10}, 0.0f);
+    const float l = loss.forward(logits, {0, 3, 5, 9});
+    EXPECT_NEAR(l, std::log(10.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientIsProbMinusOneHotOverN) {
+    SoftmaxCrossEntropy loss;
+    Tensor logits = Tensor::from_data(Shape{2, 2}, {0, 0, 1, -1});
+    (void)loss.forward(logits, {0, 1});
+    Tensor g = loss.backward();
+    // Row 0: p = (0.5, 0.5), label 0 -> grad = (-0.5, 0.5)/2
+    EXPECT_NEAR(g[0], -0.25f, 1e-5f);
+    EXPECT_NEAR(g[1], 0.25f, 1e-5f);
+    // Row 1: p = (sig, 1-sig) with logits (1,-1)
+    const double p0 = std::exp(1.0) / (std::exp(1.0) + std::exp(-1.0));
+    EXPECT_NEAR(g[2], p0 / 2.0, 1e-5);
+    EXPECT_NEAR(g[3], (1.0 - p0 - 1.0) / 2.0, 1e-5);
+}
+
+TEST(SoftmaxCrossEntropyTest, NumericallyStableForLargeLogits) {
+    SoftmaxCrossEntropy loss;
+    Tensor logits = Tensor::from_data(Shape{1, 2}, {1000.0f, 0.0f});
+    const float l = loss.forward(logits, {0});
+    EXPECT_NEAR(l, 0.0f, 1e-4f);
+    EXPECT_TRUE(std::isfinite(loss.forward(logits, {1})));
+}
+
+TEST(SoftmaxCrossEntropyTest, ValidatesInputs) {
+    SoftmaxCrossEntropy loss;
+    Tensor logits(Shape{2, 3});
+    EXPECT_THROW((void)loss.forward(logits, {0}), std::invalid_argument);
+    EXPECT_THROW((void)loss.forward(logits, {0, 3}), std::invalid_argument);
+    Tensor rank1(Shape{3});
+    EXPECT_THROW((void)loss.forward(rank1, {0}), std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropyTest, BackwardBeforeForwardThrows) {
+    SoftmaxCrossEntropy loss;
+    EXPECT_THROW((void)loss.backward(), std::logic_error);
+}
+
+TEST(AccuracyTest, Top1CountsArgmaxHits) {
+    Tensor logits = Tensor::from_data(Shape{3, 3},
+                                      {5, 1, 1,
+                                       0, 9, 0,
+                                       1, 2, 0});
+    EXPECT_DOUBLE_EQ(top1_accuracy(logits, {0, 1, 0}), 2.0 / 3.0);
+}
+
+TEST(AccuracyTest, TopKExpandsAcceptance) {
+    Tensor logits = Tensor::from_data(Shape{2, 4},
+                                      {4, 3, 2, 1,
+                                       1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(topk_accuracy(logits, {2, 0}, 1), 0.0);
+    EXPECT_DOUBLE_EQ(topk_accuracy(logits, {2, 0}, 3), 0.5);
+    EXPECT_DOUBLE_EQ(topk_accuracy(logits, {2, 0}, 4), 1.0);
+}
+
+TEST(AccuracyTest, ValidatesArguments) {
+    Tensor logits(Shape{2, 3});
+    EXPECT_THROW((void)topk_accuracy(logits, {0}, 1), std::invalid_argument);
+    EXPECT_THROW((void)topk_accuracy(logits, {0, 1}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::nn

@@ -1,0 +1,128 @@
+// End-to-end assertions of the paper's *analytic* headline claims — the
+// numbers a reader would quote from the abstract and Section 4. These are
+// substrate-independent (pure model), so unlike the accuracy benches they
+// must hold exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ams/error_model.hpp"
+#include "energy/adc_energy.hpp"
+#include "quant/dorefa.hpp"
+#include "quant/fixed_point.hpp"
+#include "quant/quant_modules.hpp"
+
+namespace ams {
+namespace {
+
+TEST(PaperClaimsTest, Abstract300FemtojoulePerMacFloor) {
+    // "achieving < 0.4% accuracy loss on ResNet-50 with AMS hardware
+    // requires a computation energy of at least ~300 fJ/MAC" — the 0.4%
+    // cutoff in Fig. 4 is ENOB 12 at Nmult 8:
+    EXPECT_NEAR(energy::emac_lower_bound_fj(12.0, 8), 313.3, 0.5);
+    // "...for < 1% accuracy loss, EMAC,min = ~78 fJ" (cutoff ENOB 11):
+    EXPECT_NEAR(energy::emac_lower_bound_fj(11.0, 8), 78.3, 0.5);
+}
+
+TEST(PaperClaimsTest, Figure8LevelCurveValues) {
+    // The red E_MAC level curves of Fig. 8: 78 fJ, 157 fJ, 313 fJ,
+    // 626 fJ, 1.25 pJ — successive half-bit steps at Nmult 8.
+    const double values[] = {78.3, 156.6, 313.3, 626.6, 1253.2};
+    double enob = 11.0;
+    for (double expected : values) {
+        EXPECT_NEAR(energy::emac_lower_bound_fj(enob, 8) / expected, 1.0, 2e-3)
+            << "at ENOB " << enob;
+        enob += 0.5;
+    }
+}
+
+TEST(PaperClaimsTest, FloorToThermalCrossoverNearTenPointFive) {
+    // Where the Schreier line crosses the 0.3 pJ floor:
+    // 6.02*ENOB - 68.25 = 10*log10(0.3)  =>  ENOB ~ 10.47.
+    const double crossover = (10.0 * std::log10(0.3) + 68.25) / 6.02;
+    EXPECT_NEAR(crossover, 10.5, 0.05);
+}
+
+TEST(PaperClaimsTest, EquationOneWorkedExample) {
+    // Eq. 1 with Nmult = 8, ENOB = 12: LSB = 8 * 2^-11; Var = LSB^2/12.
+    vmac::VmacConfig c;
+    c.nmult = 8;
+    c.enob = 12.0;
+    EXPECT_DOUBLE_EQ(vmac::vmac_lsb(c), 8.0 / 2048.0);
+    EXPECT_DOUBLE_EQ(vmac::vmac_error_variance(c),
+                     (8.0 / 2048.0) * (8.0 / 2048.0) / 12.0);
+}
+
+TEST(PaperClaimsTest, ExtraBitQuartersErrorAndQuadruplesEnergy) {
+    // Section 4: "for each extra digitized bit, the variance of the total
+    // error drops by a factor of four ... [and in the thermal regime]
+    // quadrupling of energy per conversion for each extra bit".
+    vmac::VmacConfig lo;
+    lo.enob = 12.0;
+    vmac::VmacConfig hi;
+    hi.enob = 13.0;
+    EXPECT_NEAR(vmac::total_error_variance(lo, 512) / vmac::total_error_variance(hi, 512),
+                4.0, 1e-9);
+    EXPECT_NEAR(energy::adc_energy_lower_bound_pj(13.0) /
+                    energy::adc_energy_lower_bound_pj(12.0),
+                4.0, 0.01);
+}
+
+TEST(PaperClaimsTest, RetrainingHalfBitIsTwoXEnergy) {
+    // "our retraining method recovers ~0.5b worth of accuracy, which is
+    // equivalent to a ~2x reduction in EMAC,min" — in the thermal regime
+    // half a bit of ENOB is a factor-2 of energy.
+    EXPECT_NEAR(energy::adc_energy_lower_bound_pj(12.5) /
+                    energy::adc_energy_lower_bound_pj(12.0),
+                2.0, 0.01);
+}
+
+TEST(PaperClaimsTest, IdealProductPrecisionBookkeeping) {
+    // Fig. 2: a BW-bit by BX-bit sign-magnitude multiply yields
+    // BW+BX-2 magnitude bits; our codecs reproduce that exactly: the
+    // product of the two LSBs is the product grid's LSB.
+    for (std::size_t bw : {4u, 6u, 8u}) {
+        for (std::size_t bx : {4u, 8u}) {
+            quant::SignMagCodec w(bw), x(bx);
+            const double product_lsb = w.lsb() * x.lsb();
+            // Grid has (2^(bw-1)-1)(2^(bx-1)-1) levels per unit: the
+            // magnitude-bit count of the full-scale product is bw+bx-2.
+            const double full_levels = 1.0 / product_lsb;
+            EXPECT_LE(full_levels, std::exp2(static_cast<double>(bw + bx - 2)));
+            EXPECT_GT(full_levels, std::exp2(static_cast<double>(bw + bx - 2)) * 0.75);
+        }
+    }
+}
+
+TEST(PaperClaimsTest, QuantActGridMatchesSignMagnitudeCodec) {
+    // The DoReFa activation quantizer and the hardware codec must agree
+    // on the representable grid (both encode B-1 magnitude bits on [0,1]).
+    for (std::size_t bits : {4u, 6u, 8u}) {
+        quant::QuantAct act(bits);
+        quant::SignMagCodec codec(bits);
+        Rng rng(bits);
+        Tensor x(Shape{256});
+        x.fill_uniform(rng, 0.0f, 1.0f);
+        Tensor q = act.forward(x);
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            EXPECT_NEAR(codec.quantize(q[i]), q[i], 1e-6) << "bits " << bits;
+        }
+    }
+}
+
+TEST(PaperClaimsTest, AveragingHardwareIsEquivalentUpToRescale) {
+    // Section 2: averaging moves the binary point but injects the same
+    // relative error; the model must give identical variance for both
+    // accumulation styles at the same ENOB (ENOB is range-relative).
+    vmac::VmacConfig sum;
+    sum.enob = 9.0;
+    sum.nmult = 16;
+    sum.accumulation = vmac::Accumulation::kSum;
+    vmac::VmacConfig avg = sum;
+    avg.accumulation = vmac::Accumulation::kAverage;
+    // After the digital x Nmult rescale, LSBs agree.
+    EXPECT_DOUBLE_EQ(vmac::vmac_lsb(sum), vmac::vmac_lsb(avg));
+}
+
+}  // namespace
+}  // namespace ams

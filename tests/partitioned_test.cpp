@@ -1,0 +1,149 @@
+#include "ams/partitioned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ams/error_model.hpp"
+
+namespace ams::vmac {
+namespace {
+
+VmacConfig cfg(std::size_t nmult, std::size_t bw = 9, std::size_t bx = 9) {
+    VmacConfig c;
+    c.enob = 12.0;
+    c.nmult = nmult;
+    c.bits_w = bw;
+    c.bits_x = bx;
+    return c;
+}
+
+std::vector<double> random_vec(std::size_t n, Rng& rng, double lo = -1.0, double hi = 1.0) {
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform(lo, hi);
+    return v;
+}
+
+TEST(PartitionedTest, RequiresEvenChunking) {
+    // 9-bit operands have 8 magnitude bits: divisible by 2 and 4, not 3.
+    PartitionOptions opt;
+    opt.nw = 3;
+    opt.nx = 2;
+    EXPECT_THROW(PartitionedVmac(cfg(8), opt), std::invalid_argument);
+    opt.nw = 2;
+    EXPECT_NO_THROW(PartitionedVmac(cfg(8), opt));
+    opt.nx = 0;
+    EXPECT_THROW(PartitionedVmac(cfg(8), opt), std::invalid_argument);
+}
+
+TEST(PartitionedTest, HighResolutionPartialsReconstructExactly) {
+    // With very fine partial ADCs the shift-and-add must reproduce the
+    // exact operand-quantized product: the partitioning itself is lossless.
+    PartitionOptions opt;
+    opt.nw = 2;
+    opt.nx = 2;
+    opt.enob_partial = 24.0;
+    PartitionedVmac pv(cfg(8), opt);
+    Rng rng(1);
+    for (int t = 0; t < 200; ++t) {
+        const auto w = random_vec(8, rng);
+        const auto x = random_vec(8, rng, 0.0, 1.0);
+        EXPECT_NEAR(pv.dot(w, x, rng), pv.dot_ideal(w, x), 1e-6);
+    }
+}
+
+TEST(PartitionedTest, ConversionsPerVmacIsNwTimesNx) {
+    PartitionOptions opt;
+    opt.nw = 2;
+    opt.nx = 4;
+    EXPECT_EQ(PartitionedVmac(cfg(8), opt).conversions_per_vmac(), 8u);
+}
+
+TEST(PartitionedTest, LowerResolutionAdcStillBeatsMonolithic) {
+    // Paper Sec. 4 method 1: partial products have smaller full precision,
+    // so a lower-resolution ADC can inject less total error than one
+    // high-resolution conversion of the whole product.
+    const std::size_t nmult = 8;
+    Rng rng(2);
+    PartitionOptions opt;
+    opt.nw = 2;
+    opt.nx = 2;
+    opt.enob_partial = 8.0;  // 4 conversions at 8b
+    PartitionedVmac pv(cfg(nmult), opt);
+    VmacConfig mono_cfg = cfg(nmult);
+    mono_cfg.enob = 8.0;  // one conversion at the same 8b resolution
+    VmacCell mono(mono_cfg);
+
+    double pv_sq = 0.0, mono_sq = 0.0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        const auto w = random_vec(nmult, rng);
+        const auto x = random_vec(nmult, rng, 0.0, 1.0);
+        const double ideal = pv.dot_ideal(w, x);
+        const double pe = pv.dot(w, x, rng) - ideal;
+        pv_sq += pe * pe;
+        const double me = mono.dot(w, x, rng) - mono.dot_ideal(w, x);
+        mono_sq += me * me;
+    }
+    EXPECT_LT(pv_sq, mono_sq);
+}
+
+TEST(PartitionedTest, SignificanceDiscountReducesPartialEnob) {
+    PartitionOptions opt;
+    opt.nw = 2;
+    opt.nx = 2;
+    opt.enob_partial = 10.0;
+    opt.significance_drop = 2.0;
+    opt.min_enob = 5.0;
+    PartitionedVmac pv(cfg(8), opt);
+    EXPECT_DOUBLE_EQ(pv.partial_enob(0, 0), 10.0);
+    EXPECT_DOUBLE_EQ(pv.partial_enob(0, 1), 8.0);
+    EXPECT_DOUBLE_EQ(pv.partial_enob(1, 1), 6.0);
+    // Floor applies.
+    opt.significance_drop = 4.0;
+    PartitionedVmac pv2(cfg(8), opt);
+    EXPECT_DOUBLE_EQ(pv2.partial_enob(1, 1), 5.0);
+}
+
+TEST(PartitionedTest, DiscountedLowSignificanceCostsLittleError) {
+    // Cutting resolution of low-significance partials should barely move
+    // the total error (their digital weight is tiny).
+    const std::size_t nmult = 8;
+    Rng rng(3);
+    PartitionOptions full;
+    full.nw = 2;
+    full.nx = 2;
+    full.enob_partial = 10.0;
+    PartitionOptions discounted = full;
+    discounted.significance_drop = 1.5;
+    discounted.min_enob = 5.0;
+
+    PartitionedVmac pv_full(cfg(nmult), full);
+    PartitionedVmac pv_disc(cfg(nmult), discounted);
+    double full_sq = 0.0, disc_sq = 0.0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        const auto w = random_vec(nmult, rng);
+        const auto x = random_vec(nmult, rng, 0.0, 1.0);
+        const double ideal = pv_full.dot_ideal(w, x);
+        const double fe = pv_full.dot(w, x, rng) - ideal;
+        full_sq += fe * fe;
+        const double de = pv_disc.dot(w, x, rng) - ideal;
+        disc_sq += de * de;
+    }
+    EXPECT_LT(disc_sq, 4.0 * full_sq);
+}
+
+TEST(PartitionedTest, OperandCountValidation) {
+    PartitionOptions opt;
+    opt.nw = 2;
+    opt.nx = 2;
+    PartitionedVmac pv(cfg(4), opt);
+    Rng rng(4);
+    std::vector<double> w(5, 0.0), x(5, 0.0);
+    EXPECT_THROW((void)pv.dot(w, x, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::vmac

@@ -1,0 +1,92 @@
+#include "nn/pooling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+
+namespace ams::nn {
+namespace {
+
+TEST(MaxPoolTest, ForwardPicksWindowMax) {
+    MaxPool2d pool(2);
+    Tensor x = Tensor::from_data(Shape{1, 1, 4, 4},
+                                 {1, 2, 3, 4,
+                                  5, 6, 7, 8,
+                                  9, 10, 11, 12,
+                                  13, 14, 15, 16});
+    Tensor y = pool.forward(x);
+    ASSERT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 6.0f);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 0, 1}), 8.0f);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 1, 0}), 14.0f);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 1, 1}), 16.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+    MaxPool2d pool(2);
+    Tensor x = Tensor::from_data(Shape{1, 1, 2, 2}, {1, 9, 3, 4});
+    (void)pool.forward(x);
+    Tensor g(Shape{1, 1, 1, 1}, 5.0f);
+    Tensor gx = pool.backward(g);
+    EXPECT_FLOAT_EQ(gx[0], 0.0f);
+    EXPECT_FLOAT_EQ(gx[1], 5.0f);  // argmax position
+    EXPECT_FLOAT_EQ(gx[2], 0.0f);
+    EXPECT_FLOAT_EQ(gx[3], 0.0f);
+}
+
+TEST(MaxPoolTest, StrideAndPadding) {
+    MaxPool2d pool(3, 2, 1);
+    Tensor x(Shape{1, 1, 4, 4}, 1.0f);
+    Tensor y = pool.forward(x);
+    EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 1.0f);
+}
+
+TEST(MaxPoolTest, RejectsDegenerateWindow) {
+    EXPECT_THROW(MaxPool2d(0), std::invalid_argument);
+    MaxPool2d pool(5);
+    Tensor small(Shape{1, 1, 2, 2});
+    EXPECT_THROW((void)pool.forward(small), std::invalid_argument);
+}
+
+TEST(GlobalAvgPoolTest, AveragesSpatialDims) {
+    GlobalAvgPool gap;
+    Tensor x = Tensor::from_data(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+    Tensor y = gap.forward(x);
+    ASSERT_EQ(y.shape(), Shape({1, 2}));
+    EXPECT_FLOAT_EQ(y[0], 2.5f);
+    EXPECT_FLOAT_EQ(y[1], 10.0f);
+}
+
+TEST(GlobalAvgPoolTest, BackwardSpreadsUniformly) {
+    GlobalAvgPool gap;
+    Tensor x(Shape{1, 1, 2, 2}, 1.0f);
+    (void)gap.forward(x);
+    Tensor g(Shape{1, 1}, 8.0f);
+    Tensor gx = gap.backward(g);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx[i], 2.0f);
+}
+
+TEST(GlobalAvgPoolTest, Gradcheck) {
+    GlobalAvgPool gap;
+    Rng rng(21);
+    Tensor x(Shape{2, 3, 4, 4});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    const auto r = check_input_gradient(gap, x, rng, 1e-3);
+    EXPECT_LT(r.max_rel_error, 1e-2);
+}
+
+TEST(MaxPoolTest, GradcheckAwayFromTies) {
+    MaxPool2d pool(2);
+    Rng rng(22);
+    Tensor x(Shape{1, 2, 4, 4});
+    // Distinct values avoid argmax ties that break finite differences.
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<float>(i) * 0.1f + static_cast<float>(rng.uniform(0.0, 0.01));
+    }
+    const auto r = check_input_gradient(pool, x, rng, 1e-3);
+    EXPECT_LT(r.max_rel_error, 1e-2);
+}
+
+}  // namespace
+}  // namespace ams::nn

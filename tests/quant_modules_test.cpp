@@ -1,0 +1,148 @@
+#include "quant/quant_modules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/dorefa.hpp"
+
+namespace ams::quant {
+namespace {
+
+TEST(QuantActTest, QuantizesToGrid) {
+    QuantAct act(4);  // 7 levels
+    Tensor x = Tensor::from_data(Shape{4}, {-0.3f, 0.5f, 0.93f, 1.7f});
+    Tensor y = act.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_NEAR(y[1], std::round(0.5f * 7.0f) / 7.0f, 1e-6f);
+    EXPECT_NEAR(y[2], std::round(0.93f * 7.0f) / 7.0f, 1e-6f);
+    EXPECT_FLOAT_EQ(y[3], 1.0f);
+}
+
+TEST(QuantActTest, FloatBitsActsAsClippedRelu) {
+    QuantAct act(kFloatBits);
+    Tensor x = Tensor::from_data(Shape{3}, {-1.0f, 0.37f, 2.0f});
+    Tensor y = act.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.37f);
+    EXPECT_FLOAT_EQ(y[2], 1.0f);
+}
+
+TEST(QuantActTest, SteMasksSaturation) {
+    QuantAct act(4);
+    Tensor x = Tensor::from_data(Shape{3}, {-0.5f, 0.5f, 1.5f});
+    (void)act.forward(x);
+    Tensor g(Shape{3}, 1.0f);
+    Tensor gx = act.backward(g);
+    EXPECT_FLOAT_EQ(gx[0], 0.0f);
+    EXPECT_FLOAT_EQ(gx[1], 1.0f);  // straight-through
+    EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(QuantInputTest, RescalesBySuppliedMax) {
+    QuantInput qi(4.0f, kFloatBits);
+    Tensor x = Tensor::from_data(Shape{3}, {-4.0f, 2.0f, 8.0f});
+    Tensor y = qi.forward(x);
+    EXPECT_FLOAT_EQ(y[0], -1.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.5f);
+    EXPECT_FLOAT_EQ(y[2], 1.0f);  // clamped
+}
+
+TEST(QuantInputTest, SignedQuantizationPreservesSign) {
+    QuantInput qi(1.0f, 3);  // 3 levels on each side
+    Tensor x = Tensor::from_data(Shape{2}, {-0.5f, 0.5f});
+    Tensor y = qi.forward(x);
+    EXPECT_NEAR(y[0], -std::round(0.5f * 3.0f) / 3.0f, 1e-6f);
+    EXPECT_NEAR(y[1], std::round(0.5f * 3.0f) / 3.0f, 1e-6f);
+}
+
+TEST(QuantInputTest, BackwardAppliesInverseScale) {
+    QuantInput qi(2.0f, 8);
+    Tensor x = Tensor::from_data(Shape{2}, {1.0f, 5.0f});  // 5 clamps
+    (void)qi.forward(x);
+    Tensor g(Shape{2}, 1.0f);
+    Tensor gx = qi.backward(g);
+    EXPECT_FLOAT_EQ(gx[0], 0.5f);
+    EXPECT_FLOAT_EQ(gx[1], 0.0f);  // saturated
+}
+
+TEST(QuantInputTest, ValidatesConstruction) {
+    EXPECT_THROW(QuantInput(0.0f, 8), std::invalid_argument);
+    EXPECT_THROW(QuantInput(1.0f, 1), std::invalid_argument);
+}
+
+TEST(QuantConv2dTest, ForwardUsesQuantizedWeights) {
+    Rng rng(1);
+    nn::Conv2dOptions opts{1, 1, 1, 1, 0, false};
+    QuantConv2d qconv(opts, 2, rng);  // 2-bit weights: values in {-1, 0, 1}
+    qconv.conv().weight().value[0] = 0.7f;
+    Tensor x(Shape{1, 1, 1, 1}, 1.0f);
+    Tensor y = qconv.forward(x);
+    // tanh(0.7)/2max + 0.5 = 1.0 -> quantized 1 -> w_q = 1.
+    EXPECT_FLOAT_EQ(y[0], 1.0f);
+}
+
+TEST(QuantConv2dTest, FloatBitsMatchesPlainConv) {
+    Rng rng1(5), rng2(5);
+    nn::Conv2dOptions opts{2, 3, 3, 1, 1, false};
+    QuantConv2d qconv(opts, kFloatBits, rng1);
+    nn::Conv2d conv(opts, rng2);
+    Tensor x(Shape{1, 2, 4, 4});
+    Rng xr(6);
+    x.fill_uniform(xr, -1.0f, 1.0f);
+    Tensor a = qconv.forward(x);
+    Tensor b = conv.forward(x);
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(QuantConv2dTest, BackwardScalesGradBySte) {
+    Rng rng(2);
+    nn::Conv2dOptions opts{1, 1, 1, 1, 0, false};
+    QuantConv2d qconv(opts, 8, rng);
+    qconv.conv().weight().value[0] = 0.3f;
+    Tensor x(Shape{1, 1, 1, 1}, 1.0f);
+    (void)qconv.forward(x);
+    Tensor g(Shape{1, 1, 1, 1}, 1.0f);
+    (void)qconv.backward(g);
+    // dL/dw_q = x = 1; STE scale for the max-|tanh| element is
+    // (1 - t^2)/max|tanh| with t = tanh(0.3) = max here.
+    const float t = std::tanh(0.3f);
+    EXPECT_NEAR(qconv.conv().weight().grad[0], (1.0f - t * t) / t, 1e-5f);
+}
+
+TEST(QuantLinearTest, QuantizedForwardAndSteBackward) {
+    Rng rng(3);
+    QuantLinear qlin(1, 1, 8, rng, /*bias=*/false);
+    qlin.linear().weight().value[0] = -0.4f;
+    Tensor x = Tensor::from_data(Shape{1, 1}, {1.0f});
+    Tensor y = qlin.forward(x);
+    // Single weight: |tanh| max is itself -> unit transform maps to 0 or 1
+    // boundary; w_q = -1 exactly (tanh/-2max + 0.5 = 0).
+    EXPECT_FLOAT_EQ(y[0], -1.0f);
+
+    (void)qlin.backward(Tensor(Shape{1, 1}, 1.0f));
+    const float t = std::tanh(0.4f);
+    EXPECT_NEAR(qlin.linear().weight().grad[0], (1.0f - t * t) / t, 1e-5f);
+}
+
+TEST(QuantConv2dTest, StateRoundTripStoresLatentWeights) {
+    Rng rng(4);
+    nn::Conv2dOptions opts{2, 2, 3, 1, 1, false};
+    QuantConv2d a(opts, 6, rng);
+    TensorMap state;
+    a.collect_state("c.", state);
+    ASSERT_TRUE(state.count("c.weight"));
+
+    Rng rng2(77);
+    QuantConv2d b(opts, 6, rng2);
+    b.load_state("c.", state);
+    Tensor x(Shape{1, 2, 4, 4});
+    Rng xr(8);
+    x.fill_uniform(xr, 0.0f, 1.0f);
+    Tensor ya = a.forward(x);
+    Tensor yb = b.forward(x);
+    for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+}  // namespace
+}  // namespace ams::quant

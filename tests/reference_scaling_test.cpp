@@ -1,0 +1,86 @@
+#include "ams/reference_scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ams::vmac {
+namespace {
+
+VmacConfig cfg(double enob, std::size_t nmult) {
+    VmacConfig c;
+    c.enob = enob;
+    c.nmult = nmult;
+    return c;
+}
+
+std::vector<double> gaussian_samples(std::size_t n, double sigma, Rng& rng) {
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.normal(0.0, sigma);
+    return v;
+}
+
+TEST(ReferenceScalingTest, UnitScaleNeverClips) {
+    Rng rng(1);
+    // Samples well inside the natural full scale of 8.
+    const auto samples = gaussian_samples(5000, 0.5, rng);
+    const auto r = evaluate_reference_scale(cfg(8.0, 8), samples, 1.0);
+    EXPECT_DOUBLE_EQ(r.clip_fraction, 0.0);
+    EXPECT_GT(r.rms_error, 0.0);
+}
+
+TEST(ReferenceScalingTest, SmallerReferenceImprovesConcentratedData) {
+    // Paper Sec. 4 method 3: if the partial sums concentrate near zero,
+    // shrinking the reference trades harmless clipping for a finer LSB.
+    Rng rng(2);
+    const auto samples = gaussian_samples(20000, 0.4, rng);  // FS = 8 >> 6*sigma
+    const auto full = evaluate_reference_scale(cfg(8.0, 8), samples, 1.0);
+    const auto shrunk = evaluate_reference_scale(cfg(8.0, 8), samples, 0.25);
+    EXPECT_LT(shrunk.rms_error, full.rms_error / 2.0);
+    EXPECT_GT(shrunk.effective_enob, full.effective_enob + 1.0);
+}
+
+TEST(ReferenceScalingTest, TooSmallReferenceClipsAndHurts) {
+    Rng rng(3);
+    const auto samples = gaussian_samples(20000, 2.0, rng);
+    const auto tiny = evaluate_reference_scale(cfg(8.0, 8), samples, 0.01);
+    EXPECT_GT(tiny.clip_fraction, 0.5);
+    const auto sane = evaluate_reference_scale(cfg(8.0, 8), samples, 1.0);
+    EXPECT_GT(tiny.rms_error, sane.rms_error);
+}
+
+TEST(ReferenceScalingTest, SweepSortsByRmsError) {
+    Rng rng(4);
+    const auto samples = gaussian_samples(10000, 0.4, rng);
+    const std::vector<double> scales{1.0, 0.5, 0.25, 0.125, 0.01};
+    const auto results = sweep_reference_scales(cfg(8.0, 8), samples, scales);
+    ASSERT_EQ(results.size(), scales.size());
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_LE(results[i - 1].rms_error, results[i].rms_error);
+    }
+    // The winner should not be either extreme for this distribution.
+    EXPECT_GT(results.front().reference_scale, 0.01);
+}
+
+TEST(ReferenceScalingTest, EffectiveEnobConsistentWithRms) {
+    Rng rng(5);
+    const auto samples = gaussian_samples(50000, 1.0, rng);
+    const VmacConfig c = cfg(10.0, 8);
+    const auto r = evaluate_reference_scale(c, samples, 1.0);
+    // No clipping and uniform quantization error: effective ENOB should be
+    // close to the quantizer's nominal resolution.
+    EXPECT_NEAR(r.effective_enob, 10.0, 0.1);
+}
+
+TEST(ReferenceScalingTest, ValidatesArguments) {
+    Rng rng(6);
+    const auto samples = gaussian_samples(10, 1.0, rng);
+    EXPECT_THROW((void)evaluate_reference_scale(cfg(8.0, 8), {}, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)evaluate_reference_scale(cfg(8.0, 8), samples, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)sweep_reference_scales(cfg(8.0, 8), samples, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::vmac

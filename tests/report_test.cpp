@@ -1,0 +1,58 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ams::core {
+namespace {
+
+TEST(ReportTest, TableAlignsColumns) {
+    Table t({"name", "value"});
+    t.add_row({"short", "1"});
+    t.add_row({"a much longer name", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("a much longer name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Each printed row of a 2-col table has the separator gutter.
+    EXPECT_NE(out.find("short               1"), std::string::npos);
+}
+
+TEST(ReportTest, RowsPaddedToHeaderCount) {
+    Table t({"a", "b", "c"});
+    t.add_row({"only one"});
+    std::ostringstream os;
+    EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(ReportTest, FixedFormatting) {
+    EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(ReportTest, PercentFormatting) {
+    EXPECT_EQ(fmt_pct(0.0353), "3.53%");
+    EXPECT_EQ(fmt_pct(-0.002, 1), "-0.2%");
+}
+
+TEST(ReportTest, MeanStdFormatting) {
+    EXPECT_EQ(fmt_mean_std(0.778, 0.001), "0.778 +/- 0.001");
+}
+
+TEST(ReportTest, EnergyFormattingSwitchesUnits) {
+    EXPECT_EQ(fmt_energy_fj(313.0), "313.0 fJ");
+    EXPECT_EQ(fmt_energy_fj(1250.0), "1.25 pJ");
+}
+
+TEST(ReportTest, BannerContainsTitleAndReference) {
+    std::ostringstream os;
+    print_banner(os, "Table 1", "paper Table 1");
+    EXPECT_NE(os.str().find("Table 1"), std::string::npos);
+    EXPECT_NE(os.str().find("Paper reference: paper Table 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ams::core

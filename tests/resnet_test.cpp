@@ -1,0 +1,232 @@
+#include "models/resnet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ams::models {
+namespace {
+
+LayerCommon fp32_common() {
+    LayerCommon c;
+    c.bits_w = quant::kFloatBits;
+    c.bits_x = quant::kFloatBits;
+    return c;
+}
+
+LayerCommon ams_common(double enob = 8.0) {
+    LayerCommon c;
+    c.bits_w = 8;
+    c.bits_x = 8;
+    c.ams_enabled = true;
+    c.vmac.enob = enob;
+    c.vmac.nmult = 8;
+    return c;
+}
+
+TEST(ResNetStructureTest, ResNet50HasFiftyThreeConvLayers) {
+    // The paper: "43 of the 53 convolutional layers of the network
+    // (including downsampling layers)" — ResNet-50 has 53 convs total.
+    ResNetConfig cfg = resnet50_config(fp32_common());
+    ResNet model(cfg);
+    EXPECT_EQ(model.num_conv_layers(), 53u);
+    EXPECT_EQ(model.injectors().size(), 54u);  // + FC injector
+}
+
+TEST(ResNetStructureTest, MiniPresetShapesFlowThrough) {
+    ResNet model(mini_resnet_config(fp32_common()));
+    model.set_training(true);
+    Rng rng(1);
+    Tensor x(Shape{2, 3, 16, 16});
+    x.fill_uniform(rng, -2.0f, 2.0f);
+    Tensor y = model.forward(x);
+    EXPECT_EQ(y.shape(), Shape({2, 10}));
+    // Backward runs end to end.
+    Tensor g(Shape{2, 10}, 0.1f);
+    Tensor gx = model.backward(g);
+    EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(ResNetStructureTest, TinyPresetUsesBasicBlocks) {
+    ResNet model(tiny_resnet_config(fp32_common()));
+    model.set_training(true);
+    Rng rng(2);
+    Tensor x(Shape{1, 3, 8, 8});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    EXPECT_EQ(model.forward(x).shape(), Shape({1, 4}));
+}
+
+TEST(ResNetTest, QuantizedBuildHasInputConditioning) {
+    ResNetConfig cfg = tiny_resnet_config(ams_common());
+    cfg.input_max_abs = 2.5f;
+    ResNet model(cfg);
+    model.set_training(false);
+    Rng rng(3);
+    Tensor x(Shape{1, 3, 8, 8});
+    x.fill_uniform(rng, -2.5f, 2.5f);
+    EXPECT_NO_THROW((void)model.forward(x));
+}
+
+TEST(ResNetTest, LastLayerInjectionPolicy) {
+    ResNet model(tiny_resnet_config(ams_common()));
+    // Training: FC injector disabled (paper: breaks learning); conv
+    // injectors stay on.
+    model.set_training(true);
+    EXPECT_FALSE(model.fc_injector().enabled());
+    EXPECT_TRUE(model.conv_units().front()->injector().enabled());
+    // Evaluation: everything on.
+    model.set_training(false);
+    EXPECT_TRUE(model.fc_injector().enabled());
+}
+
+TEST(ResNetTest, LastLayerPolicyOverride) {
+    ResNetConfig cfg = tiny_resnet_config(ams_common());
+    cfg.inject_last_layer_in_training = true;
+    ResNet model(cfg);
+    model.set_training(true);
+    EXPECT_TRUE(model.fc_injector().enabled());
+}
+
+TEST(ResNetTest, SetAmsEnabledTogglesAllInjectors) {
+    ResNet model(tiny_resnet_config(ams_common()));
+    model.set_training(false);
+    model.set_ams_enabled(false);
+    for (auto* inj : model.injectors()) EXPECT_FALSE(inj->enabled());
+    model.set_ams_enabled(true);
+    for (auto* inj : model.injectors()) EXPECT_TRUE(inj->enabled());
+}
+
+TEST(ResNetTest, SetVmacRetunesEveryInjector) {
+    ResNet model(tiny_resnet_config(ams_common(6.0)));
+    vmac::VmacConfig v;
+    v.enob = 9.5;
+    v.nmult = 16;
+    model.set_vmac(v);
+    for (auto* inj : model.injectors()) {
+        EXPECT_DOUBLE_EQ(inj->config().enob, 9.5);
+        EXPECT_EQ(inj->config().nmult, 16u);
+    }
+}
+
+TEST(ResNetTest, GroupFreezingMatchesTaxonomy) {
+    ResNet model(tiny_resnet_config(ams_common()));
+    model.set_group_frozen(LayerGroup::kBatchNorm, true);
+    for (auto* p : model.group_parameters(LayerGroup::kBatchNorm)) EXPECT_TRUE(p->frozen);
+    for (auto* p : model.group_parameters(LayerGroup::kConv)) EXPECT_FALSE(p->frozen);
+    for (auto* p : model.group_parameters(LayerGroup::kFullyConnected)) EXPECT_FALSE(p->frozen);
+    // Groups partition all parameters.
+    const std::size_t total = model.parameters().size();
+    const std::size_t sum = model.group_parameters(LayerGroup::kConv).size() +
+                            model.group_parameters(LayerGroup::kBatchNorm).size() +
+                            model.group_parameters(LayerGroup::kFullyConnected).size();
+    EXPECT_EQ(total, sum);
+}
+
+TEST(ResNetTest, StateRoundTripReproducesOutputs) {
+    ResNetConfig cfg = tiny_resnet_config(fp32_common(), 4, /*seed=*/11);
+    ResNet a(cfg);
+    a.set_training(false);
+    TensorMap state;
+    a.collect_state("", state);
+
+    ResNetConfig cfg2 = tiny_resnet_config(fp32_common(), 4, /*seed=*/99);
+    ResNet b(cfg2);
+    b.load_state("", state);
+    b.set_training(false);
+
+    Rng rng(4);
+    Tensor x(Shape{2, 3, 8, 8});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    Tensor ya = a.forward(x);
+    Tensor yb = b.forward(x);
+    for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(ResNetTest, StateTransfersAcrossVariants) {
+    // The FP32 -> quantized retraining path requires state compatibility
+    // between variants built with different bitwidths.
+    ResNet fp32(tiny_resnet_config(fp32_common()));
+    TensorMap state;
+    fp32.collect_state("", state);
+    ResNet quant(tiny_resnet_config(ams_common()));
+    EXPECT_NO_THROW(quant.load_state("", state));
+}
+
+TEST(ResNetTest, ActivationRecordingProducesPerLayerMeans) {
+    ResNet model(tiny_resnet_config(fp32_common()));
+    model.set_training(false);
+    model.set_recording(true);
+    Rng rng(5);
+    Tensor x(Shape{2, 3, 8, 8});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    (void)model.forward(x);
+    const auto means = model.activation_means();
+    EXPECT_EQ(means.size(), model.num_conv_layers());
+    model.reset_stats();
+    for (double m : model.activation_means()) EXPECT_EQ(m, 0.0);
+}
+
+TEST(ResNetTest, ValidatesConfig) {
+    ResNetConfig cfg = tiny_resnet_config(fp32_common());
+    cfg.stages.clear();
+    EXPECT_THROW(ResNet{cfg}, std::invalid_argument);
+    cfg = tiny_resnet_config(fp32_common());
+    cfg.num_classes = 1;
+    EXPECT_THROW(ResNet{cfg}, std::invalid_argument);
+    cfg = tiny_resnet_config(fp32_common());
+    cfg.input_max_abs = 0.0f;
+    EXPECT_THROW(ResNet{cfg}, std::invalid_argument);
+}
+
+TEST(ResNetTest, DeterministicConstructionFromSeed) {
+    ResNet a(tiny_resnet_config(fp32_common(), 4, 55));
+    ResNet b(tiny_resnet_config(fp32_common(), 4, 55));
+    a.set_training(false);
+    b.set_training(false);
+    Rng rng(6);
+    Tensor x(Shape{1, 3, 8, 8});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    Tensor ya = a.forward(x);
+    Tensor yb = b.forward(x);
+    for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+
+TEST(ResNetTest, MaxpoolStemPathForwardAndBackward) {
+    // The ResNet-50-style stem (strided conv + 3x3/2 max pool) is a
+    // distinct code path from the Mini presets.
+    ResNetConfig cfg = tiny_resnet_config(fp32_common());
+    cfg.stem_kernel = 5;
+    cfg.stem_stride = 2;
+    cfg.stem_maxpool = true;
+    ResNet model(cfg);
+    model.set_training(true);
+    Rng rng(21);
+    Tensor x(Shape{2, 3, 32, 32});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    Tensor y = model.forward(x);
+    EXPECT_EQ(y.shape(), Shape({2, 4}));
+    Tensor g(Shape{2, 4}, 0.1f);
+    EXPECT_EQ(model.backward(g).shape(), x.shape());
+}
+
+TEST(ResNetTest, QuantizedBackwardRunsEndToEnd) {
+    ResNet model(tiny_resnet_config(ams_common()));
+    model.set_training(true);
+    Rng rng(22);
+    Tensor x(Shape{2, 3, 8, 8});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    (void)model.forward(x);
+    Tensor g(Shape{2, 4}, 0.1f);
+    Tensor gx = model.backward(g);
+    EXPECT_EQ(gx.shape(), x.shape());
+    // Gradients reached the latent conv weights through the STE.
+    bool any_nonzero = false;
+    for (nn::Parameter* p : model.group_parameters(LayerGroup::kConv)) {
+        for (std::size_t i = 0; i < p->grad.size(); ++i) {
+            if (p->grad[i] != 0.0f) any_nonzero = true;
+        }
+    }
+    EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace ams::models

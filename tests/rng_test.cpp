@@ -1,0 +1,113 @@
+#include "tensor/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace ams {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformIndexBoundsAndCoverage) {
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t k = rng.uniform_index(7);
+        EXPECT_LT(k, 7u);
+        seen.insert(k);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(RngTest, SplitStreamsAreDecorrelated) {
+    Rng base(42);
+    Rng a = base.split(1);
+    Rng b = base.split(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+    Rng base1(42), base2(42);
+    Rng a = base1.split(9);
+    Rng b = base2.split(9);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+class RngNormalMoments : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngNormalMoments, MeanAndVarianceMatchStandardNormal) {
+    Rng rng(GetParam());
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngNormalMoments, ::testing::Values(1u, 17u, 999u, 31337u));
+
+TEST(RngTest, ScaledNormalMoments) {
+    Rng rng(5);
+    const int n = 100000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(3.0, 0.5);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 3.0, 0.02);
+    EXPECT_NEAR(sq / n - mean * mean, 0.25, 0.01);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+    static_assert(std::uniform_random_bit_generator<Rng>);
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace ams

@@ -1,0 +1,94 @@
+#include "nn/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/linear.hpp"
+
+namespace ams::nn {
+namespace {
+
+TEST(SequentialTest, ChainsForward) {
+    Rng rng(1);
+    Sequential seq;
+    auto& lin = seq.emplace<Linear>(2, 2, rng, false);
+    seq.emplace<ReLU>();
+    lin.weight().value = Tensor::from_data(Shape{2, 2}, {1, 0, 0, -1});
+    Tensor x = Tensor::from_data(Shape{1, 2}, {3, 4});
+    Tensor y = seq.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 3.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);  // -4 clipped by ReLU
+}
+
+TEST(SequentialTest, CollectsParametersInOrder) {
+    Rng rng(2);
+    Sequential seq;
+    seq.emplace<Linear>(3, 4, rng);
+    seq.emplace<ReLU>();
+    seq.emplace<Linear>(4, 2, rng);
+    EXPECT_EQ(seq.parameters().size(), 4u);  // two weights + two biases
+    EXPECT_EQ(seq.size(), 3u);
+}
+
+TEST(SequentialTest, BackwardChainsInReverse) {
+    Rng rng(3);
+    Sequential seq;
+    seq.emplace<Linear>(3, 3, rng);
+    seq.emplace<ReLU>();
+    seq.emplace<Linear>(3, 2, rng);
+    Tensor x(Shape{2, 3});
+    x.fill_uniform(rng, 0.1f, 1.0f);
+    const auto gi = check_input_gradient(seq, x, rng, 1e-2);
+    EXPECT_LT(gi.max_rel_error, 2e-2);
+    const auto gp = check_parameter_gradients(seq, x, rng, 1e-2);
+    EXPECT_LT(gp.max_rel_error, 2e-2);
+}
+
+TEST(SequentialTest, TrainingFlagPropagates) {
+    Rng rng(4);
+    Sequential seq;
+    auto& lin = seq.emplace<Linear>(2, 2, rng);
+    seq.set_training(false);
+    EXPECT_FALSE(lin.training());
+    seq.set_training(true);
+    EXPECT_TRUE(lin.training());
+}
+
+TEST(SequentialTest, StateRoundTrip) {
+    Rng rng(5);
+    Sequential seq;
+    seq.emplace<Linear>(2, 3, rng);
+    seq.emplace<Linear>(3, 1, rng);
+    TensorMap state;
+    seq.collect_state("net.", state);
+    EXPECT_TRUE(state.count("net.0.weight"));
+    EXPECT_TRUE(state.count("net.1.bias"));
+
+    Sequential other;
+    other.emplace<Linear>(2, 3, rng);
+    other.emplace<Linear>(3, 1, rng);
+    other.load_state("net.", state);
+    Tensor x = Tensor::from_data(Shape{1, 2}, {0.3f, -0.7f});
+    Tensor a = seq.forward(x);
+    Tensor b = other.forward(x);
+    EXPECT_FLOAT_EQ(a[0], b[0]);
+}
+
+TEST(SequentialTest, RejectsNullModule) {
+    Sequential seq;
+    EXPECT_THROW(seq.add(nullptr), std::invalid_argument);
+}
+
+TEST(SequentialTest, SetFrozenFreezesAll) {
+    Rng rng(6);
+    Sequential seq;
+    seq.emplace<Linear>(2, 2, rng);
+    seq.set_frozen(true);
+    for (Parameter* p : seq.parameters()) EXPECT_TRUE(p->frozen);
+    seq.set_frozen(false);
+    for (Parameter* p : seq.parameters()) EXPECT_FALSE(p->frozen);
+}
+
+}  // namespace
+}  // namespace ams::nn

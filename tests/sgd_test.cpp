@@ -1,0 +1,69 @@
+#include "nn/sgd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ams::nn {
+namespace {
+
+Parameter make_param(float value, float grad) {
+    Parameter p("w", Tensor(Shape{1}, value));
+    p.grad[0] = grad;
+    return p;
+}
+
+TEST(SgdTest, PlainStepDescendsGradient) {
+    Parameter p = make_param(1.0f, 0.5f);
+    Sgd opt({&p}, SgdOptions{0.1f, 0.0f, 0.0f});
+    opt.step();
+    EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+}
+
+TEST(SgdTest, MomentumAccumulatesVelocity) {
+    Parameter p = make_param(0.0f, 1.0f);
+    Sgd opt({&p}, SgdOptions{1.0f, 0.5f, 0.0f});
+    opt.step();  // v = 1, w = -1
+    EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+    p.grad[0] = 1.0f;
+    opt.step();  // v = 0.5*1 + 1 = 1.5, w = -2.5
+    EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(SgdTest, WeightDecayPullsTowardZero) {
+    Parameter p = make_param(2.0f, 0.0f);
+    Sgd opt({&p}, SgdOptions{0.1f, 0.0f, 0.5f});
+    opt.step();  // effective grad = 0 + 0.5*2 = 1
+    EXPECT_FLOAT_EQ(p.value[0], 2.0f - 0.1f * 1.0f);
+}
+
+TEST(SgdTest, FrozenParameterIsSkipped) {
+    Parameter p = make_param(1.0f, 10.0f);
+    p.frozen = true;
+    Sgd opt({&p}, SgdOptions{0.1f, 0.9f, 0.0f});
+    opt.step();
+    EXPECT_FLOAT_EQ(p.value[0], 1.0f);
+    // Unfreezing resumes updates.
+    p.frozen = false;
+    opt.step();
+    EXPECT_LT(p.value[0], 1.0f);
+}
+
+TEST(SgdTest, ZeroGradClearsAllGrads) {
+    Parameter a = make_param(0.0f, 3.0f);
+    Parameter b = make_param(0.0f, -2.0f);
+    Sgd opt({&a, &b}, SgdOptions{0.1f, 0.0f, 0.0f});
+    opt.zero_grad();
+    EXPECT_FLOAT_EQ(a.grad[0], 0.0f);
+    EXPECT_FLOAT_EQ(b.grad[0], 0.0f);
+}
+
+TEST(SgdTest, ValidatesOptionsAndParams) {
+    Parameter p = make_param(0.0f, 0.0f);
+    EXPECT_THROW(Sgd({&p}, SgdOptions{0.0f, 0.9f, 0.0f}), std::invalid_argument);
+    EXPECT_THROW(Sgd({&p}, SgdOptions{0.1f, -0.1f, 0.0f}), std::invalid_argument);
+    EXPECT_THROW(Sgd({nullptr}, SgdOptions{0.1f, 0.0f, 0.0f}), std::invalid_argument);
+    Sgd opt({&p}, SgdOptions{0.1f, 0.0f, 0.0f});
+    EXPECT_THROW(opt.set_lr(-1.0f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::nn

@@ -1,0 +1,130 @@
+#include "data/synthetic_imagenet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ams::data {
+namespace {
+
+DatasetOptions small_opts() {
+    DatasetOptions o;
+    o.classes = 4;
+    o.train_per_class = 20;
+    o.val_per_class = 8;
+    o.image_size = 12;
+    o.seed = 77;
+    return o;
+}
+
+TEST(SyntheticImageNetTest, ShapesAndLabelCounts) {
+    const DatasetOptions o = small_opts();
+    SyntheticImageNet ds(o);
+    EXPECT_EQ(ds.train_images().shape(), Shape({80, 3, 12, 12}));
+    EXPECT_EQ(ds.val_images().shape(), Shape({32, 3, 12, 12}));
+    EXPECT_EQ(ds.train_labels().size(), 80u);
+    EXPECT_EQ(ds.val_labels().size(), 32u);
+    // Labels are grouped per class in generation order.
+    std::vector<std::size_t> counts(o.classes, 0);
+    for (std::size_t l : ds.train_labels()) {
+        ASSERT_LT(l, o.classes);
+        ++counts[l];
+    }
+    for (std::size_t c : counts) EXPECT_EQ(c, o.train_per_class);
+}
+
+TEST(SyntheticImageNetTest, DeterministicForSeed) {
+    SyntheticImageNet a(small_opts()), b(small_opts());
+    for (std::size_t i = 0; i < a.train_images().size(); i += 97) {
+        EXPECT_FLOAT_EQ(a.train_images()[i], b.train_images()[i]);
+    }
+    DatasetOptions other = small_opts();
+    other.seed = 78;
+    SyntheticImageNet c(other);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < 1000; ++i) {
+        if (a.train_images()[i] != c.train_images()[i]) {
+            any_diff = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticImageNetTest, TrainAndValDiffer) {
+    SyntheticImageNet ds(small_opts());
+    bool any_diff = false;
+    for (std::size_t i = 0; i < 500; ++i) {
+        if (ds.train_images()[i] != ds.val_images()[i]) {
+            any_diff = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticImageNetTest, MaxAbsCoversData) {
+    SyntheticImageNet ds(small_opts());
+    EXPECT_FLOAT_EQ(ds.max_abs_value(), ds.train_images().abs_max());
+    EXPECT_GT(ds.max_abs_value(), 0.5f);
+}
+
+TEST(SyntheticImageNetTest, ClassesAreStatisticallyDistinct) {
+    // Per-class mean images must differ across classes: a degenerate
+    // generator would defeat every experiment downstream.
+    DatasetOptions o = small_opts();
+    o.train_per_class = 60;
+    SyntheticImageNet ds(o);
+    const std::size_t image = 3 * o.image_size * o.image_size;
+    std::vector<std::vector<double>> class_mean(o.classes, std::vector<double>(image, 0.0));
+    for (std::size_t s = 0; s < ds.train_labels().size(); ++s) {
+        const std::size_t k = ds.train_labels()[s];
+        for (std::size_t i = 0; i < image; ++i) {
+            class_mean[k][i] += ds.train_images()[s * image + i];
+        }
+    }
+    for (auto& m : class_mean) {
+        for (double& v : m) v /= static_cast<double>(o.train_per_class);
+    }
+    for (std::size_t a = 0; a < o.classes; ++a) {
+        for (std::size_t b = a + 1; b < o.classes; ++b) {
+            double dist = 0.0;
+            for (std::size_t i = 0; i < image; ++i) {
+                const double d = class_mean[a][i] - class_mean[b][i];
+                dist += d * d;
+            }
+            EXPECT_GT(std::sqrt(dist / image), 0.01) << "classes " << a << " vs " << b;
+        }
+    }
+}
+
+TEST(SyntheticImageNetTest, RenderSampleIsReusable) {
+    const DatasetOptions o = small_opts();
+    Rng rng(5);
+    std::vector<float> buf(3 * o.image_size * o.image_size, 0.0f);
+    render_sample(buf.data(), 2, o, rng);
+    float max_abs = 0.0f;
+    for (float v : buf) max_abs = std::max(max_abs, std::fabs(v));
+    EXPECT_GT(max_abs, 0.1f);
+}
+
+TEST(SyntheticImageNetTest, ValidatesOptions) {
+    DatasetOptions bad = small_opts();
+    bad.classes = 1;
+    EXPECT_THROW(SyntheticImageNet{bad}, std::invalid_argument);
+    bad = small_opts();
+    bad.classes = 99;  // beyond 2 * families
+    EXPECT_THROW(SyntheticImageNet{bad}, std::invalid_argument);
+    bad = small_opts();
+    bad.image_size = 2;
+    EXPECT_THROW(SyntheticImageNet{bad}, std::invalid_argument);
+    bad = small_opts();
+    bad.noise_sigma = -0.1f;
+    EXPECT_THROW(SyntheticImageNet{bad}, std::invalid_argument);
+    bad = small_opts();
+    bad.val_per_class = 0;
+    EXPECT_THROW(SyntheticImageNet{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::data

@@ -1,0 +1,129 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ams {
+namespace {
+
+TEST(TensorTest, ConstructionFillsValue) {
+    Tensor t(Shape{2, 3}, 1.5f);
+    EXPECT_EQ(t.size(), 6u);
+    for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+    Tensor t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TensorTest, FromDataValidatesSize) {
+    EXPECT_NO_THROW(Tensor::from_data(Shape{2, 2}, {1, 2, 3, 4}));
+    EXPECT_THROW(Tensor::from_data(Shape{2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TensorTest, MultiIndexAccess) {
+    Tensor t = Tensor::from_data(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+    EXPECT_FLOAT_EQ(t.at({0, 0}), 0.0f);
+    EXPECT_FLOAT_EQ(t.at({1, 2}), 5.0f);
+    EXPECT_THROW(t.at({2, 0}), std::invalid_argument);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+    Tensor t = Tensor::from_data(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+    Tensor r = t.reshaped(Shape{3, 2});
+    EXPECT_EQ(r.shape(), Shape({3, 2}));
+    EXPECT_FLOAT_EQ(r.at({2, 1}), 5.0f);
+    EXPECT_THROW(t.reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+    Tensor a = Tensor::from_data(Shape{3}, {1, 2, 3});
+    Tensor b = Tensor::from_data(Shape{3}, {10, 20, 30});
+    Tensor sum = a + b;
+    Tensor diff = b - a;
+    Tensor prod = a * b;
+    EXPECT_FLOAT_EQ(sum[1], 22.0f);
+    EXPECT_FLOAT_EQ(diff[2], 27.0f);
+    EXPECT_FLOAT_EQ(prod[0], 10.0f);
+    Tensor scaled = a * 2.0f;
+    EXPECT_FLOAT_EQ(scaled[2], 6.0f);
+}
+
+TEST(TensorTest, ShapeMismatchThrows) {
+    Tensor a(Shape{2, 2});
+    Tensor b(Shape{4});
+    EXPECT_THROW(a += b, std::invalid_argument);
+    EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(TensorTest, Reductions) {
+    Tensor t = Tensor::from_data(Shape{4}, {1, -2, 3, -4});
+    EXPECT_FLOAT_EQ(t.sum(), -2.0f);
+    EXPECT_FLOAT_EQ(t.mean(), -0.5f);
+    EXPECT_FLOAT_EQ(t.min(), -4.0f);
+    EXPECT_FLOAT_EQ(t.max(), 3.0f);
+    EXPECT_FLOAT_EQ(t.abs_max(), 4.0f);
+    EXPECT_EQ(t.argmax(), 2u);
+}
+
+TEST(TensorTest, VarianceMatchesDefinition) {
+    Tensor t = Tensor::from_data(Shape{4}, {1, 1, 3, 3});
+    EXPECT_FLOAT_EQ(t.variance(), 1.0f);  // mean 2, deviations +/-1
+}
+
+TEST(TensorTest, EmptyReductionsThrow) {
+    Tensor t;
+    EXPECT_THROW((void)t.min(), std::logic_error);
+    EXPECT_THROW((void)t.max(), std::logic_error);
+    EXPECT_THROW((void)t.argmax(), std::logic_error);
+}
+
+TEST(TensorTest, ApplyTransformsElements) {
+    Tensor t = Tensor::from_data(Shape{3}, {1, 2, 3});
+    t.apply([](float v) { return v * v; });
+    EXPECT_FLOAT_EQ(t[2], 9.0f);
+}
+
+TEST(TensorTest, RandomFillsAreInRange) {
+    Rng rng(3);
+    Tensor t(Shape{1000});
+    t.fill_uniform(rng, -2.0f, 2.0f);
+    EXPECT_GE(t.min(), -2.0f);
+    EXPECT_LE(t.max(), 2.0f);
+    EXPECT_GT(t.variance(), 0.5f);  // roughly (b-a)^2/12 = 1.33
+}
+
+TEST(TensorTest, HeNormalVarianceMatchesFanIn) {
+    Rng rng(4);
+    Tensor t(Shape{50000});
+    t.fill_he_normal(rng, 8);
+    EXPECT_NEAR(t.variance(), 2.0f / 8.0f, 0.01f);
+    EXPECT_THROW(t.fill_he_normal(rng, 0), std::invalid_argument);
+}
+
+struct MomentsCase {
+    std::size_t n;
+    float lo;
+    float hi;
+};
+
+class TensorUniformMoments : public ::testing::TestWithParam<MomentsCase> {};
+
+TEST_P(TensorUniformMoments, MeanMatchesMidpoint) {
+    const auto& p = GetParam();
+    Rng rng(99);
+    Tensor t(Shape{p.n});
+    t.fill_uniform(rng, p.lo, p.hi);
+    EXPECT_NEAR(t.mean(), (p.lo + p.hi) / 2.0f, 0.05f * (p.hi - p.lo));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, TensorUniformMoments,
+                         ::testing::Values(MomentsCase{10000, 0.0f, 1.0f},
+                                           MomentsCase{10000, -1.0f, 1.0f},
+                                           MomentsCase{20000, -5.0f, 3.0f}));
+
+}  // namespace
+}  // namespace ams

@@ -1,0 +1,178 @@
+#include "ams/vmac_cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ams/error_model.hpp"
+
+namespace ams::vmac {
+namespace {
+
+VmacConfig cfg(double enob, std::size_t nmult, Accumulation acc = Accumulation::kSum) {
+    VmacConfig c;
+    c.enob = enob;
+    c.nmult = nmult;
+    c.accumulation = acc;
+    return c;
+}
+
+std::vector<double> random_vec(std::size_t n, Rng& rng, double lo = -1.0, double hi = 1.0) {
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform(lo, hi);
+    return v;
+}
+
+TEST(VmacCellTest, NoiselessErrorBoundedByHalfLsb) {
+    VmacCell cell(cfg(10.0, 8));
+    Rng rng(1);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto w = random_vec(8, rng);
+        auto x = random_vec(8, rng, 0.0, 1.0);
+        const double ideal = cell.dot_ideal(w, x);
+        const double got = cell.dot(w, x, rng);
+        EXPECT_LE(std::fabs(got - ideal), 0.5 * cell.adc_lsb() + 1e-12);
+    }
+}
+
+TEST(VmacCellTest, AdcLsbMatchesErrorModel) {
+    const VmacConfig c = cfg(9.5, 16);
+    VmacCell cell(c);
+    EXPECT_NEAR(cell.adc_lsb(), vmac_lsb(c), 1e-12);
+}
+
+class VmacVarianceMatchesModel : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {
+};
+
+// The empirical conversion-error variance of the bit-exact cell must match
+// LSB^2/12 — the statistical model's Eq. 1 — validating the lumping.
+TEST_P(VmacVarianceMatchesModel, EmpiricalVarianceNearLsbSqOver12) {
+    const auto [enob, nmult] = GetParam();
+    const VmacConfig c = cfg(enob, nmult);
+    VmacCell cell(c);
+    Rng rng(33);
+    const int trials = 20000;
+    double sq = 0.0, sum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        const auto w = random_vec(nmult, rng);
+        const auto x = random_vec(nmult, rng, 0.0, 1.0);
+        const double err = cell.dot(w, x, rng) - cell.dot_ideal(w, x);
+        sum += err;
+        sq += err * err;
+    }
+    const double mean = sum / trials;
+    const double var = sq / trials - mean * mean;
+    const double expected = vmac_error_variance(c);
+    EXPECT_NEAR(var / expected, 1.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, VmacVarianceMatchesModel,
+                         ::testing::Values(std::make_tuple(8.0, std::size_t{8}),
+                                           std::make_tuple(10.0, std::size_t{8}),
+                                           std::make_tuple(9.0, std::size_t{16}),
+                                           std::make_tuple(7.0, std::size_t{4})));
+
+TEST(VmacCellTest, SumAndAverageModesAgree) {
+    // Sec. 2: averaging just moves the binary point; after the digital
+    // rescale the two hardware styles inject identical relative error.
+    Rng rng(5);
+    VmacCell sum_cell(cfg(10.0, 8, Accumulation::kSum));
+    VmacCell avg_cell(cfg(10.0, 8, Accumulation::kAverage));
+    for (int t = 0; t < 100; ++t) {
+        const auto w = random_vec(8, rng);
+        const auto x = random_vec(8, rng, 0.0, 1.0);
+        Rng r1(1000 + t), r2(1000 + t);
+        EXPECT_NEAR(sum_cell.dot(w, x, r1), avg_cell.dot(w, x, r2), 1e-9);
+    }
+}
+
+TEST(VmacCellTest, TiledDotAccumulatesDigitally) {
+    VmacCell cell(cfg(12.0, 8));
+    Rng rng(6);
+    const auto w = random_vec(72, rng);
+    const auto x = random_vec(72, rng, 0.0, 1.0);
+    double ideal = 0.0;
+    for (std::size_t start = 0; start < 72; start += 8) {
+        ideal += cell.dot_ideal(std::span(w).subspan(start, 8),
+                                std::span(x).subspan(start, 8));
+    }
+    const double got = cell.dot_tiled(w, x, rng);
+    // 9 tiles, each within LSB/2.
+    EXPECT_LE(std::fabs(got - ideal), 9.0 * 0.5 * cell.adc_lsb() + 1e-12);
+}
+
+TEST(VmacCellTest, OperandQuantizationUsesConfiguredBits) {
+    VmacConfig c = cfg(14.0, 2);
+    c.bits_w = 2;  // weights in {-1, 0, 1}
+    c.bits_x = 8;
+    VmacCell cell(c);
+    const std::vector<double> w{0.6, -0.2};
+    const std::vector<double> x{1.0, 1.0};
+    // w quantizes to {1, 0} -> ideal dot = 1.
+    EXPECT_NEAR(cell.dot_ideal(w, x), 1.0, 1e-12);
+}
+
+TEST(VmacCellTest, EffectiveEnobDegradesWithThermalNoise) {
+    const VmacConfig c = cfg(12.0, 8);
+    VmacCell clean(c);
+    AnalogOptions noisy;
+    noisy.adc_noise_sigma = 4.0 * vmac_lsb(c);  // dominate quantization
+    VmacCell cell(c, noisy);
+    EXPECT_NEAR(clean.effective_enob(), 12.0, 1e-9);
+    EXPECT_LT(cell.effective_enob(), 9.0);
+}
+
+TEST(VmacCellTest, EffectiveEnobCompositionFormula) {
+    const VmacConfig c = cfg(10.0, 8);
+    AnalogOptions a;
+    a.adc_noise_sigma = vmac_lsb(c) / std::sqrt(12.0);  // equal variance
+    VmacCell cell(c, a);
+    // Doubling the variance costs half a bit.
+    EXPECT_NEAR(cell.effective_enob(), 10.0 - 0.5, 1e-6);
+}
+
+TEST(VmacCellTest, ClippingAtReducedReference) {
+    AnalogOptions a;
+    a.reference_scale = 0.25;
+    VmacCell cell(cfg(12.0, 8), a);
+    std::vector<double> w(8, 1.0), x(8, 1.0);  // dot = 8, ref = 2
+    Rng rng(9);
+    EXPECT_NEAR(cell.dot(w, x, rng), 2.0, 1e-9);
+}
+
+TEST(VmacCellTest, ValidatesInputs) {
+    VmacCell cell(cfg(10.0, 4));
+    Rng rng(1);
+    std::vector<double> w(5, 0.0), x(5, 0.0);
+    EXPECT_THROW((void)cell.dot(w, x, rng), std::invalid_argument);  // > nmult
+    std::vector<double> short_x(3, 0.0);
+    std::vector<double> w4(4, 0.0);
+    EXPECT_THROW((void)cell.dot(w4, short_x, rng), std::invalid_argument);
+    AnalogOptions bad;
+    bad.reference_scale = 0.0;
+    EXPECT_THROW(VmacCell(cfg(10.0, 4), bad), std::invalid_argument);
+    AnalogOptions neg;
+    neg.adc_noise_sigma = -1.0;
+    EXPECT_THROW(VmacCell(cfg(10.0, 4), neg), std::invalid_argument);
+}
+
+TEST(VmacCellTest, MultiplierNoisePropagates) {
+    AnalogOptions a;
+    a.multiplier_noise_sigma = 0.01;
+    VmacCell cell(cfg(16.0, 8), a);  // fine ADC: noise dominates
+    Rng rng(11);
+    const std::vector<double> w(8, 0.5), x(8, 0.5);
+    const double ideal = cell.dot_ideal(w, x);
+    double sq = 0.0;
+    const int trials = 5000;
+    for (int t = 0; t < trials; ++t) {
+        const double err = cell.dot(w, x, rng) - ideal;
+        sq += err * err;
+    }
+    // Variance ~ 8 * 0.01^2 (8 independent multiplier noise sources).
+    EXPECT_NEAR(sq / trials, 8.0 * 1e-4, 2e-5);
+}
+
+}  // namespace
+}  // namespace ams::vmac

@@ -1,0 +1,115 @@
+#include "energy/vmac_energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/network_energy.hpp"
+
+namespace ams::energy {
+namespace {
+
+TEST(VmacEnergyModelTest, AdcOnlyDefaultsMatchEquationFour) {
+    VmacEnergyModel model;  // defaults: ADC only
+    EXPECT_NEAR(model.emac_fj(8.0, 8), emac_lower_bound_fj(8.0, 8), 1e-9);
+    EXPECT_NEAR(model.emac_fj(12.0, 16), emac_lower_bound_fj(12.0, 16), 1e-9);
+}
+
+TEST(VmacEnergyModelTest, ComponentsAddUp) {
+    VmacEnergyModel model;
+    model.mult_fj_per_op = 3.0;
+    model.digital_fj_per_add = 1.0;
+    model.adc_margin = 2.0;
+    const VmacEnergyBreakdown b = model.vmac_energy(8.0, 8);
+    EXPECT_NEAR(b.adc_fj, 2.0 * 300.0, 1e-9);  // 2x the 0.3 pJ floor
+    EXPECT_NEAR(b.mult_fj, 24.0, 1e-9);
+    EXPECT_NEAR(b.digital_fj, 1.0, 1e-9);
+    EXPECT_NEAR(b.total_fj(), 625.0, 1e-9);
+    EXPECT_NEAR(model.emac_fj(8.0, 8), 625.0 / 8.0, 1e-9);
+}
+
+TEST(VmacEnergyModelTest, MultiplierEnergyDoesNotAmortize) {
+    // ADC energy amortizes over Nmult; multiplier energy does not.
+    VmacEnergyModel model;
+    model.mult_fj_per_op = 5.0;
+    const double e8 = model.emac_fj(8.0, 8);
+    const double e64 = model.emac_fj(8.0, 64);
+    // Both contain the 5 fJ multiply; only the ADC share shrinks.
+    EXPECT_GT(e8, e64);
+    EXPECT_GT(e64, 5.0);
+}
+
+TEST(VmacEnergyModelTest, Validation) {
+    VmacEnergyModel model;
+    EXPECT_THROW((void)model.vmac_energy(8.0, 0), std::invalid_argument);
+    EXPECT_THROW((void)model.vmac_energy(0.0, 8), std::invalid_argument);
+}
+
+TEST(AccountNetworkTest, TotalsAreLayerSums) {
+    std::vector<LayerEnergy> shapes(2);
+    shapes[0].name = "a";
+    shapes[0].n_tot = 72;
+    shapes[0].outputs = 100;
+    shapes[1].name = "b";
+    shapes[1].n_tot = 64;
+    shapes[1].outputs = 10;
+
+    VmacEnergyModel model;
+    const auto report = account_network(shapes, model, 8.0, 8);
+    ASSERT_EQ(report.layers.size(), 2u);
+    EXPECT_EQ(report.layers[0].macs, 7200u);
+    EXPECT_EQ(report.layers[0].vmacs, 900u);  // ceil(72/8) * 100
+    EXPECT_EQ(report.layers[1].macs, 640u);
+    EXPECT_EQ(report.total_macs, 7840u);
+    EXPECT_NEAR(report.total_nj,
+                report.layers[0].energy_nj + report.layers[1].energy_nj, 1e-12);
+    EXPECT_NEAR(report.mean_emac_fj(), emac_lower_bound_fj(8.0, 8), 1e-9);
+}
+
+TEST(AccountNetworkTest, CeilingOnVmacCount) {
+    std::vector<LayerEnergy> shapes(1);
+    shapes[0].name = "odd";
+    shapes[0].n_tot = 9;  // needs 2 VMACs of 8
+    shapes[0].outputs = 1;
+    const auto report = account_network(shapes, VmacEnergyModel{}, 8.0, 8);
+    EXPECT_EQ(report.layers[0].vmacs, 2u);
+}
+
+TEST(AccountNetworkTest, RejectsDegenerateLayer) {
+    std::vector<LayerEnergy> shapes(1);
+    shapes[0].name = "zero";
+    EXPECT_THROW((void)account_network(shapes, VmacEnergyModel{}, 8.0, 8),
+                 std::invalid_argument);
+}
+
+TEST(ExtractLayerShapesTest, CountsMatchModelGeometry) {
+    models::LayerCommon common;
+    common.bits_w = quant::kFloatBits;
+    common.bits_x = quant::kFloatBits;
+    models::ResNet model(models::tiny_resnet_config(common));
+    Tensor probe(Shape{1, 3, 8, 8});
+    const auto shapes = core::extract_layer_shapes(model, probe);
+    // conv layers + fc
+    ASSERT_EQ(shapes.size(), model.num_conv_layers() + 1);
+    // Stem: 3x3 over 3 channels on an 8x8 input with 4 output channels.
+    EXPECT_EQ(shapes[0].n_tot, 27u);
+    EXPECT_EQ(shapes[0].outputs, 4u * 8u * 8u);
+    // FC: in_features = last stage channels, outputs = classes.
+    EXPECT_EQ(shapes.back().name, "fc");
+    EXPECT_EQ(shapes.back().n_tot, 16u);
+    EXPECT_EQ(shapes.back().outputs, 4u);
+    // Recording must be off again.
+    model.set_training(false);
+    (void)model.forward(probe);
+    for (double m : model.activation_means()) EXPECT_EQ(m, 0.0);
+}
+
+TEST(ExtractLayerShapesTest, RequiresBatchOfOne) {
+    models::LayerCommon common;
+    common.bits_w = quant::kFloatBits;
+    common.bits_x = quant::kFloatBits;
+    models::ResNet model(models::tiny_resnet_config(common));
+    Tensor probe(Shape{2, 3, 8, 8});
+    EXPECT_THROW((void)core::extract_layer_shapes(model, probe), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::energy
