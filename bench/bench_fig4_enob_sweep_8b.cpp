@@ -39,16 +39,14 @@ int main() {
     double max_recovery = 0.0;
     double last_recovery = 0.0;
     double cutoff_within_sigma = 0.0;
-    const auto sweep = bench::enob_sweep();
-    for (double enob : sweep) {
-        const auto vmac_cfg = bench::vmac_at(enob);
-        // (a) AMS error at evaluation time only, on the quantized network.
-        const train::EvalResult eval_only =
-            env.evaluate_state(q88, env.ams_common(8, 8, vmac_cfg));
-        // (b) AMS error also during retraining.
-        const TensorMap retrained = env.ams_retrained_state(8, 8, vmac_cfg);
-        const train::EvalResult retrain =
-            env.evaluate_state(retrained, env.ams_common(8, 8, vmac_cfg));
+    // All ENOB points run concurrently on the runtime pool: (a) AMS error
+    // at evaluation only on the quantized network, (b) AMS error also
+    // during retraining. Results are identical to the serial order.
+    const auto sweep = env.ams_enob_sweep(8, 8, bench::enob_sweep());
+    for (const auto& point : sweep) {
+        const double enob = point.enob;
+        const train::EvalResult& eval_only = point.eval_only;
+        const train::EvalResult& retrain = point.retrained;
 
         const double loss_eval = base.mean - eval_only.mean;
         const double loss_retrain = base.mean - retrain.mean;

@@ -25,9 +25,13 @@ int main() {
     core::Table table({"ENOB", "Eval-only loss", "Samp. Std."});
     double cutoff_1pct = 0.0;
     double cutoff_sigma = 0.0;
-    for (double enob : bench::enob_sweep()) {
-        const train::EvalResult r =
-            env.evaluate_state(q66, env.ams_common(6, 6, bench::vmac_at(enob)));
+    // Eval-only sweep (no retraining at this precision, as in the paper);
+    // all points run concurrently on the runtime pool.
+    const auto sweep =
+        env.ams_enob_sweep(6, 6, bench::enob_sweep(), {.nmult = 8, .retrain = false});
+    for (const auto& point : sweep) {
+        const double enob = point.enob;
+        const train::EvalResult& r = point.eval_only;
         const double loss = base.mean - r.mean;
         if (loss < 0.01 && cutoff_1pct == 0.0) cutoff_1pct = enob;
         // Deterministic baseline: use the AMS run's error bar (see Fig. 4).

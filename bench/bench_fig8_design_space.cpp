@@ -31,13 +31,13 @@ int main() {
     const TensorMap q88 = env.quantized_state(8, 8);
     const train::EvalResult base = env.evaluate_state(q88, env.quant_common(8, 8));
 
-    // Accuracy curve at the reference Nmult = 8 from retrained networks.
+    // Accuracy curve at the reference Nmult = 8 from retrained networks;
+    // every ENOB point retrains and evaluates concurrently on the pool.
+    const auto sweep =
+        env.ams_enob_sweep(8, 8, bench::enob_sweep(), {.nmult = 8, .eval_only = false});
     std::vector<energy::AccuracyCurve::Point> points;
-    for (double enob : bench::enob_sweep()) {
-        const auto vmac_cfg = bench::vmac_at(enob);
-        const TensorMap state = env.ams_retrained_state(8, 8, vmac_cfg);
-        const train::EvalResult r = env.evaluate_state(state, env.ams_common(8, 8, vmac_cfg));
-        points.push_back({enob, std::max(0.0, base.mean - r.mean)});
+    for (const auto& point : sweep) {
+        points.push_back({point.enob, std::max(0.0, base.mean - point.retrained.mean)});
     }
     const energy::AccuracyCurve curve(points, /*reference_nmult=*/8);
 

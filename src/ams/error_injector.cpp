@@ -1,11 +1,25 @@
 #include "ams/error_injector.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
 
 namespace ams::vmac {
 
+namespace {
+
+// RNG tile width, in output elements. Fixed — never derived from the
+// thread count — so the mapping from element to noise stream depends only
+// on tensor position and the injected sequence is reproducible at any
+// AMSNET_THREADS. One switch of tile width is a (seed-level) change of
+// the exact noise realization, recorded in EXPERIMENTS.md.
+constexpr std::size_t kRngTile = 2048;
+
+}  // namespace
+
 ErrorInjector::ErrorInjector(VmacConfig config, std::size_t n_tot, Rng rng, InjectionMode mode)
-    : config_(config), n_tot_(n_tot), rng_(rng), mode_(mode) {
+    : config_(config), n_tot_(n_tot), streams_(runtime::RngStream::from(rng)), mode_(mode) {
     config_.validate();
     if (n_tot == 0) throw std::invalid_argument("ErrorInjector: n_tot must be > 0");
 }
@@ -22,24 +36,43 @@ double ErrorInjector::error_stddev() const {
 Tensor ErrorInjector::forward(const Tensor& input) {
     if (!enabled_) return input;
     Tensor out = input;
+    const runtime::RngStream pass_streams = streams_.substream(forward_count_++);
+    const std::size_t tiles = (out.size() + kRngTile - 1) / kRngTile;
+
     switch (mode_) {
         case InjectionMode::kLumpedGaussian: {
             const double sigma = total_error_stddev(config_, n_tot_);
-            for (std::size_t i = 0; i < out.size(); ++i) {
-                out[i] += static_cast<float>(rng_.normal(0.0, sigma));
-            }
+            runtime::parallel_for(
+                0, tiles, runtime::suggest_grain(tiles, 1),
+                [&](std::size_t t_begin, std::size_t t_end) {
+                    for (std::size_t t = t_begin; t < t_end; ++t) {
+                        Rng tile_rng = pass_streams.stream(t);
+                        const std::size_t hi = std::min(out.size(), (t + 1) * kRngTile);
+                        for (std::size_t i = t * kRngTile; i < hi; ++i) {
+                            out[i] += static_cast<float>(tile_rng.normal(0.0, sigma));
+                        }
+                    }
+                });
             break;
         }
         case InjectionMode::kPerVmacUniform: {
             const double lsb = vmac_lsb(config_);
             const std::size_t cells = vmacs_per_output(config_, n_tot_);
-            for (std::size_t i = 0; i < out.size(); ++i) {
-                double err = 0.0;
-                for (std::size_t v = 0; v < cells; ++v) {
-                    err += rng_.uniform(-0.5 * lsb, 0.5 * lsb);
-                }
-                out[i] += static_cast<float>(err);
-            }
+            runtime::parallel_for(
+                0, tiles, runtime::suggest_grain(tiles, 1),
+                [&](std::size_t t_begin, std::size_t t_end) {
+                    for (std::size_t t = t_begin; t < t_end; ++t) {
+                        Rng tile_rng = pass_streams.stream(t);
+                        const std::size_t hi = std::min(out.size(), (t + 1) * kRngTile);
+                        for (std::size_t i = t * kRngTile; i < hi; ++i) {
+                            double err = 0.0;
+                            for (std::size_t v = 0; v < cells; ++v) {
+                                err += tile_rng.uniform(-0.5 * lsb, 0.5 * lsb);
+                            }
+                            out[i] += static_cast<float>(err);
+                        }
+                    }
+                });
             break;
         }
     }

@@ -13,6 +13,7 @@
 
 #include "ams/error_model.hpp"
 #include "nn/module.hpp"
+#include "runtime/rng_stream.hpp"
 
 namespace ams::vmac {
 
@@ -32,7 +33,10 @@ enum class InjectionMode {
 class ErrorInjector : public nn::Module {
 public:
     /// `n_tot` is the multiplications per output activation of the layer
-    /// this injector follows. Throws std::invalid_argument on bad config.
+    /// this injector follows. `rng` seeds the per-tile noise streams
+    /// (fixed tiles of the output tensor, one derived stream per tile per
+    /// forward pass), so injection is bit-identical at any AMSNET_THREADS.
+    /// Throws std::invalid_argument on bad config.
     ErrorInjector(VmacConfig config, std::size_t n_tot, Rng rng,
                   InjectionMode mode = InjectionMode::kLumpedGaussian);
 
@@ -57,7 +61,8 @@ public:
 private:
     VmacConfig config_;
     std::size_t n_tot_;
-    Rng rng_;
+    runtime::RngStream streams_;       ///< root of the per-tile noise streams
+    std::uint64_t forward_count_ = 0;  ///< distinct streams per forward pass
     InjectionMode mode_;
     bool enabled_ = true;
 };

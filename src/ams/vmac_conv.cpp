@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/parallel_for.hpp"
+
 namespace ams::vmac {
 
 VmacConv2d::VmacConv2d(Tensor weight, std::size_t stride, std::size_t padding,
@@ -15,7 +17,7 @@ VmacConv2d::VmacConv2d(Tensor weight, std::size_t stride, std::size_t padding,
       padding_(padding),
       cell_(config, analog),
       mode_(mode),
-      rng_(rng) {
+      streams_(runtime::RngStream::from(rng)) {
     if (weight_.rank() != 4) {
         throw std::invalid_argument("VmacConv2d: weight must be {Cout, Cin, K, K}, got " +
                                     weight_.shape().str());
@@ -48,39 +50,56 @@ Tensor VmacConv2d::forward(const Tensor& input) {
     const std::size_t in_image = g.in_channels * g.in_h * g.in_w;
 
     Tensor output(Shape{batch, cout, oh, ow});
-    std::vector<float> columns(patch * out_spatial);
-    std::vector<double> w_chunk(nmult), x_chunk(nmult);
 
-    const double lsb = cell_.adc_lsb();
-    for (std::size_t b = 0; b < batch; ++b) {
-        im2col(input.data() + b * in_image, g, columns.data());
-        for (std::size_t oc = 0; oc < cout; ++oc) {
-            const float* wrow = weight_.data() + oc * patch;
-            for (std::size_t pix = 0; pix < out_spatial; ++pix) {
-                double acc = 0.0;
-                for (std::size_t start = 0; start < patch; start += nmult) {
-                    const std::size_t len = std::min(nmult, patch - start);
-                    if (mode_ == VmacConvMode::kBitExact) {
-                        for (std::size_t i = 0; i < len; ++i) {
-                            w_chunk[i] = wrow[start + i];
-                            x_chunk[i] = columns[(start + i) * out_spatial + pix];
-                        }
-                        acc += cell_.dot(std::span(w_chunk).first(len),
-                                         std::span(x_chunk).first(len), rng_);
-                    } else {
-                        double partial = 0.0;
-                        for (std::size_t i = 0; i < len; ++i) {
-                            partial += static_cast<double>(wrow[start + i]) *
-                                       columns[(start + i) * out_spatial + pix];
-                        }
-                        acc += partial + rng_.uniform(-0.5 * lsb, 0.5 * lsb);
-                    }
-                }
-                output.data()[(b * cout + oc) * out_spatial + pix] =
-                    static_cast<float>(acc);
-            }
+    // Lower the whole batch first (write-disjoint per image), then walk
+    // the (image, out-channel) tiles in parallel. Each tile owns a noise
+    // stream keyed by (forward pass, tile index), so the injected AMS
+    // error is independent of how the pool schedules the tiles.
+    std::vector<float> columns(batch * patch * out_spatial);
+    runtime::parallel_for(0, batch, 1, [&](std::size_t b_begin, std::size_t b_end) {
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+            im2col(input.data() + b * in_image, g, columns.data() + b * patch * out_spatial);
         }
-    }
+    });
+
+    const runtime::RngStream pass_streams = streams_.substream(forward_count_++);
+    const double lsb = cell_.adc_lsb();
+    const std::size_t tiles = batch * cout;
+    runtime::parallel_for(
+        0, tiles, runtime::suggest_grain(tiles, 1),
+        [&](std::size_t t_begin, std::size_t t_end) {
+            std::vector<double> w_chunk(nmult), x_chunk(nmult);
+            for (std::size_t t = t_begin; t < t_end; ++t) {
+                const std::size_t b = t / cout;
+                const std::size_t oc = t % cout;
+                Rng tile_rng = pass_streams.stream(t);
+                const float* cols = columns.data() + b * patch * out_spatial;
+                const float* wrow = weight_.data() + oc * patch;
+                for (std::size_t pix = 0; pix < out_spatial; ++pix) {
+                    double acc = 0.0;
+                    for (std::size_t start = 0; start < patch; start += nmult) {
+                        const std::size_t len = std::min(nmult, patch - start);
+                        if (mode_ == VmacConvMode::kBitExact) {
+                            for (std::size_t i = 0; i < len; ++i) {
+                                w_chunk[i] = wrow[start + i];
+                                x_chunk[i] = cols[(start + i) * out_spatial + pix];
+                            }
+                            acc += cell_.dot(std::span(w_chunk).first(len),
+                                             std::span(x_chunk).first(len), tile_rng);
+                        } else {
+                            double partial = 0.0;
+                            for (std::size_t i = 0; i < len; ++i) {
+                                partial += static_cast<double>(wrow[start + i]) *
+                                           cols[(start + i) * out_spatial + pix];
+                            }
+                            acc += partial + tile_rng.uniform(-0.5 * lsb, 0.5 * lsb);
+                        }
+                    }
+                    output.data()[(b * cout + oc) * out_spatial + pix] =
+                        static_cast<float>(acc);
+                }
+            }
+        });
     return output;
 }
 

@@ -19,6 +19,7 @@
 
 #include "ams/vmac_cell.hpp"
 #include "nn/module.hpp"
+#include "runtime/rng_stream.hpp"
 #include "tensor/im2col.hpp"
 
 namespace ams::vmac {
@@ -37,6 +38,9 @@ class VmacConv2d : public nn::Module {
 public:
     /// `weight` layout {out_channels, in_channels, k, k}; values are used
     /// as-is (pass DoReFa-quantized weights for a faithful pipeline).
+    /// `rng` seeds the per-tile noise streams: every (image, out-channel)
+    /// tile of every forward pass draws from its own derived generator,
+    /// so outputs are bit-identical at any AMSNET_THREADS.
     /// Throws std::invalid_argument on shape/config mismatch.
     VmacConv2d(Tensor weight, std::size_t stride, std::size_t padding,
                const VmacConfig& config, const AnalogOptions& analog, VmacConvMode mode,
@@ -60,7 +64,8 @@ private:
     std::size_t padding_;
     VmacCell cell_;
     VmacConvMode mode_;
-    Rng rng_;
+    runtime::RngStream streams_;       ///< root of the per-tile noise streams
+    std::uint64_t forward_count_ = 0;  ///< distinct streams per forward pass
 };
 
 }  // namespace ams::vmac

@@ -4,6 +4,11 @@
 // headers remain includable for finer-grained builds.
 #pragma once
 
+// Parallel runtime (work-stealing pool, deterministic RNG streams)
+#include "runtime/parallel_for.hpp"
+#include "runtime/rng_stream.hpp"
+#include "runtime/thread_pool.hpp"
+
 // Tensors and utilities
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"

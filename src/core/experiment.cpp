@@ -4,6 +4,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "runtime/parallel_for.hpp"
+
 namespace ams::core {
 
 bool env_flag(const char* name) {
@@ -151,6 +153,37 @@ train::EvalResult ExperimentEnv::evaluate_state(const TensorMap& state,
     model->load_state("", state);
     return train::evaluate_top1(*model, dataset_.val_images(), dataset_.val_labels(),
                                 options_.batch_size, options_.eval_passes);
+}
+
+std::vector<ExperimentEnv::EnobSweepPoint> ExperimentEnv::ams_enob_sweep(
+    std::size_t bits_w, std::size_t bits_x, const std::vector<double>& enobs,
+    const EnobSweepOptions& sweep) {
+    // Materialize the shared prerequisite chain (fp32 -> quantized) once,
+    // before fanning out, so points don't duplicate the common training.
+    const TensorMap quant = quantized_state(bits_w, bits_x);
+
+    // Grain 1: each ENOB point is one unit of work — a full retrain plus
+    // multi-pass evaluation — and the pool balances them by stealing.
+    // Every point builds its own models from fixed seeds and writes only
+    // its own slot, so the sweep result is independent of scheduling.
+    std::vector<EnobSweepPoint> points(enobs.size());
+    runtime::parallel_for(0, enobs.size(), 1, [&](std::size_t p_begin, std::size_t p_end) {
+        for (std::size_t p = p_begin; p < p_end; ++p) {
+            vmac::VmacConfig cfg;
+            cfg.enob = enobs[p];
+            cfg.nmult = sweep.nmult;
+            EnobSweepPoint& point = points[p];
+            point.enob = enobs[p];
+            if (sweep.eval_only) {
+                point.eval_only = evaluate_state(quant, ams_common(bits_w, bits_x, cfg));
+            }
+            if (sweep.retrain) {
+                const TensorMap state = ams_retrained_state(bits_w, bits_x, cfg);
+                point.retrained = evaluate_state(state, ams_common(bits_w, bits_x, cfg));
+            }
+        }
+    });
+    return points;
 }
 
 }  // namespace ams::core

@@ -76,6 +76,32 @@ public:
     [[nodiscard]] train::EvalResult evaluate_state(const TensorMap& state,
                                                    const models::LayerCommon& common);
 
+    // ----- concurrent sweep driver -----
+    /// One swept ENOB point of a Fig. 4/5/8-style campaign.
+    struct EnobSweepPoint {
+        double enob = 0.0;
+        train::EvalResult eval_only;  ///< AMS at evaluation only, quantized weights
+        train::EvalResult retrained;  ///< AMS error also in the retraining loop
+    };
+
+    struct EnobSweepOptions {
+        std::size_t nmult = 8;   ///< paper: Nmult = 8 for Figs. 4/5
+        bool eval_only = true;   ///< measure injection on the quantized net
+        bool retrain = true;     ///< retrain with error in the loop and measure
+    };
+
+    /// Runs every ENOB point of a sweep concurrently on the runtime pool
+    /// (each point is a self-contained retrain+evaluate with its own model
+    /// and fixed seeds, so results are identical to the serial order).
+    /// Shared fp32/quantized prerequisites are materialized once up front.
+    [[nodiscard]] std::vector<EnobSweepPoint> ams_enob_sweep(
+        std::size_t bits_w, std::size_t bits_x, const std::vector<double>& enobs,
+        const EnobSweepOptions& sweep);
+    [[nodiscard]] std::vector<EnobSweepPoint> ams_enob_sweep(
+        std::size_t bits_w, std::size_t bits_x, const std::vector<double>& enobs) {
+        return ams_enob_sweep(bits_w, bits_x, enobs, EnobSweepOptions{});
+    }
+
     /// Key prefix identifying the dataset + model architecture, used to
     /// build cache keys.
     [[nodiscard]] std::string base_key() const;

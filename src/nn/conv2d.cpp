@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/gemm.hpp"
 
 namespace ams::nn {
@@ -52,26 +53,31 @@ Tensor Conv2d::forward(const Tensor& input) {
     const std::size_t patch = geometry_.patch_size();
 
     Tensor output(Shape{batch, opts_.out_channels, oh, ow});
-    std::vector<float> columns(patch * out_spatial);
     const Tensor& w = forward_weight();
 
     const std::size_t in_image = opts_.in_channels * geometry_.in_h * geometry_.in_w;
     const std::size_t out_image = opts_.out_channels * out_spatial;
-    for (std::size_t b = 0; b < batch; ++b) {
-        im2col(input.data() + b * in_image, geometry_, columns.data());
-        // out (Cout x OHW) = W (Cout x patch) * columns (patch x OHW)
-        gemm(w.data(), columns.data(), output.data() + b * out_image,
-             opts_.out_channels, patch, out_spatial);
-    }
-    if (bias_) {
-        for (std::size_t b = 0; b < batch; ++b) {
-            for (std::size_t c = 0; c < opts_.out_channels; ++c) {
-                float* chan = output.data() + b * out_image + c * out_spatial;
-                const float bv = bias_->value[c];
-                for (std::size_t i = 0; i < out_spatial; ++i) chan[i] += bv;
+    // Images are independent: each chunk lowers and multiplies its own
+    // slice of the batch with a private scratch buffer. The inner im2col
+    // and gemm are themselves parallel, so a batch of 1 still scales.
+    runtime::parallel_for(
+        0, batch, runtime::suggest_grain(batch, 1),
+        [&](std::size_t b_begin, std::size_t b_end) {
+            std::vector<float> columns(patch * out_spatial);
+            for (std::size_t b = b_begin; b < b_end; ++b) {
+                im2col(input.data() + b * in_image, geometry_, columns.data());
+                // out (Cout x OHW) = W (Cout x patch) * columns (patch x OHW)
+                gemm(w.data(), columns.data(), output.data() + b * out_image,
+                     opts_.out_channels, patch, out_spatial);
+                if (bias_) {
+                    for (std::size_t c = 0; c < opts_.out_channels; ++c) {
+                        float* chan = output.data() + b * out_image + c * out_spatial;
+                        const float bv = bias_->value[c];
+                        for (std::size_t i = 0; i < out_spatial; ++i) chan[i] += bv;
+                    }
+                }
             }
-        }
-    }
+        });
     return output;
 }
 

@@ -1,8 +1,11 @@
 #include "nn/loss.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
 
 namespace ams::nn {
 
@@ -65,19 +68,27 @@ double topk_accuracy(const Tensor& logits, const std::vector<std::size_t>& label
     }
     if (k == 0) throw std::invalid_argument("topk_accuracy: k must be > 0");
     const std::size_t n = logits.dim(0), classes = logits.dim(1);
-    std::size_t hits = 0;
-    for (std::size_t b = 0; b < n; ++b) {
-        const float* row = logits.data() + b * classes;
-        const float label_score = row[labels[b]];
-        // Count strictly-greater entries; label is in the top-k if fewer
-        // than k entries beat it.
-        std::size_t greater = 0;
-        for (std::size_t c = 0; c < classes; ++c) {
-            if (row[c] > label_score) ++greater;
-        }
-        if (greater < k) ++hits;
-    }
-    return static_cast<double>(hits) / static_cast<double>(n);
+    // Rows score independently; the integer hit count is order-invariant,
+    // so the parallel reduction is exact at any thread count.
+    std::atomic<std::size_t> hits{0};
+    runtime::parallel_for(
+        0, n, runtime::suggest_grain(n, 64),
+        [&](std::size_t b_begin, std::size_t b_end) {
+            std::size_t local_hits = 0;
+            for (std::size_t b = b_begin; b < b_end; ++b) {
+                const float* row = logits.data() + b * classes;
+                const float label_score = row[labels[b]];
+                // Count strictly-greater entries; label is in the top-k if
+                // fewer than k entries beat it.
+                std::size_t greater = 0;
+                for (std::size_t c = 0; c < classes; ++c) {
+                    if (row[c] > label_score) ++greater;
+                }
+                if (greater < k) ++local_hits;
+            }
+            hits.fetch_add(local_hits, std::memory_order_relaxed);
+        });
+    return static_cast<double>(hits.load()) / static_cast<double>(n);
 }
 
 }  // namespace ams::nn

@@ -1,0 +1,37 @@
+// parallel_for: the one loop-parallelism primitive of the library.
+//
+// Splits [begin, end) into chunks of at most `grain` indices and runs
+// `body(chunk_begin, chunk_end)` across the global thread pool, with the
+// calling thread participating. Guarantees:
+//
+//   * The chunk decomposition depends only on (begin, end, grain) — never
+//     on the thread count — and the serial fallback executes the exact
+//     same chunks in order, so a body that is deterministic per chunk
+//     yields bit-identical results at any AMSNET_THREADS.
+//   * Exceptions thrown by the body are captured (first one wins),
+//     remaining chunks are skipped, and the exception is rethrown on the
+//     calling thread after the region drains.
+//   * Nested calls (a body that itself calls parallel_for) fall back to
+//     serial execution instead of deadlocking or oversubscribing.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "runtime/thread_pool.hpp"
+
+namespace ams::runtime {
+
+/// Runs `body(chunk_begin, chunk_end)` over [begin, end) in chunks of at
+/// most `grain` (0 is treated as 1). Blocks until every chunk finished;
+/// rethrows the first exception any chunk threw.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Grain that yields ~4 chunks per executor (enough slack for stealing to
+/// balance uneven chunks), floored at `min_chunk` so tiny ranges are not
+/// shredded into per-index tasks. Returns `total` (one chunk) when the
+/// pool is serial.
+[[nodiscard]] std::size_t suggest_grain(std::size_t total, std::size_t min_chunk = 1);
+
+}  // namespace ams::runtime

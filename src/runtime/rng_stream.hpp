@@ -1,0 +1,58 @@
+// RngStream: scheduling-independent random streams for parallel kernels.
+//
+// A sequential Rng member makes injected noise depend on the order tiles
+// happen to execute in — unusable under a work-stealing pool. RngStream
+// instead holds a root seed and derives an independent xoshiro256**
+// generator for any (seed, stream_id) pair through SplitMix64, so tile
+// `i` of forward pass `e` always sees the same deviates no matter which
+// thread computes it or when. This is the counter-based splitting scheme
+// of JAX/aihwkit-style reproducible noise injection, built on the repo's
+// existing SplitMix64/xoshiro primitives.
+//
+// Stream ids are data coordinates (tile index, forward-pass epoch, layer
+// id) — never thread ids. See the determinism contract in
+// runtime/thread_pool.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/rng.hpp"
+
+namespace ams::runtime {
+
+class RngStream {
+public:
+    explicit RngStream(std::uint64_t seed) : seed_(seed) {}
+
+    /// Captures a splitter from an existing generator's output (consumes
+    /// one draw of `base`); lets call sites keep their `Rng rng` seams.
+    [[nodiscard]] static RngStream from(Rng base) { return RngStream(base.next_u64()); }
+
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+    /// Independent generator for stream `stream_id`. Pure: calling it
+    /// never advances any state, so it is safe from concurrent tiles.
+    [[nodiscard]] Rng stream(std::uint64_t stream_id) const {
+        return Rng(derive(stream_id));
+    }
+
+    /// Child splitter — e.g. one per forward pass, then one generator per
+    /// tile: streams.substream(epoch).stream(tile).
+    [[nodiscard]] RngStream substream(std::uint64_t stream_id) const {
+        return RngStream(derive(stream_id));
+    }
+
+private:
+    [[nodiscard]] std::uint64_t derive(std::uint64_t stream_id) const {
+        // Two SplitMix64 applications keyed by seed then id: adjacent ids
+        // land in unrelated regions of xoshiro seed space (same rationale
+        // as Rng::split, but without reading mutable generator state).
+        SplitMix64 root(seed_);
+        SplitMix64 leaf(root.next() ^ (stream_id + 0x9E3779B97F4A7C15ULL));
+        return leaf.next();
+    }
+
+    std::uint64_t seed_;
+};
+
+}  // namespace ams::runtime

@@ -1,0 +1,130 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace ams::runtime {
+
+namespace {
+
+thread_local bool t_in_region = false;
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mu
+
+}  // namespace
+
+RegionGuard::RegionGuard() : previous_(t_in_region) {
+    t_in_region = true;
+}
+
+RegionGuard::~RegionGuard() {
+    t_in_region = previous_;
+}
+
+bool ThreadPool::in_parallel_region() {
+    return t_in_region;
+}
+
+std::size_t ThreadPool::threads_from_env() {
+    if (const char* env = std::getenv("AMSNET_THREADS"); env != nullptr && *env != '\0') {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+ThreadPool& ThreadPool::global() {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (!g_pool) g_pool = std::make_unique<ThreadPool>(threads_from_env());
+    return *g_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    const std::size_t workers = threads <= 1 ? 0 : threads - 1;
+    queues_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        queues_.push_back(std::make_unique<WorkQueue>());
+    }
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    stop_.store(true, std::memory_order_release);
+    {
+        // Empty critical section: pairs with the wait in worker_loop so no
+        // worker can miss the notify between its predicate check and sleep.
+        std::lock_guard<std::mutex> lock(wake_mu_);
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+    if (queues_.empty()) {
+        task();
+        return;
+    }
+    const std::size_t slot =
+        next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[slot]->mu);
+        queues_[slot]->tasks.push_back(std::move(task));
+    }
+    pending_.fetch_add(1, std::memory_order_release);
+    wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_local(std::size_t id, Task& out) {
+    WorkQueue& q = *queues_[id];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) return false;
+    out = std::move(q.tasks.back());  // LIFO: most recently pushed is cache-warm
+    q.tasks.pop_back();
+    return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, Task& out) {
+    const std::size_t n = queues_.size();
+    for (std::size_t i = 1; i < n; ++i) {
+        WorkQueue& q = *queues_[(thief + i) % n];
+        std::lock_guard<std::mutex> lock(q.mu);
+        if (q.tasks.empty()) continue;
+        out = std::move(q.tasks.front());  // FIFO: steal the oldest (largest) work
+        q.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+    for (;;) {
+        Task task;
+        if (try_pop_local(id, task) || try_steal(id, task)) {
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(wake_mu_);
+        wake_cv_.wait(lock, [this] {
+            return stop_.load(std::memory_order_acquire) ||
+                   pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_.load(std::memory_order_acquire) &&
+            pending_.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+    }
+}
+
+}  // namespace ams::runtime

@@ -1,0 +1,101 @@
+// Work-stealing thread pool: the parallel substrate for every hot path.
+//
+// One process-wide pool (lazily initialized, sized by AMSNET_THREADS,
+// default hardware_concurrency) executes the chunked loops issued by
+// parallel_for. Each worker owns a deque; submissions round-robin across
+// workers, a worker pops its own deque LIFO (cache-warm) and steals FIFO
+// from its siblings when empty. The calling thread always participates in
+// the region it issued, so a pool configured for N threads runs a region
+// on exactly N executors (N-1 workers + the caller) and AMSNET_THREADS=1
+// spawns no workers at all — the library degrades to the seed's serial
+// behaviour.
+//
+// Reproducibility contract: nothing in this pool may influence numerics.
+// Work distribution (which thread runs which chunk) is nondeterministic;
+// every kernel wired onto the pool must therefore (a) write disjoint
+// output ranges per chunk and (b) draw randomness only from RngStream
+// tiles keyed by data position, never by thread identity (see
+// runtime/rng_stream.hpp and the Runtime section of DESIGN.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ams::runtime {
+
+class ThreadPool {
+public:
+    using Task = std::function<void()>;
+
+    /// Creates a pool that runs parallel regions on `threads` executors:
+    /// `threads - 1` worker threads plus the calling thread. `threads`
+    /// of 0 or 1 both mean "serial" (no workers spawned).
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a task. With no workers the task runs inline.
+    void submit(Task task);
+
+    /// Executors available to a parallel region (workers + caller).
+    [[nodiscard]] std::size_t parallelism() const { return workers_.size() + 1; }
+    [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+    /// The process-wide pool. First use reads AMSNET_THREADS (falls back
+    /// to std::thread::hardware_concurrency, then 1).
+    static ThreadPool& global();
+
+    /// Replaces the global pool with one of the given size. Intended for
+    /// tests and the scaling bench; must not be called while parallel
+    /// work is in flight.
+    static void set_global_threads(std::size_t threads);
+
+    /// Thread count the global pool would use on first touch.
+    [[nodiscard]] static std::size_t threads_from_env();
+
+    /// True while the current thread executes inside a parallel region;
+    /// parallel_for uses this to run nested calls serially.
+    [[nodiscard]] static bool in_parallel_region();
+
+private:
+    friend class RegionGuard;
+
+    struct WorkQueue {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    void worker_loop(std::size_t id);
+    bool try_pop_local(std::size_t id, Task& out);
+    bool try_steal(std::size_t thief, Task& out);
+
+    std::vector<std::unique_ptr<WorkQueue>> queues_;  // one per worker
+    std::vector<std::thread> workers_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::size_t> next_queue_{0};   // round-robin submit cursor
+    std::atomic<std::size_t> pending_{0};      // queued, not yet dequeued
+    std::mutex wake_mu_;
+    std::condition_variable wake_cv_;
+};
+
+/// RAII marker for "this thread is executing a parallel region".
+class RegionGuard {
+public:
+    RegionGuard();
+    ~RegionGuard();
+    RegionGuard(const RegionGuard&) = delete;
+    RegionGuard& operator=(const RegionGuard&) = delete;
+
+private:
+    bool previous_;
+};
+
+}  // namespace ams::runtime

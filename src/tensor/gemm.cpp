@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/parallel_for.hpp"
+
 namespace ams {
 
 namespace {
@@ -15,10 +17,19 @@ constexpr std::size_t kBlockM = 64;
 constexpr std::size_t kBlockK = 256;
 constexpr std::size_t kBlockN = 256;
 
-void gemm_block_accumulate(const float* a, const float* b, float* c,
-                           std::size_t m, std::size_t k, std::size_t n) {
-    for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
-        const std::size_t i_end = std::min(i0 + kBlockM, m);
+// Below this many MACs the parallel_for dispatch costs more than the
+// multiply; run the row loop inline.
+constexpr std::size_t kParallelMacThreshold = 1u << 15;
+
+// Rows of C are independent, so any [row_begin, row_end) slice of the
+// blocked kernel computes each of its rows with exactly the same k/j
+// summation order as the full serial kernel — row-parallel execution is
+// bit-identical at any thread count.
+void gemm_rows_accumulate(const float* a, const float* b, float* c,
+                          std::size_t row_begin, std::size_t row_end,
+                          std::size_t k, std::size_t n) {
+    for (std::size_t i0 = row_begin; i0 < row_end; i0 += kBlockM) {
+        const std::size_t i_end = std::min(i0 + kBlockM, row_end);
         for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
             const std::size_t k_end = std::min(k0 + kBlockK, k);
             for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
@@ -38,17 +49,39 @@ void gemm_block_accumulate(const float* a, const float* b, float* c,
     }
 }
 
+std::size_t gemm_row_grain(std::size_t m, std::size_t k, std::size_t n) {
+    // Keep chunks worth at least the dispatch threshold each.
+    const std::size_t min_rows =
+        std::max<std::size_t>(1, kParallelMacThreshold / std::max<std::size_t>(1, k * n));
+    return runtime::suggest_grain(m, min_rows);
+}
+
 }  // namespace
 
 void gemm_accumulate(const float* a, const float* b, float* c,
                      std::size_t m, std::size_t k, std::size_t n) {
-    gemm_block_accumulate(a, b, c, m, k, n);
+    if (m * k * n < kParallelMacThreshold) {
+        gemm_rows_accumulate(a, b, c, 0, m, k, n);
+        return;
+    }
+    runtime::parallel_for(0, m, gemm_row_grain(m, k, n),
+                          [&](std::size_t r0, std::size_t r1) {
+                              gemm_rows_accumulate(a, b, c, r0, r1, k, n);
+                          });
 }
 
 void gemm(const float* a, const float* b, float* c,
           std::size_t m, std::size_t k, std::size_t n) {
-    std::memset(c, 0, m * n * sizeof(float));
-    gemm_block_accumulate(a, b, c, m, k, n);
+    if (m * k * n < kParallelMacThreshold) {
+        std::memset(c, 0, m * n * sizeof(float));
+        gemm_rows_accumulate(a, b, c, 0, m, k, n);
+        return;
+    }
+    runtime::parallel_for(0, m, gemm_row_grain(m, k, n),
+                          [&](std::size_t r0, std::size_t r1) {
+                              std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+                              gemm_rows_accumulate(a, b, c, r0, r1, k, n);
+                          });
 }
 
 void gemm_at(const float* a, const float* b, float* c,
@@ -56,26 +89,37 @@ void gemm_at(const float* a, const float* b, float* c,
     // A is stored KxM; transpose into a scratch MxK buffer, then reuse the
     // blocked kernel. The transpose is O(MK) against the O(MKN) multiply.
     std::vector<float> at(m * k);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-        for (std::size_t i = 0; i < m; ++i) {
-            at[i * k + kk] = a[kk * m + i];
-        }
-    }
+    runtime::parallel_for(0, k, runtime::suggest_grain(k, 64),
+                          [&](std::size_t k0, std::size_t k1) {
+                              for (std::size_t kk = k0; kk < k1; ++kk) {
+                                  for (std::size_t i = 0; i < m; ++i) {
+                                      at[i * k + kk] = a[kk * m + i];
+                                  }
+                              }
+                          });
     gemm(at.data(), b, c, m, k, n);
 }
 
 void gemm_bt(const float* a, const float* b, float* c,
              std::size_t m, std::size_t k, std::size_t n) {
-    // B is stored NxK. Dot-product formulation keeps both operands streaming.
-    for (std::size_t i = 0; i < m; ++i) {
-        const float* arow = a + i * k;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float* brow = b + j * k;
-            float acc = 0.0f;
-            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-            c[i * n + j] = acc;
+    // B is stored NxK. Dot-product formulation keeps both operands
+    // streaming; rows of C are independent.
+    auto rows = [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+            const float* arow = a + i * k;
+            for (std::size_t j = 0; j < n; ++j) {
+                const float* brow = b + j * k;
+                float acc = 0.0f;
+                for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+                c[i * n + j] = acc;
+            }
         }
+    };
+    if (m * k * n < kParallelMacThreshold) {
+        rows(0, m);
+        return;
     }
+    runtime::parallel_for(0, m, gemm_row_grain(m, k, n), rows);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "runtime/parallel_for.hpp"
+
 namespace ams {
 
 void ConvGeometry::validate() const {
@@ -24,11 +26,17 @@ void im2col(const float* image, const ConvGeometry& g, float* columns) {
     const std::size_t oh = g.out_h();
     const std::size_t ow = g.out_w();
     const std::size_t out_spatial = oh * ow;
-    std::size_t row = 0;
-    for (std::size_t c = 0; c < g.in_channels; ++c) {
-        const float* chan = image + c * g.in_h * g.in_w;
-        for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
-            for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+    const std::size_t patch_rows = g.in_channels * g.kernel_h * g.kernel_w;
+    // Each flat row (c, kh, kw) fills its own slice of `columns`, so the
+    // row loop parallelizes with no ordering effect on the result.
+    runtime::parallel_for(
+        0, patch_rows, runtime::suggest_grain(patch_rows, 16),
+        [&](std::size_t row_begin, std::size_t row_end) {
+            for (std::size_t row = row_begin; row < row_end; ++row) {
+                const std::size_t kw = row % g.kernel_w;
+                const std::size_t kh = (row / g.kernel_w) % g.kernel_h;
+                const std::size_t c = row / (g.kernel_w * g.kernel_h);
+                const float* chan = image + c * g.in_h * g.in_w;
                 float* out_row = columns + row * out_spatial;
                 for (std::size_t oy = 0; oy < oh; ++oy) {
                     // Signed arithmetic: padding can take the tap off-image.
@@ -49,35 +57,42 @@ void im2col(const float* image, const ConvGeometry& g, float* columns) {
                     }
                 }
             }
-        }
-    }
+        });
 }
 
 void col2im(const float* columns, const ConvGeometry& g, float* image) {
     const std::size_t oh = g.out_h();
     const std::size_t ow = g.out_w();
     const std::size_t out_spatial = oh * ow;
-    std::size_t row = 0;
-    for (std::size_t c = 0; c < g.in_channels; ++c) {
-        float* chan = image + c * g.in_h * g.in_w;
-        for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
-            for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-                const float* in_row = columns + row * out_spatial;
-                for (std::size_t oy = 0; oy < oh; ++oy) {
-                    const long long iy = static_cast<long long>(oy * g.stride_h + kh) -
-                                         static_cast<long long>(g.pad_h);
-                    if (iy < 0 || iy >= static_cast<long long>(g.in_h)) continue;
-                    float* img_row = chan + static_cast<std::size_t>(iy) * g.in_w;
-                    for (std::size_t ox = 0; ox < ow; ++ox) {
-                        const long long ix = static_cast<long long>(ox * g.stride_w + kw) -
-                                             static_cast<long long>(g.pad_w);
-                        if (ix < 0 || ix >= static_cast<long long>(g.in_w)) continue;
-                        img_row[static_cast<std::size_t>(ix)] += in_row[oy * ow + ox];
+    // Rows of one channel scatter-add into overlapping pixels, so the
+    // parallel unit is the channel: images of different channels are
+    // disjoint, and within a channel the (kh, kw, oy, ox) accumulation
+    // order stays exactly the serial one.
+    auto channels = [&](std::size_t c_begin, std::size_t c_end) {
+        for (std::size_t c = c_begin; c < c_end; ++c) {
+            std::size_t row = c * g.kernel_h * g.kernel_w;
+            float* chan = image + c * g.in_h * g.in_w;
+            for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+                for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+                    const float* in_row = columns + row * out_spatial;
+                    for (std::size_t oy = 0; oy < oh; ++oy) {
+                        const long long iy = static_cast<long long>(oy * g.stride_h + kh) -
+                                             static_cast<long long>(g.pad_h);
+                        if (iy < 0 || iy >= static_cast<long long>(g.in_h)) continue;
+                        float* img_row = chan + static_cast<std::size_t>(iy) * g.in_w;
+                        for (std::size_t ox = 0; ox < ow; ++ox) {
+                            const long long ix = static_cast<long long>(ox * g.stride_w + kw) -
+                                                 static_cast<long long>(g.pad_w);
+                            if (ix < 0 || ix >= static_cast<long long>(g.in_w)) continue;
+                            img_row[static_cast<std::size_t>(ix)] += in_row[oy * ow + ox];
+                        }
                     }
                 }
             }
         }
-    }
+    };
+    runtime::parallel_for(0, g.in_channels, runtime::suggest_grain(g.in_channels, 1),
+                          channels);
 }
 
 }  // namespace ams

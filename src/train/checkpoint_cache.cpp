@@ -2,8 +2,33 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 namespace ams::train {
+
+namespace {
+
+// Concurrent sweep points (core::ExperimentEnv::ams_enob_sweep) may ask
+// for the same checkpoint — most often a shared fp32/quantized
+// prerequisite with AMSNET_NO_CACHE=1. Serialize produce+save per cache
+// path so two threads never train into or write the same file at once;
+// distinct keys stay fully concurrent.
+std::mutex g_registry_mu;
+std::unordered_map<std::string, std::shared_ptr<std::mutex>>& key_registry() {
+    static std::unordered_map<std::string, std::shared_ptr<std::mutex>> registry;
+    return registry;
+}
+
+std::shared_ptr<std::mutex> key_mutex(const std::string& path) {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    std::shared_ptr<std::mutex>& mu = key_registry()[path];
+    if (!mu) mu = std::make_shared<std::mutex>();
+    return mu;
+}
+
+}  // namespace
 
 std::string sanitize_cache_key(const std::string& key) {
     std::string out;
@@ -28,6 +53,9 @@ TensorMap cached_state(const std::string& cache_dir, const std::string& key,
     namespace fs = std::filesystem;
     fs::create_directories(cache_dir);
     const fs::path path = fs::path(cache_dir) / (sanitize_cache_key(key) + ".amsckpt");
+
+    const std::shared_ptr<std::mutex> mu = key_mutex(path.string());
+    std::lock_guard<std::mutex> lock(*mu);
 
     const char* no_cache = std::getenv("AMSNET_NO_CACHE");
     const bool read_cache = (no_cache == nullptr || std::string(no_cache) != "1");

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace ams::train {
 
@@ -27,10 +28,21 @@ private:
 Tensor slice_batch(const Tensor& images, std::size_t start, std::size_t count) {
     const std::size_t image = images.dim(1) * images.dim(2) * images.dim(3);
     Tensor batch(Shape{count, images.dim(1), images.dim(2), images.dim(3)});
-    std::memcpy(batch.data(), images.data() + start * image, count * image * sizeof(float));
+    runtime::parallel_for(0, count, runtime::suggest_grain(count, 16),
+                          [&](std::size_t i_begin, std::size_t i_end) {
+                              std::memcpy(batch.data() + i_begin * image,
+                                          images.data() + (start + i_begin) * image,
+                                          (i_end - i_begin) * image * sizeof(float));
+                          });
     return batch;
 }
 
+// The batch loop stays sequential on purpose: the model is a stateful
+// graph (cached activations for backward, per-layer noise-stream epochs),
+// so batches must hit it in a fixed order for reproducibility. All the
+// parallelism lives below — conv/gemm kernels, per-tile noise streams and
+// the top-k reduction — which is what makes one pass scale while staying
+// bit-identical at any AMSNET_THREADS.
 double one_pass_topk(models::ResNet& model, const Tensor& images,
                      const std::vector<std::size_t>& labels, std::size_t k,
                      std::size_t batch_size) {

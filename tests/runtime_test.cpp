@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/rng_stream.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace ams::runtime {
+namespace {
+
+/// Restores the global pool to the environment default on scope exit so
+/// tests that resize it don't leak configuration into later tests.
+class PoolSizeGuard {
+public:
+    ~PoolSizeGuard() { ThreadPool::set_global_threads(ThreadPool::threads_from_env()); }
+};
+
+TEST(ThreadPoolTest, StartStopSpawnsRequestedWorkers) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.worker_count(), 3u);  // caller is the 4th executor
+    EXPECT_EQ(pool.parallelism(), 4u);
+    ThreadPool serial(1);
+    EXPECT_EQ(serial.worker_count(), 0u);
+    EXPECT_EQ(serial.parallelism(), 1u);
+    ThreadPool zero(0);  // treated as serial, not an error
+    EXPECT_EQ(zero.parallelism(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&count] { count.fetch_add(1); });
+        }
+        // Destructor drains the queues and joins the workers.
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsSubmissionsInline) {
+    ThreadPool pool(1);
+    bool ran = false;
+    pool.submit([&ran] { ran = true; });
+    EXPECT_TRUE(ran);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+    PoolSizeGuard guard;
+    ThreadPool::set_global_threads(4);
+    std::vector<std::atomic<int>> touched(1000);
+    parallel_for(0, touched.size(), 7, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+    });
+    for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesAreNoOps) {
+    int calls = 0;
+    parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+    parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SingleElementRange) {
+    std::size_t seen_lo = 99, seen_hi = 99;
+    parallel_for(4, 5, 16, [&](std::size_t lo, std::size_t hi) {
+        seen_lo = lo;
+        seen_hi = hi;
+    });
+    EXPECT_EQ(seen_lo, 4u);
+    EXPECT_EQ(seen_hi, 5u);
+}
+
+TEST(ParallelForTest, ZeroGrainIsTreatedAsOne) {
+    std::atomic<int> chunks{0};
+    parallel_for(0, 5, 0, [&](std::size_t lo, std::size_t hi) {
+        EXPECT_EQ(hi, lo + 1);
+        chunks.fetch_add(1);
+    });
+    EXPECT_EQ(chunks.load(), 5);
+}
+
+TEST(ParallelForTest, ChunkDecompositionIndependentOfThreadCount) {
+    PoolSizeGuard guard;
+    // The (lo, hi) chunk set must be a function of (range, grain) only —
+    // this is what makes per-chunk-deterministic kernels bit-identical.
+    auto chunks_at = [](std::size_t threads) {
+        ThreadPool::set_global_threads(threads);
+        std::set<std::pair<std::size_t, std::size_t>> chunks;
+        std::mutex mu;
+        parallel_for(3, 50, 8, [&](std::size_t lo, std::size_t hi) {
+            std::lock_guard<std::mutex> lock(mu);
+            chunks.emplace(lo, hi);
+        });
+        return chunks;
+    };
+    EXPECT_EQ(chunks_at(1), chunks_at(4));
+}
+
+TEST(ParallelForTest, PropagatesExceptionAndStaysUsable) {
+    PoolSizeGuard guard;
+    ThreadPool::set_global_threads(4);
+    EXPECT_THROW(
+        parallel_for(0, 100, 1,
+                     [](std::size_t lo, std::size_t) {
+                         if (lo == 42) throw std::runtime_error("chunk 42 failed");
+                     }),
+        std::runtime_error);
+    // The pool must still execute new work after an exception drained.
+    std::atomic<int> count{0};
+    parallel_for(0, 64, 1, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelForTest, NestedCallsFallBackToSerial) {
+    PoolSizeGuard guard;
+    ThreadPool::set_global_threads(4);
+    std::atomic<int> inner_total{0};
+    std::atomic<bool> saw_region_flag{false};
+    parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+        EXPECT_TRUE(ThreadPool::in_parallel_region());
+        parallel_for(0, 10, 2, [&](std::size_t lo, std::size_t hi) {
+            if (ThreadPool::in_parallel_region()) saw_region_flag.store(true);
+            inner_total.fetch_add(static_cast<int>(hi - lo));
+        });
+    });
+    EXPECT_EQ(inner_total.load(), 80);
+    EXPECT_TRUE(saw_region_flag.load());
+    EXPECT_FALSE(ThreadPool::in_parallel_region());  // flag restored
+}
+
+TEST(ParallelForTest, SuggestGrainBounds) {
+    PoolSizeGuard guard;
+    ThreadPool::set_global_threads(1);
+    EXPECT_EQ(suggest_grain(100), 100u);  // serial: one chunk
+    ThreadPool::set_global_threads(4);
+    const std::size_t g = suggest_grain(1000);
+    EXPECT_GE(g, 1u);
+    EXPECT_LE(g, 1000u);
+    EXPECT_GE(suggest_grain(10, 64), 64u);  // floored at min_chunk
+    EXPECT_EQ(suggest_grain(0), 1u);
+}
+
+TEST(RngStreamTest, StreamsArePureAndRepeatable) {
+    RngStream s(123);
+    Rng a = s.stream(7);
+    Rng b = s.stream(7);  // same id -> identical generator, s unchanged
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngStreamTest, DistinctIdsDecorrelate) {
+    RngStream s(123);
+    Rng a = s.stream(0);
+    Rng b = s.stream(1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(RngStreamTest, SubstreamsMatchDirectDerivation) {
+    RngStream root(99);
+    Rng via_sub = root.substream(5).stream(3);
+    Rng again = root.substream(5).stream(3);
+    EXPECT_EQ(via_sub.next_u64(), again.next_u64());
+    // Different epochs give different tile streams.
+    Rng other_epoch = root.substream(6).stream(3);
+    Rng same_epoch = root.substream(5).stream(3);
+    EXPECT_NE(other_epoch.next_u64(), same_epoch.next_u64());
+}
+
+TEST(RngStreamTest, FromRngIsDeterministicInSeed) {
+    const RngStream a = RngStream::from(Rng(42));
+    const RngStream b = RngStream::from(Rng(42));
+    EXPECT_EQ(a.seed(), b.seed());
+    EXPECT_NE(a.seed(), RngStream::from(Rng(43)).seed());
+}
+
+TEST(ThreadPoolTest, EnvParsingDefaultsSanely) {
+    // Whatever AMSNET_THREADS says, the answer is a positive count.
+    EXPECT_GE(ThreadPool::threads_from_env(), 1u);
+}
+
+}  // namespace
+}  // namespace ams::runtime
