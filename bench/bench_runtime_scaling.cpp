@@ -1,5 +1,7 @@
 // Runtime scaling microbench: wall-clock for the two hottest kernels —
-// raw GEMM and the bit-exact VmacConv2d forward — at 1/2/4/8 pool
+// raw GEMM and the bit-exact VmacConv2d forward — plus a full batch-eval
+// of the quantized+AMS tiny ResNet (legacy allocating forward vs the
+// planned arena forward, with the arena high-water mark), at 1/2/4/8 pool
 // threads. Prints a speedup table and writes a CSV artifact.
 //
 // On a single-core host the pool degrades gracefully: every thread count
@@ -15,6 +17,8 @@
 #include "ams/vmac_conv.hpp"
 #include "core/csv.hpp"
 #include "core/report.hpp"
+#include "models/resnet.hpp"
+#include "runtime/eval_context.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
@@ -59,11 +63,27 @@ int main() {
     Tensor x(Shape{8, 8, 12, 12});
     x.fill_uniform(rng, 0.0f, 1.0f);
 
+    // Batch-eval workload: the full quantized+AMS tiny ResNet, compared
+    // on the legacy allocating forward vs the planned arena forward (the
+    // ams_enob_sweep inner loop). Also reports the arena high-water mark.
+    models::LayerCommon common;
+    common.bits_w = 8;
+    common.bits_x = 8;
+    common.ams_enabled = true;
+    common.vmac.enob = 5.0;
+    common.vmac.nmult = 8;
+    models::ResNet model(models::tiny_resnet_config(common));
+    model.set_training(false);
+    Tensor ex(Shape{16, 3, 8, 8});
+    ex.fill_uniform(rng, -1.0f, 1.0f);
+
     core::Table table({"Threads", "gemm (ms)", "gemm speedup", "vmac_conv (ms)",
-                       "vmac speedup"});
+                       "vmac speedup", "eval legacy (ms)", "eval arena (ms)",
+                       "arena HWM (KiB)"});
     core::CsvWriter csv(core::artifact_dir() + "/runtime_scaling.csv",
                         {"threads", "gemm_ms", "gemm_speedup", "vmac_conv_ms",
-                         "vmac_conv_speedup"});
+                         "vmac_conv_speedup", "batch_eval_legacy_ms",
+                         "batch_eval_arena_ms", "arena_hwm_bytes"});
 
     double gemm_base = 0.0;
     double vmac_base = 0.0;
@@ -72,6 +92,19 @@ int main() {
         const double gemm_s =
             seconds_of([&] { gemm(a.data(), b.data(), c.data(), m, k, n); }, 5);
         const double vmac_s = seconds_of([&] { (void)vconv.forward(x); }, 2);
+        const double eval_legacy_s = seconds_of([&] { (void)model.forward(ex); }, 3);
+        // Fresh context per thread count: the plan and warm-up are part of
+        // the measured workflow's setup, but steady state is what repeats.
+        runtime::EvalContext ctx;
+        (void)model.plan(ex.shape(), ctx);
+        const double eval_arena_s = seconds_of(
+            [&] {
+                const runtime::TensorArena::Checkpoint cp = ctx.checkpoint();
+                (void)model.forward(ex, ctx);
+                ctx.rewind(cp);
+            },
+            3);
+        const std::size_t hwm = ctx.high_water_mark();
         if (threads == 1) {
             gemm_base = gemm_s;
             vmac_base = vmac_s;
@@ -81,10 +114,15 @@ int main() {
         table.add_row({std::to_string(threads), core::fmt_fixed(gemm_s * 1e3, 2),
                        core::fmt_fixed(gemm_speedup, 2) + "x",
                        core::fmt_fixed(vmac_s * 1e3, 2),
-                       core::fmt_fixed(vmac_speedup, 2) + "x"});
+                       core::fmt_fixed(vmac_speedup, 2) + "x",
+                       core::fmt_fixed(eval_legacy_s * 1e3, 2),
+                       core::fmt_fixed(eval_arena_s * 1e3, 2),
+                       core::fmt_fixed(static_cast<double>(hwm) / 1024.0, 1)});
         csv.add_row({std::to_string(threads), core::fmt_fixed(gemm_s * 1e3, 4),
                      core::fmt_fixed(gemm_speedup, 3), core::fmt_fixed(vmac_s * 1e3, 4),
-                     core::fmt_fixed(vmac_speedup, 3)});
+                     core::fmt_fixed(vmac_speedup, 3),
+                     core::fmt_fixed(eval_legacy_s * 1e3, 4),
+                     core::fmt_fixed(eval_arena_s * 1e3, 4), std::to_string(hwm)});
     }
     runtime::ThreadPool::set_global_threads(runtime::ThreadPool::threads_from_env());
     table.print(std::cout);

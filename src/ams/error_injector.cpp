@@ -1,6 +1,7 @@
 #include "ams/error_injector.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "runtime/parallel_for.hpp"
@@ -36,6 +37,22 @@ double ErrorInjector::error_stddev() const {
 Tensor ErrorInjector::forward(const Tensor& input) {
     if (!enabled_) return input;
     Tensor out = input;
+    inject(out);
+    return out;
+}
+
+Tensor ErrorInjector::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    // No training/eval distinction: noise is forward-only, backward is the
+    // identity. The arena copy replaces the legacy deep copy; a disabled
+    // injector copies without consuming a noise epoch, exactly like the
+    // legacy pass-through.
+    Tensor out = nn::arena_output(ctx, input.shape());
+    std::memcpy(out.data(), input.data(), input.size() * sizeof(float));
+    if (enabled_) inject(out);
+    return out;
+}
+
+void ErrorInjector::inject(Tensor& out) {
     const runtime::RngStream pass_streams = streams_.substream(forward_count_++);
     const std::size_t tiles = (out.size() + kRngTile - 1) / kRngTile;
 
@@ -76,7 +93,6 @@ Tensor ErrorInjector::forward(const Tensor& input) {
             break;
         }
     }
-    return out;
 }
 
 }  // namespace ams::vmac

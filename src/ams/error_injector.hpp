@@ -41,6 +41,7 @@ public:
                   InjectionMode mode = InjectionMode::kLumpedGaussian);
 
     Tensor forward(const Tensor& input) override;
+    Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
     Tensor backward(const Tensor& grad_output) override { return grad_output; }
     [[nodiscard]] std::string name() const override { return "ErrorInjector"; }
 
@@ -59,6 +60,10 @@ public:
     [[nodiscard]] double error_stddev() const;
 
 private:
+    /// Adds one forward pass worth of noise to `out` in place, consuming
+    /// one noise epoch. Shared by both forward overloads.
+    void inject(Tensor& out);
+
     VmacConfig config_;
     std::size_t n_tot_;
     runtime::RngStream streams_;       ///< root of the per-tile noise streams

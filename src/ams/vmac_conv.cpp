@@ -32,74 +32,124 @@ std::size_t VmacConv2d::n_tot() const {
     return weight_.dim(1) * weight_.dim(2) * weight_.dim(3);
 }
 
-Tensor VmacConv2d::forward(const Tensor& input) {
-    if (input.rank() != 4 || input.dim(1) != weight_.dim(1)) {
-        throw std::invalid_argument("VmacConv2d::forward: bad input " + input.shape().str());
+ConvLowering VmacConv2d::make_lowering(const Shape& in) const {
+    if (in.rank() != 4 || in.dim(1) != weight_.dim(1)) {
+        throw std::invalid_argument("VmacConv2d::forward: bad input " + in.str());
     }
+    const std::size_t kernel = weight_.dim(2);
+    return ConvLowering(ConvGeometry{weight_.dim(1), in.dim(2), in.dim(3), kernel, kernel,
+                                     stride_,        stride_,   padding_, padding_});
+}
+
+void VmacConv2d::compute_tiles(std::size_t t_begin, std::size_t t_end,
+                               const runtime::RngStream& pass_streams, const float* columns,
+                               std::size_t out_spatial, std::size_t patch, double* w_chunk,
+                               double* x_chunk, float* out) {
+    const std::size_t cout = weight_.dim(0);
+    const std::size_t nmult = cell_.config().nmult;
+    const double lsb = cell_.adc_lsb();
+    for (std::size_t t = t_begin; t < t_end; ++t) {
+        const std::size_t b = t / cout;
+        const std::size_t oc = t % cout;
+        Rng tile_rng = pass_streams.stream(t);
+        const float* cols = columns + b * patch * out_spatial;
+        const float* wrow = weight_.data() + oc * patch;
+        for (std::size_t pix = 0; pix < out_spatial; ++pix) {
+            double acc = 0.0;
+            for (std::size_t start = 0; start < patch; start += nmult) {
+                const std::size_t len = std::min(nmult, patch - start);
+                if (mode_ == VmacConvMode::kBitExact) {
+                    for (std::size_t i = 0; i < len; ++i) {
+                        w_chunk[i] = wrow[start + i];
+                        x_chunk[i] = cols[(start + i) * out_spatial + pix];
+                    }
+                    acc += cell_.dot(std::span(w_chunk, len), std::span(x_chunk, len),
+                                     tile_rng);
+                } else {
+                    double partial = 0.0;
+                    for (std::size_t i = 0; i < len; ++i) {
+                        partial += static_cast<double>(wrow[start + i]) *
+                                   cols[(start + i) * out_spatial + pix];
+                    }
+                    acc += partial + tile_rng.uniform(-0.5 * lsb, 0.5 * lsb);
+                }
+            }
+            out[(b * cout + oc) * out_spatial + pix] = static_cast<float>(acc);
+        }
+    }
+}
+
+Tensor VmacConv2d::forward(const Tensor& input) {
+    const ConvLowering low = make_lowering(input.shape());
     const std::size_t batch = input.dim(0);
     const std::size_t cout = weight_.dim(0);
-    const std::size_t kernel = weight_.dim(2);
-    ConvGeometry g{weight_.dim(1), input.dim(2), input.dim(3), kernel, kernel,
-                   stride_,        stride_,      padding_,     padding_};
-    g.validate();
-    const std::size_t oh = g.out_h();
-    const std::size_t ow = g.out_w();
-    const std::size_t out_spatial = oh * ow;
-    const std::size_t patch = g.patch_size();
     const std::size_t nmult = cell_.config().nmult;
-    const std::size_t in_image = g.in_channels * g.in_h * g.in_w;
 
-    Tensor output(Shape{batch, cout, oh, ow});
+    Tensor output(Shape{batch, cout, low.out_h(), low.out_w()});
 
     // Lower the whole batch first (write-disjoint per image), then walk
     // the (image, out-channel) tiles in parallel. Each tile owns a noise
     // stream keyed by (forward pass, tile index), so the injected AMS
     // error is independent of how the pool schedules the tiles.
-    std::vector<float> columns(batch * patch * out_spatial);
-    runtime::parallel_for(0, batch, 1, [&](std::size_t b_begin, std::size_t b_end) {
-        for (std::size_t b = b_begin; b < b_end; ++b) {
-            im2col(input.data() + b * in_image, g, columns.data() + b * patch * out_spatial);
-        }
-    });
+    std::vector<float> columns(batch * low.columns_floats());
+    low.lower_batch(input.data(), batch, columns.data());
 
     const runtime::RngStream pass_streams = streams_.substream(forward_count_++);
-    const double lsb = cell_.adc_lsb();
     const std::size_t tiles = batch * cout;
     runtime::parallel_for(
         0, tiles, runtime::suggest_grain(tiles, 1),
         [&](std::size_t t_begin, std::size_t t_end) {
             std::vector<double> w_chunk(nmult), x_chunk(nmult);
-            for (std::size_t t = t_begin; t < t_end; ++t) {
-                const std::size_t b = t / cout;
-                const std::size_t oc = t % cout;
-                Rng tile_rng = pass_streams.stream(t);
-                const float* cols = columns.data() + b * patch * out_spatial;
-                const float* wrow = weight_.data() + oc * patch;
-                for (std::size_t pix = 0; pix < out_spatial; ++pix) {
-                    double acc = 0.0;
-                    for (std::size_t start = 0; start < patch; start += nmult) {
-                        const std::size_t len = std::min(nmult, patch - start);
-                        if (mode_ == VmacConvMode::kBitExact) {
-                            for (std::size_t i = 0; i < len; ++i) {
-                                w_chunk[i] = wrow[start + i];
-                                x_chunk[i] = cols[(start + i) * out_spatial + pix];
-                            }
-                            acc += cell_.dot(std::span(w_chunk).first(len),
-                                             std::span(x_chunk).first(len), tile_rng);
-                        } else {
-                            double partial = 0.0;
-                            for (std::size_t i = 0; i < len; ++i) {
-                                partial += static_cast<double>(wrow[start + i]) *
-                                           cols[(start + i) * out_spatial + pix];
-                            }
-                            acc += partial + tile_rng.uniform(-0.5 * lsb, 0.5 * lsb);
-                        }
-                    }
-                    output.data()[(b * cout + oc) * out_spatial + pix] =
-                        static_cast<float>(acc);
-                }
-            }
+            compute_tiles(t_begin, t_end, pass_streams, columns.data(), low.out_spatial(),
+                          low.patch_size(), w_chunk.data(), x_chunk.data(), output.data());
         });
+    return output;
+}
+
+Shape VmacConv2d::plan(const Shape& in, runtime::EvalContext& ctx) {
+    const ConvLowering low = make_lowering(in);
+    const std::size_t batch = in.dim(0);
+    const std::size_t cout = weight_.dim(0);
+    const std::size_t nmult = cell_.config().nmult;
+    (void)ctx.reserve_scratch(this, 0, batch * low.columns_floats());
+    // One double staging pair per chunk of the tile loop, stored as floats
+    // (2 * nmult doubles = 4 * nmult floats; arena blocks are 64-byte
+    // aligned, so the reinterpret to double* is safe).
+    const std::size_t tiles = batch * cout;
+    const std::size_t grain = runtime::suggest_grain(tiles, 1);
+    const std::size_t chunks = (tiles + grain - 1) / grain;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        (void)ctx.reserve_scratch(this, static_cast<int>(1 + c), 4 * nmult);
+    }
+    return Shape{batch, cout, low.out_h(), low.out_w()};
+}
+
+Tensor VmacConv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    // Evaluation-only module: no training fallback (backward throws).
+    const ConvLowering low = make_lowering(input.shape());
+    const std::size_t batch = input.dim(0);
+    const std::size_t cout = weight_.dim(0);
+    const std::size_t nmult = cell_.config().nmult;
+
+    Tensor output = nn::arena_output(ctx, Shape{batch, cout, low.out_h(), low.out_w()});
+    float* columns = ctx.reserve_scratch(this, 0, batch * low.columns_floats());
+    low.lower_batch(input.data(), batch, columns);
+
+    const runtime::RngStream pass_streams = streams_.substream(forward_count_++);
+    const std::size_t tiles = batch * cout;
+    const std::size_t grain = runtime::suggest_grain(tiles, 1);
+    // Re-reserve every chunk's staging pair serially before entering the
+    // parallel region; the lookups inside the region are then read-only.
+    const std::size_t chunks = (tiles + grain - 1) / grain;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        (void)ctx.reserve_scratch(this, static_cast<int>(1 + c), 4 * nmult);
+    }
+    runtime::parallel_for(0, tiles, grain, [&](std::size_t t_begin, std::size_t t_end) {
+        double* staging = reinterpret_cast<double*>(
+            ctx.reserve_scratch(this, static_cast<int>(1 + t_begin / grain), 4 * nmult));
+        compute_tiles(t_begin, t_end, pass_streams, columns, low.out_spatial(),
+                      low.patch_size(), staging, staging + nmult, output.data());
+    });
     return output;
 }
 

@@ -47,6 +47,8 @@ public:
                Rng rng);
 
     Tensor forward(const Tensor& input) override;
+    Shape plan(const Shape& in, runtime::EvalContext& ctx) override;
+    Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
 
     /// Evaluation-only: backward is not implemented (the paper's proposal
     /// applies this model at evaluation time).
@@ -59,6 +61,18 @@ public:
     [[nodiscard]] const VmacCell& cell() const { return cell_; }
 
 private:
+    /// Validates the input shape and builds the shared lowering for it.
+    [[nodiscard]] ConvLowering make_lowering(const Shape& in) const;
+
+    /// Runs tiles [t_begin, t_end) of one forward pass: reads the lowered
+    /// `columns`, writes `out`. `w_chunk`/`x_chunk` are caller-provided
+    /// nmult-double staging buffers (per-chunk scratch), so the identical
+    /// arithmetic serves both the allocating and the arena path.
+    void compute_tiles(std::size_t t_begin, std::size_t t_end,
+                       const runtime::RngStream& pass_streams, const float* columns,
+                       std::size_t out_spatial, std::size_t patch, double* w_chunk,
+                       double* x_chunk, float* out);
+
     Tensor weight_;
     std::size_t stride_;
     std::size_t padding_;

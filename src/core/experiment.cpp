@@ -148,11 +148,12 @@ TensorMap ExperimentEnv::ams_retrained_state(std::size_t bits_w, std::size_t bit
 }
 
 train::EvalResult ExperimentEnv::evaluate_state(const TensorMap& state,
-                                                const models::LayerCommon& common) {
+                                                const models::LayerCommon& common,
+                                                runtime::EvalContext* ctx) {
     auto model = make_model(common);
     model->load_state("", state);
     return train::evaluate_top1(*model, dataset_.val_images(), dataset_.val_labels(),
-                                options_.batch_size, options_.eval_passes);
+                                options_.batch_size, options_.eval_passes, ctx);
 }
 
 std::vector<ExperimentEnv::EnobSweepPoint> ExperimentEnv::ams_enob_sweep(
@@ -168,6 +169,10 @@ std::vector<ExperimentEnv::EnobSweepPoint> ExperimentEnv::ams_enob_sweep(
     // its own slot, so the sweep result is independent of scheduling.
     std::vector<EnobSweepPoint> points(enobs.size());
     runtime::parallel_for(0, enobs.size(), 1, [&](std::size_t p_begin, std::size_t p_end) {
+        // One evaluation context per worker invocation: its arenas warm up
+        // on the first point and are rewound (not freed) between batches,
+        // so every later point in the chunk evaluates allocation-free.
+        runtime::EvalContext ctx;
         for (std::size_t p = p_begin; p < p_end; ++p) {
             vmac::VmacConfig cfg;
             cfg.enob = enobs[p];
@@ -175,11 +180,11 @@ std::vector<ExperimentEnv::EnobSweepPoint> ExperimentEnv::ams_enob_sweep(
             EnobSweepPoint& point = points[p];
             point.enob = enobs[p];
             if (sweep.eval_only) {
-                point.eval_only = evaluate_state(quant, ams_common(bits_w, bits_x, cfg));
+                point.eval_only = evaluate_state(quant, ams_common(bits_w, bits_x, cfg), &ctx);
             }
             if (sweep.retrain) {
                 const TensorMap state = ams_retrained_state(bits_w, bits_x, cfg);
-                point.retrained = evaluate_state(state, ams_common(bits_w, bits_x, cfg));
+                point.retrained = evaluate_state(state, ams_common(bits_w, bits_x, cfg), &ctx);
             }
         }
     });

@@ -72,9 +72,12 @@ public:
 
     // ----- evaluation -----
     /// Loads `state` into a fresh model of the given variant and runs the
-    /// paper's multi-pass validation protocol.
+    /// paper's multi-pass validation protocol. `ctx` selects the worker's
+    /// evaluation context (arena reuse across sweep points); nullptr uses
+    /// a context local to the call. Results are identical either way.
     [[nodiscard]] train::EvalResult evaluate_state(const TensorMap& state,
-                                                   const models::LayerCommon& common);
+                                                   const models::LayerCommon& common,
+                                                   runtime::EvalContext* ctx = nullptr);
 
     // ----- concurrent sweep driver -----
     /// One swept ENOB point of a Fig. 4/5/8-style campaign.

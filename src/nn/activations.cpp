@@ -13,6 +13,15 @@ Tensor ReLU::forward(const Tensor& input) {
     return out;
 }
 
+Tensor ReLU::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);  // backward needs cached_input_
+    Tensor out = arena_output(ctx, input.shape());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = input[i] < 0.0f ? 0.0f : input[i];
+    }
+    return out;
+}
+
 Tensor ReLU::backward(const Tensor& grad_output) {
     check_same_shape(grad_output, cached_input_, "ReLU::backward");
     Tensor grad = grad_output;
@@ -35,6 +44,16 @@ Tensor ClippedReLU::forward(const Tensor& input) {
         } else if (out[i] > ceiling_) {
             out[i] = ceiling_;
         }
+    }
+    return out;
+}
+
+Tensor ClippedReLU::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);
+    Tensor out = arena_output(ctx, input.shape());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const float x = input[i];
+        out[i] = x < 0.0f ? 0.0f : (x > ceiling_ ? ceiling_ : x);
     }
     return out;
 }

@@ -69,20 +69,48 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
             }
         }
     } else {
-        for (std::size_t c = 0; c < channels_; ++c) {
-            const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
-            const float g = gamma_.value[c];
-            const float bt = beta_.value[c];
-            const float mean = running_mean_[c];
-            for (std::size_t b = 0; b < batch; ++b) {
-                const float* chan = input.data() + b * image + c * spatial;
-                float* out = output.data() + b * image + c * spatial;
-                for (std::size_t i = 0; i < spatial; ++i) {
-                    out[i] = g * (chan[i] - mean) * inv_std + bt;
-                }
+        eval_normalize(input, output.data());
+    }
+    return output;
+}
+
+void BatchNorm2d::eval_normalize(const Tensor& input, float* out_base) const {
+    const std::size_t batch = input.dim(0);
+    const std::size_t spatial = input.dim(2) * input.dim(3);
+    const std::size_t image = channels_ * spatial;
+    for (std::size_t c = 0; c < channels_; ++c) {
+        const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+        const float g = gamma_.value[c];
+        const float bt = beta_.value[c];
+        const float mean = running_mean_[c];
+        for (std::size_t b = 0; b < batch; ++b) {
+            const float* chan = input.data() + b * image + c * spatial;
+            float* out = out_base + b * image + c * spatial;
+            for (std::size_t i = 0; i < spatial; ++i) {
+                out[i] = g * (chan[i] - mean) * inv_std + bt;
             }
         }
     }
+}
+
+Shape BatchNorm2d::plan(const Shape& in, runtime::EvalContext& ctx) {
+    (void)ctx;  // elementwise over channels: no scratch
+    if (in.rank() != 4 || in.dim(1) != channels_) {
+        throw std::invalid_argument("BatchNorm2d::plan: expected {N, " +
+                                    std::to_string(channels_) + ", H, W}, got " + in.str());
+    }
+    return in;
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);  // batch stats + caches for backward
+    if (input.rank() != 4 || input.dim(1) != channels_) {
+        throw std::invalid_argument("BatchNorm2d::forward: expected {N, " +
+                                    std::to_string(channels_) + ", H, W}, got " +
+                                    input.shape().str());
+    }
+    Tensor output = arena_output(ctx, input.shape());
+    eval_normalize(input, output.data());
     return output;
 }
 

@@ -22,6 +22,8 @@ public:
     explicit BatchNorm2d(std::size_t channels, float eps = 1e-5f, float momentum = 0.1f);
 
     Tensor forward(const Tensor& input) override;
+    Shape plan(const Shape& in, runtime::EvalContext& ctx) override;
+    Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
     Tensor backward(const Tensor& grad_output) override;
     std::vector<Parameter*> parameters() override;
     [[nodiscard]] std::string name() const override { return "BatchNorm2d"; }
@@ -51,8 +53,12 @@ private:
     // Forward cache (training mode)
     Tensor cached_xhat_;
     std::vector<float> cached_inv_std_;
-    Shape cached_shape_{std::vector<std::size_t>{}};
+    Shape cached_shape_;
     bool cached_training_ = true;
+
+    /// Shared eval-mode normalization: writes g*(x-m)*inv_std + b per
+    /// channel from the running statistics into `out`.
+    void eval_normalize(const Tensor& input, float* out) const;
 };
 
 }  // namespace ams::nn

@@ -30,54 +30,120 @@ void Conv2d::set_effective_weight(Tensor w) {
     effective_weight_ = std::move(w);
 }
 
+ConvLowering Conv2d::make_lowering(const Shape& in) const {
+    if (in.rank() != 4) {
+        throw std::invalid_argument("Conv2d: expected NCHW input, got " + in.str());
+    }
+    if (in.dim(1) != opts_.in_channels) {
+        throw std::invalid_argument("Conv2d: input channels " + std::to_string(in.dim(1)) +
+                                    " != configured " + std::to_string(opts_.in_channels));
+    }
+    return ConvLowering(ConvGeometry{opts_.in_channels, in.dim(2),  in.dim(3),
+                                     opts_.kernel,      opts_.kernel,  opts_.stride,
+                                     opts_.stride,      opts_.padding, opts_.padding});
+}
+
+void Conv2d::add_bias(float* out_image_base, std::size_t out_spatial) const {
+    for (std::size_t c = 0; c < opts_.out_channels; ++c) {
+        float* chan = out_image_base + c * out_spatial;
+        const float bv = bias_->value[c];
+        for (std::size_t i = 0; i < out_spatial; ++i) chan[i] += bv;
+    }
+}
+
 Tensor Conv2d::forward(const Tensor& input) {
-    if (input.rank() != 4) {
-        throw std::invalid_argument("Conv2d::forward: expected NCHW input, got " +
-                                    input.shape().str());
-    }
-    if (input.dim(1) != opts_.in_channels) {
-        throw std::invalid_argument("Conv2d::forward: input channels " +
-                                    std::to_string(input.dim(1)) + " != configured " +
-                                    std::to_string(opts_.in_channels));
-    }
-    geometry_ = ConvGeometry{opts_.in_channels, input.dim(2),  input.dim(3),
-                             opts_.kernel,      opts_.kernel,  opts_.stride,
-                             opts_.stride,      opts_.padding, opts_.padding};
-    geometry_.validate();
+    lowering_ = make_lowering(input.shape());
     cached_input_ = input;
 
     const std::size_t batch = input.dim(0);
-    const std::size_t oh = geometry_.out_h();
-    const std::size_t ow = geometry_.out_w();
-    const std::size_t out_spatial = oh * ow;
-    const std::size_t patch = geometry_.patch_size();
+    const std::size_t out_spatial = lowering_.out_spatial();
+    const std::size_t patch = lowering_.patch_size();
 
-    Tensor output(Shape{batch, opts_.out_channels, oh, ow});
+    Tensor output(Shape{batch, opts_.out_channels, lowering_.out_h(), lowering_.out_w()});
     const Tensor& w = forward_weight();
-
-    const std::size_t in_image = opts_.in_channels * geometry_.in_h * geometry_.in_w;
     const std::size_t out_image = opts_.out_channels * out_spatial;
-    // Images are independent: each chunk lowers and multiplies its own
-    // slice of the batch with a private scratch buffer. The inner im2col
-    // and gemm are themselves parallel, so a batch of 1 still scales.
+
+    if (training()) {
+        // Lower the whole batch once into the member cache; backward()
+        // reuses these columns instead of re-running im2col per image.
+        cached_columns_.resize(batch * patch * out_spatial);
+        cached_columns_batch_ = batch;
+        lowering_.lower_batch(input.data(), batch, cached_columns_.data());
+        runtime::parallel_for(
+            0, batch, runtime::suggest_grain(batch, 1),
+            [&](std::size_t b_begin, std::size_t b_end) {
+                for (std::size_t b = b_begin; b < b_end; ++b) {
+                    // out (Cout x OHW) = W (Cout x patch) * columns (patch x OHW)
+                    gemm(w.data(), cached_columns_.data() + b * patch * out_spatial,
+                         output.data() + b * out_image, opts_.out_channels, patch,
+                         out_spatial);
+                    if (bias_) add_bias(output.data() + b * out_image, out_spatial);
+                }
+            });
+        return output;
+    }
+
+    // Eval without a context: images are independent, each chunk lowers
+    // and multiplies its own slice of the batch with a private scratch
+    // buffer. The inner im2col and gemm are themselves parallel, so a
+    // batch of 1 still scales.
+    cached_columns_batch_ = 0;
     runtime::parallel_for(
         0, batch, runtime::suggest_grain(batch, 1),
         [&](std::size_t b_begin, std::size_t b_end) {
             std::vector<float> columns(patch * out_spatial);
             for (std::size_t b = b_begin; b < b_end; ++b) {
-                im2col(input.data() + b * in_image, geometry_, columns.data());
-                // out (Cout x OHW) = W (Cout x patch) * columns (patch x OHW)
+                lowering_.lower_image(input.data(), b, columns.data());
                 gemm(w.data(), columns.data(), output.data() + b * out_image,
                      opts_.out_channels, patch, out_spatial);
-                if (bias_) {
-                    for (std::size_t c = 0; c < opts_.out_channels; ++c) {
-                        float* chan = output.data() + b * out_image + c * out_spatial;
-                        const float bv = bias_->value[c];
-                        for (std::size_t i = 0; i < out_spatial; ++i) chan[i] += bv;
-                    }
-                }
+                if (bias_) add_bias(output.data() + b * out_image, out_spatial);
             }
         });
+    return output;
+}
+
+Shape Conv2d::plan(const Shape& in, runtime::EvalContext& ctx) {
+    const ConvLowering low = make_lowering(in);
+    const std::size_t batch = in.dim(0);
+    const std::size_t grain = runtime::suggest_grain(batch, 1);
+    const std::size_t n_chunks = (batch + grain - 1) / grain;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+        (void)ctx.reserve_scratch(this, static_cast<int>(c), low.columns_floats());
+    }
+    return Shape{batch, opts_.out_channels, low.out_h(), low.out_w()};
+}
+
+Tensor Conv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);  // backward needs the caches
+    lowering_ = make_lowering(input.shape());
+
+    const std::size_t batch = input.dim(0);
+    const std::size_t out_spatial = lowering_.out_spatial();
+    const std::size_t patch = lowering_.patch_size();
+    Tensor output =
+        arena_output(ctx, Shape{batch, opts_.out_channels, lowering_.out_h(), lowering_.out_w()});
+    const Tensor& w = forward_weight();
+    const std::size_t out_image = opts_.out_channels * out_spatial;
+
+    // Per-chunk column scratch comes from the context. Reservations are
+    // made serially before the region runs (re-planning on a shape change,
+    // e.g. the last partial batch); inside the region reserve_scratch is a
+    // pure lookup, which is safe from concurrent chunks.
+    const std::size_t grain = runtime::suggest_grain(batch, 1);
+    const std::size_t n_chunks = (batch + grain - 1) / grain;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+        (void)ctx.reserve_scratch(this, static_cast<int>(c), patch * out_spatial);
+    }
+    runtime::parallel_for(0, batch, grain, [&](std::size_t b_begin, std::size_t b_end) {
+        float* columns =
+            ctx.reserve_scratch(this, static_cast<int>(b_begin / grain), patch * out_spatial);
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+            lowering_.lower_image(input.data(), b, columns);
+            gemm(w.data(), columns, output.data() + b * out_image, opts_.out_channels, patch,
+                 out_spatial);
+            if (bias_) add_bias(output.data() + b * out_image, out_spatial);
+        }
+    });
     return output;
 }
 
@@ -86,38 +152,46 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
         throw std::logic_error("Conv2d::backward called before forward");
     }
     const std::size_t batch = cached_input_.dim(0);
-    const std::size_t oh = geometry_.out_h();
-    const std::size_t ow = geometry_.out_w();
-    const std::size_t out_spatial = oh * ow;
-    const std::size_t patch = geometry_.patch_size();
-    const Shape expected{batch, opts_.out_channels, oh, ow};
+    const std::size_t out_spatial = lowering_.out_spatial();
+    const std::size_t patch = lowering_.patch_size();
+    const Shape expected{batch, opts_.out_channels, lowering_.out_h(), lowering_.out_w()};
     if (grad_output.shape() != expected) {
         throw std::invalid_argument("Conv2d::backward: grad shape " + grad_output.shape().str() +
                                     " != " + expected.str());
     }
 
     Tensor grad_input(cached_input_.shape());
-    std::vector<float> columns(patch * out_spatial);
-    std::vector<float> grad_columns(patch * out_spatial);
-    std::vector<float> grad_w_sample(opts_.out_channels * patch);
+    // Columns were already lowered by the training forward; fall back to
+    // one fresh lowering into the same reusable cache otherwise (e.g. a
+    // forward that ran in eval mode). Either way im2col runs at most once
+    // per (input, shape), not once per image per backward.
+    if (cached_columns_batch_ != batch ||
+        cached_columns_.size() < batch * patch * out_spatial) {
+        cached_columns_.resize(batch * patch * out_spatial);
+        lowering_.lower_batch(cached_input_.data(), batch, cached_columns_.data());
+        cached_columns_batch_ = batch;
+    }
+    bwd_grad_columns_.resize(patch * out_spatial);
+    bwd_grad_w_.resize(opts_.out_channels * patch);
     const Tensor& w = forward_weight();
 
-    const std::size_t in_image = opts_.in_channels * geometry_.in_h * geometry_.in_w;
+    const std::size_t in_image = lowering_.image_floats();
     const std::size_t out_image = opts_.out_channels * out_spatial;
     for (std::size_t b = 0; b < batch; ++b) {
         const float* gout = grad_output.data() + b * out_image;
+        const float* columns = cached_columns_.data() + b * patch * out_spatial;
 
         // dW (Cout x patch) += gout (Cout x OHW) * columns^T (OHW x patch)
-        im2col(cached_input_.data() + b * in_image, geometry_, columns.data());
-        gemm_bt(gout, columns.data(), grad_w_sample.data(), opts_.out_channels, out_spatial,
-                patch);
-        for (std::size_t i = 0; i < grad_w_sample.size(); ++i) {
-            weight_.grad[i] += grad_w_sample[i];
+        gemm_bt(gout, columns, bwd_grad_w_.data(), opts_.out_channels, out_spatial, patch);
+        for (std::size_t i = 0; i < bwd_grad_w_.size(); ++i) {
+            weight_.grad[i] += bwd_grad_w_[i];
         }
 
         // dColumns (patch x OHW) = W^T (patch x Cout) * gout (Cout x OHW)
-        gemm_at(w.data(), gout, grad_columns.data(), patch, opts_.out_channels, out_spatial);
-        col2im(grad_columns.data(), geometry_, grad_input.data() + b * in_image);
+        gemm_at(w.data(), gout, bwd_grad_columns_.data(), patch, opts_.out_channels,
+                out_spatial);
+        col2im(bwd_grad_columns_.data(), lowering_.geometry(),
+               grad_input.data() + b * in_image);
 
         if (bias_) {
             for (std::size_t c = 0; c < opts_.out_channels; ++c) {

@@ -34,6 +34,8 @@ public:
     Conv2d(const Conv2dOptions& opts, Rng& rng);
 
     Tensor forward(const Tensor& input) override;
+    Shape plan(const Shape& in, runtime::EvalContext& ctx) override;
+    Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
     Tensor backward(const Tensor& grad_output) override;
     std::vector<Parameter*> parameters() override;
     [[nodiscard]] std::string name() const override { return "Conv2d"; }
@@ -65,13 +67,28 @@ private:
         return effective_weight_ ? *effective_weight_ : weight_.value;
     }
 
+    /// Builds (and validates) the lowering for an input of this spatial
+    /// size; throws on rank/channel mismatch.
+    [[nodiscard]] ConvLowering make_lowering(const Shape& in) const;
+
+    /// Adds the bias vector to one image's output channels.
+    void add_bias(float* out_image_base, std::size_t out_spatial) const;
+
     Conv2dOptions opts_;
     Parameter weight_;
     std::optional<Parameter> bias_;
     std::optional<Tensor> effective_weight_;
 
     Tensor cached_input_;     ///< saved by forward() for backward()
-    ConvGeometry geometry_{};
+    ConvLowering lowering_;   ///< geometry of the last forward
+
+    // Training-path scratch, reused across steps (satellite fix: backward
+    // no longer re-runs im2col into fresh buffers). cached_columns_ holds
+    // the full-batch column matrices lowered by the training forward.
+    std::vector<float> cached_columns_;
+    std::size_t cached_columns_batch_ = 0;
+    std::vector<float> bwd_grad_columns_;
+    std::vector<float> bwd_grad_w_;
 };
 
 }  // namespace ams::nn

@@ -47,6 +47,35 @@ Tensor Linear::forward(const Tensor& input) {
     return output;
 }
 
+Shape Linear::plan(const Shape& in, runtime::EvalContext& ctx) {
+    (void)ctx;  // no per-layer scratch: the GEMM writes straight to the output
+    if (in.rank() != 2 || in.dim(1) != in_features_) {
+        throw std::invalid_argument("Linear::plan: expected {N, " +
+                                    std::to_string(in_features_) + "}, got " + in.str());
+    }
+    return Shape{in.dim(0), out_features_};
+}
+
+Tensor Linear::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);  // backward needs cached_input_
+    if (input.rank() != 2 || input.dim(1) != in_features_) {
+        throw std::invalid_argument("Linear::forward: expected {N, " +
+                                    std::to_string(in_features_) + "}, got " +
+                                    input.shape().str());
+    }
+    const std::size_t batch = input.dim(0);
+    Tensor output = arena_output(ctx, Shape{batch, out_features_});
+    gemm_bt(input.data(), forward_weight().data(), output.data(), batch, in_features_,
+            out_features_);
+    if (has_bias_) {
+        for (std::size_t b = 0; b < batch; ++b) {
+            float* row = output.data() + b * out_features_;
+            for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+        }
+    }
+    return output;
+}
+
 Tensor Linear::backward(const Tensor& grad_output) {
     if (cached_input_.empty()) throw std::logic_error("Linear::backward before forward");
     const std::size_t batch = cached_input_.dim(0);

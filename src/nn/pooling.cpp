@@ -10,22 +10,23 @@ MaxPool2d::MaxPool2d(std::size_t window, std::size_t stride, std::size_t padding
     if (window == 0) throw std::invalid_argument("MaxPool2d: window must be nonzero");
 }
 
-Tensor MaxPool2d::forward(const Tensor& input) {
-    if (input.rank() != 4) {
-        throw std::invalid_argument("MaxPool2d::forward: expected NCHW, got " +
-                                    input.shape().str());
+Shape MaxPool2d::out_shape(const Shape& in) const {
+    if (in.rank() != 4) {
+        throw std::invalid_argument("MaxPool2d: expected NCHW, got " + in.str());
     }
-    const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const std::size_t h = in.dim(2), w = in.dim(3);
     if (h + 2 * padding_ < window_ || w + 2 * padding_ < window_) {
         throw std::invalid_argument("MaxPool2d: window larger than padded input");
     }
     const std::size_t oh = (h + 2 * padding_ - window_) / stride_ + 1;
     const std::size_t ow = (w + 2 * padding_ - window_) / stride_ + 1;
-    input_shape_ = input.shape();
-    output_shape_ = Shape{n, c, oh, ow};
-    Tensor out(output_shape_);
-    argmax_.assign(out.size(), 0);
+    return Shape{in.dim(0), in.dim(1), oh, ow};
+}
 
+void MaxPool2d::pool(const Tensor& input, float* out, std::size_t* argmax) const {
+    const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = (h + 2 * padding_ - window_) / stride_ + 1;
+    const std::size_t ow = (w + 2 * padding_ - window_) / stride_ + 1;
     std::size_t oi = 0;
     for (std::size_t b = 0; b < n; ++b) {
         for (std::size_t ch = 0; ch < c; ++ch) {
@@ -52,11 +53,31 @@ Tensor MaxPool2d::forward(const Tensor& input) {
                         }
                     }
                     out[oi] = best;
-                    argmax_[oi] = chan_base + best_idx;
+                    if (argmax != nullptr) argmax[oi] = chan_base + best_idx;
                 }
             }
         }
     }
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+    input_shape_ = input.shape();
+    output_shape_ = out_shape(input.shape());
+    Tensor out(output_shape_);
+    argmax_.assign(out.size(), 0);
+    pool(input, out.data(), argmax_.data());
+    return out;
+}
+
+Shape MaxPool2d::plan(const Shape& in, runtime::EvalContext& ctx) {
+    (void)ctx;  // backward is never called on the planned path: no argmax scratch
+    return out_shape(in);
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);  // backward needs argmax_
+    Tensor out = arena_output(ctx, out_shape(input.shape()));
+    pool(input, out.data(), nullptr);
     return out;
 }
 
@@ -72,15 +93,9 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
     return grad_input;
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& input) {
-    if (input.rank() != 4) {
-        throw std::invalid_argument("GlobalAvgPool::forward: expected NCHW, got " +
-                                    input.shape().str());
-    }
-    input_shape_ = input.shape();
+void GlobalAvgPool::reduce(const Tensor& input, float* out) {
     const std::size_t n = input.dim(0), c = input.dim(1);
     const std::size_t spatial = input.dim(2) * input.dim(3);
-    Tensor out(Shape{n, c});
     for (std::size_t b = 0; b < n; ++b) {
         for (std::size_t ch = 0; ch < c; ++ch) {
             const float* chan = input.data() + (b * c + ch) * spatial;
@@ -89,6 +104,35 @@ Tensor GlobalAvgPool::forward(const Tensor& input) {
             out[b * c + ch] = static_cast<float>(acc / static_cast<double>(spatial));
         }
     }
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+    if (input.rank() != 4) {
+        throw std::invalid_argument("GlobalAvgPool::forward: expected NCHW, got " +
+                                    input.shape().str());
+    }
+    input_shape_ = input.shape();
+    Tensor out(Shape{input.dim(0), input.dim(1)});
+    reduce(input, out.data());
+    return out;
+}
+
+Shape GlobalAvgPool::plan(const Shape& in, runtime::EvalContext& ctx) {
+    (void)ctx;
+    if (in.rank() != 4) {
+        throw std::invalid_argument("GlobalAvgPool::plan: expected NCHW, got " + in.str());
+    }
+    return Shape{in.dim(0), in.dim(1)};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);
+    if (input.rank() != 4) {
+        throw std::invalid_argument("GlobalAvgPool::forward: expected NCHW, got " +
+                                    input.shape().str());
+    }
+    Tensor out = arena_output(ctx, Shape{input.dim(0), input.dim(1)});
+    reduce(input, out.data());
     return out;
 }
 

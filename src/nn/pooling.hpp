@@ -14,15 +14,23 @@ public:
     explicit MaxPool2d(std::size_t window, std::size_t stride = 0, std::size_t padding = 0);
 
     Tensor forward(const Tensor& input) override;
+    Shape plan(const Shape& in, runtime::EvalContext& ctx) override;
+    Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
     Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
 
 private:
+    /// Output shape for `in`; throws on bad rank / window vs input size.
+    [[nodiscard]] Shape out_shape(const Shape& in) const;
+    /// The pooling loop; writes into `out` and, when `argmax` is nonnull,
+    /// records the flat input index of each max for backward.
+    void pool(const Tensor& input, float* out, std::size_t* argmax) const;
+
     std::size_t window_;
     std::size_t stride_;
     std::size_t padding_;
-    Shape input_shape_{std::vector<std::size_t>{}};
-    Shape output_shape_{std::vector<std::size_t>{}};
+    Shape input_shape_;
+    Shape output_shape_;
     std::vector<std::size_t> argmax_;  ///< flat input index of each output max
 };
 
@@ -30,11 +38,15 @@ private:
 class GlobalAvgPool : public Module {
 public:
     Tensor forward(const Tensor& input) override;
+    Shape plan(const Shape& in, runtime::EvalContext& ctx) override;
+    Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
     Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
 
 private:
-    Shape input_shape_{std::vector<std::size_t>{}};
+    static void reduce(const Tensor& input, float* out);
+
+    Shape input_shape_;
 };
 
 }  // namespace ams::nn

@@ -64,6 +64,31 @@ DorefaWeights dorefa_quantize_weights(const Tensor& w, std::size_t bits) {
     return out;
 }
 
+void dorefa_quantize_weights_into(const Tensor& w, std::size_t bits, float* out_q) {
+    if (bits >= kFloatBits) {
+        for (std::size_t i = 0; i < w.size(); ++i) out_q[i] = w[i];
+        return;
+    }
+    const std::size_t levels = magnitude_levels(bits);
+
+    // Two passes recomputing tanh instead of storing it: std::tanh is
+    // deterministic, so the result is bit-identical to the allocating
+    // transform while needing no temporary.
+    float max_tanh = 0.0f;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        max_tanh = std::max(max_tanh, std::fabs(std::tanh(w[i])));
+    }
+    if (max_tanh == 0.0f) max_tanh = 1.0f;
+
+    const float inv_max = 1.0f / max_tanh;
+    const float n = static_cast<float>(levels);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        const float unit = std::tanh(w[i]) * inv_max;  // in [-1, 1]
+        const float mag = std::round(std::fabs(unit) * n) / n;
+        out_q[i] = std::copysign(mag, unit);
+    }
+}
+
 Tensor dorefa_quantize_activations(const Tensor& a, std::size_t bits) {
     if (bits >= kFloatBits) return a;
     Tensor out = a;

@@ -44,6 +44,11 @@ struct DorefaWeights {
 /// Throws std::invalid_argument for bits < 2.
 [[nodiscard]] DorefaWeights dorefa_quantize_weights(const Tensor& w, std::size_t bits);
 
+/// Eval-path variant: writes only the quantized weights (no STE scale)
+/// into caller-provided storage of w.size() floats, allocating nothing.
+/// Values match dorefa_quantize_weights(...).quantized bit-for-bit.
+void dorefa_quantize_weights_into(const Tensor& w, std::size_t bits, float* out_q);
+
 /// DoReFa activation quantization: quantize_unit over [0,1] with the
 /// sign-magnitude level count for `bits`. Identity for kFloatBits.
 [[nodiscard]] Tensor dorefa_quantize_activations(const Tensor& a, std::size_t bits);

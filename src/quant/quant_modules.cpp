@@ -23,6 +23,23 @@ Tensor QuantAct::forward(const Tensor& input) {
     return out;
 }
 
+Tensor QuantAct::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);  // backward needs cached_input_
+    Tensor out = nn::arena_output(ctx, input.shape());
+    if (bits_ >= kFloatBits) {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            out[i] = std::clamp(input[i], 0.0f, 1.0f);
+        }
+        return out;
+    }
+    const std::size_t levels = magnitude_levels(bits_);
+    const float n = static_cast<float>(levels);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = std::round(std::clamp(input[i], 0.0f, 1.0f) * n) / n;
+    }
+    return out;
+}
+
 Tensor QuantAct::backward(const Tensor& grad_output) {
     check_same_shape(grad_output, cached_input_, "QuantAct::backward");
     Tensor grad = grad_output;
@@ -60,6 +77,23 @@ Tensor QuantInput::forward(const Tensor& input) {
     return out;
 }
 
+Tensor QuantInput::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);  // backward needs cached_scaled_
+    Tensor out = nn::arena_output(ctx, input.shape());
+    const float inv = 1.0f / scale_;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = std::clamp(input[i] * inv, -1.0f, 1.0f);
+    }
+    if (bits_ >= kFloatBits) return out;
+    const std::size_t levels = magnitude_levels(bits_);
+    const float n = static_cast<float>(levels);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const float mag = std::round(std::fabs(out[i]) * n) / n;
+        out[i] = std::copysign(mag, out[i]);
+    }
+    return out;
+}
+
 Tensor QuantInput::backward(const Tensor& grad_output) {
     check_same_shape(grad_output, cached_scaled_, "QuantInput::backward");
     Tensor grad = grad_output;
@@ -86,6 +120,27 @@ Tensor QuantConv2d::forward(const Tensor& input) {
     ste_scale_ = std::move(dq.ste_scale);
     conv_.set_effective_weight(std::move(dq.quantized));
     return conv_.forward(input);
+}
+
+Shape QuantConv2d::plan(const Shape& in, runtime::EvalContext& ctx) {
+    if (bits_w_ < kFloatBits) {
+        // Quantized-weight buffer, reused every pass.
+        (void)ctx.reserve_scratch(this, 0, conv_.weight().value.size());
+    }
+    return conv_.plan(in, ctx);
+}
+
+Tensor QuantConv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);  // STE bookkeeping lives on that path
+    if (bits_w_ >= kFloatBits) {
+        conv_.clear_effective_weight();
+        return conv_.forward(input, ctx);
+    }
+    const Tensor& w = conv_.weight().value;
+    float* wq = ctx.reserve_scratch(this, 0, w.size());
+    dorefa_quantize_weights_into(w, bits_w_, wq);
+    conv_.set_effective_weight(Tensor::borrowed(w.shape(), wq));
+    return conv_.forward(input, ctx);
 }
 
 Tensor QuantConv2d::backward(const Tensor& grad_output) {
@@ -120,6 +175,26 @@ Tensor QuantLinear::forward(const Tensor& input) {
     ste_scale_ = std::move(dq.ste_scale);
     linear_.set_effective_weight(std::move(dq.quantized));
     return linear_.forward(input);
+}
+
+Shape QuantLinear::plan(const Shape& in, runtime::EvalContext& ctx) {
+    if (bits_w_ < kFloatBits) {
+        (void)ctx.reserve_scratch(this, 0, linear_.weight().value.size());
+    }
+    return linear_.plan(in, ctx);
+}
+
+Tensor QuantLinear::forward(const Tensor& input, runtime::EvalContext& ctx) {
+    if (training()) return forward(input);
+    if (bits_w_ >= kFloatBits) {
+        linear_.clear_effective_weight();
+        return linear_.forward(input, ctx);
+    }
+    const Tensor& w = linear_.weight().value;
+    float* wq = ctx.reserve_scratch(this, 0, w.size());
+    dorefa_quantize_weights_into(w, bits_w_, wq);
+    linear_.set_effective_weight(Tensor::borrowed(w.shape(), wq));
+    return linear_.forward(input, ctx);
 }
 
 Tensor QuantLinear::backward(const Tensor& grad_output) {

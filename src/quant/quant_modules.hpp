@@ -29,6 +29,7 @@ public:
     explicit QuantAct(std::size_t bits);
 
     Tensor forward(const Tensor& input) override;
+    Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
     Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::string name() const override { return "QuantAct"; }
     [[nodiscard]] std::size_t bits() const { return bits_; }
@@ -48,6 +49,7 @@ public:
     QuantInput(float max_abs_input, std::size_t bits);
 
     Tensor forward(const Tensor& input) override;
+    Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
     Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::string name() const override { return "QuantInput"; }
 
@@ -65,8 +67,14 @@ public:
     QuantConv2d(const nn::Conv2dOptions& opts, std::size_t bits_w, Rng& rng);
 
     Tensor forward(const Tensor& input) override;
+    Shape plan(const Shape& in, runtime::EvalContext& ctx) override;
+    Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
     Tensor backward(const Tensor& grad_output) override;
     std::vector<nn::Parameter*> parameters() override { return conv_.parameters(); }
+    void set_training(bool training) override {
+        nn::Module::set_training(training);
+        conv_.set_training(training);
+    }
     [[nodiscard]] std::string name() const override { return "QuantConv2d"; }
 
     void collect_state(const std::string& prefix, TensorMap& out) const override {
@@ -94,8 +102,14 @@ public:
                 bool bias = true);
 
     Tensor forward(const Tensor& input) override;
+    Shape plan(const Shape& in, runtime::EvalContext& ctx) override;
+    Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
     Tensor backward(const Tensor& grad_output) override;
     std::vector<nn::Parameter*> parameters() override { return linear_.parameters(); }
+    void set_training(bool training) override {
+        nn::Module::set_training(training);
+        linear_.set_training(training);
+    }
     [[nodiscard]] std::string name() const override { return "QuantLinear"; }
 
     void collect_state(const std::string& prefix, TensorMap& out) const override {

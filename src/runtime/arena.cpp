@@ -1,0 +1,96 @@
+#include "runtime/arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+namespace ams::runtime {
+
+namespace {
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+    return (n + align - 1) / align * align;
+}
+
+}  // namespace
+
+TensorArena::TensorArena(std::size_t initial_bytes, std::size_t max_bytes)
+    : initial_bytes_(std::max<std::size_t>(round_up(std::max<std::size_t>(initial_bytes, 1),
+                                                    kAlignment),
+                                           kAlignment)),
+      max_bytes_(max_bytes) {}
+
+TensorArena::~TensorArena() {
+    for (Block& b : blocks_) {
+        ::operator delete[](b.data, std::align_val_t{kAlignment});
+    }
+}
+
+void TensorArena::add_block(std::size_t min_bytes) {
+    std::size_t want = initial_bytes_;
+    for (const Block& b : blocks_) want = std::max(want, b.capacity * 2);
+    want = std::max(want, round_up(min_bytes, kAlignment));
+    if (max_bytes_ != 0 && capacity() + want > max_bytes_) {
+        // Retry at the exact request before giving up: the doubling
+        // heuristic must not trip the cap when the request itself fits.
+        want = round_up(min_bytes, kAlignment);
+        if (capacity() + want > max_bytes_) throw std::bad_alloc();
+    }
+    Block b;
+    b.data = static_cast<std::byte*>(
+        ::operator new[](want, std::align_val_t{kAlignment}));
+    b.capacity = want;
+    b.used = 0;
+    blocks_.push_back(b);
+}
+
+void* TensorArena::allocate(std::size_t bytes) {
+    const std::size_t need = round_up(std::max<std::size_t>(bytes, 1), kAlignment);
+    if (blocks_.empty()) add_block(need);
+    // Advance past full blocks (they may have been retained by a rewind).
+    while (blocks_[current_].capacity - blocks_[current_].used < need) {
+        if (current_ + 1 == blocks_.size()) add_block(need);
+        ++current_;
+        // A retained block that is too small is skipped, not reused.
+    }
+    Block& b = blocks_[current_];
+    void* p = b.data + b.used;
+    b.used += need;
+    high_water_ = std::max(high_water_, in_use());
+    return p;
+}
+
+float* TensorArena::allocate_floats(std::size_t count) {
+    return static_cast<float*>(allocate(count * sizeof(float)));
+}
+
+TensorArena::Checkpoint TensorArena::checkpoint() const {
+    Checkpoint cp;
+    cp.block = current_;
+    cp.used = blocks_.empty() ? 0 : blocks_[current_].used;
+    return cp;
+}
+
+void TensorArena::rewind(const Checkpoint& cp) {
+    if (blocks_.empty()) return;
+    current_ = std::min(cp.block, blocks_.size() - 1);
+    blocks_[current_].used = std::min(cp.used, blocks_[current_].capacity);
+    for (std::size_t i = current_ + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+}
+
+void TensorArena::reset() {
+    rewind(Checkpoint{});
+}
+
+std::size_t TensorArena::in_use() const {
+    std::size_t n = 0;
+    for (const Block& b : blocks_) n += b.used;
+    return n;
+}
+
+std::size_t TensorArena::capacity() const {
+    std::size_t n = 0;
+    for (const Block& b : blocks_) n += b.capacity;
+    return n;
+}
+
+}  // namespace ams::runtime

@@ -1,0 +1,88 @@
+// TensorArena: bump allocator backing the zero-allocation inference path.
+//
+// The eval loop re-runs the same forward graph thousands of times (ENOB x
+// energy sweeps, multi-pass validation); allocating every activation and
+// im2col scratch buffer per call makes the general-purpose allocator the
+// dominant serial cost. A TensorArena instead hands out pointers from
+// pre-reserved blocks with a single pointer bump, and the caller rewinds
+// the whole arena between images. Steady-state forward passes therefore
+// perform zero heap allocations (see tests/alloc_count_test.cpp).
+//
+// Discipline:
+//   * take a Checkpoint before a region, rewind to it after — nesting is
+//     allowed as long as rewinds unwind in LIFO order;
+//   * rewound memory is dead: a Tensor borrowed from the arena must not
+//     outlive the rewind that releases it (ASan catches violations when
+//     the tier-1 suite runs under AMSNET_SANITIZE=address);
+//   * the arena grows by doubling when exhausted and never shrinks, so
+//     after the first pass over a workload (the warm-up) all later passes
+//     run allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ams::runtime {
+
+class TensorArena {
+public:
+    /// Every allocation is aligned to this (cache line / AVX-512 friendly).
+    static constexpr std::size_t kAlignment = 64;
+
+    /// `initial_bytes` sizes the first block (allocated lazily on first
+    /// use). `max_bytes` caps total capacity: 0 means unlimited; a
+    /// nonzero cap makes `allocate` throw std::bad_alloc once growth
+    /// would exceed it (the OOM policy — fail loudly, never hand out
+    /// overlapping memory).
+    explicit TensorArena(std::size_t initial_bytes = 1u << 20, std::size_t max_bytes = 0);
+    ~TensorArena();
+
+    TensorArena(const TensorArena&) = delete;
+    TensorArena& operator=(const TensorArena&) = delete;
+
+    /// Bump-allocates `bytes` aligned to kAlignment. Grows by doubling
+    /// when the current block is exhausted; throws std::bad_alloc if a
+    /// nonzero max_bytes cap would be exceeded.
+    [[nodiscard]] void* allocate(std::size_t bytes);
+
+    /// Convenience: `count` floats (the library's only element type).
+    [[nodiscard]] float* allocate_floats(std::size_t count);
+
+    /// A position in the arena; rewinding to it frees everything
+    /// allocated after it was taken. Checkpoints nest LIFO.
+    struct Checkpoint {
+        std::size_t block = 0;  ///< active block index at capture
+        std::size_t used = 0;   ///< bytes used in that block at capture
+    };
+
+    [[nodiscard]] Checkpoint checkpoint() const;
+    void rewind(const Checkpoint& cp);
+    /// Rewind to empty (keeps the blocks for reuse).
+    void reset();
+
+    // ----- stats -----
+    [[nodiscard]] std::size_t in_use() const;           ///< live bytes right now
+    [[nodiscard]] std::size_t capacity() const;         ///< total reserved bytes
+    [[nodiscard]] std::size_t high_water_mark() const { return high_water_; }
+    [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+    [[nodiscard]] std::size_t max_bytes() const { return max_bytes_; }
+
+private:
+    struct Block {
+        std::byte* data = nullptr;
+        std::size_t capacity = 0;
+        std::size_t used = 0;
+    };
+
+    /// Appends a block of at least `min_bytes`, doubling the largest
+    /// existing block. Throws std::bad_alloc on cap violation.
+    void add_block(std::size_t min_bytes);
+
+    std::vector<Block> blocks_;
+    std::size_t current_ = 0;  ///< index of the block being bumped
+    std::size_t initial_bytes_;
+    std::size_t max_bytes_;
+    std::size_t high_water_ = 0;
+};
+
+}  // namespace ams::runtime

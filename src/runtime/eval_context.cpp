@@ -1,0 +1,21 @@
+#include "runtime/eval_context.hpp"
+
+namespace ams::runtime {
+
+EvalContext::EvalContext(std::uint64_t rng_seed, std::size_t initial_activation_bytes,
+                         std::size_t initial_scratch_bytes)
+    : activations_(initial_activation_bytes),
+      scratch_(initial_scratch_bytes),
+      rng_root_(rng_seed),
+      pool_(&ThreadPool::global()) {}
+
+float* EvalContext::reserve_scratch(const void* owner, int slot, std::size_t floats) {
+    Entry& e = registry_[Key{owner, slot}];
+    if (e.count < floats || e.data == nullptr) {
+        e.data = scratch_.allocate_floats(floats);
+        e.count = floats;
+    }
+    return e.data;
+}
+
+}  // namespace ams::runtime

@@ -16,7 +16,8 @@ struct RegionState {
     std::size_t end = 0;
     std::size_t grain = 1;
     std::size_t n_chunks = 0;
-    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    void* ctx = nullptr;
+    detail::ChunkFn fn = nullptr;
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -28,7 +29,7 @@ struct RegionState {
 
 /// Claims chunks until the range is exhausted. Safe to run on any number
 /// of threads concurrently; each chunk is executed exactly once. The
-/// `body` pointer is only dereferenced for successfully claimed chunks,
+/// body context is only dereferenced for successfully claimed chunks,
 /// all of which complete before the issuing parallel_for returns.
 void run_chunks(const std::shared_ptr<RegionState>& state) {
     RegionGuard guard;
@@ -39,7 +40,7 @@ void run_chunks(const std::shared_ptr<RegionState>& state) {
             const std::size_t lo = state->begin + c * state->grain;
             const std::size_t hi = std::min(lo + state->grain, state->end);
             try {
-                (*state->body)(lo, hi);
+                state->fn(state->ctx, lo, hi);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(state->mu);
                 if (!state->error) state->error = std::current_exception();
@@ -57,8 +58,10 @@ void run_chunks(const std::shared_ptr<RegionState>& state) {
 
 }  // namespace
 
-void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& body) {
+namespace detail {
+
+void parallel_for_erased(std::size_t begin, std::size_t end, std::size_t grain, void* ctx,
+                         ChunkFn fn) {
     if (end <= begin) return;
     if (grain == 0) grain = 1;
     const std::size_t total = end - begin;
@@ -66,10 +69,11 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
 
     ThreadPool& pool = ThreadPool::global();
     if (n_chunks <= 1 || pool.parallelism() <= 1 || ThreadPool::in_parallel_region()) {
-        // Serial fallback: same chunk decomposition, same order.
+        // Serial fallback: same chunk decomposition, same order, and no
+        // heap traffic (the zero-allocation eval path relies on this).
         for (std::size_t c = 0; c < n_chunks; ++c) {
             const std::size_t lo = begin + c * grain;
-            body(lo, std::min(lo + grain, end));
+            fn(ctx, lo, std::min(lo + grain, end));
         }
         return;
     }
@@ -79,7 +83,8 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
     state->end = end;
     state->grain = grain;
     state->n_chunks = n_chunks;
-    state->body = &body;
+    state->ctx = ctx;
+    state->fn = fn;
 
     const std::size_t helpers = std::min(pool.worker_count(), n_chunks - 1);
     for (std::size_t i = 0; i < helpers; ++i) {
@@ -93,6 +98,8 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
     });
     if (state->error) std::rethrow_exception(state->error);
 }
+
+}  // namespace detail
 
 std::size_t suggest_grain(std::size_t total, std::size_t min_chunk) {
     if (total == 0) return 1;

@@ -13,20 +13,41 @@
 //     calling thread after the region drains.
 //   * Nested calls (a body that itself calls parallel_for) fall back to
 //     serial execution instead of deadlocking or oversubscribing.
+//   * The serial path performs zero heap allocations: the body is passed
+//     as a (context, function-pointer) pair rather than a std::function,
+//     so hot loops inside the arena-backed eval path stay allocation-free
+//     when the pool is serial or the region is nested.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 #include "runtime/thread_pool.hpp"
 
 namespace ams::runtime {
 
+namespace detail {
+
+/// Type-erased body: `fn(ctx, chunk_begin, chunk_end)`.
+using ChunkFn = void (*)(void*, std::size_t, std::size_t);
+
+void parallel_for_erased(std::size_t begin, std::size_t end, std::size_t grain, void* ctx,
+                         ChunkFn fn);
+
+}  // namespace detail
+
 /// Runs `body(chunk_begin, chunk_end)` over [begin, end) in chunks of at
 /// most `grain` (0 is treated as 1). Blocks until every chunk finished;
 /// rethrows the first exception any chunk threw.
-void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& body);
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain, Body&& body) {
+    using Fn = std::remove_reference_t<Body>;
+    detail::parallel_for_erased(
+        begin, end, grain,
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))),
+        [](void* ctx, std::size_t lo, std::size_t hi) { (*static_cast<Fn*>(ctx))(lo, hi); });
+}
 
 /// Grain that yields ~4 chunks per executor (enough slack for stealing to
 /// balance uneven chunks), floored at `min_chunk` so tiny ranges are not

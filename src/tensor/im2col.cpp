@@ -95,4 +95,14 @@ void col2im(const float* columns, const ConvGeometry& g, float* image) {
                           channels);
 }
 
+void ConvLowering::lower_batch(const float* batch, std::size_t batch_size,
+                               float* columns) const {
+    const std::size_t per_image = columns_floats();
+    runtime::parallel_for(0, batch_size, 1, [&](std::size_t b_begin, std::size_t b_end) {
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+            lower_image(batch, b, columns + b * per_image);
+        }
+    });
+}
+
 }  // namespace ams

@@ -44,4 +44,57 @@ void im2col(const float* image, const ConvGeometry& g, float* columns);
 /// caller if a pure adjoint is wanted.
 void col2im(const float* columns, const ConvGeometry& g, float* image);
 
+/// The one shared im2col lowering used by every convolution path
+/// (nn::Conv2d forward and backward, vmac::VmacConv2d, and the quantized
+/// conv wrapper, which drives Conv2d). Owns no memory: callers provide
+/// the column buffers — arena scratch on the planned eval path, reusable
+/// member buffers on the training path — so the three formerly duplicated
+/// lowerings share one geometry/addressing implementation.
+class ConvLowering {
+public:
+    ConvLowering() = default;
+    /// Throws std::invalid_argument if the geometry is degenerate.
+    explicit ConvLowering(const ConvGeometry& g) : g_(g), oh_(0), ow_(0) {
+        g_.validate();
+        oh_ = g_.out_h();
+        ow_ = g_.out_w();
+    }
+
+    [[nodiscard]] const ConvGeometry& geometry() const { return g_; }
+    [[nodiscard]] std::size_t out_h() const { return oh_; }
+    [[nodiscard]] std::size_t out_w() const { return ow_; }
+    [[nodiscard]] std::size_t out_spatial() const { return oh_ * ow_; }
+    [[nodiscard]] std::size_t patch_size() const { return g_.patch_size(); }
+    /// Floats of one input image (C * H * W).
+    [[nodiscard]] std::size_t image_floats() const {
+        return g_.in_channels * g_.in_h * g_.in_w;
+    }
+    /// Floats of one image's column matrix (patch_size * out_spatial).
+    [[nodiscard]] std::size_t columns_floats() const {
+        return patch_size() * out_spatial();
+    }
+
+    /// Lowers image `b` of a contiguous NCHW batch into `columns`
+    /// (columns_floats() floats).
+    void lower_image(const float* batch, std::size_t b, float* columns) const {
+        im2col(batch + b * image_floats(), g_, columns);
+    }
+
+    /// Lowers images [0, batch_size) into `columns`
+    /// (batch_size * columns_floats() floats, image-major). Images are
+    /// write-disjoint, so the loop parallelizes over the batch.
+    void lower_batch(const float* batch, std::size_t batch_size, float* columns) const;
+
+    /// Scatter-adjoint for image `b`: accumulates `columns` back into the
+    /// image slice (caller pre-zeroes for a pure adjoint).
+    void scatter_image(const float* columns, std::size_t b, float* batch) const {
+        col2im(columns, g_, batch + b * image_floats());
+    }
+
+private:
+    ConvGeometry g_{};
+    std::size_t oh_ = 0;
+    std::size_t ow_ = 0;
+};
+
 }  // namespace ams

@@ -5,16 +5,33 @@
 
 namespace ams {
 
+void Shape::assign(const std::size_t* dims, std::size_t count) {
+    if (count > kMaxRank) {
+        throw std::invalid_argument("Shape: rank " + std::to_string(count) +
+                                    " exceeds kMaxRank (" + std::to_string(kMaxRank) + ")");
+    }
+    rank_ = count;
+    for (std::size_t i = 0; i < count; ++i) dims_[i] = dims[i];
+}
+
+std::size_t Shape::dim(std::size_t axis) const {
+    if (axis >= rank_) {
+        throw std::out_of_range("Shape::dim: axis " + std::to_string(axis) +
+                                " out of range for rank " + std::to_string(rank_));
+    }
+    return dims_[axis];
+}
+
 std::size_t Shape::numel() const {
     std::size_t n = 1;
-    for (std::size_t d : dims_) n *= d;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
     return n;
 }
 
 std::vector<std::size_t> Shape::strides() const {
-    std::vector<std::size_t> s(dims_.size());
+    std::vector<std::size_t> s(rank_);
     std::size_t acc = 1;
-    for (std::size_t i = dims_.size(); i-- > 0;) {
+    for (std::size_t i = rank_; i-- > 0;) {
         s[i] = acc;
         acc *= dims_[i];
     }
@@ -22,14 +39,14 @@ std::vector<std::size_t> Shape::strides() const {
 }
 
 std::size_t Shape::offset(const std::vector<std::size_t>& index) const {
-    if (index.size() != dims_.size()) {
+    if (index.size() != rank_) {
         throw std::invalid_argument("Shape::offset: rank mismatch: index rank " +
                                     std::to_string(index.size()) + " vs shape rank " +
-                                    std::to_string(dims_.size()));
+                                    std::to_string(rank_));
     }
     std::size_t off = 0;
     std::size_t stride = 1;
-    for (std::size_t i = dims_.size(); i-- > 0;) {
+    for (std::size_t i = rank_; i-- > 0;) {
         if (index[i] >= dims_[i]) {
             throw std::invalid_argument("Shape::offset: index " + std::to_string(index[i]) +
                                         " out of range for dim " + std::to_string(i) + " of size " +
@@ -44,7 +61,7 @@ std::size_t Shape::offset(const std::vector<std::size_t>& index) const {
 std::string Shape::str() const {
     std::ostringstream os;
     os << '[';
-    for (std::size_t i = 0; i < dims_.size(); ++i) {
+    for (std::size_t i = 0; i < rank_; ++i) {
         if (i != 0) os << ", ";
         os << dims_[i];
     }

@@ -3,11 +3,46 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace ams {
 
 Tensor::Tensor(Shape shape, float fill)
-    : shape_(std::move(shape)), data_(shape_.numel(), fill) {}
+    : shape_(shape), owned_(shape.numel(), fill), ptr_(owned_.data()), size_(owned_.size()) {}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), owned_(other.ptr_, other.ptr_ + other.size_), size_(other.size_) {
+    ptr_ = owned_.data();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+    if (this == &other) return *this;
+    shape_ = other.shape_;
+    owned_.assign(other.ptr_, other.ptr_ + other.size_);
+    ptr_ = owned_.data();
+    size_ = other.size_;
+    return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(other.shape_), owned_(std::move(other.owned_)), ptr_(other.ptr_), size_(other.size_) {
+    other.shape_ = Shape{};
+    other.ptr_ = nullptr;
+    other.size_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+    if (this == &other) return *this;
+    shape_ = other.shape_;
+    owned_ = std::move(other.owned_);
+    ptr_ = other.ptr_;
+    size_ = other.size_;
+    other.shape_ = Shape{};
+    other.owned_.clear();
+    other.ptr_ = nullptr;
+    other.size_ = 0;
+    return *this;
+}
 
 Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
     if (shape.numel() != data.size()) {
@@ -16,39 +51,53 @@ Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
                                     std::to_string(data.size()));
     }
     Tensor t;
-    t.shape_ = std::move(shape);
-    t.data_ = std::move(data);
+    t.shape_ = shape;
+    t.owned_ = std::move(data);
+    t.ptr_ = t.owned_.data();
+    t.size_ = t.owned_.size();
+    return t;
+}
+
+Tensor Tensor::borrowed(Shape shape, float* data) {
+    const std::size_t n = shape.numel();
+    if (data == nullptr && n != 0) {
+        throw std::invalid_argument("Tensor::borrowed: null data for shape " + shape.str());
+    }
+    Tensor t;
+    t.shape_ = shape;
+    t.ptr_ = data;
+    t.size_ = n;
     return t;
 }
 
 Tensor Tensor::reshaped(Shape new_shape) const& {
     Tensor copy = *this;
-    return std::move(copy).reshaped(std::move(new_shape));
+    return std::move(copy).reshaped(new_shape);
 }
 
 Tensor Tensor::reshaped(Shape new_shape) && {
-    if (new_shape.numel() != data_.size()) {
+    if (new_shape.numel() != size_) {
         throw std::invalid_argument("Tensor::reshaped: cannot reshape " + shape_.str() + " (" +
-                                    std::to_string(data_.size()) + " elems) to " + new_shape.str());
+                                    std::to_string(size_) + " elems) to " + new_shape.str());
     }
-    shape_ = std::move(new_shape);
+    shape_ = new_shape;
     return std::move(*this);
 }
 
 void Tensor::fill(float value) {
-    std::fill(data_.begin(), data_.end(), value);
+    std::fill(ptr_, ptr_ + size_, value);
 }
 
 void Tensor::apply(const std::function<float(float)>& fn) {
-    for (float& v : data_) v = fn(v);
+    for (std::size_t i = 0; i < size_; ++i) ptr_[i] = fn(ptr_[i]);
 }
 
 void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
-    for (float& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+    for (std::size_t i = 0; i < size_; ++i) ptr_[i] = static_cast<float>(rng.uniform(lo, hi));
 }
 
 void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
-    for (float& v : data_) v = static_cast<float>(rng.normal(mean, stddev));
+    for (std::size_t i = 0; i < size_; ++i) ptr_[i] = static_cast<float>(rng.normal(mean, stddev));
 }
 
 void Tensor::fill_he_normal(Rng& rng, std::size_t fan_in) {
@@ -66,75 +115,75 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
 
 Tensor& Tensor::operator+=(const Tensor& other) {
     check_same_shape(*this, other, "Tensor::operator+=");
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    for (std::size_t i = 0; i < size_; ++i) ptr_[i] += other.ptr_[i];
     return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
     check_same_shape(*this, other, "Tensor::operator-=");
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    for (std::size_t i = 0; i < size_; ++i) ptr_[i] -= other.ptr_[i];
     return *this;
 }
 
 Tensor& Tensor::operator*=(const Tensor& other) {
     check_same_shape(*this, other, "Tensor::operator*=");
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+    for (std::size_t i = 0; i < size_; ++i) ptr_[i] *= other.ptr_[i];
     return *this;
 }
 
 Tensor& Tensor::operator+=(float s) {
-    for (float& v : data_) v += s;
+    for (std::size_t i = 0; i < size_; ++i) ptr_[i] += s;
     return *this;
 }
 
 Tensor& Tensor::operator*=(float s) {
-    for (float& v : data_) v *= s;
+    for (std::size_t i = 0; i < size_; ++i) ptr_[i] *= s;
     return *this;
 }
 
 float Tensor::sum() const {
-    // Pairwise-ish accumulation in double: adequate accuracy for our sizes.
+    // Accumulation in double: adequate accuracy for our sizes.
     double acc = 0.0;
-    for (float v : data_) acc += v;
+    for (std::size_t i = 0; i < size_; ++i) acc += ptr_[i];
     return static_cast<float>(acc);
 }
 
 float Tensor::mean() const {
-    if (data_.empty()) return 0.0f;
-    return static_cast<float>(static_cast<double>(sum()) / static_cast<double>(data_.size()));
+    if (size_ == 0) return 0.0f;
+    return static_cast<float>(static_cast<double>(sum()) / static_cast<double>(size_));
 }
 
 float Tensor::variance() const {
-    if (data_.empty()) return 0.0f;
+    if (size_ == 0) return 0.0f;
     const double m = mean();
     double acc = 0.0;
-    for (float v : data_) {
-        const double d = v - m;
+    for (std::size_t i = 0; i < size_; ++i) {
+        const double d = ptr_[i] - m;
         acc += d * d;
     }
-    return static_cast<float>(acc / static_cast<double>(data_.size()));
+    return static_cast<float>(acc / static_cast<double>(size_));
 }
 
 float Tensor::min() const {
-    if (data_.empty()) throw std::logic_error("Tensor::min on empty tensor");
-    return *std::min_element(data_.begin(), data_.end());
+    if (size_ == 0) throw std::logic_error("Tensor::min on empty tensor");
+    return *std::min_element(ptr_, ptr_ + size_);
 }
 
 float Tensor::max() const {
-    if (data_.empty()) throw std::logic_error("Tensor::max on empty tensor");
-    return *std::max_element(data_.begin(), data_.end());
+    if (size_ == 0) throw std::logic_error("Tensor::max on empty tensor");
+    return *std::max_element(ptr_, ptr_ + size_);
 }
 
 float Tensor::abs_max() const {
     float m = 0.0f;
-    for (float v : data_) m = std::max(m, std::fabs(v));
+    for (std::size_t i = 0; i < size_; ++i) m = std::max(m, std::fabs(ptr_[i]));
     return m;
 }
 
 std::size_t Tensor::argmax() const {
-    if (data_.empty()) throw std::logic_error("Tensor::argmax on empty tensor");
+    if (size_ == 0) throw std::logic_error("Tensor::argmax on empty tensor");
     return static_cast<std::size_t>(
-        std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+        std::distance(ptr_, std::max_element(ptr_, ptr_ + size_)));
 }
 
 Tensor operator+(Tensor a, const Tensor& b) {

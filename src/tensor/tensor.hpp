@@ -15,13 +15,16 @@ namespace ams {
 /// Dense row-major N-dimensional float array.
 ///
 /// Tensors have value semantics: copies are deep, moves are cheap. The
-/// storage is a contiguous std::vector<float>. The library deliberately
-/// avoids strided views; operations that need a sub-range copy it. This
-/// keeps every kernel simple and cache-friendly, which matters more on a
-/// single CPU core than avoiding copies does.
+/// storage is normally a contiguous owned buffer; a tensor can also
+/// *borrow* externally managed memory (see `borrowed`), which is how the
+/// zero-allocation inference path hands out arena-backed outputs. Copying
+/// a borrowed tensor yields an independent owned deep copy, so value
+/// semantics hold regardless of where the bytes live. The library
+/// deliberately avoids strided views; operations that need a sub-range
+/// copy it. This keeps every kernel simple and cache-friendly.
 class Tensor {
 public:
-    /// Empty tensor: rank 0, one element, value 0 is NOT allocated; numel()==0.
+    /// Empty tensor: rank 0, nothing allocated; numel()==0.
     Tensor() = default;
 
     /// Allocates a tensor of `shape` filled with `fill`.
@@ -30,27 +33,44 @@ public:
     /// Convenience: Tensor({2,3}) allocates a 2x3 zero tensor.
     Tensor(std::initializer_list<std::size_t> dims) : Tensor(Shape(dims)) {}
 
+    Tensor(const Tensor& other);
+    Tensor& operator=(const Tensor& other);
+    Tensor(Tensor&& other) noexcept;
+    Tensor& operator=(Tensor&& other) noexcept;
+    ~Tensor() = default;
+
     /// Wraps existing data; throws std::invalid_argument if sizes mismatch.
     static Tensor from_data(Shape shape, std::vector<float> data);
+
+    /// Non-owning view over `shape.numel()` floats at `data`. The caller
+    /// guarantees the memory outlives the tensor (arena rewind discipline).
+    /// Copying the result produces an owned deep copy; moving keeps the
+    /// borrow. Throws std::invalid_argument if data is null for a
+    /// non-empty shape.
+    static Tensor borrowed(Shape shape, float* data);
+
+    /// True when this tensor owns its storage (empty tensors count as
+    /// owning). Borrowed tensors return false.
+    [[nodiscard]] bool owns_storage() const { return ptr_ == nullptr || !owned_.empty(); }
 
     [[nodiscard]] const Shape& shape() const { return shape_; }
     [[nodiscard]] std::size_t rank() const { return shape_.rank(); }
     [[nodiscard]] std::size_t dim(std::size_t axis) const { return shape_.dim(axis); }
-    [[nodiscard]] std::size_t size() const { return data_.size(); }
-    [[nodiscard]] bool empty() const { return data_.empty(); }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
 
-    [[nodiscard]] float* data() { return data_.data(); }
-    [[nodiscard]] const float* data() const { return data_.data(); }
-    [[nodiscard]] std::span<float> values() { return data_; }
-    [[nodiscard]] std::span<const float> values() const { return data_; }
+    [[nodiscard]] float* data() { return ptr_; }
+    [[nodiscard]] const float* data() const { return ptr_; }
+    [[nodiscard]] std::span<float> values() { return {ptr_, size_}; }
+    [[nodiscard]] std::span<const float> values() const { return {ptr_, size_}; }
 
     /// Flat (row-major) element access; no bounds check in release builds.
-    float& operator[](std::size_t i) { return data_[i]; }
-    float operator[](std::size_t i) const { return data_[i]; }
+    float& operator[](std::size_t i) { return ptr_[i]; }
+    float operator[](std::size_t i) const { return ptr_[i]; }
 
     /// Multi-index access with bounds checking.
-    float& at(const std::vector<std::size_t>& index) { return data_[shape_.offset(index)]; }
-    float at(const std::vector<std::size_t>& index) const { return data_[shape_.offset(index)]; }
+    float& at(const std::vector<std::size_t>& index) { return ptr_[shape_.offset(index)]; }
+    float at(const std::vector<std::size_t>& index) const { return ptr_[shape_.offset(index)]; }
 
     /// Returns a tensor with the same data and a new shape.
     /// Throws std::invalid_argument if the element counts differ.
@@ -90,8 +110,10 @@ public:
     [[nodiscard]] std::size_t argmax() const;
 
 private:
-    Shape shape_{std::vector<std::size_t>{}};
-    std::vector<float> data_;
+    Shape shape_{};
+    std::vector<float> owned_;   ///< empty when borrowed or default-constructed
+    float* ptr_ = nullptr;       ///< owned_.data() when owning, external otherwise
+    std::size_t size_ = 0;
 };
 
 /// Elementwise binary ops; throw std::invalid_argument on shape mismatch.

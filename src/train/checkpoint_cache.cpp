@@ -28,6 +28,17 @@ std::shared_ptr<std::mutex> key_mutex(const std::string& path) {
     return mu;
 }
 
+// In-process memo for AMSNET_NO_CACHE=1 runs. Concurrent sweep workers
+// (ams_enob_sweep points) share prerequisite keys: without this memo the
+// key mutex merely serializes them and each worker retrains the same
+// state from scratch. The memo makes the first producer authoritative for
+// the process while still never trusting pre-existing disk files.
+std::mutex g_memo_mu;
+std::unordered_map<std::string, TensorMap>& state_memo() {
+    static std::unordered_map<std::string, TensorMap> memo;
+    return memo;
+}
+
 }  // namespace
 
 std::string sanitize_cache_key(const std::string& key) {
@@ -66,8 +77,17 @@ TensorMap cached_state(const std::string& cache_dir, const std::string& key,
             // Corrupt or stale-format checkpoint: fall through and rebuild.
         }
     }
+    if (!read_cache) {
+        std::lock_guard<std::mutex> memo_lock(g_memo_mu);
+        auto it = state_memo().find(path.string());
+        if (it != state_memo().end()) return it->second;
+    }
     TensorMap state = produce();
     save_tensor_map_file(path.string(), state);
+    if (!read_cache) {
+        std::lock_guard<std::mutex> memo_lock(g_memo_mu);
+        state_memo()[path.string()] = state;
+    }
     return state;
 }
 

@@ -25,9 +25,13 @@ private:
     bool was_training_;
 };
 
-Tensor slice_batch(const Tensor& images, std::size_t start, std::size_t count) {
+/// Copies images [start, start + count) into a borrowed batch tensor in
+/// the context's activation arena (released by the caller's rewind).
+Tensor slice_batch(const Tensor& images, std::size_t start, std::size_t count,
+                   runtime::EvalContext& ctx) {
     const std::size_t image = images.dim(1) * images.dim(2) * images.dim(3);
-    Tensor batch(Shape{count, images.dim(1), images.dim(2), images.dim(3)});
+    const Shape shape{count, images.dim(1), images.dim(2), images.dim(3)};
+    Tensor batch = Tensor::borrowed(shape, ctx.alloc_activation(shape.numel()));
     runtime::parallel_for(0, count, runtime::suggest_grain(count, 16),
                           [&](std::size_t i_begin, std::size_t i_end) {
                               std::memcpy(batch.data() + i_begin * image,
@@ -45,24 +49,35 @@ Tensor slice_batch(const Tensor& images, std::size_t start, std::size_t count) {
 // bit-identical at any AMSNET_THREADS.
 double one_pass_topk(models::ResNet& model, const Tensor& images,
                      const std::vector<std::size_t>& labels, std::size_t k,
-                     std::size_t batch_size) {
+                     std::size_t batch_size, runtime::EvalContext& ctx) {
     const std::size_t n = images.dim(0);
     double hits = 0.0;
     for (std::size_t start = 0; start < n; start += batch_size) {
         const std::size_t count = std::min(batch_size, n - start);
-        Tensor logits = model.forward(slice_batch(images, start, count));
+        const runtime::TensorArena::Checkpoint cp = ctx.checkpoint();
+        Tensor logits = model.forward(slice_batch(images, start, count, ctx), ctx);
         const std::vector<std::size_t> batch_labels(labels.begin() + start,
                                                     labels.begin() + start + count);
         hits += nn::topk_accuracy(logits, batch_labels, k) * static_cast<double>(count);
+        ctx.rewind(cp);  // logits and the batch die here
     }
     return hits / static_cast<double>(n);
+}
+
+/// Plans the model for the steady-state batch shape (the final partial
+/// batch re-reserves inside its own forward, which is just hash lookups
+/// plus at most one arena growth on the very first pass).
+void plan_for(models::ResNet& model, const Tensor& images, std::size_t batch_size,
+              runtime::EvalContext& ctx) {
+    const std::size_t first = std::min(batch_size, images.dim(0));
+    (void)model.plan(Shape{first, images.dim(1), images.dim(2), images.dim(3)}, ctx);
 }
 
 }  // namespace
 
 EvalResult evaluate_top1(models::ResNet& model, const Tensor& images,
                          const std::vector<std::size_t>& labels, std::size_t batch_size,
-                         std::size_t passes) {
+                         std::size_t passes, runtime::EvalContext* ctx) {
     if (images.rank() != 4 || images.dim(0) == 0 || images.dim(0) != labels.size()) {
         throw std::invalid_argument("evaluate_top1: bad images/labels");
     }
@@ -71,11 +86,14 @@ EvalResult evaluate_top1(models::ResNet& model, const Tensor& images,
     }
     TrainingModeGuard guard(model);
     model.set_training(false);
+    runtime::EvalContext local;
+    runtime::EvalContext& ec = ctx ? *ctx : local;
+    plan_for(model, images, batch_size, ec);
 
     EvalResult result;
     result.passes.reserve(passes);
     for (std::size_t p = 0; p < passes; ++p) {
-        result.passes.push_back(one_pass_topk(model, images, labels, 1, batch_size));
+        result.passes.push_back(one_pass_topk(model, images, labels, 1, batch_size, ec));
     }
     double sum = 0.0;
     for (double a : result.passes) sum += a;
@@ -90,28 +108,37 @@ EvalResult evaluate_top1(models::ResNet& model, const Tensor& images,
 
 double evaluate_topk(models::ResNet& model, const Tensor& images,
                      const std::vector<std::size_t>& labels, std::size_t k,
-                     std::size_t batch_size) {
+                     std::size_t batch_size, runtime::EvalContext* ctx) {
     if (images.dim(0) != labels.size() || images.dim(0) == 0) {
         throw std::invalid_argument("evaluate_topk: bad images/labels");
     }
     TrainingModeGuard guard(model);
     model.set_training(false);
-    return one_pass_topk(model, images, labels, k, batch_size);
+    runtime::EvalContext local;
+    runtime::EvalContext& ec = ctx ? *ctx : local;
+    plan_for(model, images, batch_size, ec);
+    return one_pass_topk(model, images, labels, k, batch_size, ec);
 }
 
 std::vector<double> record_activation_means(models::ResNet& model, const Tensor& images,
-                                            std::size_t batch_size) {
+                                            std::size_t batch_size,
+                                            runtime::EvalContext* ctx) {
     if (images.rank() != 4 || images.dim(0) == 0) {
         throw std::invalid_argument("record_activation_means: bad images");
     }
     TrainingModeGuard guard(model);
     model.set_training(false);
+    runtime::EvalContext local;
+    runtime::EvalContext& ec = ctx ? *ctx : local;
+    plan_for(model, images, batch_size, ec);
     model.reset_stats();
     model.set_recording(true);
     const std::size_t n = images.dim(0);
     for (std::size_t start = 0; start < n; start += batch_size) {
         const std::size_t count = std::min(batch_size, n - start);
-        (void)model.forward(slice_batch(images, start, count));
+        const runtime::TensorArena::Checkpoint cp = ec.checkpoint();
+        (void)model.forward(slice_batch(images, start, count, ec), ec);
+        ec.rewind(cp);
     }
     model.set_recording(false);
     return model.activation_means();

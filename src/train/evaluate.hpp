@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "models/resnet.hpp"
+#include "runtime/eval_context.hpp"
 
 namespace ams::train {
 
@@ -22,20 +23,30 @@ struct EvalResult {
 /// evaluation mode and reports top-1 statistics. Restores the model's
 /// previous training flag afterwards. Throws std::invalid_argument on
 /// empty input or passes == 0.
+///
+/// Inference runs on the planned, arena-backed path: activations live in
+/// `ctx`'s arena and are rewound after each batch, so steady-state
+/// batches allocate nothing. Pass a context to reuse its warm arenas
+/// across calls (e.g. one context per sweep worker); with ctx == nullptr
+/// a context local to the call is used. Results are bit-identical either
+/// way, and identical to the pre-arena allocating path.
 [[nodiscard]] EvalResult evaluate_top1(models::ResNet& model, const Tensor& images,
                                        const std::vector<std::size_t>& labels,
-                                       std::size_t batch_size = 64, std::size_t passes = 1);
+                                       std::size_t batch_size = 64, std::size_t passes = 1,
+                                       runtime::EvalContext* ctx = nullptr);
 
 /// Single-pass top-k accuracy in evaluation mode.
 [[nodiscard]] double evaluate_topk(models::ResNet& model, const Tensor& images,
                                    const std::vector<std::size_t>& labels, std::size_t k,
-                                   std::size_t batch_size = 64);
+                                   std::size_t batch_size = 64,
+                                   runtime::EvalContext* ctx = nullptr);
 
 /// Fig. 6 instrumentation: runs one evaluation pass with per-conv-layer
 /// activation recording enabled and returns the mean post-injection
 /// activation of every conv layer (stem first), evaluated across the
 /// whole set.
 [[nodiscard]] std::vector<double> record_activation_means(
-    models::ResNet& model, const Tensor& images, std::size_t batch_size = 64);
+    models::ResNet& model, const Tensor& images, std::size_t batch_size = 64,
+    runtime::EvalContext* ctx = nullptr);
 
 }  // namespace ams::train

@@ -1,0 +1,136 @@
+// The zero-allocation acceptance test: after planning and one warm-up
+// pass, a steady-state eval forward of the full quantized+AMS model must
+// perform ZERO heap allocations. Global operator new is overridden in
+// this binary to count every allocation, so any regression — a stray
+// Tensor copy, a std::function capture, a vector resize on the hot path —
+// fails this test by name.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "models/resnet.hpp"
+#include "runtime/eval_context.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void* p = nullptr;
+    if (align < sizeof(void*)) align = sizeof(void*);
+    if (posix_memalign(&p, align, size ? size : 1) != 0) return nullptr;
+    return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+    if (void* p = counted_alloc(size)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+    if (void* p = counted_alloc(size)) return p;
+    throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+    if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align))) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align))) return p;
+    throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    return counted_alloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace ams {
+namespace {
+
+models::LayerCommon quant_ams_common() {
+    models::LayerCommon common;
+    common.bits_w = 8;
+    common.bits_x = 8;
+    common.ams_enabled = true;  // injectors on: the full eval pipeline
+    common.vmac.enob = 5.0;
+    common.vmac.nmult = 8;
+    return common;
+}
+
+TEST(AllocCountTest, SteadyStateEvalForwardIsAllocationFree) {
+    // Serial execution: the parallel dispatch path intentionally shares
+    // work through heap-backed queues, but the single-thread fast path —
+    // the one inside every sweep worker — must be allocation-free.
+    runtime::ThreadPool::set_global_threads(1);
+
+    models::ResNet model(models::tiny_resnet_config(quant_ams_common()));
+    model.set_training(false);
+    Rng rng(3);
+    Tensor x(Shape{4, 3, 8, 8});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+
+    runtime::EvalContext ctx;
+    (void)model.plan(x.shape(), ctx);
+    // Warm-up: grows the arenas to their steady footprint and populates
+    // the scratch registry.
+    for (int i = 0; i < 2; ++i) {
+        const runtime::TensorArena::Checkpoint cp = ctx.checkpoint();
+        (void)model.forward(x, ctx);
+        ctx.rewind(cp);
+    }
+
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 3; ++i) {
+        const runtime::TensorArena::Checkpoint cp = ctx.checkpoint();
+        Tensor out = model.forward(x, ctx);
+        ctx.rewind(cp);
+    }
+    const std::size_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+    runtime::ThreadPool::set_global_threads(runtime::ThreadPool::threads_from_env());
+
+    EXPECT_EQ(allocs, 0u) << "steady-state ctx forward must not touch the heap";
+}
+
+TEST(AllocCountTest, LegacyForwardStillAllocates) {
+    // Sanity check that the counter actually observes the model: the
+    // allocating path must register heap traffic, otherwise a broken
+    // override would make the zero-allocation test pass vacuously.
+    runtime::ThreadPool::set_global_threads(1);
+    models::ResNet model(models::tiny_resnet_config(quant_ams_common()));
+    model.set_training(false);
+    Rng rng(3);
+    Tensor x(Shape{4, 3, 8, 8});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    (void)model.forward(x);  // warm-up
+
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    (void)model.forward(x);
+    const std::size_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+    runtime::ThreadPool::set_global_threads(runtime::ThreadPool::threads_from_env());
+
+    EXPECT_GT(allocs, 0u);
+}
+
+}  // namespace
+}  // namespace ams

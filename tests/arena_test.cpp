@@ -1,0 +1,170 @@
+// TensorArena contract tests: alignment, rewind/checkpoint discipline,
+// growth policy, and the max_bytes OOM behaviour — plus the EvalContext
+// scratch registry built on top of it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+
+#include "runtime/arena.hpp"
+#include "runtime/eval_context.hpp"
+
+namespace ams::runtime {
+namespace {
+
+bool aligned(const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % TensorArena::kAlignment == 0;
+}
+
+TEST(ArenaTest, AllocationsAreCacheLineAligned) {
+    TensorArena arena(1u << 12);
+    // Odd sizes force rounding; every returned pointer must stay aligned.
+    for (std::size_t bytes : {1u, 3u, 63u, 64u, 65u, 127u, 1000u}) {
+        EXPECT_TRUE(aligned(arena.allocate(bytes))) << bytes;
+    }
+    EXPECT_TRUE(aligned(arena.allocate_floats(7)));
+}
+
+TEST(ArenaTest, RewindReleasesMemoryForReuse) {
+    TensorArena arena(1u << 12);
+    (void)arena.allocate(128);
+    const TensorArena::Checkpoint cp = arena.checkpoint();
+    const std::size_t held = arena.in_use();
+
+    float* a = arena.allocate_floats(32);
+    EXPECT_GT(arena.in_use(), held);
+    arena.rewind(cp);
+    EXPECT_EQ(arena.in_use(), held);
+
+    // The next allocation of the same size lands on the released bytes.
+    float* b = arena.allocate_floats(32);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ArenaTest, CheckpointsNestLifo) {
+    TensorArena arena(1u << 12);
+    const TensorArena::Checkpoint outer = arena.checkpoint();
+    (void)arena.allocate(100);
+    const TensorArena::Checkpoint inner = arena.checkpoint();
+    const std::size_t at_inner = arena.in_use();
+    (void)arena.allocate(200);
+    (void)arena.allocate(300);
+
+    arena.rewind(inner);
+    EXPECT_EQ(arena.in_use(), at_inner);
+    arena.rewind(outer);
+    EXPECT_EQ(arena.in_use(), 0u);
+}
+
+TEST(ArenaTest, GrowsAcrossBlocksAndRewindsBackThroughThem) {
+    TensorArena arena(/*initial_bytes=*/256);
+    const TensorArena::Checkpoint start = arena.checkpoint();
+    // Far more than the first block: forces several doubling additions.
+    float* big[8];
+    for (auto& p : big) {
+        p = arena.allocate_floats(200);  // 800 B each
+        std::memset(p, 0, 200 * sizeof(float));
+    }
+    EXPECT_GE(arena.block_count(), 2u);
+    EXPECT_GE(arena.capacity(), arena.in_use());
+    const std::size_t peak = arena.high_water_mark();
+    EXPECT_GE(peak, 8u * 200u * sizeof(float));
+
+    arena.rewind(start);
+    EXPECT_EQ(arena.in_use(), 0u);
+    EXPECT_EQ(arena.high_water_mark(), peak);  // HWM survives the rewind
+    // Capacity is retained: the same workload re-runs with no new blocks.
+    const std::size_t blocks = arena.block_count();
+    for (int i = 0; i < 8; ++i) (void)arena.allocate_floats(200);
+    EXPECT_EQ(arena.block_count(), blocks);
+}
+
+TEST(ArenaTest, ResetKeepsCapacity) {
+    TensorArena arena(256);
+    (void)arena.allocate(2000);
+    const std::size_t cap = arena.capacity();
+    arena.reset();
+    EXPECT_EQ(arena.in_use(), 0u);
+    EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(ArenaTest, MaxBytesCapThrowsBadAllocAndStaysUsable) {
+    TensorArena arena(/*initial_bytes=*/256, /*max_bytes=*/512);
+    float* a = arena.allocate_floats(50);  // 200 B -> first 256 B block
+    a[0] = 1.0f;
+    // Doubling would exceed the cap; the arena must fall back to the
+    // exact request (another 256 B block) instead of failing early.
+    float* b = arena.allocate_floats(50);
+    b[0] = 2.0f;
+    EXPECT_EQ(arena.capacity(), 512u);
+    // Now the cap is exhausted: fail loudly, never overlap.
+    EXPECT_THROW((void)arena.allocate_floats(50), std::bad_alloc);
+    // Prior allocations are untouched and the arena still works.
+    EXPECT_EQ(a[0], 1.0f);
+    EXPECT_EQ(b[0], 2.0f);
+    arena.reset();
+    EXPECT_NO_THROW((void)arena.allocate_floats(50));
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnBlock) {
+    TensorArena arena(/*initial_bytes=*/64);
+    float* p = arena.allocate_floats(10000);  // ~40 KB >> initial block
+    std::memset(p, 0, 10000 * sizeof(float));
+    EXPECT_TRUE(aligned(p));
+}
+
+TEST(EvalContextTest, ScratchRegistryReusesWhenBigEnough) {
+    EvalContext ctx;
+    float* a = ctx.reserve_scratch(&ctx, 0, 128);
+    // Same key, smaller or equal request: the exact same buffer.
+    EXPECT_EQ(ctx.reserve_scratch(&ctx, 0, 64), a);
+    EXPECT_EQ(ctx.reserve_scratch(&ctx, 0, 128), a);
+    // Larger request re-reserves (old region parks in the arena).
+    float* grown = ctx.reserve_scratch(&ctx, 0, 256);
+    EXPECT_NE(grown, a);
+    EXPECT_EQ(ctx.reserve_scratch(&ctx, 0, 256), grown);
+}
+
+TEST(EvalContextTest, ScratchSlotsAreDisjoint) {
+    EvalContext ctx;
+    int owner_a = 0, owner_b = 0;
+    float* s0 = ctx.reserve_scratch(&owner_a, 0, 64);
+    float* s1 = ctx.reserve_scratch(&owner_a, 1, 64);
+    float* t0 = ctx.reserve_scratch(&owner_b, 0, 64);
+    EXPECT_NE(s0, s1);
+    EXPECT_NE(s0, t0);
+    EXPECT_NE(s1, t0);
+    // Writes through one slot must not bleed into another.
+    for (std::size_t i = 0; i < 64; ++i) {
+        s0[i] = 1.0f;
+        s1[i] = 2.0f;
+        t0[i] = 3.0f;
+    }
+    EXPECT_EQ(s0[63], 1.0f);
+    EXPECT_EQ(s1[0], 2.0f);
+    EXPECT_EQ(t0[0], 3.0f);
+}
+
+TEST(EvalContextTest, ActivationRewindDoesNotDisturbScratch) {
+    EvalContext ctx;
+    float* scratch = ctx.reserve_scratch(&ctx, 7, 16);
+    scratch[0] = 42.0f;
+    const TensorArena::Checkpoint cp = ctx.checkpoint();
+    (void)ctx.alloc_activation(1024);
+    ctx.rewind(cp);
+    // Scratch lives in its own arena; per-batch rewinds cannot kill it.
+    EXPECT_EQ(ctx.reserve_scratch(&ctx, 7, 16), scratch);
+    EXPECT_EQ(scratch[0], 42.0f);
+}
+
+TEST(EvalContextTest, HighWaterMarkSumsBothArenas) {
+    EvalContext ctx;
+    EXPECT_EQ(ctx.high_water_mark(), 0u);
+    (void)ctx.alloc_activation(100);
+    (void)ctx.reserve_scratch(&ctx, 0, 100);
+    EXPECT_GE(ctx.high_water_mark(), 2u * 100u * sizeof(float));
+}
+
+}  // namespace
+}  // namespace ams::runtime

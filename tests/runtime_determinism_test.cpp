@@ -12,7 +12,9 @@
 #include "ams/error_injector.hpp"
 #include "ams/vmac_conv.hpp"
 #include "data/synthetic_imagenet.hpp"
+#include "models/resnet.hpp"
 #include "nn/conv2d.hpp"
+#include "runtime/eval_context.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 #include "train/evaluate.hpp"
@@ -112,6 +114,82 @@ TEST(RuntimeDeterminismTest, VmacConvForwardBitIdenticalAcrossThreadCounts) {
         return vconv.forward(x);
     };
     expect_bit_identical(with_threads(1, run), with_threads(4, run));
+}
+
+TEST(RuntimeDeterminismTest, ArenaPathMatchesLegacyAllocatingPath) {
+    // The no-numerics-change guarantee of the memory-planning refactor:
+    // plan + arena forward must be bit-identical to the legacy allocating
+    // forward, at any thread count. Fresh model per run: the injectors
+    // advance a per-forward noise epoch, so reuse would shift streams.
+    models::LayerCommon common;
+    common.bits_w = 8;
+    common.bits_x = 8;
+    common.ams_enabled = true;  // stochastic injection: the hard case
+    common.vmac.enob = 4.0;
+    common.vmac.nmult = 8;
+
+    auto make_input = [] {
+        Rng rng(31);
+        Tensor x(Shape{5, 3, 8, 8});  // batch 5: uneven chunks at 4 threads
+        x.fill_uniform(rng, -1.0f, 1.0f);
+        return x;
+    };
+    auto legacy = [&] {
+        models::ResNet model(models::tiny_resnet_config(common));
+        model.set_training(false);
+        return model.forward(make_input());
+    };
+    auto arena = [&] {
+        models::ResNet model(models::tiny_resnet_config(common));
+        model.set_training(false);
+        const Tensor x = make_input();
+        runtime::EvalContext ctx;
+        (void)model.plan(x.shape(), ctx);
+        const Tensor out = model.forward(x, ctx);
+        return Tensor(out);  // deep copy out of the arena before ctx dies
+    };
+
+    const std::vector<float> reference = with_threads(1, legacy);
+    expect_bit_identical(reference, with_threads(1, arena));
+    expect_bit_identical(reference, with_threads(4, arena));
+    expect_bit_identical(reference, with_threads(4, legacy));
+}
+
+TEST(RuntimeDeterminismTest, EvaluateSharedContextMatchesLocalContext) {
+    // evaluate_top1 with a caller-provided EvalContext (the sweep-worker
+    // configuration, arenas warm across calls) must score exactly like the
+    // internally managed context.
+    data::DatasetOptions dopts;
+    dopts.classes = 4;
+    dopts.train_per_class = 4;
+    dopts.val_per_class = 6;
+    dopts.image_size = 8;
+    dopts.seed = 15;
+    data::SyntheticImageNet ds(dopts);
+
+    models::LayerCommon common;
+    common.bits_w = 8;
+    common.bits_x = 8;
+    common.ams_enabled = true;
+    common.vmac.enob = 4.0;
+    common.vmac.nmult = 8;
+
+    auto passes = [&](runtime::EvalContext* ctx) {
+        models::ResNet model(models::tiny_resnet_config(common));
+        return train::evaluate_top1(model, ds.val_images(), ds.val_labels(), 16, 3, ctx)
+            .passes;
+    };
+    runtime::EvalContext shared;
+    // Two evaluations through the same context: the second reuses warmed
+    // arenas and must still match the fresh-context result.
+    const std::vector<double> warm_first = passes(&shared);
+    const std::vector<double> warm_second = passes(&shared);
+    const std::vector<double> local = passes(nullptr);
+    ASSERT_EQ(warm_first.size(), local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+        EXPECT_DOUBLE_EQ(warm_first[i], local[i]) << "pass " << i;
+        EXPECT_DOUBLE_EQ(warm_second[i], local[i]) << "pass " << i;
+    }
 }
 
 TEST(RuntimeDeterminismTest, EvalAccuracyBitIdenticalAcrossThreadCounts) {
