@@ -14,10 +14,14 @@
 // the same experiment at this substrate's operating point.
 #pragma once
 
+#include <cmath>
 #include <cstdlib>
+#include <span>
 #include <vector>
 
+#include "ams/adc_quantizer.hpp"
 #include "core/experiment.hpp"
+#include "tensor/rng.hpp"
 
 namespace ams::bench {
 
@@ -50,6 +54,76 @@ inline vmac::VmacConfig vmac_at(double enob, std::size_t nmult = 8) {
     v.enob = enob;
     v.nmult = nmult;
     return v;
+}
+
+// ----- shared error-measurement helpers for the extension benches -----
+
+/// Incremental RMS accumulator for injected-error samples.
+class RmsAccumulator {
+public:
+    void add(double err) {
+        sq_ += err * err;
+        ++n_;
+    }
+    [[nodiscard]] double rms() const {
+        return n_ == 0 ? 0.0 : std::sqrt(sq_ / static_cast<double>(n_));
+    }
+    /// Effective ENOB implied by the accumulated RMS at `full_scale`.
+    [[nodiscard]] double effective_enob(double full_scale) const {
+        return vmac::effective_enob_from_rms(rms(), full_scale);
+    }
+    [[nodiscard]] std::size_t count() const { return n_; }
+
+private:
+    double sq_ = 0.0;
+    std::size_t n_ = 0;
+};
+
+/// Draws one random operand set in the DoReFa ranges every extension
+/// bench uses: weights uniform in [-1, 1], activations uniform in [0, 1].
+inline void random_operands(std::span<double> w, std::span<double> x, Rng& rng) {
+    for (double& v : w) v = rng.uniform(-1.0, 1.0);
+    for (double& v : x) v = rng.uniform(0.0, 1.0);
+}
+
+/// RMS error and effective ENOB of a dot-product datapath over random
+/// operand draws.
+struct ErrorStats {
+    double rms_error = 0.0;
+    double effective_enob = 0.0;
+};
+
+/// Runs `trials` random length-`len` dot products through `error_fn`
+/// (called as error_fn(w, x), returning datapath - ideal for that draw)
+/// and reports the RMS error plus the effective ENOB at `full_scale`.
+template <typename ErrorFn>
+ErrorStats measure_rms_error(std::size_t len, double full_scale, int trials, Rng& rng,
+                             ErrorFn&& error_fn) {
+    RmsAccumulator acc;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> w(len), x(len);
+        random_operands(w, x, rng);
+        acc.add(error_fn(w, x));
+    }
+    return {acc.rms(), acc.effective_enob(full_scale)};
+}
+
+/// Mean and standard deviation of a sample set (population convention).
+struct SampleStats {
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+inline SampleStats sample_stats(std::span<const double> samples) {
+    if (samples.empty()) return {};
+    double mean = 0.0, sq = 0.0;
+    for (double v : samples) {
+        mean += v;
+        sq += v * v;
+    }
+    mean /= static_cast<double>(samples.size());
+    const double var = sq / static_cast<double>(samples.size()) - mean * mean;
+    return {mean, std::sqrt(std::max(0.0, var))};
 }
 
 }  // namespace ams::bench

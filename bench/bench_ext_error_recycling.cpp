@@ -12,17 +12,10 @@
 
 #include "ams/delta_sigma.hpp"
 #include "ams/error_model.hpp"
+#include "bench_common.hpp"
 #include "core/report.hpp"
 
 using namespace ams;
-
-namespace {
-
-double rms(double sq, int n) {
-    return std::sqrt(sq / n);
-}
-
-}  // namespace
 
 int main() {
     core::print_banner(std::cout, "Extension 2: quantization error recycling (delta-sigma)",
@@ -45,27 +38,24 @@ int main() {
             return e;
         }());
 
-        double plain_sq = 0.0, ds_sq = 0.0;
+        bench::RmsAccumulator plain_acc, ds_acc;
         const int trials = 2000;
         for (int t = 0; t < trials; ++t) {
             std::vector<double> w(len), x(len);
-            for (double& v : w) v = rng.uniform(-1.0, 1.0);
-            for (double& v : x) v = rng.uniform(0.0, 1.0);
+            bench::random_operands(w, x, rng);
             double ideal = 0.0;
             for (std::size_t s = 0; s < len; s += nmult) {
                 ideal += exact.dot_ideal(std::span(w).subspan(s, nmult),
                                          std::span(x).subspan(s, nmult));
             }
-            const double pe = plain.dot_tiled(w, x, rng) - ideal;
-            plain_sq += pe * pe;
+            plain_acc.add(plain.dot_tiled(w, x, rng) - ideal);
             vmac::DeltaSigmaVmac ds(c, /*final_enob=*/12.0);
-            const double de = ds.dot(w, x, rng) - ideal;
-            ds_sq += de * de;
+            ds_acc.add(ds.dot(w, x, rng) - ideal);
         }
         const double model_sigma = vmac::total_error_stddev(c, len);
-        table.add_row({std::to_string(len), core::fmt_fixed(rms(plain_sq, trials), 5),
-                       core::fmt_fixed(rms(ds_sq, trials), 5),
-                       core::fmt_fixed(rms(plain_sq, trials) / rms(ds_sq, trials), 1) + "x",
+        table.add_row({std::to_string(len), core::fmt_fixed(plain_acc.rms(), 5),
+                       core::fmt_fixed(ds_acc.rms(), 5),
+                       core::fmt_fixed(plain_acc.rms() / ds_acc.rms(), 1) + "x",
                        core::fmt_fixed(model_sigma, 5)});
     }
     table.print(std::cout);
@@ -82,13 +72,12 @@ int main() {
     fine.enob = 14.0;
     fine.nmult = nmult;
     Rng rng2(8);
-    double plain_sq = 0.0, ds_sq = 0.0;
+    bench::RmsAccumulator plain_acc, ds_acc;
     const int trials = 2000;
     const std::size_t len = 64;
     for (int t = 0; t < trials; ++t) {
         std::vector<double> w(len), x(len);
-        for (double& v : w) v = rng2.uniform(-1.0, 1.0);
-        for (double& v : x) v = rng2.uniform(0.0, 1.0);
+        bench::random_operands(w, x, rng2);
         vmac::VmacCell plain(fine, noisy);
         vmac::VmacCell exact_cell([] {
             vmac::VmacConfig e;
@@ -101,18 +90,15 @@ int main() {
             ideal += exact_cell.dot_ideal(std::span(w).subspan(s, nmult),
                                           std::span(x).subspan(s, nmult));
         }
-        const double pe = plain.dot_tiled(w, x, rng2) - ideal;
-        plain_sq += pe * pe;
+        plain_acc.add(plain.dot_tiled(w, x, rng2) - ideal);
         vmac::DeltaSigmaVmac ds(fine, 16.0, noisy);
-        const double de = ds.dot(w, x, rng2) - ideal;
-        ds_sq += de * de;
+        ds_acc.add(ds.dot(w, x, rng2) - ideal);
     }
     std::cout << "\nThermal-noise-dominated comparison (sigma_th = 0.05, ENOB 14):\n"
-              << "  plain RMS = " << core::fmt_fixed(rms(plain_sq, trials), 4)
-              << ", delta-sigma RMS = " << core::fmt_fixed(rms(ds_sq, trials), 4)
+              << "  plain RMS = " << core::fmt_fixed(plain_acc.rms(), 4)
+              << ", delta-sigma RMS = " << core::fmt_fixed(ds_acc.rms(), 4)
               << "  -> recycling does NOT beat thermal noise (paper's caveat): "
-              << (rms(ds_sq, trials) > 0.8 * rms(plain_sq, trials) ? "REPRODUCED"
-                                                                   : "NOT REPRODUCED")
+              << (ds_acc.rms() > 0.8 * plain_acc.rms() ? "REPRODUCED" : "NOT REPRODUCED")
               << "\n";
     return 0;
 }

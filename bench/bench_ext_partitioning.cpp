@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ams/partitioned.hpp"
+#include "bench_common.hpp"
 #include "core/report.hpp"
 #include "energy/adc_energy.hpp"
 
@@ -19,28 +20,7 @@ using namespace ams;
 
 namespace {
 
-struct Measured {
-    double rms_error = 0.0;
-    double effective_enob = 0.0;
-};
-
-template <typename DotFn>
-Measured measure(std::size_t nmult, Rng& rng, DotFn&& dot_and_ideal) {
-    double sq = 0.0;
-    const int trials = 20000;
-    for (int t = 0; t < trials; ++t) {
-        std::vector<double> w(nmult), x(nmult);
-        for (double& v : w) v = rng.uniform(-1.0, 1.0);
-        for (double& v : x) v = rng.uniform(0.0, 1.0);
-        const double err = dot_and_ideal(w, x);
-        sq += err * err;
-    }
-    Measured m;
-    m.rms_error = std::sqrt(sq / trials);
-    const double lsb_eff = std::sqrt(12.0) * m.rms_error;
-    m.effective_enob = std::log2(2.0 * static_cast<double>(nmult) / lsb_eff);
-    return m;
-}
+constexpr int kTrials = 20000;
 
 }  // namespace
 
@@ -63,9 +43,11 @@ int main() {
         vmac::VmacConfig c = base;
         c.enob = enob;
         vmac::VmacCell cell(c);
-        const Measured m = measure(nmult, rng, [&](const auto& w, const auto& x) {
-            return cell.dot(w, x, rng) - cell.dot_ideal(w, x);
-        });
+        const bench::ErrorStats m = bench::measure_rms_error(
+            nmult, static_cast<double>(nmult), kTrials, rng,
+            [&](const auto& w, const auto& x) {
+                return cell.dot(w, x, rng) - cell.dot_ideal(w, x);
+            });
         table.add_row({"monolithic", core::fmt_fixed(enob, 0) + "b", "1",
                        core::fmt_fixed(m.rms_error, 5), core::fmt_fixed(m.effective_enob, 2),
                        core::fmt_fixed(energy::emac_lower_bound_fj(enob, nmult), 1)});
@@ -86,9 +68,11 @@ int main() {
         opt.significance_drop = p.drop;
         opt.min_enob = 4.0;
         vmac::PartitionedVmac pv(base, opt);
-        const Measured m = measure(nmult, rng, [&](const auto& w, const auto& x) {
-            return pv.dot(w, x, rng) - pv.dot_ideal(w, x);
-        });
+        const bench::ErrorStats m = bench::measure_rms_error(
+            nmult, static_cast<double>(nmult), kTrials, rng,
+            [&](const auto& w, const auto& x) {
+                return pv.dot(w, x, rng) - pv.dot_ideal(w, x);
+            });
         // Energy: one conversion per (p,q) partial, each at its own
         // (possibly discounted) resolution, amortized over Nmult MACs.
         double energy_pj = 0.0;

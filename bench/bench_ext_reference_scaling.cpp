@@ -52,15 +52,9 @@ int main() {
         }
         partial_sums.push_back(acc);
     }
-    double mean = 0.0, sq = 0.0;
-    for (double v : partial_sums) {
-        mean += v;
-        sq += v * v;
-    }
-    mean /= static_cast<double>(samples);
-    const double stddev = std::sqrt(sq / samples - mean * mean);
+    const bench::SampleStats stats = bench::sample_stats(partial_sums);
     std::cout << "Empirical partial-sum distribution (stem layer, Nmult=8): mean "
-              << core::fmt_fixed(mean, 3) << ", std " << core::fmt_fixed(stddev, 3)
+              << core::fmt_fixed(stats.mean, 3) << ", std " << core::fmt_fixed(stats.stddev, 3)
               << ", natural full scale " << nmult << "\n\n";
 
     vmac::VmacConfig c;

@@ -60,12 +60,50 @@ int main() {
     }
     table.print(std::cout);
 
+    // CSV: the Eq. 3-4 lower-bound grid plus one labeled series per
+    // hardware backend, each priced from its reported conversion profile
+    // and mapped to accuracy through its equivalent monolithic ENOB.
     core::CsvWriter csv(core::artifact_dir() + "/fig8_design_space.csv",
-                        {"enob", "nmult", "accuracy_loss", "emac_fj"});
+                        {"backend", "enob", "nmult", "accuracy_loss", "emac_fj",
+                         "conversions_per_vmac", "effective_enob"});
     for (const auto& p : map.grid()) {
-        csv.add_row({core::fmt_fixed(p.enob, 2), std::to_string(p.nmult),
-                     core::fmt_fixed(p.accuracy_loss, 6), core::fmt_fixed(p.emac_fj, 3)});
+        csv.add_row({"lower_bound", core::fmt_fixed(p.enob, 2), std::to_string(p.nmult),
+                     core::fmt_fixed(p.accuracy_loss, 6), core::fmt_fixed(p.emac_fj, 3), "1",
+                     core::fmt_fixed(p.enob, 2)});
     }
+
+    // Backend series share a 9/9-bit operand prototype: 8 magnitude bits
+    // chunk evenly into the partitioned datapath's 2x2 split.
+    vmac::VmacConfig proto;
+    proto.bits_w = 9;
+    proto.bits_x = 9;
+    const vmac::AnalogOptions analog;
+    const std::size_t ref_chunks = 8;  ///< chunks per output for amortization
+    core::Table backend_table({"backend", "conv/VMAC", "eff ENOB @8", "loss @8/8",
+                               "E_MAC @8/8"});
+    for (vmac::BackendKind kind : vmac::all_backend_kinds()) {
+        vmac::BackendOptions bopts;
+        bopts.kind = kind;
+        const auto series = energy::backend_design_series(curve, proto, analog, bopts, enobs,
+                                                          bench::nmult_sweep(), ref_chunks);
+        const energy::BackendDesignPoint* at88 = nullptr;
+        for (const auto& p : series) {
+            csv.add_row({p.backend, core::fmt_fixed(p.enob, 2), std::to_string(p.nmult),
+                         core::fmt_fixed(p.accuracy_loss, 6), core::fmt_fixed(p.emac_fj, 3),
+                         core::fmt_fixed(p.conversions_per_vmac, 0),
+                         core::fmt_fixed(p.effective_enob, 2)});
+            if (p.enob == 8.0 && p.nmult == 8) at88 = &p;
+        }
+        if (at88 != nullptr) {
+            backend_table.add_row({at88->backend,
+                                   core::fmt_fixed(at88->conversions_per_vmac, 0),
+                                   core::fmt_fixed(at88->effective_enob, 2),
+                                   core::fmt_pct(at88->accuracy_loss, 2),
+                                   core::fmt_energy_fj(at88->emac_fj)});
+        }
+    }
+    std::cout << "\nBackend series at grid ENOB 8, Nmult 8 (conversion-profile pricing):\n";
+    backend_table.print(std::cout);
     std::cout << "\nGrid written to " << csv.path() << "\n";
 
     // Headline lookups.

@@ -3,6 +3,12 @@
 //
 //   ./examples/design_space_explorer --max-loss 0.01
 //   ./examples/design_space_explorer --max-emac-fj 50
+//   ./examples/design_space_explorer --backend delta_sigma
+//
+// --backend evaluates one hardware datapath (bit_exact, per_vmac_noise,
+// partitioned, delta_sigma, reference_scaled) over the same grid, with
+// accuracy from its equivalent monolithic ENOB and energy from its
+// reported conversion profile.
 //
 // Builds the accuracy curve from the cached AMS retraining sweep, maps it
 // over the full (ENOB, Nmult) grid via the Eq. 2 equivalence, and answers
@@ -54,10 +60,12 @@ void describe(const char* question, const energy::DesignPoint* p) {
 int main(int argc, char** argv) {
     double max_loss = 0.01;
     double max_emac_fj = 100.0;
+    std::string backend_name;
     for (int i = 1; i + 1 < argc; i += 2) {
         const std::string flag = argv[i];
         if (flag == "--max-loss") max_loss = std::stod(argv[i + 1]);
         if (flag == "--max-emac-fj") max_emac_fj = std::stod(argv[i + 1]);
+        if (flag == "--backend") backend_name = argv[i + 1];
     }
 
     std::cout << "Measuring the accuracy-vs-ENOB curve at Nmult=8 (cached after first run):\n";
@@ -90,6 +98,49 @@ int main(int argc, char** argv) {
         }
     }
     table.print(std::cout);
+
+    // Backend-specific view: the same designer queries, answered for one
+    // concrete hardware datapath instead of the Eq. 3-4 lower bound.
+    if (!backend_name.empty()) {
+        vmac::BackendOptions bopts;
+        bopts.kind = vmac::parse_backend_kind(backend_name);
+        vmac::VmacConfig proto;
+        proto.bits_w = 9;  // 8 magnitude bits chunk evenly for partitioning
+        proto.bits_x = 9;
+        const auto series = energy::backend_design_series(
+            curve, proto, {}, bopts, enobs, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024},
+            /*chunks_per_output=*/8);
+
+        const energy::BackendDesignPoint* cheapest = nullptr;
+        const energy::BackendDesignPoint* most_accurate = nullptr;
+        for (const auto& p : series) {
+            if (p.accuracy_loss < max_loss &&
+                (cheapest == nullptr || p.emac_fj < cheapest->emac_fj)) {
+                cheapest = &p;
+            }
+            if (p.emac_fj <= max_emac_fj &&
+                (most_accurate == nullptr ||
+                 p.accuracy_loss < most_accurate->accuracy_loss)) {
+                most_accurate = &p;
+            }
+        }
+        std::cout << "\nBackend '" << bopts.str()
+                  << "' (conversion-profile pricing, effective-ENOB accuracy):\n";
+        core::Table bt({"query", "grid ENOB", "Nmult", "eff ENOB", "loss", "E_MAC"});
+        for (const auto& [label, p] :
+             {std::pair{"cheapest for loss spec", cheapest},
+              std::pair{"most accurate in budget", most_accurate}}) {
+            if (p == nullptr) {
+                bt.add_row({label, "-", "-", "-", "unachievable", "-"});
+            } else {
+                bt.add_row({label, core::fmt_fixed(p->enob, 1), std::to_string(p->nmult),
+                            core::fmt_fixed(p->effective_enob, 2),
+                            core::fmt_pct(p->accuracy_loss), core::fmt_energy_fj(p->emac_fj)});
+            }
+        }
+        bt.print(std::cout);
+    }
+
     std::cout << "\nThe monotone, one-to-one loss <-> E_MAC,min relationship is the paper's\n"
                  "central design-space conclusion (Sec. 4).\n";
     return 0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ams/adc_quantizer.hpp"
+
 namespace ams::vmac {
 
 PartitionedVmac::PartitionedVmac(const VmacConfig& base, const PartitionOptions& options)
@@ -35,6 +37,36 @@ double PartitionedVmac::partial_enob(std::size_t p, std::size_t q) const {
     const double depth = static_cast<double>(p + q);
     return std::max(options_.min_enob,
                     options_.enob_partial - options_.significance_drop * depth);
+}
+
+double PartitionedVmac::partial_weight(std::size_t p, std::size_t q) const {
+    const double fs_w = static_cast<double>(weight_codec_.full_scale());
+    const double fs_x = static_cast<double>(act_codec_.full_scale());
+    const std::uint32_t chunk_max_w = (1u << chunk_bits_w_) - 1u;
+    const std::uint32_t chunk_max_x = (1u << chunk_bits_x_) - 1u;
+    const std::size_t shift_w = chunk_bits_w_ * (options_.nw - 1 - p);
+    const std::size_t shift_x = chunk_bits_x_ * (options_.nx - 1 - q);
+    return static_cast<double>(chunk_max_w) * std::exp2(static_cast<double>(shift_w)) / fs_w *
+           static_cast<double>(chunk_max_x) * std::exp2(static_cast<double>(shift_x)) / fs_x;
+}
+
+double PartitionedVmac::quantization_error_stddev() const {
+    double var = 0.0;
+    for (std::size_t p = 0; p < options_.nw; ++p) {
+        for (std::size_t q = 0; q < options_.nx; ++q) {
+            const double lsb = 2.0 * options_.analog.reference_scale *
+                               static_cast<double>(base_.nmult) *
+                               std::exp2(-partial_enob(p, q));
+            const double w = partial_weight(p, q);
+            var += w * w * lsb * lsb / 12.0;
+        }
+    }
+    return std::sqrt(var);
+}
+
+double PartitionedVmac::effective_enob() const {
+    return effective_enob_from_rms(quantization_error_stddev(),
+                                   static_cast<double>(base_.nmult));
 }
 
 double PartitionedVmac::dot_ideal(std::span<const double> weights,
@@ -93,10 +125,9 @@ double PartitionedVmac::dot(std::span<const double> weights,
             }
 
             // Partial ADC: full scale Nmult, resolution discounted with depth.
-            const double fs = static_cast<double>(base_.nmult) * options_.analog.reference_scale;
-            const double lsb = 2.0 * fs * std::exp2(-partial_enob(p, q));
-            const double clipped = std::clamp(analog, -fs, fs);
-            const double digital = std::round(clipped / lsb) * lsb;
+            const AdcQuantizer adc(partial_enob(p, q), static_cast<double>(base_.nmult),
+                                   options_.analog.reference_scale);
+            const double digital = adc.convert(analog);
 
             // Digital shift-and-add: undo the chunk normalizations, apply
             // the binary-weighted significance, renormalize by full scales.

@@ -61,6 +61,20 @@ public:
     /// significant.
     [[nodiscard]] double partial_enob(std::size_t p, std::size_t q) const;
 
+    /// Analytic std-dev of the injected quantization error: the partial
+    /// conversions' uniform errors (LSB^2/12 each) scaled by their digital
+    /// shift-and-add weights, summed in variance. Thermal noise excluded.
+    [[nodiscard]] double quantization_error_stddev() const;
+
+    /// Equivalent monolithic-converter ENOB implied by
+    /// quantization_error_stddev() at the cell's natural full scale — the
+    /// number the paper compares against the unpartitioned datapath.
+    [[nodiscard]] double effective_enob() const;
+
+    /// Digital shift-and-add weight of partial (p, q): undoes the chunk
+    /// normalizations and applies the binary-weighted significance.
+    [[nodiscard]] double partial_weight(std::size_t p, std::size_t q) const;
+
     [[nodiscard]] const VmacConfig& base_config() const { return base_; }
     [[nodiscard]] const PartitionOptions& options() const { return options_; }
 

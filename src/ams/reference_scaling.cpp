@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ams/adc_quantizer.hpp"
+
 namespace ams::vmac {
 
 ReferenceScaleResult evaluate_reference_scale(const VmacConfig& config,
@@ -17,16 +19,13 @@ ReferenceScaleResult evaluate_reference_scale(const VmacConfig& config,
         throw std::invalid_argument("evaluate_reference_scale: scale must be positive");
     }
     const double fs = static_cast<double>(config.nmult);
-    const double ref = reference_scale * fs;
-    const double lsb = 2.0 * ref * std::exp2(-config.enob);
+    const AdcQuantizer adc(config.enob, fs, reference_scale);
 
     double sq_err = 0.0;
     std::size_t clipped = 0;
     for (double v : samples) {
-        const double c = std::clamp(v, -ref, ref);
-        if (c != v) ++clipped;
-        const double digital = std::round(c / lsb) * lsb;
-        const double err = digital - v;
+        if (adc.clips(v)) ++clipped;
+        const double err = adc.convert(v) - v;
         sq_err += err * err;
     }
     ReferenceScaleResult r;
@@ -35,8 +34,7 @@ ReferenceScaleResult evaluate_reference_scale(const VmacConfig& config,
     r.clip_fraction = static_cast<double>(clipped) / static_cast<double>(samples.size());
     // ENOB implied by the error, per the same LSB <-> variance convention
     // as the error model (LSB_eff = sqrt(12) * rms).
-    const double lsb_eff = std::sqrt(12.0) * std::max(r.rms_error, 1e-300);
-    r.effective_enob = std::log2(2.0 * fs / lsb_eff);
+    r.effective_enob = effective_enob_from_rms(r.rms_error, fs);
     return r;
 }
 

@@ -1,0 +1,293 @@
+#include "ams/vmac_backend.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "ams/adc_quantizer.hpp"
+
+namespace ams::vmac {
+
+const char* backend_kind_name(BackendKind kind) {
+    switch (kind) {
+        case BackendKind::kBitExact: return "bit_exact";
+        case BackendKind::kPerVmacNoise: return "per_vmac_noise";
+        case BackendKind::kPartitioned: return "partitioned";
+        case BackendKind::kDeltaSigma: return "delta_sigma";
+        case BackendKind::kReferenceScaled: return "reference_scaled";
+    }
+    throw std::invalid_argument("backend_kind_name: unknown BackendKind");
+}
+
+BackendKind parse_backend_kind(std::string_view name) {
+    for (BackendKind kind : all_backend_kinds()) {
+        if (name == backend_kind_name(kind)) return kind;
+    }
+    std::string valid;
+    for (BackendKind kind : all_backend_kinds()) {
+        if (!valid.empty()) valid += ", ";
+        valid += backend_kind_name(kind);
+    }
+    throw std::invalid_argument("parse_backend_kind: unknown backend '" + std::string(name) +
+                                "' (valid: " + valid + ")");
+}
+
+const std::vector<BackendKind>& all_backend_kinds() {
+    static const std::vector<BackendKind> kinds{
+        BackendKind::kBitExact, BackendKind::kPerVmacNoise, BackendKind::kPartitioned,
+        BackendKind::kDeltaSigma, BackendKind::kReferenceScaled};
+    return kinds;
+}
+
+std::string BackendOptions::str() const {
+    std::ostringstream os;
+    os << backend_kind_name(kind);
+    switch (kind) {
+        case BackendKind::kPartitioned:
+            os << "_nw" << partition.nw << "_nx" << partition.nx << "_p"
+               << partition.enob_partial;
+            if (partition.significance_drop > 0.0) os << "_d" << partition.significance_drop;
+            break;
+        case BackendKind::kDeltaSigma:
+            // <= 0 means "derive from the per-cycle ENOB" (see make_backend).
+            if (delta_sigma_final_enob > 0.0) {
+                os << "_f" << delta_sigma_final_enob;
+            } else {
+                os << "_fauto";
+            }
+            break;
+        case BackendKind::kReferenceScaled:
+            os << "_s" << reference_scale;
+            break;
+        default:
+            break;
+    }
+    return os.str();
+}
+
+namespace {
+
+/// Plain VmacCell datapath: one ADC conversion per chunk.
+class BitExactBackend final : public VmacBackend {
+public:
+    BitExactBackend(const VmacConfig& config, const AnalogOptions& analog)
+        : cell_(config, analog) {}
+
+    double accumulate(std::span<const double> weights, std::span<const double> activations,
+                      Rng& rng) override {
+        return cell_.dot(weights, activations, rng);
+    }
+
+    [[nodiscard]] BackendKind kind() const override { return BackendKind::kBitExact; }
+    [[nodiscard]] std::size_t conversions_per_vmac() const override { return 1; }
+    [[nodiscard]] ConversionProfile conversion_profile() const override {
+        return {{cell_.config().enob, 1.0, 0.0}};
+    }
+    /// Composite cell ENOB: quantization plus thermal noise.
+    [[nodiscard]] double effective_enob(std::size_t /*chunks_per_output*/) const override {
+        return cell_.effective_enob();
+    }
+    [[nodiscard]] std::unique_ptr<VmacBackend> clone() const override {
+        return std::make_unique<BitExactBackend>(cell_.config(), cell_.analog());
+    }
+    [[nodiscard]] const VmacConfig& config() const override { return cell_.config(); }
+
+private:
+    VmacCell cell_;
+};
+
+/// Exact digital partial sums + one uniform(-LSB/2, LSB/2) draw per chunk:
+/// per-VMAC granularity without operand re-quantization.
+class PerVmacNoiseBackend final : public VmacBackend {
+public:
+    PerVmacNoiseBackend(const VmacConfig& config, const AnalogOptions& analog)
+        : cell_(config, analog) {}
+
+    double accumulate(std::span<const double> weights, std::span<const double> activations,
+                      Rng& rng) override {
+        if (weights.size() != activations.size() || weights.size() > cell_.config().nmult) {
+            throw std::invalid_argument("PerVmacNoiseBackend: bad operand count");
+        }
+        double partial = 0.0;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            partial += weights[i] * activations[i];
+        }
+        const double lsb = cell_.adc_lsb();
+        return partial + rng.uniform(-0.5 * lsb, 0.5 * lsb);
+    }
+
+    [[nodiscard]] BackendKind kind() const override { return BackendKind::kPerVmacNoise; }
+    [[nodiscard]] std::size_t conversions_per_vmac() const override { return 1; }
+    [[nodiscard]] ConversionProfile conversion_profile() const override {
+        return {{cell_.config().enob, 1.0, 0.0}};
+    }
+    /// Pure quantization-error model: the nominal resolution.
+    [[nodiscard]] double effective_enob(std::size_t /*chunks_per_output*/) const override {
+        return cell_.config().enob;
+    }
+    [[nodiscard]] std::unique_ptr<VmacBackend> clone() const override {
+        return std::make_unique<PerVmacNoiseBackend>(cell_.config(), cell_.analog());
+    }
+    [[nodiscard]] const VmacConfig& config() const override { return cell_.config(); }
+
+private:
+    VmacCell cell_;  ///< supplies the validated config and the ADC LSB
+};
+
+/// Sec. 4 method 1: NW x NX partial conversions at lower resolution.
+class PartitionedBackend final : public VmacBackend {
+public:
+    PartitionedBackend(const VmacConfig& config, PartitionOptions options)
+        : vmac_(config, options) {}
+
+    double accumulate(std::span<const double> weights, std::span<const double> activations,
+                      Rng& rng) override {
+        return vmac_.dot(weights, activations, rng);
+    }
+
+    [[nodiscard]] BackendKind kind() const override { return BackendKind::kPartitioned; }
+    [[nodiscard]] std::size_t conversions_per_vmac() const override {
+        return vmac_.conversions_per_vmac();
+    }
+    [[nodiscard]] ConversionProfile conversion_profile() const override {
+        ConversionProfile profile;
+        for (std::size_t p = 0; p < vmac_.options().nw; ++p) {
+            for (std::size_t q = 0; q < vmac_.options().nx; ++q) {
+                profile.push_back({vmac_.partial_enob(p, q), 1.0, 0.0});
+            }
+        }
+        return profile;
+    }
+    /// Analytic (thermal noise excluded): the shift-and-add weighted sum
+    /// of the partial converters' quantization variances.
+    [[nodiscard]] double effective_enob(std::size_t /*chunks_per_output*/) const override {
+        return vmac_.effective_enob();
+    }
+    [[nodiscard]] std::unique_ptr<VmacBackend> clone() const override {
+        return std::make_unique<PartitionedBackend>(vmac_.base_config(), vmac_.options());
+    }
+    [[nodiscard]] const VmacConfig& config() const override { return vmac_.base_config(); }
+
+private:
+    PartitionedVmac vmac_;
+};
+
+/// Sec. 4 method 2: first-order delta-sigma modulator in place of the
+/// ADC. Stateful across the chunks of one output accumulator; the final
+/// high-resolution conversion happens in finish_output().
+class DeltaSigmaBackend final : public VmacBackend {
+public:
+    DeltaSigmaBackend(const VmacConfig& config, double final_enob, const AnalogOptions& analog)
+        : vmac_(config, final_enob, analog), analog_(analog) {}
+
+    double accumulate(std::span<const double> weights, std::span<const double> activations,
+                      Rng& rng) override {
+        return vmac_.accumulate(weights, activations, rng);
+    }
+    double finish_output(Rng& rng) override { return vmac_.finalize(rng); }
+
+    [[nodiscard]] BackendKind kind() const override { return BackendKind::kDeltaSigma; }
+    [[nodiscard]] std::size_t conversions_per_vmac() const override { return 1; }
+    [[nodiscard]] ConversionProfile conversion_profile() const override {
+        return {{vmac_.cell().config().enob, 1.0, 0.0}, {vmac_.final_enob(), 0.0, 1.0}};
+    }
+    /// Telescoping: only the final conversion's error survives, so the
+    /// per-conversion equivalent improves by 0.5 bit per doubling of the
+    /// chunk stream (chunks * LSB(e_eq)^2 = LSB(final)^2).
+    [[nodiscard]] double effective_enob(std::size_t chunks_per_output) const override {
+        const double chunks = static_cast<double>(chunks_per_output == 0 ? 1 : chunks_per_output);
+        return vmac_.final_enob() + 0.5 * std::log2(chunks);
+    }
+    [[nodiscard]] std::unique_ptr<VmacBackend> clone() const override {
+        return std::make_unique<DeltaSigmaBackend>(vmac_.cell().config(), vmac_.final_enob(),
+                                                   analog_);
+    }
+    [[nodiscard]] const VmacConfig& config() const override { return vmac_.cell().config(); }
+
+private:
+    DeltaSigmaVmac vmac_;
+    AnalogOptions analog_;  ///< kept for clone(); DeltaSigmaVmac doesn't expose it
+};
+
+/// Sec. 4 method 3: bit-exact cell with the ADC reference shrunk below
+/// the natural full scale (finer LSBs, MSBs clip).
+class ReferenceScaledBackend final : public VmacBackend {
+public:
+    ReferenceScaledBackend(const VmacConfig& config, const AnalogOptions& analog,
+                           double reference_scale)
+        : cell_(config, scaled(analog, reference_scale)),
+          base_analog_(analog),
+          scale_(reference_scale) {}
+
+    double accumulate(std::span<const double> weights, std::span<const double> activations,
+                      Rng& rng) override {
+        return cell_.dot(weights, activations, rng);
+    }
+
+    [[nodiscard]] BackendKind kind() const override { return BackendKind::kReferenceScaled; }
+    [[nodiscard]] std::size_t conversions_per_vmac() const override { return 1; }
+    [[nodiscard]] ConversionProfile conversion_profile() const override {
+        return {{cell_.config().enob, 1.0, 0.0}};
+    }
+    /// Clip-free equivalent: the finer LSB raises the composite cell ENOB
+    /// by -log2(scale). The data-dependent clipping penalty is what
+    /// sweep_reference_scales / bench_ext_reference_scaling measure
+    /// empirically — this analytic number is the no-clip optimum.
+    [[nodiscard]] double effective_enob(std::size_t /*chunks_per_output*/) const override {
+        return cell_.effective_enob();
+    }
+    [[nodiscard]] std::unique_ptr<VmacBackend> clone() const override {
+        return std::make_unique<ReferenceScaledBackend>(cell_.config(), base_analog_, scale_);
+    }
+    [[nodiscard]] const VmacConfig& config() const override { return cell_.config(); }
+
+    [[nodiscard]] double reference_scale() const { return scale_; }
+
+private:
+    static AnalogOptions scaled(AnalogOptions analog, double reference_scale) {
+        analog.reference_scale *= reference_scale;
+        return analog;
+    }
+
+    VmacCell cell_;
+    AnalogOptions base_analog_;  ///< pre-scaling options, for clone()
+    double scale_;
+};
+
+}  // namespace
+
+std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config, const AnalogOptions& analog,
+                                          const BackendOptions& options) {
+    switch (options.kind) {
+        case BackendKind::kBitExact:
+            return std::make_unique<BitExactBackend>(config, analog);
+        case BackendKind::kPerVmacNoise:
+            return std::make_unique<PerVmacNoiseBackend>(config, analog);
+        case BackendKind::kPartitioned: {
+            PartitionOptions part = options.partition;
+            part.analog = analog;
+            return std::make_unique<PartitionedBackend>(config, part);
+        }
+        case BackendKind::kDeltaSigma: {
+            const double final_enob = options.delta_sigma_final_enob > 0.0
+                                          ? options.delta_sigma_final_enob
+                                          : config.enob + 4.0;
+            return std::make_unique<DeltaSigmaBackend>(config, final_enob, analog);
+        }
+        case BackendKind::kReferenceScaled:
+            if (options.reference_scale <= 0.0) {
+                throw std::invalid_argument(
+                    "make_backend: reference_scale must be positive");
+            }
+            return std::make_unique<ReferenceScaledBackend>(config, analog,
+                                                            options.reference_scale);
+    }
+    throw std::invalid_argument("make_backend: unknown BackendKind");
+}
+
+std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config,
+                                          const AnalogOptions& analog) {
+    return make_backend(config, analog, BackendOptions{});
+}
+
+}  // namespace ams::vmac

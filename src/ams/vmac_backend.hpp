@@ -1,0 +1,145 @@
+// VmacBackend: one pluggable AMS datapath behind the network-level engine.
+//
+// The paper's Section-4 extension methods (multiplication partitioning,
+// delta-sigma error recycling, ADC reference scaling) were implemented as
+// standalone dot-product simulators measured only by microbenches, while
+// the network-level pipeline (VmacConv2d -> ENOB sweeps -> Fig. 8 map)
+// was hard-wired to the plain VmacCell. This interface closes that gap:
+// every datapath computes one VMAC-sized chunk of a dot product through
+// the same seam and reports its conversion costs, so the conv engine, the
+// experiment sweeps, and the energy accountant are all backend-generic.
+//
+// Contract:
+//  - accumulate() consumes one chunk (<= Nmult operand pairs) and returns
+//    the digital term to add to the output accumulator. Stateful backends
+//    (delta-sigma) carry residual state between successive chunks of the
+//    SAME output accumulator — callers must stream one output's chunks
+//    contiguously (output stationarity, paper Sec. 4).
+//  - finish_output() flushes any carried state at the end of one output's
+//    chunk stream and returns the final digital term (0 for stateless
+//    backends, the high-resolution final conversion for delta-sigma).
+//  - clone() yields a fresh-state copy; parallel engines clone one
+//    backend per worker so per-output state never crosses threads.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ams/delta_sigma.hpp"
+#include "ams/partitioned.hpp"
+#include "ams/vmac_cell.hpp"
+
+namespace ams::vmac {
+
+/// The five hardware datapaths the library can evaluate at network level.
+enum class BackendKind {
+    kBitExact,         ///< plain VmacCell: operand codecs + one ADC per chunk
+    kPerVmacNoise,     ///< exact partial sums + uniform(-LSB/2, LSB/2) per chunk
+    kPartitioned,      ///< Sec. 4 method 1: NW x NX low-res partial conversions
+    kDeltaSigma,       ///< Sec. 4 method 2: error recycling, high-res final conversion
+    kReferenceScaled,  ///< Sec. 4 method 3: ADC reference shrunk below full scale
+};
+
+/// Stable lower_snake_case label ("bit_exact", "delta_sigma", ...) used in
+/// CSV series, cache keys, and CLI flags.
+[[nodiscard]] const char* backend_kind_name(BackendKind kind);
+
+/// Inverse of backend_kind_name; throws std::invalid_argument listing the
+/// valid names on an unknown label.
+[[nodiscard]] BackendKind parse_backend_kind(std::string_view name);
+
+/// All kinds, in declaration order (bench sweeps iterate this).
+[[nodiscard]] const std::vector<BackendKind>& all_backend_kinds();
+
+/// One class of ADC conversions a backend performs, for energy pricing.
+/// A backend's total conversion energy for an output accumulator computed
+/// as `chunks` VMAC-sized chunks is
+///   sum_i E_ADC(enob_i) * (per_chunk_i * chunks + per_output_i).
+struct ConversionCost {
+    double enob = 0.0;        ///< resolution of this conversion class
+    double per_chunk = 0.0;   ///< conversions per VMAC-sized chunk
+    double per_output = 0.0;  ///< conversions per output accumulator
+};
+using ConversionProfile = std::vector<ConversionCost>;
+
+/// Abstract AMS datapath: computes chunk contributions and reports cost.
+class VmacBackend {
+public:
+    virtual ~VmacBackend() = default;
+
+    /// Digital contribution of one chunk (see class contract above).
+    /// Throws std::invalid_argument on size mismatch or > Nmult pairs.
+    virtual double accumulate(std::span<const double> weights,
+                              std::span<const double> activations, Rng& rng) = 0;
+
+    /// End of one output accumulator's chunk stream; returns the final
+    /// digital term and resets per-output state. Stateless default: 0.
+    virtual double finish_output(Rng& rng) {
+        (void)rng;
+        return 0.0;
+    }
+
+    [[nodiscard]] virtual BackendKind kind() const = 0;
+    [[nodiscard]] std::string name() const { return backend_kind_name(kind()); }
+
+    /// ADC conversions issued per VMAC-sized chunk (the paper's
+    /// speed/energy cost axis: NW*NX for partitioning, 1 otherwise).
+    [[nodiscard]] virtual std::size_t conversions_per_vmac() const = 0;
+
+    /// Per-conversion resolutions and counts for energy accounting.
+    [[nodiscard]] virtual ConversionProfile conversion_profile() const = 0;
+
+    /// Equivalent monolithic per-conversion ENOB of this datapath for an
+    /// output computed as `chunks_per_output` chunks: the resolution at
+    /// which the plain datapath would inject the same error variance
+    /// (Eq. 2 equivalence). Data-dependent effects (reference-scaling
+    /// clipping) are excluded — see each implementation's note.
+    [[nodiscard]] virtual double effective_enob(std::size_t chunks_per_output) const = 0;
+
+    /// Whether the datapath supports gradient propagation. All current
+    /// backends are evaluation-only (paper Sec. 4: per-VMAC modeling "can
+    /// be performed for evaluation only").
+    [[nodiscard]] virtual bool trainable() const { return false; }
+
+    /// Fresh copy with reset per-output state.
+    [[nodiscard]] virtual std::unique_ptr<VmacBackend> clone() const = 0;
+
+    [[nodiscard]] virtual const VmacConfig& config() const = 0;
+};
+
+/// Everything that parameterizes backend construction beyond the shared
+/// (VmacConfig, AnalogOptions) pair.
+struct BackendOptions {
+    BackendKind kind = BackendKind::kBitExact;
+
+    /// kPartitioned: chunk counts and partial-ADC resolutions. The
+    /// `analog` member inside is overwritten with the outer AnalogOptions.
+    PartitionOptions partition{};
+
+    /// kDeltaSigma: resolution of the final conversion; <= 0 selects
+    /// config.enob + 4 (a comfortably finer converter, paper Sec. 4:
+    /// "the final conversion is performed at a higher resolution").
+    double delta_sigma_final_enob = 0.0;
+
+    /// kReferenceScaled: ADC reference relative to the natural full scale.
+    double reference_scale = 0.5;
+
+    /// Compact parameter tag ("partitioned_nw2_nx2_p8", "delta_sigma_f12",
+    /// ...) for cache keys and CSV labels.
+    [[nodiscard]] std::string str() const;
+};
+
+/// Builds the requested backend. Throws std::invalid_argument on invalid
+/// configuration (bad config/analog, non-divisible partition chunks, ...).
+[[nodiscard]] std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config,
+                                                        const AnalogOptions& analog,
+                                                        const BackendOptions& options);
+
+/// Convenience: plain bit-exact backend (the pre-refactor datapath).
+[[nodiscard]] std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config,
+                                                        const AnalogOptions& analog = {});
+
+}  // namespace ams::vmac

@@ -18,6 +18,7 @@ VmacCell::VmacCell(const VmacConfig& config, const AnalogOptions& analog)
     if (analog.multiplier_noise_sigma < 0.0 || analog.adc_noise_sigma < 0.0) {
         throw std::invalid_argument("VmacCell: noise sigmas must be non-negative");
     }
+    quantizer_ = AdcQuantizer(config_.enob, full_scale(), analog_.reference_scale);
 }
 
 double VmacCell::full_scale() const {
@@ -27,7 +28,7 @@ double VmacCell::full_scale() const {
 }
 
 double VmacCell::adc_lsb() const {
-    return 2.0 * analog_.reference_scale * full_scale() * std::exp2(-config_.enob);
+    return quantizer_.lsb();
 }
 
 double VmacCell::effective_enob() const {
@@ -43,16 +44,8 @@ double VmacCell::effective_enob() const {
                             (avg_div * avg_div);
     const double adc_var = analog_.adc_noise_sigma * analog_.adc_noise_sigma;
     const double total_var = quant_var + mult_var + adc_var;
-    const double lsb_eff = std::sqrt(12.0 * total_var);
     // ENOB from LSB: range 2*FS divided into 2^ENOB steps.
-    return std::log2(2.0 * full_scale() / lsb_eff);
-}
-
-double VmacCell::convert(double v) const {
-    const double ref = analog_.reference_scale * full_scale();
-    const double lsb = adc_lsb();
-    const double clipped = std::clamp(v, -ref, ref);
-    return std::round(clipped / lsb) * lsb;
+    return effective_enob_from_rms(std::sqrt(total_var), full_scale());
 }
 
 namespace {

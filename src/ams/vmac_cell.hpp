@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "ams/adc_quantizer.hpp"
 #include "ams/vmac_config.hpp"
 #include "quant/fixed_point.hpp"
 #include "tensor/rng.hpp"
@@ -78,13 +79,17 @@ public:
     /// Mid-tread quantization of `v` to the cell's ADC grid, with clipping
     /// at +/- reference_scale * full_scale. Exposed for the extension
     /// methods (delta-sigma, partitioning) that reuse the converter.
-    [[nodiscard]] double convert(double v) const;
+    [[nodiscard]] double convert(double v) const { return quantizer_.convert(v); }
+
+    /// The cell's converter (the shared quantizer model).
+    [[nodiscard]] const AdcQuantizer& quantizer() const { return quantizer_; }
 
 private:
     VmacConfig config_;
     AnalogOptions analog_;
     quant::SignMagCodec weight_codec_;
     quant::SignMagCodec act_codec_;
+    AdcQuantizer quantizer_;
 };
 
 }  // namespace ams::vmac

@@ -9,14 +9,30 @@
 
 namespace ams::vmac {
 
+namespace {
+
+BackendOptions options_for_mode(VmacConvMode mode) {
+    BackendOptions options;
+    options.kind = (mode == VmacConvMode::kBitExact) ? BackendKind::kBitExact
+                                                     : BackendKind::kPerVmacNoise;
+    return options;
+}
+
+}  // namespace
+
 VmacConv2d::VmacConv2d(Tensor weight, std::size_t stride, std::size_t padding,
                        const VmacConfig& config, const AnalogOptions& analog,
                        VmacConvMode mode, Rng rng)
+    : VmacConv2d(std::move(weight), stride, padding, config, analog, options_for_mode(mode),
+                 rng) {}
+
+VmacConv2d::VmacConv2d(Tensor weight, std::size_t stride, std::size_t padding,
+                       const VmacConfig& config, const AnalogOptions& analog,
+                       const BackendOptions& backend, Rng rng)
     : weight_(std::move(weight)),
       stride_(stride),
       padding_(padding),
-      cell_(config, analog),
-      mode_(mode),
+      backend_(make_backend(config, analog, backend)),
       streams_(runtime::RngStream::from(rng)) {
     if (weight_.rank() != 4) {
         throw std::invalid_argument("VmacConv2d: weight must be {Cout, Cin, K, K}, got " +
@@ -46,8 +62,10 @@ void VmacConv2d::compute_tiles(std::size_t t_begin, std::size_t t_end,
                                std::size_t out_spatial, std::size_t patch, double* w_chunk,
                                double* x_chunk, float* out) {
     const std::size_t cout = weight_.dim(0);
-    const std::size_t nmult = cell_.config().nmult;
-    const double lsb = cell_.adc_lsb();
+    const std::size_t nmult = backend_->config().nmult;
+    // One worker-local backend: stateful datapaths (delta-sigma) carry
+    // per-output state that must never be shared across workers.
+    const std::unique_ptr<VmacBackend> backend = backend_->clone();
     for (std::size_t t = t_begin; t < t_end; ++t) {
         const std::size_t b = t / cout;
         const std::size_t oc = t % cout;
@@ -56,24 +74,18 @@ void VmacConv2d::compute_tiles(std::size_t t_begin, std::size_t t_end,
         const float* wrow = weight_.data() + oc * patch;
         for (std::size_t pix = 0; pix < out_spatial; ++pix) {
             double acc = 0.0;
+            // Chunks of one output accumulator stream contiguously: the
+            // output stationarity stateful backends rely on.
             for (std::size_t start = 0; start < patch; start += nmult) {
                 const std::size_t len = std::min(nmult, patch - start);
-                if (mode_ == VmacConvMode::kBitExact) {
-                    for (std::size_t i = 0; i < len; ++i) {
-                        w_chunk[i] = wrow[start + i];
-                        x_chunk[i] = cols[(start + i) * out_spatial + pix];
-                    }
-                    acc += cell_.dot(std::span(w_chunk, len), std::span(x_chunk, len),
-                                     tile_rng);
-                } else {
-                    double partial = 0.0;
-                    for (std::size_t i = 0; i < len; ++i) {
-                        partial += static_cast<double>(wrow[start + i]) *
-                                   cols[(start + i) * out_spatial + pix];
-                    }
-                    acc += partial + tile_rng.uniform(-0.5 * lsb, 0.5 * lsb);
+                for (std::size_t i = 0; i < len; ++i) {
+                    w_chunk[i] = wrow[start + i];
+                    x_chunk[i] = cols[(start + i) * out_spatial + pix];
                 }
+                acc += backend->accumulate(std::span(w_chunk, len), std::span(x_chunk, len),
+                                           tile_rng);
             }
+            acc += backend->finish_output(tile_rng);
             out[(b * cout + oc) * out_spatial + pix] = static_cast<float>(acc);
         }
     }
@@ -83,7 +95,7 @@ Tensor VmacConv2d::forward(const Tensor& input) {
     const ConvLowering low = make_lowering(input.shape());
     const std::size_t batch = input.dim(0);
     const std::size_t cout = weight_.dim(0);
-    const std::size_t nmult = cell_.config().nmult;
+    const std::size_t nmult = backend_->config().nmult;
 
     Tensor output(Shape{batch, cout, low.out_h(), low.out_w()});
 
@@ -110,7 +122,7 @@ Shape VmacConv2d::plan(const Shape& in, runtime::EvalContext& ctx) {
     const ConvLowering low = make_lowering(in);
     const std::size_t batch = in.dim(0);
     const std::size_t cout = weight_.dim(0);
-    const std::size_t nmult = cell_.config().nmult;
+    const std::size_t nmult = backend_->config().nmult;
     (void)ctx.reserve_scratch(this, 0, batch * low.columns_floats());
     // One double staging pair per chunk of the tile loop, stored as floats
     // (2 * nmult doubles = 4 * nmult floats; arena blocks are 64-byte
@@ -129,7 +141,7 @@ Tensor VmacConv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
     const ConvLowering low = make_lowering(input.shape());
     const std::size_t batch = input.dim(0);
     const std::size_t cout = weight_.dim(0);
-    const std::size_t nmult = cell_.config().nmult;
+    const std::size_t nmult = backend_->config().nmult;
 
     Tensor output = nn::arena_output(ctx, Shape{batch, cout, low.out_h(), low.out_w()});
     float* columns = ctx.reserve_scratch(this, 0, batch * low.columns_floats());
@@ -155,8 +167,9 @@ Tensor VmacConv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
 
 Tensor VmacConv2d::backward(const Tensor& /*grad_output*/) {
     throw std::logic_error(
-        "VmacConv2d is evaluation-only (paper Sec. 4: per-VMAC modeling is applied at "
-        "evaluation time); use QuantConv2d + ErrorInjector for training");
+        "VmacConv2d[" + backend_->name() +
+        "] is evaluation-only (paper Sec. 4: per-VMAC modeling is applied at evaluation "
+        "time); use QuantConv2d + ErrorInjector for training");
 }
 
 }  // namespace ams::vmac

@@ -10,21 +10,25 @@
 //
 // This module does exactly that: it lowers the convolution with im2col,
 // slices each output activation's N_tot products into ceil(N_tot/Nmult)
-// VMAC-sized chunks, pushes every chunk through the *bit-exact* VmacCell
-// (operand quantization, analog accumulation, thermal noise, ADC), and
-// sums the digital outputs. It is evaluation-only, as the paper suggests.
+// VMAC-sized chunks, pushes every chunk through a pluggable VmacBackend
+// datapath (bit-exact cell, per-VMAC noise, partitioned, delta-sigma, or
+// reference-scaled — see ams/vmac_backend.hpp), and sums the digital
+// outputs. Chunks of one output activation are streamed contiguously, so
+// stateful backends (delta-sigma) see the output stationarity they
+// require. It is evaluation-only, as the paper suggests.
 #pragma once
 
 #include <memory>
 
-#include "ams/vmac_cell.hpp"
+#include "ams/vmac_backend.hpp"
 #include "nn/module.hpp"
 #include "runtime/rng_stream.hpp"
 #include "tensor/im2col.hpp"
 
 namespace ams::vmac {
 
-/// Fidelity of the per-VMAC computation.
+/// Fidelity of the per-VMAC computation (legacy selector; the two modes
+/// are now thin aliases for the corresponding VmacBackend kinds).
 enum class VmacConvMode {
     /// Full behavioural simulation: operand codecs + ADC per chunk.
     kBitExact,
@@ -46,19 +50,27 @@ public:
                const VmacConfig& config, const AnalogOptions& analog, VmacConvMode mode,
                Rng rng);
 
+    /// Backend-generic constructor: routes every VMAC-sized chunk through
+    /// the datapath selected by `backend` (see ams/vmac_backend.hpp).
+    VmacConv2d(Tensor weight, std::size_t stride, std::size_t padding,
+               const VmacConfig& config, const AnalogOptions& analog,
+               const BackendOptions& backend, Rng rng);
+
     Tensor forward(const Tensor& input) override;
     Shape plan(const Shape& in, runtime::EvalContext& ctx) override;
     Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
 
     /// Evaluation-only: backward is not implemented (the paper's proposal
-    /// applies this model at evaluation time).
+    /// applies this model at evaluation time). Throws std::logic_error
+    /// naming the module and the selected backend.
     Tensor backward(const Tensor& grad_output) override;
 
     [[nodiscard]] std::string name() const override { return "VmacConv2d"; }
 
     [[nodiscard]] std::size_t n_tot() const;
-    [[nodiscard]] const VmacConfig& config() const { return cell_.config(); }
-    [[nodiscard]] const VmacCell& cell() const { return cell_; }
+    [[nodiscard]] const VmacConfig& config() const { return backend_->config(); }
+    /// The datapath every chunk is routed through.
+    [[nodiscard]] const VmacBackend& backend() const { return *backend_; }
 
 private:
     /// Validates the input shape and builds the shared lowering for it.
@@ -67,7 +79,8 @@ private:
     /// Runs tiles [t_begin, t_end) of one forward pass: reads the lowered
     /// `columns`, writes `out`. `w_chunk`/`x_chunk` are caller-provided
     /// nmult-double staging buffers (per-chunk scratch), so the identical
-    /// arithmetic serves both the allocating and the arena path.
+    /// arithmetic serves both the allocating and the arena path. Clones
+    /// the backend once per call: per-output state stays worker-local.
     void compute_tiles(std::size_t t_begin, std::size_t t_end,
                        const runtime::RngStream& pass_streams, const float* columns,
                        std::size_t out_spatial, std::size_t patch, double* w_chunk,
@@ -76,8 +89,7 @@ private:
     Tensor weight_;
     std::size_t stride_;
     std::size_t padding_;
-    VmacCell cell_;
-    VmacConvMode mode_;
+    std::unique_ptr<VmacBackend> backend_;
     runtime::RngStream streams_;       ///< root of the per-tile noise streams
     std::uint64_t forward_count_ = 0;  ///< distinct streams per forward pass
 };

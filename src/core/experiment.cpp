@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -132,10 +133,12 @@ TensorMap ExperimentEnv::quantized_state(std::size_t bits_w, std::size_t bits_x)
 
 TensorMap ExperimentEnv::ams_retrained_state(std::size_t bits_w, std::size_t bits_x,
                                              const vmac::VmacConfig& vmac_cfg,
-                                             const std::vector<models::LayerGroup>& frozen) {
+                                             const std::vector<models::LayerGroup>& frozen,
+                                             const std::string& key_tag) {
     std::ostringstream key;
     key << base_key() << "_ams_w" << bits_w << "_x" << bits_x << "_enob" << vmac_cfg.enob
         << "_nm" << vmac_cfg.nmult;
+    if (!key_tag.empty()) key << "_b" << key_tag;
     for (models::LayerGroup g : frozen) {
         key << "_f" << static_cast<int>(g);
     }
@@ -179,11 +182,34 @@ std::vector<ExperimentEnv::EnobSweepPoint> ExperimentEnv::ams_enob_sweep(
             cfg.nmult = sweep.nmult;
             EnobSweepPoint& point = points[p];
             point.enob = enobs[p];
+
+            // Map the grid resolution through the hardware backend: the
+            // injected network-level error uses the backend's equivalent
+            // monolithic ENOB (Eq. 2 equivalence). The default bit-exact
+            // backend keeps the historical identity mapping and keys.
+            std::string key_tag;
+            if (sweep.backend.kind == vmac::BackendKind::kBitExact) {
+                point.effective_enob = enobs[p];
+            } else {
+                vmac::BackendOptions bopts = sweep.backend;
+                vmac::VmacConfig backend_cfg = cfg;
+                backend_cfg.bits_w = bits_w;
+                backend_cfg.bits_x = bits_x;
+                if (bopts.kind == vmac::BackendKind::kPartitioned) {
+                    bopts.partition.enob_partial = enobs[p];
+                }
+                const auto backend = vmac::make_backend(backend_cfg, sweep.analog, bopts);
+                point.effective_enob =
+                    std::clamp(backend->effective_enob(sweep.backend_ref_chunks), 0.5, 32.0);
+                key_tag = bopts.str();
+                cfg.enob = point.effective_enob;
+            }
+
             if (sweep.eval_only) {
                 point.eval_only = evaluate_state(quant, ams_common(bits_w, bits_x, cfg), &ctx);
             }
             if (sweep.retrain) {
-                const TensorMap state = ams_retrained_state(bits_w, bits_x, cfg);
+                const TensorMap state = ams_retrained_state(bits_w, bits_x, cfg, {}, key_tag);
                 point.retrained = evaluate_state(state, ams_common(bits_w, bits_x, cfg), &ctx);
             }
         }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "ams/vmac_backend.hpp"
 #include "data/synthetic_imagenet.hpp"
 #include "models/resnet.hpp"
 #include "train/checkpoint_cache.hpp"
@@ -66,9 +67,12 @@ public:
     /// Retrains (or loads) with AMS error injected in the loop, starting
     /// from the quantized weights. `frozen` lists parameter groups held
     /// fixed during retraining (Table 2); they still forward/backward.
+    /// `key_tag` (e.g. vmac::BackendOptions::str()) distinguishes cache
+    /// entries whose injected error was derived from a non-default
+    /// hardware backend; empty keeps the historical key.
     [[nodiscard]] TensorMap ams_retrained_state(
         std::size_t bits_w, std::size_t bits_x, const vmac::VmacConfig& vmac_cfg,
-        const std::vector<models::LayerGroup>& frozen = {});
+        const std::vector<models::LayerGroup>& frozen = {}, const std::string& key_tag = "");
 
     // ----- evaluation -----
     /// Loads `state` into a fresh model of the given variant and runs the
@@ -82,7 +86,8 @@ public:
     // ----- concurrent sweep driver -----
     /// One swept ENOB point of a Fig. 4/5/8-style campaign.
     struct EnobSweepPoint {
-        double enob = 0.0;
+        double enob = 0.0;            ///< swept per-conversion (grid) resolution
+        double effective_enob = 0.0;  ///< backend-equivalent monolithic ENOB injected
         train::EvalResult eval_only;  ///< AMS at evaluation only, quantized weights
         train::EvalResult retrained;  ///< AMS error also in the retraining loop
     };
@@ -91,6 +96,19 @@ public:
         std::size_t nmult = 8;   ///< paper: Nmult = 8 for Figs. 4/5
         bool eval_only = true;   ///< measure injection on the quantized net
         bool retrain = true;     ///< retrain with error in the loop and measure
+
+        /// Hardware datapath each swept point models. The grid ENOB drives
+        /// the backend's converter resolution; the injected network-level
+        /// error uses the backend's equivalent monolithic ENOB (Eq. 2
+        /// equivalence via VmacBackend::effective_enob), and retrain cache
+        /// keys gain a BackendOptions::str() tag. The default (bit-exact)
+        /// reproduces the historical sweep bit-for-bit, keys included.
+        vmac::BackendOptions backend{};
+        /// Chunks per output accumulator assumed when amortizing stateful
+        /// backends' per-output conversions into the effective ENOB.
+        std::size_t backend_ref_chunks = 8;
+        /// Analog non-idealities for backend construction.
+        vmac::AnalogOptions analog{};
     };
 
     /// Runs every ENOB point of a sweep concurrently on the runtime pool

@@ -85,4 +85,43 @@ const DesignPoint* EnergyAccuracyMap::best_accuracy_for_energy(double max_emac_f
     return best;
 }
 
+std::vector<BackendDesignPoint> backend_design_series(
+    const AccuracyCurve& curve, const vmac::VmacConfig& proto,
+    const vmac::AnalogOptions& analog, const vmac::BackendOptions& options,
+    const std::vector<double>& enobs, const std::vector<std::size_t>& nmults,
+    std::size_t chunks_per_output, const VmacEnergyModel& model) {
+    if (enobs.empty() || nmults.empty()) {
+        throw std::invalid_argument("backend_design_series: need a non-empty grid");
+    }
+    if (chunks_per_output == 0) {
+        throw std::invalid_argument("backend_design_series: chunks_per_output must be > 0");
+    }
+    std::vector<BackendDesignPoint> series;
+    series.reserve(enobs.size() * nmults.size());
+    for (double enob : enobs) {
+        for (std::size_t nmult : nmults) {
+            vmac::VmacConfig cfg = proto;
+            cfg.enob = enob;
+            cfg.nmult = nmult;
+            vmac::BackendOptions bopts = options;
+            // The swept resolution is the per-conversion resolution of
+            // whatever converters the datapath actually instantiates.
+            if (bopts.kind == vmac::BackendKind::kPartitioned) {
+                bopts.partition.enob_partial = enob;
+            }
+            const auto backend = vmac::make_backend(cfg, analog, bopts);
+            BackendDesignPoint p;
+            p.backend = backend->name();
+            p.enob = enob;
+            p.nmult = nmult;
+            p.effective_enob = backend->effective_enob(chunks_per_output);
+            p.conversions_per_vmac = static_cast<double>(backend->conversions_per_vmac());
+            p.accuracy_loss = curve.loss_at(p.effective_enob, nmult);
+            p.emac_fj = model.backend_emac_fj(*backend, chunks_per_output);
+            series.push_back(std::move(p));
+        }
+    }
+    return series;
+}
+
 }  // namespace ams::energy

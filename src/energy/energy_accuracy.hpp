@@ -13,6 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "ams/vmac_backend.hpp"
+#include "energy/vmac_energy.hpp"
+
 namespace ams::energy {
 
 /// Piecewise-linear accuracy-loss curve measured at a reference Nmult.
@@ -77,5 +80,33 @@ private:
     std::vector<std::size_t> nmults_;
     std::vector<DesignPoint> grid_;
 };
+
+/// One point of a backend-labeled Fig. 8 series: a hardware datapath
+/// evaluated at a grid (ENOB, Nmult). Accuracy comes from the backend's
+/// equivalent monolithic ENOB pushed through the measured curve (Eq. 2
+/// equivalence); energy comes from the backend's conversion profile, so
+/// partitioning pays NW*NX cheap conversions and delta-sigma amortizes
+/// one expensive final conversion.
+struct BackendDesignPoint {
+    std::string backend;          ///< backend_kind_name label (CSV series)
+    double enob = 0.0;            ///< grid per-conversion resolution
+    std::size_t nmult = 0;
+    double effective_enob = 0.0;  ///< backend-equivalent monolithic ENOB
+    double conversions_per_vmac = 0.0;
+    double accuracy_loss = 0.0;   ///< relative to the quantized baseline
+    double emac_fj = 0.0;         ///< energy per MAC from the profile
+};
+
+/// Evaluates one backend family over the (ENOB x Nmult) grid. The grid
+/// ENOB drives the backend's converter resolution (for partitioning it
+/// becomes the partial-conversion resolution); `proto` supplies operand
+/// bitwidths and accumulation mode; `chunks_per_output` amortizes
+/// per-output conversions. Throws std::invalid_argument on an empty grid
+/// or a configuration the backend rejects.
+[[nodiscard]] std::vector<BackendDesignPoint> backend_design_series(
+    const AccuracyCurve& curve, const vmac::VmacConfig& proto,
+    const vmac::AnalogOptions& analog, const vmac::BackendOptions& options,
+    const std::vector<double>& enobs, const std::vector<std::size_t>& nmults,
+    std::size_t chunks_per_output, const VmacEnergyModel& model = {});
 
 }  // namespace ams::energy

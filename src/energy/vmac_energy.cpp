@@ -18,6 +18,40 @@ double VmacEnergyModel::emac_fj(double enob, std::size_t nmult) const {
     return vmac_energy(enob, nmult).total_fj() / static_cast<double>(nmult);
 }
 
+double profile_conversion_fj(const vmac::ConversionProfile& profile, std::size_t chunks,
+                             double adc_margin) {
+    if (chunks == 0) {
+        throw std::invalid_argument("profile_conversion_fj: chunks must be > 0");
+    }
+    double fj = 0.0;
+    for (const vmac::ConversionCost& cost : profile) {
+        fj += adc_margin * adc_energy_lower_bound_pj(cost.enob) * 1e3 *
+              (cost.per_chunk * static_cast<double>(chunks) + cost.per_output);
+    }
+    return fj;
+}
+
+VmacEnergyBreakdown VmacEnergyModel::backend_vmac_energy(const vmac::VmacBackend& backend,
+                                                         std::size_t chunks_per_output) const {
+    if (chunks_per_output == 0) {
+        throw std::invalid_argument("backend_vmac_energy: chunks_per_output must be > 0");
+    }
+    VmacEnergyBreakdown b;
+    b.adc_fj = profile_conversion_fj(backend.conversion_profile(), chunks_per_output,
+                                     adc_margin) /
+               static_cast<double>(chunks_per_output);
+    b.mult_fj = mult_fj_per_op * static_cast<double>(backend.config().nmult);
+    // One digital shift-and-add per conversion result.
+    b.digital_fj = digital_fj_per_add * static_cast<double>(backend.conversions_per_vmac());
+    return b;
+}
+
+double VmacEnergyModel::backend_emac_fj(const vmac::VmacBackend& backend,
+                                        std::size_t chunks_per_output) const {
+    return backend_vmac_energy(backend, chunks_per_output).total_fj() /
+           static_cast<double>(backend.config().nmult);
+}
+
 NetworkEnergyReport account_network(const std::vector<LayerEnergy>& layer_shapes,
                                     const VmacEnergyModel& model, double enob,
                                     std::size_t nmult) {
@@ -32,6 +66,28 @@ NetworkEnergyReport account_network(const std::vector<LayerEnergy>& layer_shapes
         layer.macs = layer.n_tot * layer.outputs;
         layer.vmacs = ((layer.n_tot + nmult - 1) / nmult) * layer.outputs;
         layer.energy_nj = emac_fj * static_cast<double>(layer.macs) * 1e-6;
+        report.total_macs += layer.macs;
+        report.total_nj += layer.energy_nj;
+        report.layers.push_back(std::move(layer));
+    }
+    return report;
+}
+
+NetworkEnergyReport account_network(const std::vector<LayerEnergy>& layer_shapes,
+                                    const VmacEnergyModel& model,
+                                    const vmac::VmacBackend& backend) {
+    const std::size_t nmult = backend.config().nmult;
+    NetworkEnergyReport report;
+    for (const LayerEnergy& shape : layer_shapes) {
+        if (shape.n_tot == 0 || shape.outputs == 0) {
+            throw std::invalid_argument("account_network: degenerate layer " + shape.name);
+        }
+        LayerEnergy layer = shape;
+        layer.macs = layer.n_tot * layer.outputs;
+        const std::size_t chunks = (layer.n_tot + nmult - 1) / nmult;
+        layer.vmacs = chunks * layer.outputs;
+        const double vmac_fj = model.backend_vmac_energy(backend, chunks).total_fj();
+        layer.energy_nj = vmac_fj * static_cast<double>(layer.vmacs) * 1e-6;
         report.total_macs += layer.macs;
         report.total_nj += layer.energy_nj;
         report.layers.push_back(std::move(layer));

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "ams/vmac_backend.hpp"
 #include "energy/adc_energy.hpp"
 
 namespace ams::energy {
@@ -43,7 +44,26 @@ struct VmacEnergyModel {
 
     /// Energy per MAC = total VMAC energy / Nmult, fJ.
     [[nodiscard]] double emac_fj(double enob, std::size_t nmult) const;
+
+    /// Breakdown for one VMAC-sized chunk through a hardware backend,
+    /// priced from its reported conversion profile: the ADC term covers
+    /// every conversion class at its own resolution (partitioning pays
+    /// NW*NX cheap conversions, delta-sigma amortizes one expensive final
+    /// conversion over `chunks_per_output` chunks), and the digital term
+    /// pays one add per conversion. Throws on chunks_per_output == 0.
+    [[nodiscard]] VmacEnergyBreakdown backend_vmac_energy(
+        const vmac::VmacBackend& backend, std::size_t chunks_per_output) const;
+
+    /// Energy per MAC through `backend` = chunk energy / Nmult, fJ.
+    [[nodiscard]] double backend_emac_fj(const vmac::VmacBackend& backend,
+                                         std::size_t chunks_per_output) const;
 };
+
+/// Total ADC conversion energy (fJ) of one output accumulator computed as
+/// `chunks` VMAC-sized chunks under a backend's conversion profile:
+///   sum_i margin * E_ADC(enob_i) * (per_chunk_i * chunks + per_output_i).
+[[nodiscard]] double profile_conversion_fj(const vmac::ConversionProfile& profile,
+                                           std::size_t chunks, double adc_margin = 1.0);
 
 /// One layer's contribution to network inference energy.
 struct LayerEnergy {
@@ -70,5 +90,12 @@ struct NetworkEnergyReport {
 [[nodiscard]] NetworkEnergyReport account_network(
     const std::vector<LayerEnergy>& layer_shapes, const VmacEnergyModel& model, double enob,
     std::size_t nmult);
+
+/// Backend-priced accounting: every layer's conversion energy follows the
+/// backend's profile, with per-output conversions amortized over that
+/// layer's actual ceil(n_tot / nmult) chunk count.
+[[nodiscard]] NetworkEnergyReport account_network(
+    const std::vector<LayerEnergy>& layer_shapes, const VmacEnergyModel& model,
+    const vmac::VmacBackend& backend);
 
 }  // namespace ams::energy

@@ -1,0 +1,262 @@
+#include "ams/vmac_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ams/adc_quantizer.hpp"
+#include "ams/partitioned.hpp"
+
+namespace ams::vmac {
+namespace {
+
+VmacConfig cfg(double enob, std::size_t nmult = 8, std::size_t bits = 16) {
+    VmacConfig c;
+    c.enob = enob;
+    c.nmult = nmult;
+    c.bits_w = bits;
+    c.bits_x = bits;
+    return c;
+}
+
+void random_operands(std::vector<double>& w, std::vector<double>& x, Rng& rng) {
+    for (double& v : w) v = rng.uniform(-1.0, 1.0);
+    for (double& v : x) v = rng.uniform(0.0, 1.0);
+}
+
+TEST(VmacBackendTest, KindNamesRoundTrip) {
+    for (BackendKind kind : all_backend_kinds()) {
+        EXPECT_EQ(parse_backend_kind(backend_kind_name(kind)), kind);
+    }
+    EXPECT_EQ(all_backend_kinds().size(), 5u);
+    try {
+        (void)parse_backend_kind("not_a_backend");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        // The error must list the valid names so the CLI is self-documenting.
+        EXPECT_NE(std::string(e.what()).find("bit_exact"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("delta_sigma"), std::string::npos);
+    }
+}
+
+TEST(VmacBackendTest, OptionsStrTagsAreDistinctPerConfiguration) {
+    BackendOptions a;
+    EXPECT_EQ(a.str(), "bit_exact");
+
+    BackendOptions b;
+    b.kind = BackendKind::kPartitioned;
+    EXPECT_EQ(b.str(), "partitioned_nw2_nx2_p8");
+    b.partition.significance_drop = 2.0;
+    EXPECT_NE(b.str().find("_d2"), std::string::npos);
+
+    BackendOptions c;
+    c.kind = BackendKind::kDeltaSigma;
+    c.delta_sigma_final_enob = 12.0;
+    EXPECT_EQ(c.str(), "delta_sigma_f12");
+
+    BackendOptions d;
+    d.kind = BackendKind::kReferenceScaled;
+    d.reference_scale = 0.25;
+    EXPECT_EQ(d.str(), "reference_scaled_s0.25");
+}
+
+TEST(VmacBackendTest, ConversionCountsMatchDatapaths) {
+    const VmacConfig c = cfg(8.0, 8, 9);  // 8 magnitude bits: partitionable
+    BackendOptions opts;
+    for (BackendKind kind : all_backend_kinds()) {
+        opts.kind = kind;
+        const auto backend = make_backend(c, {}, opts);
+        EXPECT_EQ(backend->kind(), kind);
+        EXPECT_EQ(backend->name(), backend_kind_name(kind));
+        EXPECT_FALSE(backend->trainable());
+        if (kind == BackendKind::kPartitioned) {
+            EXPECT_EQ(backend->conversions_per_vmac(), 4u);  // 2x2 default
+        } else {
+            EXPECT_EQ(backend->conversions_per_vmac(), 1u);
+        }
+    }
+}
+
+TEST(VmacBackendTest, ConversionProfilesPriceTheRightConversions) {
+    const VmacConfig c = cfg(8.0, 8, 9);
+
+    const auto bit_exact = make_backend(c, {});
+    const ConversionProfile pe = bit_exact->conversion_profile();
+    ASSERT_EQ(pe.size(), 1u);
+    EXPECT_DOUBLE_EQ(pe[0].enob, 8.0);
+    EXPECT_DOUBLE_EQ(pe[0].per_chunk, 1.0);
+    EXPECT_DOUBLE_EQ(pe[0].per_output, 0.0);
+
+    BackendOptions ds_opts;
+    ds_opts.kind = BackendKind::kDeltaSigma;  // final defaults to enob + 4
+    const auto ds = make_backend(c, {}, ds_opts);
+    const ConversionProfile pd = ds->conversion_profile();
+    ASSERT_EQ(pd.size(), 2u);
+    EXPECT_DOUBLE_EQ(pd[0].enob, 8.0);
+    EXPECT_DOUBLE_EQ(pd[0].per_chunk, 1.0);
+    EXPECT_DOUBLE_EQ(pd[1].enob, 12.0);
+    EXPECT_DOUBLE_EQ(pd[1].per_output, 1.0);
+    EXPECT_DOUBLE_EQ(pd[1].per_chunk, 0.0);
+
+    BackendOptions part_opts;
+    part_opts.kind = BackendKind::kPartitioned;
+    part_opts.partition.significance_drop = 2.0;
+    part_opts.partition.min_enob = 4.0;
+    const auto part = make_backend(c, {}, part_opts);
+    const ConversionProfile pp = part->conversion_profile();
+    ASSERT_EQ(pp.size(), 4u);
+    // Depth-discounted resolutions: 8, 6, 6, 4.
+    double total = 0.0;
+    for (const ConversionCost& cost : pp) total += cost.enob;
+    EXPECT_DOUBLE_EQ(total, 24.0);
+}
+
+TEST(VmacBackendTest, BitExactBackendMatchesVmacCell) {
+    const VmacConfig c = cfg(7.0);
+    AnalogOptions analog;
+    analog.adc_noise_sigma = 0.01;
+    const auto backend = make_backend(c, analog);
+    VmacCell cell(c, analog);
+
+    std::vector<double> w(8), x(8);
+    Rng data_rng(11);
+    Rng rng_a(21), rng_b(21);
+    for (int t = 0; t < 50; ++t) {
+        random_operands(w, x, data_rng);
+        EXPECT_DOUBLE_EQ(backend->accumulate(w, x, rng_a), cell.dot(w, x, rng_b));
+    }
+    // Stateless: finish_output adds nothing and burns no rng draws.
+    EXPECT_DOUBLE_EQ(backend->finish_output(rng_a), 0.0);
+    EXPECT_DOUBLE_EQ(rng_a.next_u64(), rng_b.next_u64());
+}
+
+TEST(VmacBackendTest, PerVmacNoiseBackendMatchesManualModel) {
+    const VmacConfig c = cfg(6.0);
+    const auto backend = make_backend(c, {}, {.kind = BackendKind::kPerVmacNoise});
+    VmacCell cell(c);
+
+    std::vector<double> w(8), x(8);
+    Rng data_rng(13);
+    random_operands(w, x, data_rng);
+    Rng rng_a(31), rng_b(31);
+    double exact = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) exact += w[i] * x[i];
+    const double lsb = cell.adc_lsb();
+    const double expected = exact + rng_b.uniform(-0.5 * lsb, 0.5 * lsb);
+    EXPECT_DOUBLE_EQ(backend->accumulate(w, x, rng_a), expected);
+    EXPECT_THROW((void)backend->accumulate(std::vector<double>(9), std::vector<double>(9),
+                                           rng_a),
+                 std::invalid_argument);
+}
+
+TEST(VmacBackendTest, DeltaSigmaBackendTelescopesToFinalConversionError) {
+    const VmacConfig c = cfg(5.0);  // coarse per-cycle converter
+    BackendOptions opts;
+    opts.kind = BackendKind::kDeltaSigma;
+    opts.delta_sigma_final_enob = 14.0;
+    const auto backend = make_backend(c, {}, opts);
+    VmacCell ideal(cfg(5.0));
+
+    Rng data_rng(17), rng(19);
+    std::vector<double> w(8), x(8);
+    const double final_lsb = 2.0 * 8.0 * std::exp2(-14.0);
+    for (int rep = 0; rep < 20; ++rep) {
+        double total = 0.0, exact = 0.0;
+        for (int chunk = 0; chunk < 12; ++chunk) {
+            random_operands(w, x, data_rng);
+            total += backend->accumulate(w, x, rng);
+            exact += ideal.dot_ideal(w, x);
+        }
+        total += backend->finish_output(rng);
+        // Only the final high-resolution conversion's error survives.
+        EXPECT_NEAR(total, exact, 0.5 * final_lsb + 1e-12);
+    }
+}
+
+TEST(VmacBackendTest, CloneResetsDeltaSigmaState) {
+    const VmacConfig c = cfg(5.0);
+    BackendOptions opts;
+    opts.kind = BackendKind::kDeltaSigma;
+    opts.delta_sigma_final_enob = 12.0;
+    const auto dirty = make_backend(c, {}, opts);
+
+    std::vector<double> w(8), x(8);
+    Rng data_rng(23);
+    random_operands(w, x, data_rng);
+    Rng scratch(1);
+    (void)dirty->accumulate(w, x, scratch);  // leave residual behind
+
+    // A clone of the dirty backend must behave like a brand-new one.
+    const auto cloned = dirty->clone();
+    const auto fresh = make_backend(c, {}, opts);
+    Rng rng_a(29), rng_b(29);
+    for (int chunk = 0; chunk < 5; ++chunk) {
+        random_operands(w, x, data_rng);
+        EXPECT_DOUBLE_EQ(cloned->accumulate(w, x, rng_a), fresh->accumulate(w, x, rng_b));
+    }
+    EXPECT_DOUBLE_EQ(cloned->finish_output(rng_a), fresh->finish_output(rng_b));
+}
+
+TEST(VmacBackendTest, PartitionedAnalyticEnobMatchesMeasurement) {
+    const VmacConfig c = cfg(8.0, 8, 9);
+    BackendOptions opts;
+    opts.kind = BackendKind::kPartitioned;
+    const auto backend = make_backend(c, {}, opts);
+    PartitionedVmac reference(c, opts.partition);
+
+    Rng data_rng(37), rng(41);
+    std::vector<double> w(8), x(8);
+    double sq = 0.0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        random_operands(w, x, data_rng);
+        const double err = backend->accumulate(w, x, rng) - reference.dot_ideal(w, x);
+        sq += err * err;
+    }
+    const double measured =
+        effective_enob_from_rms(std::sqrt(sq / trials), /*full_scale=*/8.0);
+    EXPECT_NEAR(backend->effective_enob(1), measured, 0.5);
+    // Partitioning buys resolution over one conversion at the same ENOB.
+    EXPECT_GT(backend->effective_enob(1), 8.0);
+}
+
+TEST(VmacBackendTest, ReferenceScalingTradesRangeForResolution) {
+    const VmacConfig c = cfg(8.0);
+    BackendOptions opts;
+    opts.kind = BackendKind::kReferenceScaled;
+    opts.reference_scale = 0.5;
+    const auto backend = make_backend(c, {}, opts);
+    // Halving the reference halves the LSB: +1 effective bit (no-clip).
+    EXPECT_NEAR(backend->effective_enob(1), 9.0, 1e-9);
+
+    // The scaled converter clips where the unscaled one does not.
+    std::vector<double> w(8, 1.0), x(8, 1.0);  // saturating dot = full scale
+    Rng rng(43);
+    EXPECT_NEAR(backend->accumulate(w, x, rng), 4.0, 0.1);  // clipped at ref
+
+    opts.reference_scale = 0.0;
+    EXPECT_THROW((void)make_backend(c, {}, opts), std::invalid_argument);
+}
+
+TEST(VmacBackendTest, DeltaSigmaEffectiveEnobImprovesWithStationarity) {
+    const VmacConfig c = cfg(6.0);
+    BackendOptions opts;
+    opts.kind = BackendKind::kDeltaSigma;
+    opts.delta_sigma_final_enob = 10.0;
+    const auto backend = make_backend(c, {}, opts);
+    // chunks * LSB(eq)^2 = LSB(final)^2  =>  eq = final + 0.5 log2(chunks).
+    EXPECT_NEAR(backend->effective_enob(1), 10.0, 1e-12);
+    EXPECT_NEAR(backend->effective_enob(16), 12.0, 1e-12);
+    EXPECT_NEAR(backend->effective_enob(0), 10.0, 1e-12);  // degenerate guard
+}
+
+TEST(VmacBackendTest, PartitionedRejectsNonDivisibleOperandBits) {
+    BackendOptions opts;
+    opts.kind = BackendKind::kPartitioned;
+    // Default 8-bit operands have 7 magnitude bits — not divisible by 2.
+    EXPECT_THROW((void)make_backend(cfg(8.0, 8, 8), {}, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ams::vmac

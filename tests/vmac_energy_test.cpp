@@ -80,6 +80,81 @@ TEST(AccountNetworkTest, RejectsDegenerateLayer) {
                  std::invalid_argument);
 }
 
+TEST(BackendPricingTest, BitExactProfileMatchesScalarModel) {
+    // The default backend performs one conversion per chunk at the nominal
+    // ENOB, so profile pricing must collapse to the Eq. 3-4 scalar path.
+    vmac::VmacConfig cfg;
+    cfg.enob = 8.0;
+    cfg.nmult = 8;
+    const auto backend = vmac::make_backend(cfg, {});
+    VmacEnergyModel model;
+    model.mult_fj_per_op = 3.0;
+    model.digital_fj_per_add = 1.0;
+    EXPECT_NEAR(model.backend_emac_fj(*backend, 9), model.emac_fj(8.0, 8), 1e-9);
+    EXPECT_NEAR(profile_conversion_fj(backend->conversion_profile(), 9),
+                9.0 * adc_energy_lower_bound_pj(8.0) * 1e3, 1e-9);
+}
+
+TEST(BackendPricingTest, PartitionedPaysPerPartialConversion) {
+    vmac::VmacConfig cfg;
+    cfg.enob = 8.0;
+    cfg.nmult = 8;
+    cfg.bits_w = 9;
+    cfg.bits_x = 9;
+    vmac::BackendOptions opts;
+    opts.kind = vmac::BackendKind::kPartitioned;  // 2x2 at ENOB 8 partials
+    const auto backend = vmac::make_backend(cfg, {}, opts);
+    // Four partial conversions per chunk, each at the partial resolution.
+    EXPECT_NEAR(profile_conversion_fj(backend->conversion_profile(), 1),
+                4.0 * adc_energy_lower_bound_pj(8.0) * 1e3, 1e-9);
+}
+
+TEST(BackendPricingTest, DeltaSigmaAmortizesFinalConversion) {
+    vmac::VmacConfig cfg;
+    cfg.enob = 6.0;
+    cfg.nmult = 8;
+    vmac::BackendOptions opts;
+    opts.kind = vmac::BackendKind::kDeltaSigma;
+    opts.delta_sigma_final_enob = 12.0;
+    const auto backend = vmac::make_backend(cfg, {}, opts);
+    VmacEnergyModel model;
+    // Per-chunk cost shrinks with output stationarity: the expensive final
+    // conversion spreads over more cheap per-cycle conversions.
+    const double short_stream = model.backend_emac_fj(*backend, 2);
+    const double long_stream = model.backend_emac_fj(*backend, 64);
+    EXPECT_GT(short_stream, long_stream);
+    // Exact decomposition at 4 chunks: 4 cycles at 6b + one final at 12b.
+    const double total4 = profile_conversion_fj(backend->conversion_profile(), 4);
+    EXPECT_NEAR(total4,
+                4.0 * adc_energy_lower_bound_pj(6.0) * 1e3 +
+                    adc_energy_lower_bound_pj(12.0) * 1e3,
+                1e-9);
+}
+
+TEST(BackendPricingTest, AccountNetworkBackendOverloadMatchesScalarForBitExact) {
+    std::vector<LayerEnergy> shapes(1);
+    shapes[0].name = "a";
+    shapes[0].n_tot = 72;  // divisible by nmult: no partial-chunk rounding
+    shapes[0].outputs = 100;
+    vmac::VmacConfig cfg;
+    cfg.enob = 8.0;
+    cfg.nmult = 8;
+    const auto backend = vmac::make_backend(cfg, {});
+    const auto scalar = account_network(shapes, VmacEnergyModel{}, 8.0, 8);
+    const auto priced = account_network(shapes, VmacEnergyModel{}, *backend);
+    EXPECT_EQ(priced.layers[0].vmacs, scalar.layers[0].vmacs);
+    EXPECT_NEAR(priced.total_nj, scalar.total_nj, 1e-9);
+}
+
+TEST(BackendPricingTest, Validation) {
+    vmac::VmacConfig cfg;
+    const auto backend = vmac::make_backend(cfg, {});
+    VmacEnergyModel model;
+    EXPECT_THROW((void)model.backend_vmac_energy(*backend, 0), std::invalid_argument);
+    EXPECT_THROW((void)profile_conversion_fj(backend->conversion_profile(), 0),
+                 std::invalid_argument);
+}
+
 TEST(ExtractLayerShapesTest, CountsMatchModelGeometry) {
     models::LayerCommon common;
     common.bits_w = quant::kFloatBits;
