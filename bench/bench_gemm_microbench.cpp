@@ -1,0 +1,201 @@
+// GEMM kernel microbench: GFLOP/s of the scalar blocked arm vs the
+// AVX2/FMA microkernel arm at eval-shaped sizes (im2col-lowered conv
+// GEMMs and the classifier gemm_bt), plus an end-to-end evaluate_top1
+// images/s comparison on the quantized+AMS tiny ResNet.
+//
+// Writes a machine-readable artifact, BENCH_gemm.json, alongside the
+// usual printed table so CI and later sessions can diff kernel
+// performance without parsing stdout. On hosts without AVX2/FMA the
+// vector rows are omitted and the JSON records "avx2_available": false.
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/csv.hpp"
+#include "core/report.hpp"
+#include "data/synthetic_imagenet.hpp"
+#include "models/resnet.hpp"
+#include "runtime/eval_context.hpp"
+#include "runtime/simd.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/tensor.hpp"
+#include "train/evaluate.hpp"
+
+using namespace ams;
+
+namespace {
+
+double seconds_of(const std::function<void()>& fn, int reps) {
+    fn();  // warm-up: page in buffers, grow pack scratch
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() / reps;
+}
+
+struct GemmShape {
+    const char* tag;  // which layer this GEMM is lowered from
+    std::size_t m, k, n;
+};
+
+// Conv layers lower to (Cout x patch) * (patch x out_spatial); the
+// classifier runs (batch x in) * (in x out) through gemm_bt. Shapes span
+// the tiny-resnet eval sizes up to ResNet-18-on-32x32-class layers.
+constexpr GemmShape kShapes[] = {
+    {"conv3x3_16c_8x8", 16, 144, 64},
+    {"conv3x3_64c_32x32", 64, 576, 1024},
+    {"conv3x3_128c_16x16", 128, 1152, 256},
+    {"conv3x3_256c_8x8", 256, 2304, 64},
+    {"square_384", 384, 512, 384},
+};
+
+struct GemmRow {
+    GemmShape shape;
+    double scalar_gflops = 0.0;
+    double avx2_gflops = 0.0;
+};
+
+double gflops(const GemmShape& s, double seconds) {
+    return 2.0 * static_cast<double>(s.m) * static_cast<double>(s.k) *
+           static_cast<double>(s.n) / seconds / 1e9;
+}
+
+double measure_eval_images_per_s() {
+    data::DatasetOptions dopts;
+    dopts.classes = 4;
+    dopts.train_per_class = 4;
+    dopts.val_per_class = 32;
+    dopts.image_size = 8;
+    dopts.seed = 17;
+    data::SyntheticImageNet ds(dopts);
+
+    models::LayerCommon common;
+    common.bits_w = 8;
+    common.bits_x = 8;
+    common.ams_enabled = true;
+    common.vmac.enob = 5.0;
+    common.vmac.nmult = 8;
+    models::ResNet model(models::tiny_resnet_config(common));
+
+    runtime::EvalContext ctx;
+    const std::size_t images = ds.val_images().dim(0);
+    const double s = seconds_of(
+        [&] {
+            (void)train::evaluate_top1(model, ds.val_images(), ds.val_labels(), 16, 1, &ctx);
+        },
+        3);
+    return static_cast<double>(images) / s;
+}
+
+std::string json_escape_free_number(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+}  // namespace
+
+int main() {
+    core::print_banner(std::cout, "GEMM microbench: scalar blocked arm vs AVX2/FMA microkernel",
+                       "infrastructure (no paper figure)");
+
+    const bool has_avx2 = simd::cpu_supports_avx2_fma();
+    std::cout << "avx2/fma available: " << (has_avx2 ? "yes" : "no")
+              << "   default arm: " << simd::level_name(simd::detect_level()) << "\n\n";
+
+    // Kernel timings run serially: GFLOP/s per arm, not pool scaling
+    // (bench_runtime_scaling covers threads).
+    runtime::ThreadPool::set_global_threads(1);
+
+    std::vector<GemmRow> rows;
+    Rng rng(33);
+    for (const GemmShape& s : kShapes) {
+        Tensor a(Shape{s.m, s.k});
+        Tensor b(Shape{s.k, s.n});
+        Tensor c(Shape{s.m, s.n});
+        a.fill_uniform(rng, -1.0f, 1.0f);
+        b.fill_uniform(rng, -1.0f, 1.0f);
+        const int reps = s.m * s.k * s.n > (1u << 24) ? 5 : 20;
+
+        GemmRow row{s, 0.0, 0.0};
+        simd::set_level(simd::Level::kScalar);
+        row.scalar_gflops =
+            gflops(s, seconds_of([&] { gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n); },
+                                 reps));
+        if (has_avx2) {
+            simd::set_level(simd::Level::kAvx2);
+            row.avx2_gflops = gflops(
+                s, seconds_of([&] { gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n); },
+                              reps));
+        }
+        rows.push_back(row);
+    }
+
+    // End-to-end: images/s through evaluate_top1 on the planned arena
+    // path, per arm.
+    simd::set_level(simd::Level::kScalar);
+    const double eval_scalar_ips = measure_eval_images_per_s();
+    double eval_avx2_ips = 0.0;
+    if (has_avx2) {
+        simd::set_level(simd::Level::kAvx2);
+        eval_avx2_ips = measure_eval_images_per_s();
+    }
+    simd::set_level(simd::detect_level());
+    runtime::ThreadPool::set_global_threads(runtime::ThreadPool::threads_from_env());
+
+    core::Table table({"GEMM (m x k x n)", "scalar GFLOP/s", "avx2 GFLOP/s", "speedup"});
+    for (const GemmRow& r : rows) {
+        const std::string dims = std::to_string(r.shape.m) + " x " + std::to_string(r.shape.k) +
+                                 " x " + std::to_string(r.shape.n);
+        table.add_row({r.shape.tag + (" (" + dims + ")"), core::fmt_fixed(r.scalar_gflops, 2),
+                       has_avx2 ? core::fmt_fixed(r.avx2_gflops, 2) : "-",
+                       has_avx2 ? core::fmt_fixed(r.avx2_gflops / r.scalar_gflops, 2) + "x"
+                                : "-"});
+    }
+    table.add_row({"evaluate_top1 (images/s)", core::fmt_fixed(eval_scalar_ips, 1),
+                   has_avx2 ? core::fmt_fixed(eval_avx2_ips, 1) : "-",
+                   has_avx2 ? core::fmt_fixed(eval_avx2_ips / eval_scalar_ips, 2) + "x" : "-"});
+    table.print(std::cout);
+
+    const std::string path = core::artifact_dir() + "/BENCH_gemm.json";
+    std::ofstream json(path);
+    json << "{\n";
+    json << "  \"bench\": \"gemm_microbench\",\n";
+    json << "  \"avx2_available\": " << (has_avx2 ? "true" : "false") << ",\n";
+    json << "  \"threads\": 1,\n";
+    json << "  \"gemm\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const GemmRow& r = rows[i];
+        json << "    {\"tag\": \"" << r.shape.tag << "\", \"m\": " << r.shape.m
+             << ", \"k\": " << r.shape.k << ", \"n\": " << r.shape.n
+             << ", \"scalar_gflops\": " << json_escape_free_number(r.scalar_gflops)
+             << ", \"avx2_gflops\": " << json_escape_free_number(r.avx2_gflops)
+             << ", \"speedup\": "
+             << json_escape_free_number(
+                    r.scalar_gflops > 0.0 ? r.avx2_gflops / r.scalar_gflops : 0.0)
+             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n";
+    json << "  \"evaluate_top1\": {\"scalar_images_per_s\": "
+         << json_escape_free_number(eval_scalar_ips)
+         << ", \"avx2_images_per_s\": " << json_escape_free_number(eval_avx2_ips)
+         << ", \"speedup\": "
+         << json_escape_free_number(eval_scalar_ips > 0.0 ? eval_avx2_ips / eval_scalar_ips
+                                                          : 0.0)
+         << "}\n";
+    json << "}\n";
+    json.close();
+    std::cout << "\nSeries written to " << path << "\n";
+
+    if (has_avx2) {
+        std::cout << "\nExpected on this host: >= 3x GEMM speedup at the conv-shaped sizes.\n";
+    } else {
+        std::cout << "\nNo AVX2/FMA: only the scalar arm was measured.\n";
+    }
+    return 0;
+}

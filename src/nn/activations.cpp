@@ -2,23 +2,21 @@
 
 #include <stdexcept>
 
+#include "runtime/simd.hpp"
+
 namespace ams::nn {
 
 Tensor ReLU::forward(const Tensor& input) {
     cached_input_ = input;
     Tensor out = input;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        if (out[i] < 0.0f) out[i] = 0.0f;
-    }
+    simd::relu(out.data(), out.data(), out.size());
     return out;
 }
 
 Tensor ReLU::forward(const Tensor& input, runtime::EvalContext& ctx) {
     if (training()) return forward(input);  // backward needs cached_input_
     Tensor out = arena_output(ctx, input.shape());
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        out[i] = input[i] < 0.0f ? 0.0f : input[i];
-    }
+    simd::relu(input.data(), out.data(), out.size());
     return out;
 }
 
@@ -38,23 +36,14 @@ ClippedReLU::ClippedReLU(float ceiling) : ceiling_(ceiling) {
 Tensor ClippedReLU::forward(const Tensor& input) {
     cached_input_ = input;
     Tensor out = input;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        if (out[i] < 0.0f) {
-            out[i] = 0.0f;
-        } else if (out[i] > ceiling_) {
-            out[i] = ceiling_;
-        }
-    }
+    simd::clipped_relu(out.data(), out.data(), out.size(), ceiling_);
     return out;
 }
 
 Tensor ClippedReLU::forward(const Tensor& input, runtime::EvalContext& ctx) {
     if (training()) return forward(input);
     Tensor out = arena_output(ctx, input.shape());
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        const float x = input[i];
-        out[i] = x < 0.0f ? 0.0f : (x > ceiling_ ? ceiling_ : x);
-    }
+    simd::clipped_relu(input.data(), out.data(), out.size(), ceiling_);
     return out;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/simd.hpp"
+
 namespace ams::nn {
 
 BatchNorm2d::BatchNorm2d(std::size_t channels, float eps, float momentum)
@@ -86,9 +88,7 @@ void BatchNorm2d::eval_normalize(const Tensor& input, float* out_base) const {
         for (std::size_t b = 0; b < batch; ++b) {
             const float* chan = input.data() + b * image + c * spatial;
             float* out = out_base + b * image + c * spatial;
-            for (std::size_t i = 0; i < spatial; ++i) {
-                out[i] = g * (chan[i] - mean) * inv_std + bt;
-            }
+            simd::bn_normalize(chan, out, spatial, mean, inv_std, g, bt);
         }
     }
 }

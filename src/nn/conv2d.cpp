@@ -5,6 +5,7 @@
 
 #include "runtime/parallel_for.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_kernels.hpp"
 
 namespace ams::nn {
 
@@ -108,9 +109,21 @@ Shape Conv2d::plan(const Shape& in, runtime::EvalContext& ctx) {
     const std::size_t grain = runtime::suggest_grain(batch, 1);
     const std::size_t n_chunks = (batch + grain - 1) / grain;
     for (std::size_t c = 0; c < n_chunks; ++c) {
-        (void)ctx.reserve_scratch(this, static_cast<int>(c), low.columns_floats());
+        reserve_gemm_scratch(ctx, c, low.patch_size(), low.out_spatial());
     }
     return Shape{batch, opts_.out_channels, low.out_h(), low.out_w()};
+}
+
+// Per-chunk scratch slots: 4 ids per chunk — the GemmPackBuffers slots
+// (kPackB=1, kTranspose=2, relative to base 4*chunk) plus the im2col
+// column buffer at base+3. kPackA deliberately stays thread-local inside
+// the kernels (written by the worker that owns the chunk).
+void Conv2d::reserve_gemm_scratch(runtime::EvalContext& ctx, std::size_t chunk,
+                                  std::size_t patch, std::size_t out_spatial) const {
+    const int base = static_cast<int>(4 * chunk);
+    (void)ctx.reserve_scratch(this, base + 3, patch * out_spatial);
+    (void)ctx.reserve_scratch(this, base + GemmPackBuffers::kPackB,
+                              packed_b_floats(patch, out_spatial));
 }
 
 Tensor Conv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
@@ -125,22 +138,24 @@ Tensor Conv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
     const Tensor& w = forward_weight();
     const std::size_t out_image = opts_.out_channels * out_spatial;
 
-    // Per-chunk column scratch comes from the context. Reservations are
-    // made serially before the region runs (re-planning on a shape change,
-    // e.g. the last partial batch); inside the region reserve_scratch is a
-    // pure lookup, which is safe from concurrent chunks.
+    // Per-chunk column + GEMM-pack scratch comes from the context.
+    // Reservations are made serially before the region runs (re-planning
+    // on a shape change, e.g. the last partial batch); inside the region
+    // reserve_scratch is a pure lookup, which is safe from concurrent
+    // chunks.
     const std::size_t grain = runtime::suggest_grain(batch, 1);
     const std::size_t n_chunks = (batch + grain - 1) / grain;
     for (std::size_t c = 0; c < n_chunks; ++c) {
-        (void)ctx.reserve_scratch(this, static_cast<int>(c), patch * out_spatial);
+        reserve_gemm_scratch(ctx, c, patch, out_spatial);
     }
     runtime::parallel_for(0, batch, grain, [&](std::size_t b_begin, std::size_t b_end) {
-        float* columns =
-            ctx.reserve_scratch(this, static_cast<int>(b_begin / grain), patch * out_spatial);
+        const int base = static_cast<int>(4 * (b_begin / grain));
+        float* columns = ctx.reserve_scratch(this, base + 3, patch * out_spatial);
+        EvalContextPackBuffers pack(ctx, this, base);
         for (std::size_t b = b_begin; b < b_end; ++b) {
             lowering_.lower_image(input.data(), b, columns);
             gemm(w.data(), columns, output.data() + b * out_image, opts_.out_channels, patch,
-                 out_spatial);
+                 out_spatial, &pack);
             if (bias_) add_bias(output.data() + b * out_image, out_spatial);
         }
     });

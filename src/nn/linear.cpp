@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_kernels.hpp"
 
 namespace ams::nn {
 
@@ -48,11 +49,14 @@ Tensor Linear::forward(const Tensor& input) {
 }
 
 Shape Linear::plan(const Shape& in, runtime::EvalContext& ctx) {
-    (void)ctx;  // no per-layer scratch: the GEMM writes straight to the output
     if (in.rank() != 2 || in.dim(1) != in_features_) {
         throw std::invalid_argument("Linear::plan: expected {N, " +
                                     std::to_string(in_features_) + "}, got " + in.str());
     }
+    // SIMD-arm pack buffer for W^T (gemm_bt); a no-op-sized reservation is
+    // still registered so the scalar arm costs nothing extra.
+    (void)ctx.reserve_scratch(this, GemmPackBuffers::kPackB,
+                              packed_b_floats(in_features_, out_features_));
     return Shape{in.dim(0), out_features_};
 }
 
@@ -65,8 +69,11 @@ Tensor Linear::forward(const Tensor& input, runtime::EvalContext& ctx) {
     }
     const std::size_t batch = input.dim(0);
     Tensor output = arena_output(ctx, Shape{batch, out_features_});
+    (void)ctx.reserve_scratch(this, GemmPackBuffers::kPackB,
+                              packed_b_floats(in_features_, out_features_));
+    EvalContextPackBuffers pack(ctx, this, /*slot_base=*/0);
     gemm_bt(input.data(), forward_weight().data(), output.data(), batch, in_features_,
-            out_features_);
+            out_features_, &pack);
     if (has_bias_) {
         for (std::size_t b = 0; b < batch; ++b) {
             float* row = output.data() + b * out_features_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/simd.hpp"
+
 namespace ams::quant {
 
 std::size_t magnitude_levels(std::size_t bits) {
@@ -25,10 +27,7 @@ float quantize_unit(float x, std::size_t levels) {
 
 void quantize_unit_inplace(Tensor& t, std::size_t levels) {
     if (levels == 0) throw std::invalid_argument("quantize_unit_inplace: levels must be > 0");
-    const float n = static_cast<float>(levels);
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        t[i] = std::round(std::clamp(t[i], 0.0f, 1.0f) * n) / n;
-    }
+    simd::quantize_unit(t.data(), t.data(), t.size(), static_cast<float>(levels));
 }
 
 DorefaWeights dorefa_quantize_weights(const Tensor& w, std::size_t bits) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/simd.hpp"
+
 namespace ams::quant {
 
 QuantAct::QuantAct(std::size_t bits) : bits_(bits) {
@@ -14,7 +16,7 @@ Tensor QuantAct::forward(const Tensor& input) {
     cached_input_ = input;
     if (bits_ >= kFloatBits) {
         Tensor out = input;
-        for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::clamp(out[i], 0.0f, 1.0f);
+        simd::clamp(out.data(), out.data(), out.size(), 0.0f, 1.0f);
         return out;
     }
     const std::size_t levels = magnitude_levels(bits_);
@@ -27,16 +29,11 @@ Tensor QuantAct::forward(const Tensor& input, runtime::EvalContext& ctx) {
     if (training()) return forward(input);  // backward needs cached_input_
     Tensor out = nn::arena_output(ctx, input.shape());
     if (bits_ >= kFloatBits) {
-        for (std::size_t i = 0; i < out.size(); ++i) {
-            out[i] = std::clamp(input[i], 0.0f, 1.0f);
-        }
+        simd::clamp(input.data(), out.data(), out.size(), 0.0f, 1.0f);
         return out;
     }
     const std::size_t levels = magnitude_levels(bits_);
-    const float n = static_cast<float>(levels);
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        out[i] = std::round(std::clamp(input[i], 0.0f, 1.0f) * n) / n;
-    }
+    simd::quantize_unit(input.data(), out.data(), out.size(), static_cast<float>(levels));
     return out;
 }
 
@@ -61,19 +58,13 @@ QuantInput::QuantInput(float max_abs_input, std::size_t bits)
 Tensor QuantInput::forward(const Tensor& input) {
     Tensor scaled = input;
     const float inv = 1.0f / scale_;
-    for (std::size_t i = 0; i < scaled.size(); ++i) {
-        scaled[i] = std::clamp(scaled[i] * inv, -1.0f, 1.0f);
-    }
+    simd::scale_clamp(scaled.data(), scaled.data(), scaled.size(), inv, -1.0f, 1.0f);
     cached_scaled_ = scaled;
     if (bits_ >= kFloatBits) return scaled;
     // Signed quantization: quantize |x| on the magnitude grid, restore sign.
     const std::size_t levels = magnitude_levels(bits_);
-    const float n = static_cast<float>(levels);
     Tensor out = scaled;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        const float mag = std::round(std::fabs(out[i]) * n) / n;
-        out[i] = std::copysign(mag, out[i]);
-    }
+    simd::quantize_signed(out.data(), out.data(), out.size(), static_cast<float>(levels));
     return out;
 }
 
@@ -81,16 +72,10 @@ Tensor QuantInput::forward(const Tensor& input, runtime::EvalContext& ctx) {
     if (training()) return forward(input);  // backward needs cached_scaled_
     Tensor out = nn::arena_output(ctx, input.shape());
     const float inv = 1.0f / scale_;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        out[i] = std::clamp(input[i] * inv, -1.0f, 1.0f);
-    }
+    simd::scale_clamp(input.data(), out.data(), out.size(), inv, -1.0f, 1.0f);
     if (bits_ >= kFloatBits) return out;
     const std::size_t levels = magnitude_levels(bits_);
-    const float n = static_cast<float>(levels);
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        const float mag = std::round(std::fabs(out[i]) * n) / n;
-        out[i] = std::copysign(mag, out[i]);
-    }
+    simd::quantize_signed(out.data(), out.data(), out.size(), static_cast<float>(levels));
     return out;
 }
 

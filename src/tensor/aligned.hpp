@@ -1,0 +1,49 @@
+// AlignedAllocator: std::vector storage aligned to a fixed boundary.
+//
+// Tensor heap storage uses 64-byte alignment so SIMD loads never
+// straddle cache lines regardless of whether a tensor is heap- or
+// arena-backed (TensorArena already guarantees 64, runtime/arena.hpp).
+// Allocation goes through the aligned global operator new, so the
+// alloc-counting test override (tests/alloc_count_test.cpp) still
+// observes every tensor allocation.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace ams {
+
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "Align must be a power of two no weaker than alignof(T)");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+    [[nodiscard]] T* allocate(std::size_t n) {
+        return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Align}));
+    }
+    void deallocate(T* p, std::size_t) noexcept {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    template <typename U>
+    struct rebind {
+        using other = AlignedAllocator<U, Align>;
+    };
+};
+
+template <typename T, typename U, std::size_t Align>
+bool operator==(const AlignedAllocator<T, Align>&, const AlignedAllocator<U, Align>&) {
+    return true;
+}
+template <typename T, typename U, std::size_t Align>
+bool operator!=(const AlignedAllocator<T, Align>&, const AlignedAllocator<U, Align>&) {
+    return false;
+}
+
+}  // namespace ams

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
-#include <vector>
 
 #include "runtime/parallel_for.hpp"
+#include "runtime/simd.hpp"
+#include "tensor/gemm_kernels.hpp"
 
 namespace ams {
 
@@ -59,7 +60,15 @@ std::size_t gemm_row_grain(std::size_t m, std::size_t k, std::size_t n) {
 }  // namespace
 
 void gemm_accumulate(const float* a, const float* b, float* c,
-                     std::size_t m, std::size_t k, std::size_t n) {
+                     std::size_t m, std::size_t k, std::size_t n, GemmPackBuffers* pack) {
+#if defined(AMSNET_HAVE_AVX2)
+    if (simd::active_level() == simd::Level::kAvx2) {
+        kernels::gemm_avx2(a, b, c, m, k, n, /*accumulate=*/true, /*a_transposed=*/false,
+                           pack);
+        return;
+    }
+#endif
+    (void)pack;
     if (m * k * n < kParallelMacThreshold) {
         gemm_rows_accumulate(a, b, c, 0, m, k, n);
         return;
@@ -71,7 +80,15 @@ void gemm_accumulate(const float* a, const float* b, float* c,
 }
 
 void gemm(const float* a, const float* b, float* c,
-          std::size_t m, std::size_t k, std::size_t n) {
+          std::size_t m, std::size_t k, std::size_t n, GemmPackBuffers* pack) {
+#if defined(AMSNET_HAVE_AVX2)
+    if (simd::active_level() == simd::Level::kAvx2) {
+        kernels::gemm_avx2(a, b, c, m, k, n, /*accumulate=*/false, /*a_transposed=*/false,
+                           pack);
+        return;
+    }
+#endif
+    (void)pack;
     if (m * k * n < kParallelMacThreshold) {
         std::memset(c, 0, m * n * sizeof(float));
         gemm_rows_accumulate(a, b, c, 0, m, k, n);
@@ -85,10 +102,23 @@ void gemm(const float* a, const float* b, float* c,
 }
 
 void gemm_at(const float* a, const float* b, float* c,
-             std::size_t m, std::size_t k, std::size_t n) {
+             std::size_t m, std::size_t k, std::size_t n, GemmPackBuffers* pack) {
+#if defined(AMSNET_HAVE_AVX2)
+    if (simd::active_level() == simd::Level::kAvx2) {
+        // The packed path reads the KxM layout directly while packing A
+        // panels — no transpose scratch at all.
+        kernels::gemm_avx2(a, b, c, m, k, n, /*accumulate=*/false, /*a_transposed=*/true,
+                           pack);
+        return;
+    }
+#endif
     // A is stored KxM; transpose into a scratch MxK buffer, then reuse the
     // blocked kernel. The transpose is O(MK) against the O(MKN) multiply.
-    std::vector<float> at(m * k);
+    // The scratch is reused across calls (thread-local or caller-provided)
+    // instead of a per-call heap vector, so the backward path — which
+    // lands here once per image — stays allocation-free in steady state.
+    GemmPackBuffers& pb = pack != nullptr ? *pack : tls_pack_buffers();
+    float* at = pb.ensure(GemmPackBuffers::kTranspose, m * k);
     runtime::parallel_for(0, k, runtime::suggest_grain(k, 64),
                           [&](std::size_t k0, std::size_t k1) {
                               for (std::size_t kk = k0; kk < k1; ++kk) {
@@ -97,11 +127,18 @@ void gemm_at(const float* a, const float* b, float* c,
                                   }
                               }
                           });
-    gemm(at.data(), b, c, m, k, n);
+    gemm(at, b, c, m, k, n, pack);
 }
 
 void gemm_bt(const float* a, const float* b, float* c,
-             std::size_t m, std::size_t k, std::size_t n) {
+             std::size_t m, std::size_t k, std::size_t n, GemmPackBuffers* pack) {
+#if defined(AMSNET_HAVE_AVX2)
+    if (simd::active_level() == simd::Level::kAvx2) {
+        kernels::gemm_bt_avx2(a, b, c, m, k, n, pack);
+        return;
+    }
+#endif
+    (void)pack;
     // B is stored NxK. Dot-product formulation keeps both operands
     // streaming; rows of C are independent.
     auto rows = [&](std::size_t r0, std::size_t r1) {

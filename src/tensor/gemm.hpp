@@ -1,8 +1,17 @@
-// Blocked single-precision matrix multiplication kernels.
+// Single-precision matrix multiplication kernels.
 //
 // These are the computational workhorse of the convolution (im2col + GEMM)
-// and fully-connected layers. The kernels are cache-blocked and written so
-// the inner loop vectorizes under -O2; no external BLAS is required.
+// and fully-connected layers. Two arms sit behind one runtime dispatch
+// (runtime/simd.hpp): the legacy cache-blocked scalar kernel (always
+// available, bit-exact with the pre-SIMD library, forced with
+// AMSNET_SIMD=off) and a packed AVX2/FMA microkernel path
+// (tensor/gemm_kernels.hpp). No external BLAS is required.
+//
+// The optional trailing `pack` argument supplies scratch for the packed
+// path (and the scalar gemm_at transpose): pass an
+// EvalContextPackBuffers on the planned inference path to keep
+// steady-state passes allocation-free; nullptr falls back to
+// thread-local buffers.
 #pragma once
 
 #include <cstddef>
@@ -11,22 +20,28 @@
 
 namespace ams {
 
+class GemmPackBuffers;  // tensor/gemm_kernels.hpp
+
 /// C (MxN) = A (MxK) * B (KxN). Row-major raw-pointer kernel.
 /// `C` is overwritten. Aliasing between C and A/B is not allowed.
 void gemm(const float* a, const float* b, float* c,
-          std::size_t m, std::size_t k, std::size_t n);
+          std::size_t m, std::size_t k, std::size_t n,
+          GemmPackBuffers* pack = nullptr);
 
 /// C (MxN) += A (MxK) * B (KxN).
 void gemm_accumulate(const float* a, const float* b, float* c,
-                     std::size_t m, std::size_t k, std::size_t n);
+                     std::size_t m, std::size_t k, std::size_t n,
+                     GemmPackBuffers* pack = nullptr);
 
 /// C (MxN) = A^T (stored KxM) * B (KxN).
 void gemm_at(const float* a, const float* b, float* c,
-             std::size_t m, std::size_t k, std::size_t n);
+             std::size_t m, std::size_t k, std::size_t n,
+             GemmPackBuffers* pack = nullptr);
 
 /// C (MxN) = A (MxK) * B^T (stored NxK).
 void gemm_bt(const float* a, const float* b, float* c,
-             std::size_t m, std::size_t k, std::size_t n);
+             std::size_t m, std::size_t k, std::size_t n,
+             GemmPackBuffers* pack = nullptr);
 
 /// Tensor-level convenience: returns A*B for rank-2 tensors.
 /// Throws std::invalid_argument on rank or inner-dimension mismatch.

@@ -1,0 +1,38 @@
+#include "tensor/gemm_kernels.hpp"
+
+#include <vector>
+
+namespace ams {
+
+namespace {
+
+/// Fallback pack storage: one set per thread, grown geometrically so a
+/// steady-state workload (the training loop, the legacy eval path, the
+/// backward pass) stops touching the heap after warm-up.
+class TlsPackBuffers final : public GemmPackBuffers {
+public:
+    [[nodiscard]] float* ensure(int which, std::size_t floats) override {
+        std::vector<float>& buf = slots_[which == kPackA ? 0 : (which == kPackB ? 1 : 2)];
+        if (buf.size() < floats) {
+            // Geometric growth: shape jitter (last partial batch, probe
+            // shapes) settles after a few calls instead of reallocating
+            // on every alternation.
+            std::size_t cap = buf.size() == 0 ? 256 : buf.size();
+            while (cap < floats) cap *= 2;
+            buf.resize(cap);
+        }
+        return buf.data();
+    }
+
+private:
+    std::vector<float> slots_[3];
+};
+
+}  // namespace
+
+GemmPackBuffers& tls_pack_buffers() {
+    thread_local TlsPackBuffers buffers;
+    return buffers;
+}
+
+}  // namespace ams

@@ -1,0 +1,233 @@
+// AVX2/FMA GEMM: packed panels + 6x16 register-blocked FMA microkernel.
+//
+// Compiled with -mavx2 -mfma (per-file flags, see CMakeLists.txt); only
+// reached through the cpuid-guarded dispatch in tensor/gemm.cpp.
+//
+// Determinism: each C element accumulates its K products in k-index
+// order inside a private register lane — independent of which microkernel
+// variant (full 6x16, narrower row tail, masked column tail) covers it
+// and of how rows are split across threads. Outputs are therefore
+// bit-identical at any thread count and any row partition; only the
+// scalar-vs-AVX2 *arm* choice changes float realizations.
+#include "tensor/gemm_kernels.hpp"
+
+#if defined(AMSNET_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "runtime/parallel_for.hpp"
+
+namespace ams::kernels {
+
+namespace {
+
+constexpr std::size_t kMR = 6;   // microkernel rows
+constexpr std::size_t kNR = 16;  // microkernel columns (2 YMM)
+
+// Same dispatch threshold as the scalar arm (tensor/gemm.cpp): below
+// this many MACs the parallel_for overhead exceeds the multiply.
+constexpr std::size_t kParallelMacThreshold = 1u << 15;
+
+alignas(32) constexpr std::int32_t kMaskTable[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                                     0,  0,  0,  0,  0,  0,  0,  0};
+
+/// First `r` (0..8) lanes selected.
+inline __m256i mask_for(std::size_t r) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kMaskTable + 8 - r));
+}
+
+/// Packs B (row-major KxN) into 16-wide column panels, zero-padded.
+/// Panel p occupies bp[p*k*16, (p+1)*k*16); row kk of a panel holds
+/// b[kk, p*16 .. p*16+15].
+void pack_b(const float* b, float* bp, std::size_t k, std::size_t n) {
+    const std::size_t panels = (n + kNR - 1) / kNR;
+    for (std::size_t p = 0; p < panels; ++p) {
+        const std::size_t j0 = p * kNR;
+        const std::size_t w = std::min(kNR, n - j0);
+        float* dst = bp + p * k * kNR;
+        if (w == kNR) {
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                std::memcpy(dst + kk * kNR, b + kk * n + j0, kNR * sizeof(float));
+            }
+        } else {
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                float* d = dst + kk * kNR;
+                const float* s = b + kk * n + j0;
+                std::size_t j = 0;
+                for (; j < w; ++j) d[j] = s[j];
+                for (; j < kNR; ++j) d[j] = 0.0f;
+            }
+        }
+    }
+}
+
+/// Same panel layout, but the source is B^T stored NxK (gemm_bt).
+void pack_b_from_bt(const float* bt, float* bp, std::size_t k, std::size_t n) {
+    const std::size_t panels = (n + kNR - 1) / kNR;
+    for (std::size_t p = 0; p < panels; ++p) {
+        const std::size_t j0 = p * kNR;
+        const std::size_t w = std::min(kNR, n - j0);
+        float* dst = bp + p * k * kNR;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            float* d = dst + kk * kNR;
+            std::size_t j = 0;
+            for (; j < w; ++j) d[j] = bt[(j0 + j) * k + kk];
+            for (; j < kNR; ++j) d[j] = 0.0f;
+        }
+    }
+}
+
+/// Packs `mr` rows of A starting at row i0 into a k-major interleaved
+/// strip: ap[kk*mr + r] = A[i0+r, kk]. `a_transposed` reads A stored
+/// KxM (the gemm_at layout) without materializing the transpose.
+void pack_a_panel(const float* a, float* ap, std::size_t i0, std::size_t mr, std::size_t m,
+                  std::size_t k, bool a_transposed) {
+    if (a_transposed) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float* src = a + kk * m + i0;
+            float* d = ap + kk * mr;
+            for (std::size_t r = 0; r < mr; ++r) d[r] = src[r];
+        }
+    } else {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            float* d = ap + kk * mr;
+            for (std::size_t r = 0; r < mr; ++r) d[r] = a[(i0 + r) * k + kk];
+        }
+    }
+}
+
+/// MR x 16 FMA microkernel: full-K sweep with 2*MR YMM accumulators.
+/// Acc adds on top of C; Masked uses masked C access for column tails
+/// (the padded B lanes contribute zeros to the discarded accumulator
+/// lanes, so loads from the packed panel are always full-width).
+template <int MR, bool Acc, bool Masked>
+void ukr(const float* ap, const float* bp, std::size_t k, float* c, std::size_t ldc,
+         __m256i m0, __m256i m1) {
+    __m256 acc0[MR], acc1[MR];
+    for (int r = 0; r < MR; ++r) {
+        acc0[r] = _mm256_setzero_ps();
+        acc1[r] = _mm256_setzero_ps();
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256 b0 = _mm256_loadu_ps(bp + kk * kNR);
+        const __m256 b1 = _mm256_loadu_ps(bp + kk * kNR + 8);
+        const float* arow = ap + kk * MR;
+        for (int r = 0; r < MR; ++r) {
+            const __m256 av = _mm256_broadcast_ss(arow + r);
+            acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+            acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+        }
+    }
+    for (int r = 0; r < MR; ++r) {
+        float* crow = c + static_cast<std::size_t>(r) * ldc;
+        if constexpr (Masked) {
+            if constexpr (Acc) {
+                acc0[r] = _mm256_add_ps(acc0[r], _mm256_maskload_ps(crow, m0));
+                acc1[r] = _mm256_add_ps(acc1[r], _mm256_maskload_ps(crow + 8, m1));
+            }
+            _mm256_maskstore_ps(crow, m0, acc0[r]);
+            _mm256_maskstore_ps(crow + 8, m1, acc1[r]);
+        } else {
+            if constexpr (Acc) {
+                acc0[r] = _mm256_add_ps(acc0[r], _mm256_loadu_ps(crow));
+                acc1[r] = _mm256_add_ps(acc1[r], _mm256_loadu_ps(crow + 8));
+            }
+            _mm256_storeu_ps(crow, acc0[r]);
+            _mm256_storeu_ps(crow + 8, acc1[r]);
+        }
+    }
+}
+
+template <bool Acc, bool Masked>
+void run_ukr(std::size_t mr, const float* ap, const float* bp, std::size_t k, float* c,
+             std::size_t ldc, __m256i m0, __m256i m1) {
+    switch (mr) {
+        case 1: ukr<1, Acc, Masked>(ap, bp, k, c, ldc, m0, m1); break;
+        case 2: ukr<2, Acc, Masked>(ap, bp, k, c, ldc, m0, m1); break;
+        case 3: ukr<3, Acc, Masked>(ap, bp, k, c, ldc, m0, m1); break;
+        case 4: ukr<4, Acc, Masked>(ap, bp, k, c, ldc, m0, m1); break;
+        case 5: ukr<5, Acc, Masked>(ap, bp, k, c, ldc, m0, m1); break;
+        default: ukr<6, Acc, Masked>(ap, bp, k, c, ldc, m0, m1); break;
+    }
+}
+
+/// Multiplies rows [r0, r1) of C against the pre-packed B panels. Runs
+/// on the thread that owns the chunk: the A strip comes from that
+/// thread's tls buffers (a shared strip would race across workers).
+void gemm_rows_packed(const float* a, const float* bp, float* c, std::size_t r0,
+                      std::size_t r1, std::size_t m, std::size_t k, std::size_t n,
+                      bool accumulate, bool a_transposed) {
+    float* ap = tls_pack_buffers().ensure(GemmPackBuffers::kPackA, kMR * std::max<std::size_t>(k, 1));
+    const std::size_t full_panels = n / kNR;
+    const std::size_t rem = n % kNR;
+    // Unused when rem == 0, but cheap to materialize unconditionally.
+    const __m256i m0 = mask_for(std::min<std::size_t>(rem, 8));
+    const __m256i m1 = mask_for(rem > 8 ? rem - 8 : 0);
+
+    for (std::size_t i = r0; i < r1; i += kMR) {
+        const std::size_t mr = std::min(kMR, r1 - i);
+        pack_a_panel(a, ap, i, mr, m, k, a_transposed);
+        for (std::size_t p = 0; p < full_panels; ++p) {
+            float* cpanel = c + i * n + p * kNR;
+            if (accumulate) {
+                run_ukr<true, false>(mr, ap, bp + p * k * kNR, k, cpanel, n, m0, m1);
+            } else {
+                run_ukr<false, false>(mr, ap, bp + p * k * kNR, k, cpanel, n, m0, m1);
+            }
+        }
+        if (rem != 0) {
+            float* cpanel = c + i * n + full_panels * kNR;
+            if (accumulate) {
+                run_ukr<true, true>(mr, ap, bp + full_panels * k * kNR, k, cpanel, n, m0, m1);
+            } else {
+                run_ukr<false, true>(mr, ap, bp + full_panels * k * kNR, k, cpanel, n, m0, m1);
+            }
+        }
+    }
+}
+
+void gemm_packed_driver(const float* a, const float* b, float* c, std::size_t m,
+                        std::size_t k, std::size_t n, bool accumulate, bool a_transposed,
+                        bool b_transposed, GemmPackBuffers* pack) {
+    if (m == 0 || n == 0) return;
+    GemmPackBuffers& pb = pack != nullptr ? *pack : tls_pack_buffers();
+    float* bp = pb.ensure(GemmPackBuffers::kPackB, packed_b_floats(k, n));
+    if (b_transposed) {
+        pack_b_from_bt(b, bp, k, n);
+    } else {
+        pack_b(b, bp, k, n);
+    }
+    if (m * k * n < kParallelMacThreshold) {
+        gemm_rows_packed(a, bp, c, 0, m, m, k, n, accumulate, a_transposed);
+        return;
+    }
+    const std::size_t min_rows =
+        std::max<std::size_t>(1, kParallelMacThreshold / std::max<std::size_t>(1, k * n));
+    runtime::parallel_for(0, m, runtime::suggest_grain(m, min_rows),
+                          [&](std::size_t lo, std::size_t hi) {
+                              gemm_rows_packed(a, bp, c, lo, hi, m, k, n, accumulate,
+                                               a_transposed);
+                          });
+}
+
+}  // namespace
+
+void gemm_avx2(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate, bool a_transposed, GemmPackBuffers* pack) {
+    gemm_packed_driver(a, b, c, m, k, n, accumulate, a_transposed, /*b_transposed=*/false,
+                       pack);
+}
+
+void gemm_bt_avx2(const float* a, const float* bt, float* c, std::size_t m, std::size_t k,
+                  std::size_t n, GemmPackBuffers* pack) {
+    gemm_packed_driver(a, bt, c, m, k, n, /*accumulate=*/false, /*a_transposed=*/false,
+                       /*b_transposed=*/true, pack);
+}
+
+}  // namespace ams::kernels
+
+#endif  // AMSNET_HAVE_AVX2

@@ -44,7 +44,7 @@ Tensor& Tensor::operator=(Tensor&& other) noexcept {
     return *this;
 }
 
-Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
+Tensor Tensor::from_data(Shape shape, const std::vector<float>& data) {
     if (shape.numel() != data.size()) {
         throw std::invalid_argument("Tensor::from_data: shape " + shape.str() + " needs " +
                                     std::to_string(shape.numel()) + " elements, got " +
@@ -52,7 +52,7 @@ Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
     }
     Tensor t;
     t.shape_ = shape;
-    t.owned_ = std::move(data);
+    t.owned_.assign(data.begin(), data.end());
     t.ptr_ = t.owned_.data();
     t.size_ = t.owned_.size();
     return t;

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "tensor/aligned.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/shape.hpp"
 
@@ -24,6 +25,12 @@ namespace ams {
 /// copy it. This keeps every kernel simple and cache-friendly.
 class Tensor {
 public:
+    /// Owned heap storage is aligned to 64 bytes (cache line / AVX-512),
+    /// matching the arena guarantee so SIMD kernels see the same
+    /// alignment on every storage class.
+    static constexpr std::size_t kAlignment = 64;
+    using Storage = std::vector<float, AlignedAllocator<float, kAlignment>>;
+
     /// Empty tensor: rank 0, nothing allocated; numel()==0.
     Tensor() = default;
 
@@ -39,8 +46,9 @@ public:
     Tensor& operator=(Tensor&& other) noexcept;
     ~Tensor() = default;
 
-    /// Wraps existing data; throws std::invalid_argument if sizes mismatch.
-    static Tensor from_data(Shape shape, std::vector<float> data);
+    /// Copies `data` into owned (aligned) storage; throws
+    /// std::invalid_argument if sizes mismatch.
+    static Tensor from_data(Shape shape, const std::vector<float>& data);
 
     /// Non-owning view over `shape.numel()` floats at `data`. The caller
     /// guarantees the memory outlives the tensor (arena rewind discipline).
@@ -111,7 +119,7 @@ public:
 
 private:
     Shape shape_{};
-    std::vector<float> owned_;   ///< empty when borrowed or default-constructed
+    Storage owned_;              ///< empty when borrowed or default-constructed
     float* ptr_ = nullptr;       ///< owned_.data() when owning, external otherwise
     std::size_t size_ = 0;
 };

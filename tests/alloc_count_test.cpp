@@ -9,10 +9,12 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "models/resnet.hpp"
 #include "runtime/eval_context.hpp"
 #include "runtime/thread_pool.hpp"
+#include "tensor/gemm.hpp"
 
 namespace {
 std::atomic<std::size_t> g_alloc_count{0};
@@ -110,6 +112,29 @@ TEST(AllocCountTest, SteadyStateEvalForwardIsAllocationFree) {
     runtime::ThreadPool::set_global_threads(runtime::ThreadPool::threads_from_env());
 
     EXPECT_EQ(allocs, 0u) << "steady-state ctx forward must not touch the heap";
+}
+
+TEST(AllocCountTest, SteadyStateGemmAtIsAllocationFree) {
+    // gemm_at used to build its transpose scratch in a per-call
+    // std::vector; it now draws from reusable pack buffers (thread-local
+    // here, EvalContext scratch on the planned path), so repeated calls —
+    // e.g. the backward pass, once per image — must not touch the heap.
+    runtime::ThreadPool::set_global_threads(1);
+    const std::size_t m = 33, k = 17, n = 65;
+    std::vector<float> a(k * m), b(k * n), c(m * n);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i % 7) - 3.0f;
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(i % 5) - 2.0f;
+
+    // Warm-up grows the thread-local buffers (transpose scratch on the
+    // scalar arm, pack panels on the vector arm) to this shape's footprint.
+    gemm_at(a.data(), b.data(), c.data(), m, k, n);
+
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 3; ++i) gemm_at(a.data(), b.data(), c.data(), m, k, n);
+    const std::size_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+    runtime::ThreadPool::set_global_threads(runtime::ThreadPool::threads_from_env());
+
+    EXPECT_EQ(allocs, 0u) << "steady-state gemm_at must reuse its scratch";
 }
 
 TEST(AllocCountTest, LegacyForwardStillAllocates) {

@@ -1,0 +1,205 @@
+// Property tests for the dispatched GEMM kernels: every public op
+// (gemm, gemm_accumulate, gemm_at, gemm_bt) on both dispatch arms,
+// swept over shapes chosen to hit every microkernel edge — single rows,
+// partial 6-row panels, masked column tails, k == 1, and sizes that
+// cross the parallel-dispatch threshold.
+//
+// The scalar arm is held to a *bit-exact* standard against an in-k-order
+// float reference (that arm is the legacy blocked kernel, whose per-
+// element accumulation order is plain ascending k). The AVX2 arm is held
+// to a tolerance against a double-precision reference — FMA contraction
+// legitimately changes float realizations.
+#include "tensor/gemm_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "runtime/eval_context.hpp"
+#include "runtime/simd.hpp"
+#include "tensor/gemm.hpp"
+
+namespace ams {
+namespace {
+
+// Restores the dispatch arm active at construction; tests flip arms via
+// set_level and must not leak the override into other tests.
+class LevelGuard {
+public:
+    LevelGuard() : saved_(simd::active_level()) {}
+    ~LevelGuard() { simd::set_level(saved_); }
+
+private:
+    simd::Level saved_;
+};
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+    std::vector<float> m(rows * cols);
+    for (float& v : m) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return m;
+}
+
+std::vector<float> transpose(const std::vector<float>& m, std::size_t rows, std::size_t cols) {
+    std::vector<float> t(rows * cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) t[j * rows + i] = m[i * cols + j];
+    }
+    return t;
+}
+
+// Double-precision ground truth, and the float in-k-order realization the
+// scalar arm reproduces bit for bit.
+template <typename Acc>
+std::vector<float> naive_gemm(const std::vector<float>& a, const std::vector<float>& b,
+                              std::size_t m, std::size_t k, std::size_t n, float c0) {
+    std::vector<float> c(m * n);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            Acc acc = static_cast<Acc>(c0);
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                acc += static_cast<Acc>(a[i * k + kk]) * static_cast<Acc>(b[kk * n + j]);
+            }
+            c[i * n + j] = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+enum class Op { kGemm, kAccumulate, kAt, kBt };
+constexpr Op kAllOps[] = {Op::kGemm, Op::kAccumulate, Op::kAt, Op::kBt};
+
+const char* op_name(Op op) {
+    switch (op) {
+        case Op::kGemm: return "gemm";
+        case Op::kAccumulate: return "gemm_accumulate";
+        case Op::kAt: return "gemm_at";
+        case Op::kBt: return "gemm_bt";
+    }
+    return "?";
+}
+
+// Runs one op through the public dispatching entry point. A and B are the
+// *logical* (MxK, KxN) operands; the transposed ops receive the layout
+// they expect. gemm_accumulate seeds C with 1.0f.
+std::vector<float> run_op(Op op, const std::vector<float>& a, const std::vector<float>& b,
+                          std::size_t m, std::size_t k, std::size_t n,
+                          GemmPackBuffers* pack = nullptr) {
+    std::vector<float> c(m * n, op == Op::kAccumulate ? 1.0f : 0.0f);
+    switch (op) {
+        case Op::kGemm:
+            gemm(a.data(), b.data(), c.data(), m, k, n, pack);
+            break;
+        case Op::kAccumulate:
+            gemm_accumulate(a.data(), b.data(), c.data(), m, k, n, pack);
+            break;
+        case Op::kAt: {
+            const std::vector<float> at = transpose(a, m, k);  // stored KxM
+            gemm_at(at.data(), b.data(), c.data(), m, k, n, pack);
+            break;
+        }
+        case Op::kBt: {
+            const std::vector<float> bt = transpose(b, k, n);  // stored NxK
+            gemm_bt(a.data(), bt.data(), c.data(), m, k, n, pack);
+            break;
+        }
+    }
+    return c;
+}
+
+// Shape sweep: every remainder-tail class of the 6x16 microkernel (row
+// tails 1..5, column tails 1..15, full tiles, k == 1) plus sizes big
+// enough to cross kParallelMacThreshold and engage row-parallelism.
+struct Dims {
+    std::size_t m, k, n;
+};
+const Dims kShapes[] = {
+    {1, 1, 1},    {1, 1, 16},  {1, 7, 15},   {2, 3, 4},    {3, 5, 17},  {5, 2, 31},
+    {6, 8, 16},   {6, 16, 33}, {7, 5, 3},    {8, 15, 8},   {12, 16, 16}, {13, 33, 47},
+    {15, 64, 15}, {16, 16, 16}, {17, 33, 65}, {33, 65, 17}, {37, 53, 41}, {64, 300, 70},
+    {65, 48, 129}, {128, 64, 257},
+};
+
+TEST(GemmKernelsTest, ScalarArmBitExactVsInOrderReference) {
+    LevelGuard guard;
+    simd::set_level(simd::Level::kScalar);
+    for (const Dims& d : kShapes) {
+        Rng rng(2000 + d.m * 31 + d.k * 7 + d.n);
+        const auto a = random_matrix(d.m, d.k, rng);
+        const auto b = random_matrix(d.k, d.n, rng);
+        for (Op op : kAllOps) {
+            const float c0 = op == Op::kAccumulate ? 1.0f : 0.0f;
+            const auto expected = naive_gemm<float>(a, b, d.m, d.k, d.n, c0);
+            const auto actual = run_op(op, a, b, d.m, d.k, d.n);
+            ASSERT_EQ(std::memcmp(actual.data(), expected.data(),
+                                  expected.size() * sizeof(float)),
+                      0)
+                << op_name(op) << " " << d.m << "x" << d.k << "x" << d.n;
+        }
+    }
+}
+
+TEST(GemmKernelsTest, Avx2ArmMatchesDoubleReferenceWithinTolerance) {
+    if (!simd::cpu_supports_avx2_fma()) GTEST_SKIP() << "no AVX2/FMA on this host";
+    LevelGuard guard;
+    simd::set_level(simd::Level::kAvx2);
+    for (const Dims& d : kShapes) {
+        Rng rng(2000 + d.m * 31 + d.k * 7 + d.n);
+        const auto a = random_matrix(d.m, d.k, rng);
+        const auto b = random_matrix(d.k, d.n, rng);
+        // |err| <= ~k ulps of the partial sums; inputs in [-1,1] keep the
+        // sums O(sqrt(k)), so an absolute bound scaled by k is comfortable.
+        const float tol = 1e-6f * static_cast<float>(d.k) + 1e-5f;
+        for (Op op : kAllOps) {
+            const float c0 = op == Op::kAccumulate ? 1.0f : 0.0f;
+            const auto expected = naive_gemm<double>(a, b, d.m, d.k, d.n, c0);
+            const auto actual = run_op(op, a, b, d.m, d.k, d.n);
+            for (std::size_t i = 0; i < expected.size(); ++i) {
+                ASSERT_NEAR(actual[i], expected[i], tol)
+                    << op_name(op) << " " << d.m << "x" << d.k << "x" << d.n << " at " << i;
+            }
+        }
+    }
+}
+
+TEST(GemmKernelsTest, EvalContextPackBuffersMatchThreadLocalBitExactly) {
+    // Same arm + same op must produce identical bits whether the pack
+    // scratch comes from the thread-local fallback or an EvalContext
+    // registry — the buffers only change *where* panels live, never the
+    // arithmetic.
+    LevelGuard guard;
+    const Dims d{17, 33, 65};
+    Rng rng(99);
+    const auto a = random_matrix(d.m, d.k, rng);
+    const auto b = random_matrix(d.k, d.n, rng);
+    for (simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2}) {
+        if (level == simd::Level::kAvx2 && !simd::cpu_supports_avx2_fma()) continue;
+        simd::set_level(level);
+        for (Op op : kAllOps) {
+            runtime::EvalContext ctx;
+            const int owner = 0;  // any stable key works for a direct call
+            (void)ctx.reserve_scratch(&owner, GemmPackBuffers::kPackB,
+                                      packed_b_floats(d.k, d.n));
+            (void)ctx.reserve_scratch(&owner, GemmPackBuffers::kTranspose, d.m * d.k);
+            EvalContextPackBuffers pack(ctx, &owner, /*slot_base=*/0);
+            const auto via_tls = run_op(op, a, b, d.m, d.k, d.n, nullptr);
+            const auto via_ctx = run_op(op, a, b, d.m, d.k, d.n, &pack);
+            ASSERT_EQ(std::memcmp(via_tls.data(), via_ctx.data(),
+                                  via_tls.size() * sizeof(float)),
+                      0)
+                << op_name(op) << " on " << simd::level_name(level);
+        }
+    }
+}
+
+TEST(GemmKernelsTest, PackedBFloatsRoundsUpToPanelWidth) {
+    EXPECT_EQ(packed_b_floats(0, 5), 0u);
+    EXPECT_EQ(packed_b_floats(3, 1), 3u * 16u);
+    EXPECT_EQ(packed_b_floats(3, 16), 3u * 16u);
+    EXPECT_EQ(packed_b_floats(3, 17), 3u * 32u);
+    EXPECT_EQ(packed_b_floats(7, 100), 7u * 112u);
+}
+
+}  // namespace
+}  // namespace ams

@@ -15,6 +15,7 @@
 #include "models/resnet.hpp"
 #include "nn/conv2d.hpp"
 #include "runtime/eval_context.hpp"
+#include "runtime/simd.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 #include "train/evaluate.hpp"
@@ -54,6 +55,33 @@ TEST(RuntimeDeterminismTest, GemmBitIdenticalAcrossThreadCounts) {
         return c;
     };
     expect_bit_identical(with_threads(1, run), with_threads(4, run));
+}
+
+TEST(RuntimeDeterminismTest, GemmBitIdenticalAcrossThreadCountsOnBothArms) {
+    // The AVX2 microkernel computes each C element with a full-K register
+    // sweep, so the k-summation order cannot depend on how rows are
+    // partitioned — the vector arm must honor the same bit-identity
+    // contract as the scalar arm. Run both arms explicitly (the plain
+    // GemmBitIdenticalAcrossThreadCounts test above covers whichever arm
+    // the environment selected).
+    Rng rng(7);
+    const std::size_t m = 37, k = 53, n = 41;  // uneven chunks AND 6x16 tails
+    Tensor a(Shape{m, k});
+    Tensor b(Shape{k, n});
+    a.fill_uniform(rng, -1.0f, 1.0f);
+    b.fill_uniform(rng, -1.0f, 1.0f);
+    auto run = [&] {
+        Tensor c(Shape{m, n});
+        gemm(a.data(), b.data(), c.data(), m, k, n);
+        return c;
+    };
+    const simd::Level saved = simd::active_level();
+    for (simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2}) {
+        if (level == simd::Level::kAvx2 && !simd::cpu_supports_avx2_fma()) continue;
+        simd::set_level(level);
+        expect_bit_identical(with_threads(1, run), with_threads(4, run));
+    }
+    simd::set_level(saved);
 }
 
 TEST(RuntimeDeterminismTest, Conv2dForwardBitIdenticalAcrossThreadCounts) {
