@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/bench_json.hpp"
 #include "core/csv.hpp"
 #include "core/report.hpp"
 #include "energy/adc_energy.hpp"
@@ -79,6 +80,10 @@ int main() {
     proto.bits_x = 9;
     const vmac::AnalogOptions analog;
     const std::size_t ref_chunks = 8;  ///< chunks per output for amortization
+    core::BenchReport report("fig8_design_space");
+    report.config().set("baseline_top1", base.mean);
+    report.config().set("reference_nmult", std::uint64_t{8});
+    report.config().set("backend_ref_chunks", ref_chunks);
     core::Table backend_table({"backend", "conv/VMAC", "eff ENOB @8", "loss @8/8",
                                "E_MAC @8/8"});
     for (vmac::BackendKind kind : vmac::all_backend_kinds()) {
@@ -100,6 +105,13 @@ int main() {
                                    core::fmt_fixed(at88->effective_enob, 2),
                                    core::fmt_pct(at88->accuracy_loss, 2),
                                    core::fmt_energy_fj(at88->emac_fj)});
+            core::BenchFields& row = report.add_row();
+            row.set("kind", "backend_at_8_8");
+            row.set("backend", at88->backend);
+            row.set("conversions_per_vmac", at88->conversions_per_vmac);
+            row.set("effective_enob", at88->effective_enob);
+            row.set("accuracy_loss", at88->accuracy_loss);
+            row.set("emac_fj", at88->emac_fj);
         }
     }
     std::cout << "\nBackend series at grid ENOB 8, Nmult 8 (conversion-profile pricing):\n";
@@ -115,14 +127,23 @@ int main() {
     for (const Target t : {Target{0.004, "~313 fJ/MAC"}, Target{0.01, "~78 fJ/MAC"}}) {
         const auto* best = map.cheapest_for_loss(t.loss);
         std::cout << "  < " << core::fmt_pct(t.loss, 1) << " loss: ";
+        core::BenchFields& row = report.add_row();
+        row.set("kind", "designer_lookup");
+        row.set("loss_target", t.loss);
+        row.set("achievable", best != nullptr);
         if (best != nullptr) {
             std::cout << "E_MAC,min = " << core::fmt_energy_fj(best->emac_fj) << " at (ENOB "
                       << core::fmt_fixed(best->enob, 1) << ", Nmult " << best->nmult << ")";
+            row.set("emac_min_fj", best->emac_fj);
+            row.set("enob", best->enob);
+            row.set("nmult", best->nmult);
         } else {
             std::cout << "not achievable on grid";
         }
         std::cout << "   [paper: " << t.paper << " on ResNet-50]\n";
     }
+    report.capture_runtime_metrics();
+    std::cout << "Artifact written to " << report.write_artifact() << "\n";
 
     // Level-curve parallelism in the thermal regime: along an
     // iso-accuracy path (ENOB + 0.5 log2 r, Nmult * r), E_MAC stays flat.

@@ -3,19 +3,18 @@
 // GEMMs and the classifier gemm_bt), plus an end-to-end evaluate_top1
 // images/s comparison on the quantized+AMS tiny ResNet.
 //
-// Writes a machine-readable artifact, BENCH_gemm.json, alongside the
-// usual printed table so CI and later sessions can diff kernel
-// performance without parsing stdout. On hosts without AVX2/FMA the
-// vector rows are omitted and the JSON records "avx2_available": false.
+// Writes a machine-readable artifact, BENCH_gemm.json (shared
+// amsnet-bench-v1 schema; see core/bench_json.hpp), alongside the usual
+// printed table so CI and later sessions can diff kernel performance
+// without parsing stdout. On hosts without AVX2/FMA the vector rows are
+// omitted and the JSON records "avx2_available": false.
 #include <chrono>
-#include <fstream>
 #include <functional>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/csv.hpp"
+#include "core/bench_json.hpp"
 #include "core/report.hpp"
 #include "data/synthetic_imagenet.hpp"
 #include "models/resnet.hpp"
@@ -92,12 +91,6 @@ double measure_eval_images_per_s() {
     return static_cast<double>(images) / s;
 }
 
-std::string json_escape_free_number(double v) {
-    std::ostringstream os;
-    os << v;
-    return os.str();
-}
-
 }  // namespace
 
 int main() {
@@ -162,35 +155,27 @@ int main() {
                    has_avx2 ? core::fmt_fixed(eval_avx2_ips / eval_scalar_ips, 2) + "x" : "-"});
     table.print(std::cout);
 
-    const std::string path = core::artifact_dir() + "/BENCH_gemm.json";
-    std::ofstream json(path);
-    json << "{\n";
-    json << "  \"bench\": \"gemm_microbench\",\n";
-    json << "  \"avx2_available\": " << (has_avx2 ? "true" : "false") << ",\n";
-    json << "  \"threads\": 1,\n";
-    json << "  \"gemm\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const GemmRow& r = rows[i];
-        json << "    {\"tag\": \"" << r.shape.tag << "\", \"m\": " << r.shape.m
-             << ", \"k\": " << r.shape.k << ", \"n\": " << r.shape.n
-             << ", \"scalar_gflops\": " << json_escape_free_number(r.scalar_gflops)
-             << ", \"avx2_gflops\": " << json_escape_free_number(r.avx2_gflops)
-             << ", \"speedup\": "
-             << json_escape_free_number(
-                    r.scalar_gflops > 0.0 ? r.avx2_gflops / r.scalar_gflops : 0.0)
-             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    core::BenchReport report("gemm");
+    report.config().set("avx2_available", has_avx2);
+    report.config().set("threads", std::uint64_t{1});
+    for (const GemmRow& r : rows) {
+        core::BenchFields& row = report.add_row();
+        row.set("kind", "gemm");
+        row.set("tag", r.shape.tag);
+        row.set("m", r.shape.m);
+        row.set("k", r.shape.k);
+        row.set("n", r.shape.n);
+        row.set("scalar_gflops", r.scalar_gflops);
+        row.set("avx2_gflops", r.avx2_gflops);
+        row.set("speedup", r.scalar_gflops > 0.0 ? r.avx2_gflops / r.scalar_gflops : 0.0);
     }
-    json << "  ],\n";
-    json << "  \"evaluate_top1\": {\"scalar_images_per_s\": "
-         << json_escape_free_number(eval_scalar_ips)
-         << ", \"avx2_images_per_s\": " << json_escape_free_number(eval_avx2_ips)
-         << ", \"speedup\": "
-         << json_escape_free_number(eval_scalar_ips > 0.0 ? eval_avx2_ips / eval_scalar_ips
-                                                          : 0.0)
-         << "}\n";
-    json << "}\n";
-    json.close();
-    std::cout << "\nSeries written to " << path << "\n";
+    core::BenchFields& eval_row = report.add_row();
+    eval_row.set("kind", "evaluate_top1");
+    eval_row.set("scalar_images_per_s", eval_scalar_ips);
+    eval_row.set("avx2_images_per_s", eval_avx2_ips);
+    eval_row.set("speedup", eval_scalar_ips > 0.0 ? eval_avx2_ips / eval_scalar_ips : 0.0);
+    report.capture_runtime_metrics();
+    std::cout << "\nSeries written to " << report.write_artifact() << "\n";
 
     if (has_avx2) {
         std::cout << "\nExpected on this host: >= 3x GEMM speedup at the conv-shaped sizes.\n";

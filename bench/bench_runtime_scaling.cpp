@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ams/vmac_conv.hpp"
+#include "core/bench_json.hpp"
 #include "core/csv.hpp"
 #include "core/report.hpp"
 #include "models/resnet.hpp"
@@ -85,6 +86,8 @@ int main() {
                          "vmac_conv_speedup", "batch_eval_legacy_ms",
                          "batch_eval_arena_ms", "arena_hwm_bytes"});
 
+    core::BenchReport report("runtime_scaling");
+    report.config().set("hardware_concurrency", static_cast<std::uint64_t>(hw));
     double gemm_base = 0.0;
     double vmac_base = 0.0;
     for (std::size_t threads : {1u, 2u, 4u, 8u}) {
@@ -123,10 +126,21 @@ int main() {
                      core::fmt_fixed(vmac_speedup, 3),
                      core::fmt_fixed(eval_legacy_s * 1e3, 4),
                      core::fmt_fixed(eval_arena_s * 1e3, 4), std::to_string(hwm)});
+        core::BenchFields& row = report.add_row();
+        row.set("threads", threads);
+        row.set("gemm_ms", gemm_s * 1e3);
+        row.set("gemm_speedup", gemm_speedup);
+        row.set("vmac_conv_ms", vmac_s * 1e3);
+        row.set("vmac_conv_speedup", vmac_speedup);
+        row.set("batch_eval_legacy_ms", eval_legacy_s * 1e3);
+        row.set("batch_eval_arena_ms", eval_arena_s * 1e3);
+        row.set("arena_hwm_bytes", hwm);
     }
     runtime::ThreadPool::set_global_threads(runtime::ThreadPool::threads_from_env());
     table.print(std::cout);
-    std::cout << "\nSeries written to " << csv.path() << "\n";
+    report.capture_runtime_metrics();
+    std::cout << "\nSeries written to " << csv.path() << " and " << report.write_artifact()
+              << "\n";
 
     if (hw <= 1) {
         std::cout << "\nSingle-core host: speedups ~1.0x are expected (the pool\n"

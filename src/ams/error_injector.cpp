@@ -4,7 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
+#include "runtime/trace.hpp"
 
 namespace ams::vmac {
 
@@ -53,6 +55,11 @@ Tensor ErrorInjector::forward(const Tensor& input, runtime::EvalContext& ctx) {
 }
 
 void ErrorInjector::inject(Tensor& out) {
+    runtime::trace::Span span("ErrorInjector.inject",
+                              mode_ == InjectionMode::kLumpedGaussian ? "mode=lumped_gaussian"
+                                                                      : "mode=per_vmac_uniform");
+    runtime::metrics::add(runtime::metrics::Counter::kInjectedSamples,
+                          static_cast<std::uint64_t>(out.size()));
     const runtime::RngStream pass_streams = streams_.substream(forward_count_++);
     const std::size_t tiles = (out.size() + kRngTile - 1) / kRngTile;
 

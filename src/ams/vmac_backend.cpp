@@ -5,8 +5,23 @@
 #include <stdexcept>
 
 #include "ams/adc_quantizer.hpp"
+#include "runtime/metrics.hpp"
 
 namespace ams::vmac {
+
+namespace {
+
+/// Conversion ledger: every accumulate() records one chunk plus its ADC
+/// conversions under the backend's own counter. These counters are the
+/// source of truth the energy model's ConversionProfile-derived counts
+/// are cross-checked against (tests/trace_test.cpp asserts exact
+/// agreement for all five kinds).
+inline void count_chunk(runtime::metrics::Counter counter, std::uint64_t conversions = 1) {
+    runtime::metrics::add(runtime::metrics::Counter::kVmacChunks);
+    runtime::metrics::add(counter, conversions);
+}
+
+}  // namespace
 
 const char* backend_kind_name(BackendKind kind) {
     switch (kind) {
@@ -75,6 +90,7 @@ public:
 
     double accumulate(std::span<const double> weights, std::span<const double> activations,
                       Rng& rng) override {
+        count_chunk(runtime::metrics::Counter::kAdcConversionsBitExact);
         return cell_.dot(weights, activations, rng);
     }
 
@@ -108,6 +124,7 @@ public:
         if (weights.size() != activations.size() || weights.size() > cell_.config().nmult) {
             throw std::invalid_argument("PerVmacNoiseBackend: bad operand count");
         }
+        count_chunk(runtime::metrics::Counter::kAdcConversionsPerVmacNoise);
         double partial = 0.0;
         for (std::size_t i = 0; i < weights.size(); ++i) {
             partial += weights[i] * activations[i];
@@ -142,6 +159,8 @@ public:
 
     double accumulate(std::span<const double> weights, std::span<const double> activations,
                       Rng& rng) override {
+        count_chunk(runtime::metrics::Counter::kAdcConversionsPartitioned,
+                    vmac_.conversions_per_vmac());
         return vmac_.dot(weights, activations, rng);
     }
 
@@ -182,9 +201,14 @@ public:
 
     double accumulate(std::span<const double> weights, std::span<const double> activations,
                       Rng& rng) override {
+        count_chunk(runtime::metrics::Counter::kAdcConversionsDeltaSigma);
         return vmac_.accumulate(weights, activations, rng);
     }
-    double finish_output(Rng& rng) override { return vmac_.finalize(rng); }
+    double finish_output(Rng& rng) override {
+        // The one extra high-resolution conversion per output accumulator.
+        runtime::metrics::add(runtime::metrics::Counter::kAdcConversionsDeltaSigma);
+        return vmac_.finalize(rng);
+    }
 
     [[nodiscard]] BackendKind kind() const override { return BackendKind::kDeltaSigma; }
     [[nodiscard]] std::size_t conversions_per_vmac() const override { return 1; }
@@ -221,6 +245,7 @@ public:
 
     double accumulate(std::span<const double> weights, std::span<const double> activations,
                       Rng& rng) override {
+        count_chunk(runtime::metrics::Counter::kAdcConversionsReferenceScaled);
         return cell_.dot(weights, activations, rng);
     }
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
+#include "runtime/trace.hpp"
 
 namespace ams::vmac {
 
@@ -16,6 +19,15 @@ BackendOptions options_for_mode(VmacConvMode mode) {
     options.kind = (mode == VmacConvMode::kBitExact) ? BackendKind::kBitExact
                                                      : BackendKind::kPerVmacNoise;
     return options;
+}
+
+/// Span tag "backend=<kind> in=BxCxHxW" — only formatted when spans are
+/// actually recording, so the snprintf stays off the off/counters paths.
+void format_forward_tag(char* tag, std::size_t capacity, BackendKind kind, const Shape& in) {
+    tag[0] = '\0';
+    if (!runtime::metrics::spans_enabled()) return;
+    std::snprintf(tag, capacity, "backend=%s in=%zux%zux%zux%zu", backend_kind_name(kind),
+                  in.dim(0), in.dim(1), in.dim(2), in.dim(3));
 }
 
 }  // namespace
@@ -67,6 +79,9 @@ void VmacConv2d::compute_tiles(std::size_t t_begin, std::size_t t_end,
     // per-output state that must never be shared across workers.
     const std::unique_ptr<VmacBackend> backend = backend_->clone();
     for (std::size_t t = t_begin; t < t_end; ++t) {
+        // One output accumulator per pixel of this tile; the per-chunk ADC
+        // ledger lives inside the backend's accumulate().
+        runtime::metrics::add(runtime::metrics::Counter::kVmacOutputs, out_spatial);
         const std::size_t b = t / cout;
         const std::size_t oc = t % cout;
         Rng tile_rng = pass_streams.stream(t);
@@ -92,6 +107,9 @@ void VmacConv2d::compute_tiles(std::size_t t_begin, std::size_t t_end,
 }
 
 Tensor VmacConv2d::forward(const Tensor& input) {
+    char tag[runtime::trace::Event::kTagCapacity + 1];
+    format_forward_tag(tag, sizeof(tag), backend_->kind(), input.shape());
+    runtime::trace::Span span("VmacConv2d.forward", tag);
     const ConvLowering low = make_lowering(input.shape());
     const std::size_t batch = input.dim(0);
     const std::size_t cout = weight_.dim(0);
@@ -138,6 +156,9 @@ Shape VmacConv2d::plan(const Shape& in, runtime::EvalContext& ctx) {
 
 Tensor VmacConv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
     // Evaluation-only module: no training fallback (backward throws).
+    char tag[runtime::trace::Event::kTagCapacity + 1];
+    format_forward_tag(tag, sizeof(tag), backend_->kind(), input.shape());
+    runtime::trace::Span span("VmacConv2d.forward", tag);
     const ConvLowering low = make_lowering(input.shape());
     const std::size_t batch = input.dim(0);
     const std::size_t cout = weight_.dim(0);

@@ -1,0 +1,156 @@
+#include "core/bench_json.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/csv.hpp"
+#include "runtime/metrics.hpp"
+
+namespace ams::core {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& text) {
+    for (char c : text) {
+        if (c == '"' || c == '\\') {
+            os << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            os << ' ';
+        } else {
+            os << c;
+        }
+    }
+}
+
+void write_double(std::ostream& os, double v) {
+    if (!std::isfinite(v)) {
+        os << "null";  // JSON has no NaN/Inf; null keeps the file loadable
+        return;
+    }
+    std::ostringstream tmp;
+    tmp << v;
+    os << tmp.str();
+}
+
+}  // namespace
+
+BenchFields::Field& BenchFields::slot(const std::string& key) {
+    for (Field& f : fields_) {
+        if (f.key == key) return f;
+    }
+    fields_.push_back(Field{key, Kind::kDouble, 0.0, 0, 0, {}, false});
+    return fields_.back();
+}
+
+void BenchFields::set(const std::string& key, double value) {
+    Field& f = slot(key);
+    f.kind = Kind::kDouble;
+    f.d = value;
+}
+
+void BenchFields::set(const std::string& key, std::uint64_t value) {
+    Field& f = slot(key);
+    f.kind = Kind::kUint;
+    f.u = value;
+}
+
+void BenchFields::set(const std::string& key, std::int64_t value) {
+    Field& f = slot(key);
+    f.kind = Kind::kInt;
+    f.i = value;
+}
+
+void BenchFields::set(const std::string& key, const std::string& value) {
+    Field& f = slot(key);
+    f.kind = Kind::kString;
+    f.s = value;
+}
+
+void BenchFields::set(const std::string& key, bool value) {
+    Field& f = slot(key);
+    f.kind = Kind::kBool;
+    f.b = value;
+}
+
+void BenchFields::write(std::ostream& os, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    os << "{";
+    bool first = true;
+    for (const Field& f : fields_) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n" << pad << "  \"";
+        write_escaped(os, f.key);
+        os << "\": ";
+        switch (f.kind) {
+            case Kind::kDouble: write_double(os, f.d); break;
+            case Kind::kUint: os << f.u; break;
+            case Kind::kInt: os << f.i; break;
+            case Kind::kString:
+                os << '"';
+                write_escaped(os, f.s);
+                os << '"';
+                break;
+            case Kind::kBool: os << (f.b ? "true" : "false"); break;
+        }
+    }
+    if (!fields_.empty()) os << "\n" << pad;
+    os << "}";
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+BenchFields& BenchReport::add_row() {
+    series_.emplace_back();
+    return series_.back();
+}
+
+void BenchReport::capture_runtime_metrics() {
+    namespace m = runtime::metrics;
+    metrics_ = BenchFields{};
+    for (int c = 0; c < static_cast<int>(m::Counter::kCount); ++c) {
+        const auto counter = static_cast<m::Counter>(c);
+        const std::uint64_t v = m::value(counter);
+        if (v != 0) metrics_.set(m::counter_name(counter), v);
+    }
+    for (int g = 0; g < static_cast<int>(m::Gauge::kCount); ++g) {
+        const auto gauge = static_cast<m::Gauge>(g);
+        const std::uint64_t v = m::gauge_value(gauge);
+        if (v != 0) metrics_.set(m::gauge_name(gauge), v);
+    }
+}
+
+void BenchReport::write(std::ostream& os) const {
+    os << "{\n";
+    os << "  \"schema\": \"amsnet-bench-v1\",\n";
+    os << "  \"bench\": \"";
+    write_escaped(os, name_);
+    os << "\",\n";
+    os << "  \"config\": ";
+    config_.write(os, 2);
+    os << ",\n  \"series\": [";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        os << (i == 0 ? "\n    " : ",\n    ");
+        series_[i].write(os, 4);
+    }
+    os << (series_.empty() ? "]" : "\n  ]");
+    if (!metrics_.empty()) {
+        os << ",\n  \"metrics\": ";
+        metrics_.write(os, 2);
+    }
+    os << "\n}\n";
+}
+
+std::string BenchReport::write_artifact() const {
+    const std::string path = artifact_dir() + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("BenchReport: cannot open " + path);
+    write(out);
+    if (!out) throw std::runtime_error("BenchReport: write failed for " + path);
+    return path;
+}
+
+}  // namespace ams::core

@@ -1,0 +1,87 @@
+// Shared machine-readable bench artifact writer.
+//
+// Every bench that emits an artifacts/BENCH_*.json file builds it through
+// BenchReport so the files share one schema ("amsnet-bench-v1"):
+//
+//   {
+//     "schema": "amsnet-bench-v1",
+//     "bench": "<name>",
+//     "config": { flat name -> value },
+//     "series": [ { flat name -> value }, ... ],
+//     "metrics": { runtime counter snapshot }   // when captured
+//   }
+//
+// `config` holds the knobs the run was taken under (threads, shapes,
+// trace level), `series` the measured rows, and `metrics` an optional
+// snapshot of the runtime::metrics counters so artifacts carry their own
+// observability context (FLOPs, conversions, arena HWM) without a
+// separate metrics.json. Values are doubles, integers, strings or bools;
+// insertion order is preserved so diffs stay stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ams::core {
+
+/// One flat JSON object with insertion-ordered heterogeneous fields.
+class BenchFields {
+public:
+    void set(const std::string& key, double value);
+    void set(const std::string& key, std::uint64_t value);
+    void set(const std::string& key, std::int64_t value);
+    void set(const std::string& key, int value) { set(key, static_cast<std::int64_t>(value)); }
+    void set(const std::string& key, const std::string& value);
+    void set(const std::string& key, const char* value) { set(key, std::string(value)); }
+    void set(const std::string& key, bool value);
+
+    [[nodiscard]] bool empty() const { return fields_.empty(); }
+    void write(std::ostream& os, int indent) const;
+
+private:
+    enum class Kind { kDouble, kUint, kInt, kString, kBool };
+    struct Field {
+        std::string key;
+        Kind kind;
+        double d = 0.0;
+        std::uint64_t u = 0;
+        std::int64_t i = 0;
+        std::string s;
+        bool b = false;
+    };
+    Field& slot(const std::string& key);
+
+    std::vector<Field> fields_;
+};
+
+/// Builder for one BENCH_<name>.json artifact.
+class BenchReport {
+public:
+    explicit BenchReport(std::string name);
+
+    /// Run-level knobs ("threads", "avx2_available", ...).
+    BenchFields& config() { return config_; }
+
+    /// Appends and returns one measurement row.
+    BenchFields& add_row();
+
+    /// Snapshots every nonzero runtime::metrics counter and gauge into the
+    /// "metrics" section (call once, after the measured work).
+    void capture_runtime_metrics();
+
+    void write(std::ostream& os) const;
+
+    /// Writes artifact_dir()/BENCH_<name>.json and returns the path.
+    std::string write_artifact() const;
+
+private:
+    std::string name_;
+    BenchFields config_;
+    std::vector<BenchFields> series_;
+    BenchFields metrics_;
+};
+
+}  // namespace ams::core

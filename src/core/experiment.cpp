@@ -1,11 +1,14 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 
+#include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
+#include "runtime/trace.hpp"
 
 namespace ams::core {
 
@@ -162,9 +165,13 @@ train::EvalResult ExperimentEnv::evaluate_state(const TensorMap& state,
 std::vector<ExperimentEnv::EnobSweepPoint> ExperimentEnv::ams_enob_sweep(
     std::size_t bits_w, std::size_t bits_x, const std::vector<double>& enobs,
     const EnobSweepOptions& sweep) {
+    runtime::trace::Span sweep_span("ams_enob_sweep");
     // Materialize the shared prerequisite chain (fp32 -> quantized) once,
     // before fanning out, so points don't duplicate the common training.
-    const TensorMap quant = quantized_state(bits_w, bits_x);
+    const TensorMap quant = [&] {
+        runtime::trace::Span prereq_span("ams_enob_sweep.prerequisites");
+        return quantized_state(bits_w, bits_x);
+    }();
 
     // Grain 1: each ENOB point is one unit of work — a full retrain plus
     // multi-pass evaluation — and the pool balances them by stealing.
@@ -177,6 +184,12 @@ std::vector<ExperimentEnv::EnobSweepPoint> ExperimentEnv::ams_enob_sweep(
         // so every later point in the chunk evaluates allocation-free.
         runtime::EvalContext ctx;
         for (std::size_t p = p_begin; p < p_end; ++p) {
+            char tag[runtime::trace::Event::kTagCapacity + 1];
+            tag[0] = '\0';
+            if (runtime::metrics::spans_enabled()) {
+                std::snprintf(tag, sizeof(tag), "enob=%.3g", enobs[p]);
+            }
+            runtime::trace::Span point_span("ams_enob_sweep.point", tag);
             vmac::VmacConfig cfg;
             cfg.enob = enobs[p];
             cfg.nmult = sweep.nmult;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "runtime/parallel_for.hpp"
+#include "runtime/trace.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/gemm_kernels.hpp"
 
@@ -53,6 +54,7 @@ void Conv2d::add_bias(float* out_image_base, std::size_t out_spatial) const {
 }
 
 Tensor Conv2d::forward(const Tensor& input) {
+    runtime::trace::Span span("Conv2d.forward");
     lowering_ = make_lowering(input.shape());
     cached_input_ = input;
 
@@ -128,6 +130,7 @@ void Conv2d::reserve_gemm_scratch(runtime::EvalContext& ctx, std::size_t chunk,
 
 Tensor Conv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
     if (training()) return forward(input);  // backward needs the caches
+    runtime::trace::Span span("Conv2d.forward");
     lowering_ = make_lowering(input.shape());
 
     const std::size_t batch = input.dim(0);

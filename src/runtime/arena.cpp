@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <new>
 
+#include "runtime/metrics.hpp"
+
 namespace ams::runtime {
 
 namespace {
@@ -55,7 +57,15 @@ void* TensorArena::allocate(std::size_t bytes) {
     Block& b = blocks_[current_];
     void* p = b.data + b.used;
     b.used += need;
-    high_water_ = std::max(high_water_, in_use());
+    const std::size_t live = in_use();
+    if (live > high_water_) {
+        high_water_ = live;
+        // Process-wide gauge: the largest single-arena footprint any
+        // worker reached (monotonic, so steady-state passes — where the
+        // HWM no longer moves — pay nothing beyond the member update).
+        metrics::gauge_max(metrics::Gauge::kArenaHighWaterBytes,
+                           static_cast<std::uint64_t>(high_water_));
+    }
     return p;
 }
 

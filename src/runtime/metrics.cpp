@@ -1,0 +1,139 @@
+#include "runtime/metrics.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace ams::runtime::metrics {
+
+namespace detail {
+
+std::atomic<bool> g_counters_on{false};
+std::atomic<bool> g_spans_on{false};
+std::atomic<std::uint64_t> g_counters[kCounterCount]{};
+std::atomic<std::uint64_t> g_gauges[kGaugeCount]{};
+
+}  // namespace detail
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1: not yet resolved from the environment
+
+void apply(Level level) {
+    detail::g_counters_on.store(level != Level::kOff, std::memory_order_relaxed);
+    detail::g_spans_on.store(level == Level::kFull, std::memory_order_relaxed);
+    g_level.store(static_cast<int>(level), std::memory_order_release);
+}
+
+}  // namespace
+
+Level parse_level(const char* text) {
+    if (text == nullptr) return Level::kOff;
+    const std::string value(text);
+    if (value == "counters") return Level::kCounters;
+    if (value == "full") return Level::kFull;
+    return Level::kOff;
+}
+
+Level level() {
+    const int cached = g_level.load(std::memory_order_acquire);
+    if (cached >= 0) return static_cast<Level>(cached);
+    const Level env = parse_level(std::getenv("AMSNET_TRACE"));
+    apply(env);
+    return env;
+}
+
+void set_level(Level level) {
+    apply(level);
+}
+
+std::uint64_t value(Counter counter) {
+    return detail::g_counters[static_cast<int>(counter)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t gauge_value(Gauge gauge) {
+    return detail::g_gauges[static_cast<int>(gauge)].load(std::memory_order_relaxed);
+}
+
+void reset() {
+    for (auto& c : detail::g_counters) c.store(0, std::memory_order_relaxed);
+    for (auto& g : detail::g_gauges) g.store(0, std::memory_order_relaxed);
+}
+
+const char* counter_name(Counter counter) {
+    switch (counter) {
+        case Counter::kGemmCalls: return "gemm_calls";
+        case Counter::kGemmFlops: return "gemm_flops";
+        case Counter::kGemmPackGrowths: return "gemm_pack_growths";
+        case Counter::kParallelRegions: return "parallel_regions";
+        case Counter::kParallelChunks: return "parallel_chunks";
+        case Counter::kAdcConversionsBitExact: return "adc_conversions_bit_exact";
+        case Counter::kAdcConversionsPerVmacNoise: return "adc_conversions_per_vmac_noise";
+        case Counter::kAdcConversionsPartitioned: return "adc_conversions_partitioned";
+        case Counter::kAdcConversionsDeltaSigma: return "adc_conversions_delta_sigma";
+        case Counter::kAdcConversionsReferenceScaled:
+            return "adc_conversions_reference_scaled";
+        case Counter::kVmacChunks: return "vmac_chunks";
+        case Counter::kVmacOutputs: return "vmac_outputs";
+        case Counter::kInjectedSamples: return "injected_samples";
+        case Counter::kCheckpointDiskHits: return "checkpoint_disk_hits";
+        case Counter::kCheckpointMemoHits: return "checkpoint_memo_hits";
+        case Counter::kCheckpointMisses: return "checkpoint_misses";
+        case Counter::kEvalPasses: return "eval_passes";
+        case Counter::kEvalBatches: return "eval_batches";
+        case Counter::kCount: break;
+    }
+    return "unknown_counter";
+}
+
+const char* gauge_name(Gauge gauge) {
+    switch (gauge) {
+        case Gauge::kArenaHighWaterBytes: return "arena_high_water_bytes";
+        case Gauge::kCount: break;
+    }
+    return "unknown_gauge";
+}
+
+void write_metrics_json(std::ostream& os) {
+    os << "{\n";
+    for (int i = 0; i < detail::kCounterCount; ++i) {
+        os << "  \"" << counter_name(static_cast<Counter>(i))
+           << "\": " << value(static_cast<Counter>(i)) << ",\n";
+    }
+    for (int i = 0; i < detail::kGaugeCount; ++i) {
+        os << "  \"" << gauge_name(static_cast<Gauge>(i))
+           << "\": " << gauge_value(static_cast<Gauge>(i))
+           << (i + 1 < detail::kGaugeCount ? ",\n" : "\n");
+    }
+    os << "}\n";
+}
+
+void write_metrics_csv(std::ostream& os) {
+    os << "metric,value\n";
+    for (int i = 0; i < detail::kCounterCount; ++i) {
+        os << counter_name(static_cast<Counter>(i)) << ','
+           << value(static_cast<Counter>(i)) << '\n';
+    }
+    for (int i = 0; i < detail::kGaugeCount; ++i) {
+        os << gauge_name(static_cast<Gauge>(i)) << ','
+           << gauge_value(static_cast<Gauge>(i)) << '\n';
+    }
+}
+
+void write_metrics_file(const std::string& path) {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("write_metrics_file: cannot open " + path);
+    if (p.extension() == ".csv") {
+        write_metrics_csv(out);
+    } else {
+        write_metrics_json(out);
+    }
+    if (!out) throw std::runtime_error("write_metrics_file: write failed for " + path);
+}
+
+}  // namespace ams::runtime::metrics

@@ -7,6 +7,9 @@
 #include <memory>
 #include <mutex>
 
+#include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
+
 namespace ams::runtime {
 
 namespace {
@@ -39,7 +42,11 @@ void run_chunks(const std::shared_ptr<RegionState>& state) {
         if (!state->has_error.load(std::memory_order_acquire)) {
             const std::size_t lo = state->begin + c * state->grain;
             const std::size_t hi = std::min(lo + state->grain, state->end);
+            metrics::add(metrics::Counter::kParallelChunks);
             try {
+                // One span per claimed task: the trace shows which worker
+                // track ran which chunk of the region.
+                trace::Span span("parallel_for.chunk");
                 state->fn(state->ctx, lo, hi);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(state->mu);
@@ -70,13 +77,17 @@ void parallel_for_erased(std::size_t begin, std::size_t end, std::size_t grain, 
     ThreadPool& pool = ThreadPool::global();
     if (n_chunks <= 1 || pool.parallelism() <= 1 || ThreadPool::in_parallel_region()) {
         // Serial fallback: same chunk decomposition, same order, and no
-        // heap traffic (the zero-allocation eval path relies on this).
+        // heap traffic in off/counters mode (the zero-allocation eval
+        // path relies on this; counter adds are lock- and alloc-free).
+        metrics::add(metrics::Counter::kParallelChunks, n_chunks);
         for (std::size_t c = 0; c < n_chunks; ++c) {
             const std::size_t lo = begin + c * grain;
             fn(ctx, lo, std::min(lo + grain, end));
         }
         return;
     }
+    metrics::add(metrics::Counter::kParallelRegions);
+    trace::Span region_span("parallel_for.region");
 
     auto state = std::make_shared<RegionState>();
     state->begin = begin;

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "runtime/trace.hpp"
+
 namespace ams::runtime {
 
 namespace {
@@ -108,6 +110,9 @@ bool ThreadPool::try_steal(std::size_t thief, Task& out) {
 }
 
 void ThreadPool::worker_loop(std::size_t id) {
+    // Name this worker's track in exported traces (one-time, off the hot
+    // path; harmless when tracing never turns on).
+    trace::set_thread_label(("worker-" + std::to_string(id)).c_str());
     for (;;) {
         Task task;
         if (try_pop_local(id, task) || try_steal(id, task)) {

@@ -1,0 +1,202 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace ams::runtime::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// All spans share one epoch so cross-thread timestamps are comparable.
+Clock::time_point trace_epoch() {
+    static const Clock::time_point epoch = Clock::now();
+    return epoch;
+}
+
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - trace_epoch())
+            .count());
+}
+
+/// Per-thread recording state. Owned jointly by the recording thread
+/// (thread_local shared_ptr) and the global registry, so buffers survive
+/// thread exit until collect() drains them.
+struct ThreadBuffer {
+    std::mutex mu;  ///< guards events/label against a concurrent collect()
+    std::vector<Event> events;
+    std::string label;
+    std::uint32_t index = 0;
+    std::uint32_t depth = 0;  ///< only the owner thread touches this
+};
+
+struct Registry {
+    std::mutex mu;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& registry() {
+    static Registry* r = new Registry();  // leaked: threads may outlive main
+    return *r;
+}
+
+ThreadBuffer& local_buffer() {
+    thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+        auto b = std::make_shared<ThreadBuffer>();
+        Registry& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        b->index = static_cast<std::uint32_t>(reg.buffers.size());
+        reg.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+void json_escape_into(std::ostream& os, const char* text) {
+    for (const char* p = text; *p != '\0'; ++p) {
+        const char c = *p;
+        if (c == '"' || c == '\\') {
+            os << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            os << ' ';  // control characters never appear in our names/tags
+        } else {
+            os << c;
+        }
+    }
+}
+
+}  // namespace
+
+void Span::begin(const char* name, const char* tag) {
+    ThreadBuffer& buf = local_buffer();
+    event_.name = name;
+    if (tag != nullptr) {
+        std::strncpy(event_.tag, tag, Event::kTagCapacity);
+        event_.tag[Event::kTagCapacity] = '\0';
+    }
+    event_.thread_index = buf.index;
+    event_.depth = buf.depth++;
+    event_.start_ns = now_ns();  // last: exclude setup from the span
+    active_ = true;
+}
+
+void Span::end() {
+    event_.end_ns = now_ns();
+    ThreadBuffer& buf = local_buffer();
+    buf.depth--;
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.events.push_back(event_);
+}
+
+void set_thread_label(const char* label) {
+    ThreadBuffer& buf = local_buffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.label = label;
+}
+
+std::uint32_t thread_index() {
+    return local_buffer().index;
+}
+
+std::vector<Event> collect() {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        Registry& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        buffers = reg.buffers;
+    }
+    std::vector<Event> all;
+    for (const auto& buf : buffers) {
+        std::lock_guard<std::mutex> lock(buf->mu);
+        all.insert(all.end(), buf->events.begin(), buf->events.end());
+        buf->events.clear();
+    }
+    std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+        if (a.thread_index != b.thread_index) return a.thread_index < b.thread_index;
+        if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+        return a.end_ns > b.end_ns;  // enclosing spans before their children
+    });
+    return all;
+}
+
+void clear() {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        Registry& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        buffers = reg.buffers;
+    }
+    for (const auto& buf : buffers) {
+        std::lock_guard<std::mutex> lock(buf->mu);
+        buf->events.clear();
+    }
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<Event>& events) {
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    bool first = true;
+
+    // One metadata record per thread track, labeled if the thread said so.
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        Registry& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        buffers = reg.buffers;
+    }
+    for (const auto& buf : buffers) {
+        std::string label;
+        std::uint32_t index = 0;
+        {
+            std::lock_guard<std::mutex> lock(buf->mu);
+            label = buf->label.empty() ? "thread-" + std::to_string(buf->index) : buf->label;
+            index = buf->index;
+        }
+        if (!first) os << ",\n";
+        first = false;
+        os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << index
+           << ", \"args\": {\"name\": \"";
+        json_escape_into(os, label.c_str());
+        os << "\"}}";
+    }
+
+    for (const Event& e : events) {
+        if (!first) os << ",\n";
+        first = false;
+        // Chrome expects microsecond doubles; keep nanosecond precision.
+        const double ts_us = static_cast<double>(e.start_ns) / 1e3;
+        const double dur_us = static_cast<double>(e.end_ns - e.start_ns) / 1e3;
+        os << "  {\"name\": \"";
+        json_escape_into(os, e.name != nullptr ? e.name : "span");
+        os << "\", \"cat\": \"amsnet\", \"ph\": \"X\", \"ts\": " << ts_us
+           << ", \"dur\": " << dur_us << ", \"pid\": 1, \"tid\": " << e.thread_index;
+        if (e.tag[0] != '\0') {
+            os << ", \"args\": {\"tag\": \"";
+            json_escape_into(os, e.tag);
+            os << "\"}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+std::size_t write_chrome_trace_file(const std::string& path) {
+    const std::vector<Event> events = collect();
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("write_chrome_trace_file: cannot open " + path);
+    write_chrome_trace(out, events);
+    if (!out) throw std::runtime_error("write_chrome_trace_file: write failed for " + path);
+    return events.size();
+}
+
+}  // namespace ams::runtime::trace

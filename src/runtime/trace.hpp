@@ -1,0 +1,99 @@
+// Scoped-span tracing: the "when" half of the observability layer
+// (runtime/metrics.hpp is the "what happened" half).
+//
+// A Span is an RAII timestamp pair: construction records a begin time,
+// destruction an end time, and the completed event lands in a buffer
+// owned by the *recording thread* — no shared structure is touched on the
+// hot path, so spans from the work-stealing pool's workers never contend.
+// collect() merges every thread's buffer into one chronology; the chrome
+// exporter renders it as a chrome://tracing / Perfetto-loadable JSON
+// file with one track per thread (workers are labeled by the pool).
+//
+// Cost contract: spans are active only at AMSNET_TRACE=full. At off /
+// counters a Span is a one-byte load and a branch — it never timestamps,
+// never allocates (tests/trace_test.cpp holds the planned inference path
+// to zero allocations with counters on). At full, a thread's first span
+// allocates its buffer and each event may grow it: never trace inside
+// allocation-counting tests.
+//
+// Numerics contract: tracing observes, it never participates. No span
+// influences chunk decomposition, RNG stream selection, or any computed
+// value, so enabling full tracing cannot perturb noise realizations
+// (streams stay position-keyed; see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+
+namespace ams::runtime::trace {
+
+/// One completed span. `name` must be a string with static storage
+/// duration (span sites pass literals); `tag` is a small inline buffer so
+/// recording never allocates per event.
+struct Event {
+    static constexpr std::size_t kTagCapacity = 63;
+
+    const char* name = nullptr;
+    char tag[kTagCapacity + 1] = {0};  ///< optional "key=value ..." detail
+    std::uint64_t start_ns = 0;        ///< relative to the process trace epoch
+    std::uint64_t end_ns = 0;
+    std::uint32_t thread_index = 0;    ///< stable per-thread track id
+    std::uint32_t depth = 0;           ///< nesting level within the thread
+};
+
+/// RAII scoped span. Inert unless metrics::spans_enabled().
+class Span {
+public:
+    explicit Span(const char* name) {
+        if (metrics::spans_enabled()) begin(name, nullptr);
+    }
+    /// `tag` is copied (truncated to Event::kTagCapacity) into the event.
+    Span(const char* name, const char* tag) {
+        if (metrics::spans_enabled()) begin(name, tag);
+    }
+    ~Span() {
+        if (active_) end();
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    void begin(const char* name, const char* tag);
+    void end();
+
+    bool active_ = false;
+    Event event_{};
+};
+
+/// Labels the calling thread's track in the exported trace ("worker-3",
+/// "main", ...). The pool labels its workers at startup; anything
+/// unlabeled shows as "thread-<index>". Always active (one small
+/// allocation per thread, at thread setup — never on a hot path) so
+/// labels exist even when tracing is enabled later in the process.
+void set_thread_label(const char* label);
+
+/// Stable track index of the calling thread (assigned on first use).
+[[nodiscard]] std::uint32_t thread_index();
+
+/// Merges every thread's completed events into one list, ordered by
+/// (thread_index, start_ns). Safe to call while other threads record —
+/// events completing concurrently land in the next collect().
+[[nodiscard]] std::vector<Event> collect();
+
+/// Discards all buffered events (thread labels are kept).
+void clear();
+
+/// Renders events in the Chrome Trace Event JSON format (loadable by
+/// chrome://tracing and Perfetto): one complete ("ph":"X") event per
+/// span plus one metadata record naming each thread track.
+void write_chrome_trace(std::ostream& os, const std::vector<Event>& events);
+
+/// collect() + write to `path` (parent directories created). Returns the
+/// number of events written. Throws std::runtime_error on I/O failure.
+std::size_t write_chrome_trace_file(const std::string& path);
+
+}  // namespace ams::runtime::trace

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/simd.hpp"
 #include "tensor/gemm_kernels.hpp"
@@ -11,6 +12,16 @@
 namespace ams {
 
 namespace {
+
+// One ledger entry per public entry point, outside every loop: the
+// off-mode cost is two predicted branches per *call*, which is what
+// keeps the AMSNET_TRACE=off GEMM hot loop within the <1% overhead
+// contract (bench_trace_overhead).
+inline void count_gemm(std::size_t m, std::size_t k, std::size_t n) {
+    runtime::metrics::add(runtime::metrics::Counter::kGemmCalls);
+    runtime::metrics::add(runtime::metrics::Counter::kGemmFlops,
+                          2ull * static_cast<std::uint64_t>(m) * k * n);
+}
 
 // Block sizes tuned for a typical 32 KiB L1 / 1 MiB L2; exact values are
 // not critical at our problem sizes.
@@ -61,6 +72,7 @@ std::size_t gemm_row_grain(std::size_t m, std::size_t k, std::size_t n) {
 
 void gemm_accumulate(const float* a, const float* b, float* c,
                      std::size_t m, std::size_t k, std::size_t n, GemmPackBuffers* pack) {
+    count_gemm(m, k, n);
 #if defined(AMSNET_HAVE_AVX2)
     if (simd::active_level() == simd::Level::kAvx2) {
         kernels::gemm_avx2(a, b, c, m, k, n, /*accumulate=*/true, /*a_transposed=*/false,
@@ -79,8 +91,12 @@ void gemm_accumulate(const float* a, const float* b, float* c,
                           });
 }
 
-void gemm(const float* a, const float* b, float* c,
-          std::size_t m, std::size_t k, std::size_t n, GemmPackBuffers* pack) {
+namespace {
+
+/// Uncounted body of gemm(): shared by the public entry point and the
+/// scalar gemm_at path, so transposed calls hit the ledger exactly once.
+void gemm_impl(const float* a, const float* b, float* c,
+               std::size_t m, std::size_t k, std::size_t n, GemmPackBuffers* pack) {
 #if defined(AMSNET_HAVE_AVX2)
     if (simd::active_level() == simd::Level::kAvx2) {
         kernels::gemm_avx2(a, b, c, m, k, n, /*accumulate=*/false, /*a_transposed=*/false,
@@ -101,8 +117,17 @@ void gemm(const float* a, const float* b, float* c,
                           });
 }
 
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c,
+          std::size_t m, std::size_t k, std::size_t n, GemmPackBuffers* pack) {
+    count_gemm(m, k, n);
+    gemm_impl(a, b, c, m, k, n, pack);
+}
+
 void gemm_at(const float* a, const float* b, float* c,
              std::size_t m, std::size_t k, std::size_t n, GemmPackBuffers* pack) {
+    count_gemm(m, k, n);
 #if defined(AMSNET_HAVE_AVX2)
     if (simd::active_level() == simd::Level::kAvx2) {
         // The packed path reads the KxM layout directly while packing A
@@ -127,11 +152,12 @@ void gemm_at(const float* a, const float* b, float* c,
                                   }
                               }
                           });
-    gemm(at, b, c, m, k, n, pack);
+    gemm_impl(at, b, c, m, k, n, pack);
 }
 
 void gemm_bt(const float* a, const float* b, float* c,
              std::size_t m, std::size_t k, std::size_t n, GemmPackBuffers* pack) {
+    count_gemm(m, k, n);
 #if defined(AMSNET_HAVE_AVX2)
     if (simd::active_level() == simd::Level::kAvx2) {
         kernels::gemm_bt_avx2(a, b, c, m, k, n, pack);

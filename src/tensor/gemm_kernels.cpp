@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "runtime/metrics.hpp"
+
 namespace ams {
 
 namespace {
@@ -20,6 +22,9 @@ public:
             std::size_t cap = buf.size() == 0 ? 256 : buf.size();
             while (cap < floats) cap *= 2;
             buf.resize(cap);
+            // Growth should go quiet after warm-up; a counter that keeps
+            // climbing in steady state flags a shape-jitter regression.
+            runtime::metrics::add(runtime::metrics::Counter::kGemmPackGrowths);
         }
         return buf.data();
     }

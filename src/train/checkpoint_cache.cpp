@@ -6,6 +6,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "runtime/metrics.hpp"
+
 namespace ams::train {
 
 namespace {
@@ -72,7 +74,9 @@ TensorMap cached_state(const std::string& cache_dir, const std::string& key,
     const bool read_cache = (no_cache == nullptr || std::string(no_cache) != "1");
     if (read_cache && fs::exists(path)) {
         try {
-            return load_tensor_map_file(path.string());
+            TensorMap state = load_tensor_map_file(path.string());
+            runtime::metrics::add(runtime::metrics::Counter::kCheckpointDiskHits);
+            return state;
         } catch (const std::exception&) {
             // Corrupt or stale-format checkpoint: fall through and rebuild.
         }
@@ -80,8 +84,12 @@ TensorMap cached_state(const std::string& cache_dir, const std::string& key,
     if (!read_cache) {
         std::lock_guard<std::mutex> memo_lock(g_memo_mu);
         auto it = state_memo().find(path.string());
-        if (it != state_memo().end()) return it->second;
+        if (it != state_memo().end()) {
+            runtime::metrics::add(runtime::metrics::Counter::kCheckpointMemoHits);
+            return it->second;
+        }
     }
+    runtime::metrics::add(runtime::metrics::Counter::kCheckpointMisses);
     TensorMap state = produce();
     save_tensor_map_file(path.string(), state);
     if (!read_cache) {

@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
+#include "runtime/trace.hpp"
 
 namespace ams::train {
 
@@ -50,9 +52,13 @@ Tensor slice_batch(const Tensor& images, std::size_t start, std::size_t count,
 double one_pass_topk(models::ResNet& model, const Tensor& images,
                      const std::vector<std::size_t>& labels, std::size_t k,
                      std::size_t batch_size, runtime::EvalContext& ctx) {
+    runtime::trace::Span pass_span("evaluate.pass");
+    runtime::metrics::add(runtime::metrics::Counter::kEvalPasses);
     const std::size_t n = images.dim(0);
     double hits = 0.0;
     for (std::size_t start = 0; start < n; start += batch_size) {
+        runtime::trace::Span batch_span("evaluate.batch");
+        runtime::metrics::add(runtime::metrics::Counter::kEvalBatches);
         const std::size_t count = std::min(batch_size, n - start);
         const runtime::TensorArena::Checkpoint cp = ctx.checkpoint();
         Tensor logits = model.forward(slice_batch(images, start, count, ctx), ctx);

@@ -11,6 +11,7 @@
 
 #include "ams/vmac_conv.hpp"
 #include "runtime/eval_context.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/im2col.hpp"
 
@@ -212,8 +213,16 @@ TEST(VmacConvBackendTest, BackwardNamesModuleAndBackend) {
     opts.kind = BackendKind::kDeltaSigma;
     VmacConv2d vconv(w, 1, 0, cfg(8.0), {}, opts, Rng(30));
     Tensor g(Shape{1, 1, 2, 2});
+
+    // Backward must throw *before* touching the datapath: with counters
+    // on, no conversion ledger entry may be reachable from the failed
+    // call (a conversion recorded here would corrupt energy cross-checks).
+    namespace metrics = runtime::metrics;
+    metrics::reset();
+    metrics::set_level(metrics::Level::kCounters);
     try {
         (void)vconv.backward(g);
+        metrics::set_level(metrics::Level::kOff);
         FAIL() << "expected std::logic_error";
     } catch (const std::logic_error& e) {
         const std::string what = e.what();
@@ -221,6 +230,15 @@ TEST(VmacConvBackendTest, BackwardNamesModuleAndBackend) {
         EXPECT_NE(what.find("delta_sigma"), std::string::npos);
         EXPECT_NE(what.find("evaluation-only"), std::string::npos);
     }
+    metrics::set_level(metrics::Level::kOff);
+    for (metrics::Counter c :
+         {metrics::Counter::kAdcConversionsBitExact, metrics::Counter::kAdcConversionsPerVmacNoise,
+          metrics::Counter::kAdcConversionsPartitioned, metrics::Counter::kAdcConversionsDeltaSigma,
+          metrics::Counter::kAdcConversionsReferenceScaled, metrics::Counter::kVmacChunks,
+          metrics::Counter::kVmacOutputs}) {
+        EXPECT_EQ(metrics::value(c), 0u) << "backward reached the conversion ledger";
+    }
+    metrics::reset();
 }
 
 TEST(VmacConvBackendTest, BackendAccessorExposesSelectedDatapath) {
