@@ -81,6 +81,7 @@ int main() {
     const vmac::AnalogOptions analog;
     const std::size_t ref_chunks = 8;  ///< chunks per output for amortization
     core::BenchReport report("fig8_design_space");
+    report.record_runtime_env();
     report.config().set("baseline_top1", base.mean);
     report.config().set("reference_nmult", std::uint64_t{8});
     report.config().set("backend_ref_chunks", ref_chunks);

@@ -156,8 +156,9 @@ int main() {
     table.print(std::cout);
 
     core::BenchReport report("gemm");
+    report.record_runtime_env();
     report.config().set("avx2_available", has_avx2);
-    report.config().set("threads", std::uint64_t{1});
+    report.config().set("threads", std::uint64_t{1});  // measurement threads (not the pool)
     for (const GemmRow& r : rows) {
         core::BenchFields& row = report.add_row();
         row.set("kind", "gemm");

@@ -87,6 +87,7 @@ int main() {
                          "batch_eval_arena_ms", "arena_hwm_bytes"});
 
     core::BenchReport report("runtime_scaling");
+    report.record_runtime_env();  // "threads" = pre-sweep pool; rows carry the sweep
     report.config().set("hardware_concurrency", static_cast<std::uint64_t>(hw));
     double gemm_base = 0.0;
     double vmac_base = 0.0;

@@ -43,14 +43,7 @@ double min_seconds_of(const std::function<void()>& fn, int reps, int trials) {
     return best;
 }
 
-const char* level_name(runtime::metrics::Level level) {
-    switch (level) {
-        case runtime::metrics::Level::kOff: return "off";
-        case runtime::metrics::Level::kCounters: return "counters";
-        case runtime::metrics::Level::kFull: return "full";
-    }
-    return "?";
-}
+using runtime::metrics::level_name;
 
 }  // namespace
 
@@ -84,12 +77,12 @@ int main() {
     runtime::metrics::set_level(runtime::metrics::Level::kOff);
 
     core::BenchReport report("trace_overhead");
+    report.record_runtime_env();
     report.config().set("m", m);
     report.config().set("k", k);
     report.config().set("n", n);
     report.config().set("reps", reps);
     report.config().set("trials", trials);
-    report.config().set("threads", std::uint64_t{1});
 
     core::Table table({"level", "gemm (us/call)", "GFLOP/s", "overhead vs off"});
     const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *

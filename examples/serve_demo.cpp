@@ -1,0 +1,88 @@
+// Serving demo: stand up the in-process inference server on a quantized
+// mini-ResNet, submit a burst of single-image requests from several
+// client threads, and show what dynamic batching did with them.
+//
+//   ./examples/serve_demo [instances] [max_batch] [requests]
+//
+// This is the 60-second tour of amsnet::serve (DESIGN.md §12): submit()
+// returns a future per image; a pool of weight-sharing model replicas
+// coalesces requests into batches under a latency budget; shutdown()
+// drains everything in flight.
+#include <iostream>
+#include <string>
+
+#include "core/report.hpp"
+#include "data/synthetic_imagenet.hpp"
+#include "models/resnet.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/server.hpp"
+
+using namespace ams;
+
+int main(int argc, char** argv) {
+    serve::ServerOptions options;
+    options.instances = argc > 1 ? std::stoul(argv[1]) : 2;
+    options.max_batch = argc > 2 ? std::stoul(argv[2]) : 8;
+    options.max_delay_us = 2000;
+    const std::size_t requests = argc > 3 ? std::stoul(argv[3]) : 128;
+
+    std::cout << "amsnet serve demo: " << options.instances << " instance(s), max_batch "
+              << options.max_batch << ", latency budget " << options.max_delay_us << " us\n\n";
+
+    // 1. A quantized (8b) mini-ResNet and a synthetic validation set.
+    models::LayerCommon common;
+    common.bits_w = 8;
+    common.bits_x = 8;
+    models::ResNet primary(models::mini_resnet_config(common));
+    primary.set_training(false);
+
+    data::DatasetOptions data_options;
+    data_options.classes = 10;
+    data_options.train_per_class = 1;
+    data_options.val_per_class = 8;
+    data_options.image_size = 16;
+    data::SyntheticImageNet dataset(data_options);
+    const Tensor& images = dataset.val_images();
+    const Shape image_shape{images.dim(1), images.dim(2), images.dim(3)};
+
+    // 2. The server: each instance is an eval replica sharing the primary's
+    //    weights (models::make_eval_replica), with its own planned arena.
+    serve::InferenceServer server(primary, image_shape, options);
+
+    // 3. One single-image request, end to end.
+    serve::InferenceResult one = server.submit(images.data()).get();
+    std::cout << "single request: predicted class " << one.predicted << " in "
+              << core::fmt_fixed(static_cast<double>(one.timing.latency_ns()) * 1e-3, 0)
+              << " us (batch of " << one.timing.batch_size << " on instance "
+              << one.timing.instance << ")\n";
+
+    // 4. A closed-loop burst from several client threads.
+    serve::LoadGenOptions load;
+    load.clients = 2 * options.instances;
+    load.requests = requests;
+    const serve::LoadReport report = run_load(server, images, load);
+    server.shutdown();
+
+    std::cout << "\nburst of " << report.issued << " requests from " << load.clients
+              << " clients:\n";
+    std::cout << "  completed      " << report.completed << " ("
+              << core::fmt_fixed(report.achieved_qps, 0) << " images/s)\n";
+    std::cout << "  latency        p50 " << core::fmt_fixed(report.latency.p50_us, 0)
+              << " us, p99 " << core::fmt_fixed(report.latency.p99_us, 0) << " us\n";
+    std::cout << "  queue wait     p50 " << core::fmt_fixed(report.queue_wait.p50_us, 0)
+              << " us\n";
+    std::cout << "  mean batch     " << core::fmt_fixed(report.server.mean_batch(), 2)
+              << " of " << options.max_batch << " (fill "
+              << core::fmt_fixed(report.server.batch_fill_ratio(options.max_batch) * 100.0, 0)
+              << "%)\n";
+    std::cout << "  batches        " << report.server.batches << ", max queue depth "
+              << report.server.max_queue_depth << "\n";
+
+    // 5. How much does an extra instance cost? Only buffers and arenas —
+    //    replica weights are borrowed views over the primary's storage.
+    auto replica = models::make_eval_replica(primary, 0);
+    std::cout << "\nreplica owned parameter floats: " << nn::owned_parameter_floats(*replica)
+              << " (weights shared with the primary: "
+              << nn::owned_parameter_floats(primary) << " floats held once)\n";
+    return report.completed == report.issued ? 0 : 1;
+}

@@ -62,3 +62,7 @@
 #include "train/checkpoint_cache.hpp"
 #include "train/evaluate.hpp"
 #include "train/trainer.hpp"
+
+// Serving (dynamic batching inference server + load generator)
+#include "serve/load_gen.hpp"
+#include "serve/server.hpp"

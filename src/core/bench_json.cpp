@@ -6,8 +6,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <thread>
+
 #include "core/csv.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/simd.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace ams::core {
 
@@ -106,6 +110,14 @@ BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
 BenchFields& BenchReport::add_row() {
     series_.emplace_back();
     return series_.back();
+}
+
+void BenchReport::record_runtime_env() {
+    config_.set("threads", static_cast<std::uint64_t>(runtime::ThreadPool::global().parallelism()));
+    config_.set("hardware_concurrency",
+                static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    config_.set("simd", simd::level_name(simd::active_level()));
+    config_.set("trace", runtime::metrics::level_name(runtime::metrics::level()));
 }
 
 void BenchReport::capture_runtime_metrics() {

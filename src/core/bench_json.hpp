@@ -65,6 +65,13 @@ public:
     /// Run-level knobs ("threads", "avx2_available", ...).
     BenchFields& config() { return config_; }
 
+    /// Bench hygiene: records the process-wide runtime environment the
+    /// run executed under into config() — thread-pool parallelism,
+    /// hardware concurrency, the active SIMD arm (AMSNET_SIMD) and the
+    /// trace level (AMSNET_TRACE) — so artifacts are self-describing.
+    /// Call after any set_global_threads / set_level override.
+    void record_runtime_env();
+
     /// Appends and returns one measurement row.
     BenchFields& add_row();
 

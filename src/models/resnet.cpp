@@ -252,6 +252,30 @@ std::vector<double> ResNet::activation_means() {
     return means;
 }
 
+std::unique_ptr<ResNet> make_eval_replica(ResNet& primary, std::uint64_t instance) {
+    ResNetConfig cfg = primary.config();
+    // splitmix64-style seed mix: instance 0 keeps a distinct stream from
+    // the primary too, so a pool never accidentally replays the noise
+    // sequence the primary produced before the pool was built.
+    std::uint64_t z = cfg.seed ^ (0x9E3779B97F4A7C15ULL * (instance + 1));
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    cfg.seed = z ^ (z >> 31);
+
+    auto replica = std::make_unique<ResNet>(cfg);
+    // Deep-copy the trained state first (persistent buffers like BN
+    // running statistics travel through the state map), then rebind the
+    // large weight tensors to borrowed views — the deep copies made by
+    // load_state are freed by the rebind, so only buffers stay owned.
+    TensorMap state;
+    primary.collect_state("", state);
+    replica->load_state("", state);
+    (void)nn::share_parameters_with(*replica, primary);
+    (void)nn::release_gradients(*replica);
+    replica->set_training(false);
+    return replica;
+}
+
 ResNetConfig mini_resnet_config(const LayerCommon& common, std::size_t num_classes,
                                 float input_max_abs, std::uint64_t seed) {
     ResNetConfig cfg;

@@ -111,6 +111,26 @@ private:
     void apply_last_layer_policy();
 };
 
+/// Builds an evaluation-only replica of `primary` for a serving instance
+/// pool (serve/server.hpp):
+///
+///   * same architecture and trained state — persistent buffers (BN
+///     running statistics) are deep-copied, but every weight tensor is a
+///     *borrowed view* over `primary`'s storage (nn::share_parameters_with),
+///     so an added instance costs only its buffers, injector state, and
+///     arenas, not another copy of the network;
+///   * gradient accumulators are released (the replica never trains);
+///   * the replica's noise streams are reseeded from (config seed,
+///     instance), so stochastic AMS error realizations are statistically
+///     independent across instances — two replicas with the same
+///     `instance` id reproduce the same realization, and deterministic
+///     (noise-free / bit_exact) configurations stay bit-identical to
+///     `primary` at any instance id.
+///
+/// `primary` must outlive the replica, and its weights must not be
+/// mutated (trained, re-loaded) while replicas exist.
+[[nodiscard]] std::unique_ptr<ResNet> make_eval_replica(ResNet& primary, std::uint64_t instance);
+
 /// CPU-trainable preset structurally faithful to ResNet-50 (bottleneck
 /// blocks, BN everywhere, projection downsampling): 22 conv layers on
 /// 16x16 inputs. `common` selects FP32 / quantized / AMS variants.

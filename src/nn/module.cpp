@@ -40,4 +40,48 @@ std::size_t parameter_count(const std::vector<Parameter*>& params) {
     return n;
 }
 
+std::size_t share_parameters_with(Module& dst, Module& src) {
+    const std::vector<Parameter*> dst_params = dst.parameters();
+    const std::vector<Parameter*> src_params = src.parameters();
+    if (dst_params.size() != src_params.size()) {
+        throw std::invalid_argument("share_parameters_with: parameter count mismatch (" +
+                                    std::to_string(dst_params.size()) + " vs " +
+                                    std::to_string(src_params.size()) + ")");
+    }
+    std::size_t shared = 0;
+    for (std::size_t i = 0; i < dst_params.size(); ++i) {
+        Parameter& d = *dst_params[i];
+        Parameter& s = *src_params[i];
+        if (d.name != s.name) {
+            throw std::invalid_argument("share_parameters_with: parameter name mismatch at " +
+                                        std::to_string(i) + ": " + d.name + " vs " + s.name);
+        }
+        if (d.value.shape() != s.value.shape()) {
+            throw std::invalid_argument("share_parameters_with: shape mismatch for " + d.name +
+                                        ": " + d.value.shape().str() + " vs " +
+                                        s.value.shape().str());
+        }
+        d.value = Tensor::borrowed(s.value.shape(), s.value.data());
+        shared += d.value.size();
+    }
+    return shared;
+}
+
+std::size_t release_gradients(Module& module) {
+    std::size_t freed = 0;
+    for (Parameter* p : module.parameters()) {
+        freed += p->grad.size();
+        p->grad = Tensor();
+    }
+    return freed;
+}
+
+std::size_t owned_parameter_floats(Module& module) {
+    std::size_t owned = 0;
+    for (Parameter* p : module.parameters()) {
+        if (p->value.owns_storage()) owned += p->value.size();
+    }
+    return owned;
+}
+
 }  // namespace ams::nn

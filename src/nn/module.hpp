@@ -114,4 +114,34 @@ void zero_grads(const std::vector<Parameter*>& params);
 /// Total number of scalar weights in a parameter set.
 [[nodiscard]] std::size_t parameter_count(const std::vector<Parameter*>& params);
 
+// ----- weight sharing for evaluation replicas (instance pools) -----
+//
+// A serving instance pool wants N copies of one model that differ only in
+// their *mutable* per-forward state (noise stream epochs, backend
+// residue, BN batch caches) while the large immutable weight tensors are
+// held once. share_parameters_with rebinds every parameter of `dst` to a
+// borrowed view over the matching parameter of `src`: after the call the
+// replica owns no weight storage of its own (its previous deep copies
+// are freed), so each added instance costs only its small buffers and
+// arenas. The borrow follows Tensor::borrowed semantics — `src` must
+// outlive `dst`, and `src`'s parameters must not reallocate (training or
+// load_state on the primary while replicas exist is undefined).
+
+/// Rebinds every parameter value of `dst` to borrow the storage of the
+/// positionally matching parameter of `src`. Both modules must have the
+/// same architecture: parameter lists are matched by position and
+/// checked by name and shape (std::invalid_argument on any mismatch).
+/// Returns the number of floats now shared instead of copied.
+std::size_t share_parameters_with(Module& dst, Module& src);
+
+/// Releases the gradient accumulators of every parameter (an eval-only
+/// replica never runs backward; keeping the accumulators would double
+/// its footprint). Returns the number of floats freed.
+std::size_t release_gradients(Module& module);
+
+/// Floats of parameter-value storage `module` actually owns — borrowed
+/// (shared) parameters count zero. The per-instance weight cost of a
+/// replica, proven ~0 by tests/replica_test.cpp.
+[[nodiscard]] std::size_t owned_parameter_floats(Module& module);
+
 }  // namespace ams::nn

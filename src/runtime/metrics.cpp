@@ -1,8 +1,11 @@
 #include "runtime/metrics.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -28,6 +31,19 @@ void apply(Level level) {
     g_level.store(static_cast<int>(level), std::memory_order_release);
 }
 
+/// Registers the AMSNET_METRICS_DUMP atexit exporter exactly once. Done
+/// from level() — the first metrics touch of any instrumented process —
+/// so benches and the server get the exit snapshot without calling
+/// anything themselves.
+void register_exit_dump() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (std::getenv("AMSNET_METRICS_DUMP") != nullptr) {
+            std::atexit([] { (void)dump_snapshot_if_configured(); });
+        }
+    });
+}
+
 }  // namespace
 
 Level parse_level(const char* text) {
@@ -38,9 +54,19 @@ Level parse_level(const char* text) {
     return Level::kOff;
 }
 
+const char* level_name(Level level) {
+    switch (level) {
+        case Level::kOff: return "off";
+        case Level::kCounters: return "counters";
+        case Level::kFull: return "full";
+    }
+    return "off";
+}
+
 Level level() {
     const int cached = g_level.load(std::memory_order_acquire);
     if (cached >= 0) return static_cast<Level>(cached);
+    register_exit_dump();
     const Level env = parse_level(std::getenv("AMSNET_TRACE"));
     apply(env);
     return env;
@@ -84,6 +110,10 @@ const char* counter_name(Counter counter) {
         case Counter::kCheckpointMisses: return "checkpoint_misses";
         case Counter::kEvalPasses: return "eval_passes";
         case Counter::kEvalBatches: return "eval_batches";
+        case Counter::kServeRequests: return "serve_requests";
+        case Counter::kServeBatches: return "serve_batches";
+        case Counter::kServeBatchImages: return "serve_batch_images";
+        case Counter::kServeQueueWaitNs: return "serve_queue_wait_ns";
         case Counter::kCount: break;
     }
     return "unknown_counter";
@@ -92,6 +122,7 @@ const char* counter_name(Counter counter) {
 const char* gauge_name(Gauge gauge) {
     switch (gauge) {
         case Gauge::kArenaHighWaterBytes: return "arena_high_water_bytes";
+        case Gauge::kServeQueueDepthMax: return "serve_queue_depth_max";
         case Gauge::kCount: break;
     }
     return "unknown_gauge";
@@ -134,6 +165,18 @@ void write_metrics_file(const std::string& path) {
         write_metrics_json(out);
     }
     if (!out) throw std::runtime_error("write_metrics_file: write failed for " + path);
+}
+
+bool dump_snapshot_if_configured() {
+    const char* path = std::getenv("AMSNET_METRICS_DUMP");
+    if (path == nullptr || path[0] == '\0') return false;
+    try {
+        write_metrics_file(path);
+        return true;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "amsnet: AMSNET_METRICS_DUMP export failed: %s\n", e.what());
+        return false;
+    }
 }
 
 }  // namespace ams::runtime::metrics

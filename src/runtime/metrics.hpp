@@ -40,6 +40,10 @@ enum class Level : int {
 /// Parses "off" / "counters" / "full" (unknown values mean kOff).
 [[nodiscard]] Level parse_level(const char* text);
 
+/// Stable name of a level ("off" / "counters" / "full") — the inverse of
+/// parse_level, used by benches recording their run environment.
+[[nodiscard]] const char* level_name(Level level);
+
 /// Current level. First call reads AMSNET_TRACE; later calls are a
 /// relaxed atomic load.
 [[nodiscard]] Level level();
@@ -84,12 +88,19 @@ enum class Counter : int {
     kEvalPasses,          ///< full validation passes
     kEvalBatches,         ///< batches pushed through a model
 
+    // Inference server (serve/server.cpp)
+    kServeRequests,       ///< requests accepted by submit()
+    kServeBatches,        ///< dynamic batches dispatched to an instance
+    kServeBatchImages,    ///< images across all dispatched batches
+    kServeQueueWaitNs,    ///< summed enqueue -> dequeue wait, nanoseconds
+
     kCount
 };
 
 /// Max-tracking gauges.
 enum class Gauge : int {
     kArenaHighWaterBytes = 0,  ///< largest single-arena high-water mark seen
+    kServeQueueDepthMax,       ///< deepest request queue any server reached
     kCount
 };
 
@@ -152,5 +163,15 @@ void write_metrics_csv(std::ostream& os);
 /// else JSON), creating parent directories. Throws std::runtime_error on
 /// I/O failure.
 void write_metrics_file(const std::string& path);
+
+/// AMSNET_METRICS_DUMP=<path>: when set, the current counter snapshot is
+/// exported to <path> through write_metrics_file at process exit (the
+/// atexit hook is registered the first time the metrics level is
+/// resolved) and whenever this function is called explicitly — the
+/// inference server calls it on shutdown so serving runs drop their
+/// ledger without bespoke wiring. Returns true if a file was written.
+/// Never throws: export failures are reported on stderr (the process is
+/// usually past the point of recovering).
+bool dump_snapshot_if_configured();
 
 }  // namespace ams::runtime::metrics

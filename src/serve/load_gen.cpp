@@ -1,0 +1,162 @@
+#include "serve/load_gen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "tensor/rng.hpp"
+
+namespace ams::serve {
+
+void LoadGenOptions::validate() const {
+    if (clients == 0) throw std::invalid_argument("LoadGenOptions: clients must be > 0");
+    if (requests == 0) throw std::invalid_argument("LoadGenOptions: requests must be > 0");
+    if (open_loop && !(offered_qps > 0.0)) {
+        throw std::invalid_argument("LoadGenOptions: open loop needs offered_qps > 0");
+    }
+}
+
+LatencyStats summarize_latency_us(std::vector<double>& samples_us) {
+    LatencyStats stats;
+    if (samples_us.empty()) return stats;
+    std::sort(samples_us.begin(), samples_us.end());
+    const auto rank = [&](double q) {
+        // Nearest-rank: ceil(q * n), 1-based.
+        const std::size_t n = samples_us.size();
+        std::size_t r = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+        r = std::min(std::max<std::size_t>(r, 1), n);
+        return samples_us[r - 1];
+    };
+    stats.p50_us = rank(0.50);
+    stats.p95_us = rank(0.95);
+    stats.p99_us = rank(0.99);
+    stats.max_us = samples_us.back();
+    double sum = 0.0;
+    for (double s : samples_us) sum += s;
+    stats.mean_us = sum / static_cast<double>(samples_us.size());
+    return stats;
+}
+
+namespace {
+
+/// Everything the client threads share during one run.
+struct RunState {
+    std::atomic<std::size_t> next{0};  ///< request index dispenser
+    std::mutex mu;                     ///< guards the merged timing list
+    std::vector<RequestTiming> timings;
+    std::atomic<std::size_t> failed{0};
+};
+
+void record(RunState& state, std::vector<RequestTiming>& local) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.timings.insert(state.timings.end(), local.begin(), local.end());
+    local.clear();
+}
+
+}  // namespace
+
+LoadReport run_load(InferenceServer& server, const Tensor& images,
+                    const LoadGenOptions& options) {
+    options.validate();
+    if (images.rank() != 4 || images.dim(0) == 0) {
+        throw std::invalid_argument("run_load: images must be a non-empty NCHW tensor");
+    }
+    const Shape& chw = server.image_shape();
+    if (images.dim(1) != chw.dim(0) || images.dim(2) != chw.dim(1) ||
+        images.dim(3) != chw.dim(2)) {
+        throw std::invalid_argument("run_load: image shape does not match the server's");
+    }
+    const std::size_t n_images = images.dim(0);
+    const std::size_t image_floats = chw.numel();
+    const float* base = images.data();
+
+    // Open loop: one shared Poisson arrival schedule (cumulative offsets
+    // from the run start), precomputed so every client paces against the
+    // same clock and the process is reproducible under `seed`.
+    std::vector<double> arrival_s;
+    if (options.open_loop) {
+        arrival_s.resize(options.requests);
+        Rng rng(options.seed);
+        double t = 0.0;
+        for (std::size_t i = 0; i < options.requests; ++i) {
+            const double u = rng.uniform(0.0, 1.0);
+            t += -std::log1p(-u) / options.offered_qps;  // Exp(offered_qps)
+            arrival_s[i] = t;
+        }
+    }
+
+    RunState state;
+    state.timings.reserve(options.requests);
+    const auto run_start = std::chrono::steady_clock::now();
+
+    auto client = [&](std::size_t /*client_index*/) {
+        std::vector<RequestTiming> local;
+        std::vector<std::future<InferenceResult>> pending;
+        for (;;) {
+            const std::size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= options.requests) break;
+            const float* image = base + (i % n_images) * image_floats;
+            try {
+                if (options.open_loop) {
+                    std::this_thread::sleep_until(
+                        run_start + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::duration<double>(arrival_s[i])));
+                    pending.push_back(server.submit(image));
+                } else {
+                    const InferenceResult result = server.submit(image).get();
+                    local.push_back(result.timing);
+                }
+            } catch (const std::exception&) {
+                state.failed.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        // Open loop: reap after the issue phase so waiting never delays
+        // the arrival schedule.
+        for (std::future<InferenceResult>& f : pending) {
+            try {
+                local.push_back(f.get().timing);
+            } catch (const std::exception&) {
+                state.failed.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        record(state, local);
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(options.clients);
+    for (std::size_t c = 0; c < options.clients; ++c) threads.emplace_back(client, c);
+    for (std::thread& t : threads) t.join();
+
+    LoadReport report;
+    report.issued = options.requests;
+    report.completed = state.timings.size();
+    report.server = server.stats();
+
+    if (!state.timings.empty()) {
+        std::uint64_t first_enqueue = state.timings.front().enqueue_ns;
+        std::uint64_t last_complete = 0;
+        std::vector<double> latency_us;
+        std::vector<double> wait_us;
+        latency_us.reserve(state.timings.size());
+        wait_us.reserve(state.timings.size());
+        for (const RequestTiming& t : state.timings) {
+            first_enqueue = std::min(first_enqueue, t.enqueue_ns);
+            last_complete = std::max(last_complete, t.complete_ns);
+            latency_us.push_back(static_cast<double>(t.latency_ns()) * 1e-3);
+            wait_us.push_back(static_cast<double>(t.queue_wait_ns()) * 1e-3);
+        }
+        report.duration_s = static_cast<double>(last_complete - first_enqueue) * 1e-9;
+        report.achieved_qps = report.duration_s > 0.0
+                                  ? static_cast<double>(report.completed) / report.duration_s
+                                  : 0.0;
+        report.latency = summarize_latency_us(latency_us);
+        report.queue_wait = summarize_latency_us(wait_us);
+    }
+    return report;
+}
+
+}  // namespace ams::serve

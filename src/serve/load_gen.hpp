@@ -1,0 +1,72 @@
+// Load generator for the inference server: the client half of the
+// serving bench (bench_serve_load) and stress tests.
+//
+// Two canonical client models (the distinction matters — they probe
+// different failure modes of a serving system):
+//
+//   * closed loop — `clients` threads each run submit -> wait -> submit.
+//     Offered load adapts to service rate; measures best-case latency
+//     and saturated throughput (concurrency-limited).
+//   * open loop — requests arrive on a Poisson process at `offered_qps`
+//     regardless of completions (client threads pace themselves against
+//     a shared precomputed arrival schedule). Measures latency under a
+//     fixed offered rate, including the queueing blow-up past
+//     saturation — the regime closed-loop clients can never see.
+//
+// Latencies are taken from the server-side RequestTiming carried by each
+// result (enqueue -> complete), so client scheduling jitter does not
+// pollute the tail percentiles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ams::serve {
+
+struct LoadGenOptions {
+    bool open_loop = false;     ///< false: closed loop (offered_qps ignored)
+    double offered_qps = 0.0;   ///< open-loop Poisson arrival rate (> 0)
+    std::size_t clients = 4;    ///< client threads
+    std::size_t requests = 256; ///< total requests to issue
+    std::uint64_t seed = 1;     ///< arrival-process + image-pick RNG
+
+    /// Throws std::invalid_argument on degenerate values.
+    void validate() const;
+};
+
+/// Order statistics of a latency sample, in microseconds.
+struct LatencyStats {
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double mean_us = 0.0;
+    double max_us = 0.0;
+};
+
+/// Nearest-rank percentiles of `samples_us` (sorted in place). Zero stats
+/// on an empty sample.
+[[nodiscard]] LatencyStats summarize_latency_us(std::vector<double>& samples_us);
+
+/// One load run's results.
+struct LoadReport {
+    std::size_t issued = 0;
+    std::size_t completed = 0;
+    double duration_s = 0.0;     ///< first submit -> last completion
+    double achieved_qps = 0.0;   ///< completed / duration
+    LatencyStats latency;        ///< end-to-end (enqueue -> complete)
+    LatencyStats queue_wait;     ///< enqueue -> batch formation
+    ServerStats server;          ///< server counter snapshot after the run
+};
+
+/// Drives `server` with requests drawn round-robin from `images` (NCHW;
+/// each request is one image) under the given client model and returns
+/// the measured report. Blocks until every issued request completed.
+/// Throws std::invalid_argument on shape mismatch with the server.
+[[nodiscard]] LoadReport run_load(InferenceServer& server, const Tensor& images,
+                                  const LoadGenOptions& options);
+
+}  // namespace ams::serve

@@ -27,22 +27,6 @@ private:
     bool was_training_;
 };
 
-/// Copies images [start, start + count) into a borrowed batch tensor in
-/// the context's activation arena (released by the caller's rewind).
-Tensor slice_batch(const Tensor& images, std::size_t start, std::size_t count,
-                   runtime::EvalContext& ctx) {
-    const std::size_t image = images.dim(1) * images.dim(2) * images.dim(3);
-    const Shape shape{count, images.dim(1), images.dim(2), images.dim(3)};
-    Tensor batch = Tensor::borrowed(shape, ctx.alloc_activation(shape.numel()));
-    runtime::parallel_for(0, count, runtime::suggest_grain(count, 16),
-                          [&](std::size_t i_begin, std::size_t i_end) {
-                              std::memcpy(batch.data() + i_begin * image,
-                                          images.data() + (start + i_begin) * image,
-                                          (i_end - i_begin) * image * sizeof(float));
-                          });
-    return batch;
-}
-
 // The batch loop stays sequential on purpose: the model is a stateful
 // graph (cached activations for backward, per-layer noise-stream epochs),
 // so batches must hit it in a fixed order for reproducibility. All the
@@ -61,7 +45,7 @@ double one_pass_topk(models::ResNet& model, const Tensor& images,
         runtime::metrics::add(runtime::metrics::Counter::kEvalBatches);
         const std::size_t count = std::min(batch_size, n - start);
         const runtime::TensorArena::Checkpoint cp = ctx.checkpoint();
-        Tensor logits = model.forward(slice_batch(images, start, count, ctx), ctx);
+        Tensor logits = forward_batch(model, slice_batch(images, start, count, ctx), ctx);
         const std::vector<std::size_t> batch_labels(labels.begin() + start,
                                                     labels.begin() + start + count);
         hits += nn::topk_accuracy(logits, batch_labels, k) * static_cast<double>(count);
@@ -80,6 +64,41 @@ void plan_for(models::ResNet& model, const Tensor& images, std::size_t batch_siz
 }
 
 }  // namespace
+
+Tensor slice_batch(const Tensor& images, std::size_t start, std::size_t count,
+                   runtime::EvalContext& ctx) {
+    const std::size_t image = images.dim(1) * images.dim(2) * images.dim(3);
+    const Shape shape{count, images.dim(1), images.dim(2), images.dim(3)};
+    Tensor batch = Tensor::borrowed(shape, ctx.alloc_activation(shape.numel()));
+    runtime::parallel_for(0, count, runtime::suggest_grain(count, 16),
+                          [&](std::size_t i_begin, std::size_t i_end) {
+                              std::memcpy(batch.data() + i_begin * image,
+                                          images.data() + (start + i_begin) * image,
+                                          (i_end - i_begin) * image * sizeof(float));
+                          });
+    return batch;
+}
+
+Tensor assemble_batch(const float* const* images, std::size_t count, const Shape& chw,
+                      runtime::EvalContext& ctx) {
+    if (count == 0) throw std::invalid_argument("assemble_batch: count must be > 0");
+    if (chw.rank() != 3) throw std::invalid_argument("assemble_batch: image shape must be CHW");
+    const std::size_t image = chw.numel();
+    const Shape shape{count, chw.dim(0), chw.dim(1), chw.dim(2)};
+    Tensor batch = Tensor::borrowed(shape, ctx.alloc_activation(shape.numel()));
+    for (std::size_t i = 0; i < count; ++i) {
+        if (images[i] == nullptr) {
+            throw std::invalid_argument("assemble_batch: null image pointer");
+        }
+        std::memcpy(batch.data() + i * image, images[i], image * sizeof(float));
+    }
+    return batch;
+}
+
+Tensor forward_batch(nn::Module& model, const Tensor& batch, runtime::EvalContext& ctx) {
+    runtime::trace::Span span("forward.batch");
+    return model.forward(batch, ctx);
+}
 
 EvalResult evaluate_top1(models::ResNet& model, const Tensor& images,
                          const std::vector<std::size_t>& labels, std::size_t batch_size,

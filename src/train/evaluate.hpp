@@ -12,6 +12,36 @@
 
 namespace ams::train {
 
+// ----- the shared single-batch forward path -----
+//
+// Every consumer that pushes a batch of images through a planned model —
+// the offline evaluation protocol below and the serve/ dynamic batcher —
+// goes through the same three primitives, so served results are
+// bit-identical to offline evaluation by construction (for deterministic
+// configurations; tests/serve_test.cpp enforces it).
+
+/// Copies images [start, start + count) of an NCHW set into a borrowed
+/// batch tensor in `ctx`'s activation arena (released by the caller's
+/// next rewind). Allocation-free in steady state.
+[[nodiscard]] Tensor slice_batch(const Tensor& images, std::size_t start, std::size_t count,
+                                 runtime::EvalContext& ctx);
+
+/// Gathers `count` single images, given by per-image CHW pointers, into
+/// one borrowed [count, C, H, W] batch tensor in `ctx`'s activation
+/// arena — the serve batcher's gather step (requests arrive in separate
+/// buffers, not as a contiguous range). Throws std::invalid_argument on
+/// count == 0 or a null pointer.
+[[nodiscard]] Tensor assemble_batch(const float* const* images, std::size_t count,
+                                    const Shape& chw, runtime::EvalContext& ctx);
+
+/// One planned eval-mode forward of an assembled batch: the single
+/// batch -> logits entry point shared by evaluate_* and the inference
+/// server. The caller owns checkpoint/rewind discipline around it; the
+/// model must already be in eval mode and planned for (at least) this
+/// batch shape.
+[[nodiscard]] Tensor forward_batch(nn::Module& model, const Tensor& batch,
+                                   runtime::EvalContext& ctx);
+
 /// Aggregated accuracy over repeated validation passes.
 struct EvalResult {
     double mean = 0.0;          ///< sample mean of per-pass top-1 accuracy

@@ -1,0 +1,141 @@
+// Eval-replica construction (models::make_eval_replica) for serving
+// instance pools: weight sharing, gradient release, buffer deep copies,
+// deterministic bit-identity and per-instance noise independence.
+#include "models/resnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "data/synthetic_imagenet.hpp"
+#include "nn/module.hpp"
+
+namespace ams::models {
+namespace {
+
+data::DatasetOptions tiny_data() {
+    data::DatasetOptions o;
+    o.classes = 4;
+    o.train_per_class = 2;
+    o.val_per_class = 4;
+    o.image_size = 8;
+    o.seed = 31;
+    return o;
+}
+
+LayerCommon fp32_common() {
+    LayerCommon c;
+    c.bits_w = quant::kFloatBits;
+    c.bits_x = quant::kFloatBits;
+    return c;
+}
+
+LayerCommon quant_common() {
+    LayerCommon c;
+    c.bits_w = 8;
+    c.bits_x = 8;
+    return c;
+}
+
+LayerCommon ams_common(double enob) {
+    LayerCommon c;
+    c.bits_w = 8;
+    c.bits_x = 8;
+    c.ams_enabled = true;
+    c.vmac.enob = enob;
+    c.vmac.nmult = 8;
+    return c;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+    return a.shape() == b.shape() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(ReplicaTest, SharesWeightStorageWithPrimary) {
+    ResNet primary(tiny_resnet_config(fp32_common()));
+    auto replica = make_eval_replica(primary, 0);
+
+    auto primary_params = primary.parameters();
+    auto replica_params = replica->parameters();
+    ASSERT_EQ(replica_params.size(), primary_params.size());
+    for (std::size_t i = 0; i < primary_params.size(); ++i) {
+        EXPECT_EQ(replica_params[i]->name, primary_params[i]->name);
+        // Same storage, not a copy — and the replica does not own it.
+        EXPECT_EQ(replica_params[i]->value.data(), primary_params[i]->value.data());
+        EXPECT_FALSE(replica_params[i]->value.owns_storage());
+        // Gradient accumulators are released: the replica never trains.
+        EXPECT_EQ(replica_params[i]->grad.size(), 0u);
+    }
+    // The whole per-instance weight cost: zero owned floats.
+    EXPECT_EQ(nn::owned_parameter_floats(*replica), 0u);
+    EXPECT_EQ(nn::owned_parameter_floats(primary),
+              nn::parameter_count(primary_params));
+    EXPECT_FALSE(replica->training());
+}
+
+TEST(ReplicaTest, StateMatchesPrimaryAfterConstruction) {
+    ResNet primary(tiny_resnet_config(quant_common()));
+    auto replica = make_eval_replica(primary, 3);
+
+    TensorMap primary_state;
+    TensorMap replica_state;
+    primary.collect_state("", primary_state);
+    replica->collect_state("", replica_state);
+    ASSERT_EQ(replica_state.size(), primary_state.size());
+    for (const auto& [key, tensor] : primary_state) {
+        const auto it = replica_state.find(key);
+        ASSERT_NE(it, replica_state.end()) << key;
+        EXPECT_TRUE(bitwise_equal(it->second, tensor)) << key;
+    }
+}
+
+TEST(ReplicaTest, DeterministicReplicaIsBitIdenticalToPrimary) {
+    data::SyntheticImageNet ds(tiny_data());
+    ResNet primary(tiny_resnet_config(quant_common()));
+    primary.set_training(false);
+    auto replica = make_eval_replica(primary, 5);
+
+    const Tensor expected = primary.forward(ds.val_images());
+    const Tensor actual = replica->forward(ds.val_images());
+    EXPECT_TRUE(bitwise_equal(actual, expected));
+}
+
+TEST(ReplicaTest, NoisyReplicasAreIndependentButReproducible) {
+    data::SyntheticImageNet ds(tiny_data());
+    ResNet primary(tiny_resnet_config(ams_common(4.0)));
+    primary.set_training(false);
+
+    auto first = make_eval_replica(primary, 0);
+    auto first_again = make_eval_replica(primary, 0);
+    auto second = make_eval_replica(primary, 1);
+
+    const Tensor y0 = first->forward(ds.val_images());
+    const Tensor y0_again = first_again->forward(ds.val_images());
+    const Tensor y1 = second->forward(ds.val_images());
+
+    // Same instance id => same noise realization (reproducible).
+    EXPECT_TRUE(bitwise_equal(y0, y0_again));
+    // Different instance id => an independent realization.
+    EXPECT_FALSE(bitwise_equal(y0, y1));
+}
+
+TEST(ReplicaTest, ReplicaForwardDoesNotPerturbPrimaryNoiseStreams) {
+    data::SyntheticImageNet ds(tiny_data());
+    ResNet primary(tiny_resnet_config(ams_common(4.0)));
+    primary.set_training(false);
+
+    // Reference: the primary's own first forward, on a fresh twin.
+    ResNet twin(tiny_resnet_config(ams_common(4.0)));
+    twin.set_training(false);
+    const Tensor expected = twin.forward(ds.val_images());
+
+    // Running a replica must not advance the primary's own epochs.
+    auto replica = make_eval_replica(primary, 2);
+    (void)replica->forward(ds.val_images());
+    const Tensor actual = primary.forward(ds.val_images());
+    EXPECT_TRUE(bitwise_equal(actual, expected));
+}
+
+}  // namespace
+}  // namespace ams::models

@@ -169,7 +169,12 @@ TEST(MetricsTest, MetricsJsonGolden) {
         "  \"checkpoint_misses\": 0,\n"
         "  \"eval_passes\": 0,\n"
         "  \"eval_batches\": 0,\n"
-        "  \"arena_high_water_bytes\": 4096\n"
+        "  \"serve_requests\": 0,\n"
+        "  \"serve_batches\": 0,\n"
+        "  \"serve_batch_images\": 0,\n"
+        "  \"serve_queue_wait_ns\": 0,\n"
+        "  \"arena_high_water_bytes\": 4096,\n"
+        "  \"serve_queue_depth_max\": 0\n"
         "}\n";
     EXPECT_EQ(os.str(), expected);
 }
