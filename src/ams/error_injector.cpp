@@ -54,14 +54,16 @@ Tensor ErrorInjector::forward(const Tensor& input, runtime::EvalContext& ctx) {
     return out;
 }
 
-void ErrorInjector::inject(Tensor& out) {
+void ErrorInjector::inject(Tensor& out) { inject_inplace(out.data(), out.size()); }
+
+void ErrorInjector::inject_inplace(float* data, std::size_t count) {
     runtime::trace::Span span("ErrorInjector.inject",
                               mode_ == InjectionMode::kLumpedGaussian ? "mode=lumped_gaussian"
                                                                       : "mode=per_vmac_uniform");
     runtime::metrics::add(runtime::metrics::Counter::kInjectedSamples,
-                          static_cast<std::uint64_t>(out.size()));
+                          static_cast<std::uint64_t>(count));
     const runtime::RngStream pass_streams = streams_.substream(forward_count_++);
-    const std::size_t tiles = (out.size() + kRngTile - 1) / kRngTile;
+    const std::size_t tiles = (count + kRngTile - 1) / kRngTile;
 
     switch (mode_) {
         case InjectionMode::kLumpedGaussian: {
@@ -71,9 +73,9 @@ void ErrorInjector::inject(Tensor& out) {
                 [&](std::size_t t_begin, std::size_t t_end) {
                     for (std::size_t t = t_begin; t < t_end; ++t) {
                         Rng tile_rng = pass_streams.stream(t);
-                        const std::size_t hi = std::min(out.size(), (t + 1) * kRngTile);
+                        const std::size_t hi = std::min(count, (t + 1) * kRngTile);
                         for (std::size_t i = t * kRngTile; i < hi; ++i) {
-                            out[i] += static_cast<float>(tile_rng.normal(0.0, sigma));
+                            data[i] += static_cast<float>(tile_rng.normal(0.0, sigma));
                         }
                     }
                 });
@@ -87,13 +89,13 @@ void ErrorInjector::inject(Tensor& out) {
                 [&](std::size_t t_begin, std::size_t t_end) {
                     for (std::size_t t = t_begin; t < t_end; ++t) {
                         Rng tile_rng = pass_streams.stream(t);
-                        const std::size_t hi = std::min(out.size(), (t + 1) * kRngTile);
+                        const std::size_t hi = std::min(count, (t + 1) * kRngTile);
                         for (std::size_t i = t * kRngTile; i < hi; ++i) {
                             double err = 0.0;
                             for (std::size_t v = 0; v < cells; ++v) {
                                 err += tile_rng.uniform(-0.5 * lsb, 0.5 * lsb);
                             }
-                            out[i] += static_cast<float>(err);
+                            data[i] += static_cast<float>(err);
                         }
                     }
                 });

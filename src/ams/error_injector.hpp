@@ -59,6 +59,15 @@ public:
     /// Std-dev of the injected error (Eq. 2); the "dashes" of Fig. 6.
     [[nodiscard]] double error_stddev() const;
 
+    /// Adds one forward pass worth of noise to `data[0..count)` in place,
+    /// consuming one noise epoch. This is the raw hook both forward
+    /// overloads and the compiled-plan executor share: the per-tile stream
+    /// mapping depends only on element position, so the realization is
+    /// identical to the module walk for the same buffer contents. Callers
+    /// must honor the enabled() switch themselves (a disabled injector on
+    /// the module path copies without consuming an epoch).
+    void inject_inplace(float* data, std::size_t count);
+
 private:
     /// Adds one forward pass worth of noise to `out` in place, consuming
     /// one noise epoch. Shared by both forward overloads.

@@ -154,19 +154,30 @@ Shape VmacConv2d::plan(const Shape& in, runtime::EvalContext& ctx) {
     return Shape{batch, cout, low.out_h(), low.out_w()};
 }
 
+Shape VmacConv2d::output_shape(const Shape& in) const {
+    const ConvLowering low = make_lowering(in);
+    return Shape{in.dim(0), weight_.dim(0), low.out_h(), low.out_w()};
+}
+
 Tensor VmacConv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
     // Evaluation-only module: no training fallback (backward throws).
+    Tensor output = nn::arena_output(ctx, output_shape(input.shape()));
+    forward_planned(input.data(), input.shape(), output.data(), ctx);
+    return output;
+}
+
+void VmacConv2d::forward_planned(const float* input, const Shape& in_shape, float* out,
+                                 runtime::EvalContext& ctx) {
     char tag[runtime::trace::Event::kTagCapacity + 1];
-    format_forward_tag(tag, sizeof(tag), backend_->kind(), input.shape());
+    format_forward_tag(tag, sizeof(tag), backend_->kind(), in_shape);
     runtime::trace::Span span("VmacConv2d.forward", tag);
-    const ConvLowering low = make_lowering(input.shape());
-    const std::size_t batch = input.dim(0);
+    const ConvLowering low = make_lowering(in_shape);
+    const std::size_t batch = in_shape.dim(0);
     const std::size_t cout = weight_.dim(0);
     const std::size_t nmult = backend_->config().nmult;
 
-    Tensor output = nn::arena_output(ctx, Shape{batch, cout, low.out_h(), low.out_w()});
     float* columns = ctx.reserve_scratch(this, 0, batch * low.columns_floats());
-    low.lower_batch(input.data(), batch, columns);
+    low.lower_batch(input, batch, columns);
 
     const runtime::RngStream pass_streams = streams_.substream(forward_count_++);
     const std::size_t tiles = batch * cout;
@@ -181,9 +192,8 @@ Tensor VmacConv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
         double* staging = reinterpret_cast<double*>(
             ctx.reserve_scratch(this, static_cast<int>(1 + t_begin / grain), 4 * nmult));
         compute_tiles(t_begin, t_end, pass_streams, columns, low.out_spatial(),
-                      low.patch_size(), staging, staging + nmult, output.data());
+                      low.patch_size(), staging, staging + nmult, out);
     });
-    return output;
 }
 
 Tensor VmacConv2d::backward(const Tensor& /*grad_output*/) {

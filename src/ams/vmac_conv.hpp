@@ -72,6 +72,18 @@ public:
     /// The datapath every chunk is routed through.
     [[nodiscard]] const VmacBackend& backend() const { return *backend_; }
 
+    /// Output shape for a given input shape (validates like forward).
+    [[nodiscard]] Shape output_shape(const Shape& in) const;
+
+    /// Planned-execution hook: runs one forward pass over `input` (laid
+    /// out as `in_shape`) into the caller-provided `out` buffer, reserving
+    /// its scratch from `ctx` exactly like forward(input, ctx). Consumes
+    /// one noise epoch; arithmetic, tile/stream mapping, and scratch keys
+    /// are identical to the module path, so a compiled plan sharing this
+    /// module's EvalContext stays bit-identical to the module walk.
+    void forward_planned(const float* input, const Shape& in_shape, float* out,
+                         runtime::EvalContext& ctx);
+
 private:
     /// Validates the input shape and builds the shared lowering for it.
     [[nodiscard]] ConvLowering make_lowering(const Shape& in) const;

@@ -1,0 +1,317 @@
+// ExecutionPlan::run — the flat, dispatch-free interpreter over the
+// compiled steps. Every kernel call here is the *same* primitive the
+// module walk uses (conv_eval_run, gemm_bt, simd::*, normalize_eval,
+// forward_planned, pool_eval, reduce), applied over the same extents in
+// the same order, which is what makes default-options plans bit-identical
+// to root.forward(input, ctx).
+#include "compile/plan.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/conv_eval.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/simd.hpp"
+#include "runtime/trace.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/gemm_kernels.hpp"
+
+namespace ams::compile {
+
+namespace {
+
+namespace metrics = runtime::metrics;
+
+/// The compiled shape with its batch dimension replaced by the run-time
+/// batch (offsets stay those of the compiled batch; extents scale).
+Shape at_batch(const Shape& s, std::size_t batch) {
+    std::vector<std::size_t> dims(s.dims().begin(), s.dims().end());
+    dims[0] = batch;
+    return Shape(dims);
+}
+
+void add_bias_rows(float* data, const float* bias, std::size_t batch, std::size_t channels,
+                   std::size_t spatial) {
+    for (std::size_t b = 0; b < batch; ++b) {
+        float* image = data + b * channels * spatial;
+        for (std::size_t c = 0; c < channels; ++c) {
+            float* row = image + c * spatial;
+            const float bv = bias[c];
+            for (std::size_t i = 0; i < spatial; ++i) row[i] += bv;
+        }
+    }
+}
+
+/// Whole-tensor application of one tail op — the same primitive call the
+/// module walk makes for the corresponding layer.
+void apply_ew_whole(const EwOp& op, float* data, const Shape& shape) {
+    const std::size_t n = shape.numel();
+    switch (op.kind) {
+        case EwOp::Kind::kInject:
+            // A disabled injector is skipped entirely: in place there is
+            // nothing to copy, and no noise epoch is consumed — exactly
+            // the module path, which copies without consuming an epoch.
+            if (op.injector->enabled()) op.injector->inject_inplace(data, n);
+            break;
+        case EwOp::Kind::kRecord:
+            if (op.unit->recording()) {
+                op.unit->stats().accumulate(Tensor::borrowed(shape, data));
+            }
+            break;
+        case EwOp::Kind::kBatchNorm: {
+            const std::size_t spatial = shape.rank() == 4 ? shape.dim(2) * shape.dim(3) : 1;
+            op.bn->normalize_eval(data, data, shape.dim(0), spatial);
+            break;
+        }
+        case EwOp::Kind::kBias: {
+            const std::size_t spatial = shape.rank() == 4 ? shape.dim(2) * shape.dim(3) : 1;
+            add_bias_rows(data, op.bias, shape.dim(0), shape.dim(1), spatial);
+            break;
+        }
+        case EwOp::Kind::kRelu:
+            simd::relu(data, data, n);
+            break;
+        case EwOp::Kind::kClippedRelu:
+            simd::clipped_relu(data, data, n, op.ceiling);
+            break;
+        case EwOp::Kind::kQuantAct:
+            if (op.bits >= 32) {
+                simd::clamp(data, data, n, 0.0f, 1.0f);
+            } else {
+                simd::quantize_unit(data, data, n, static_cast<float>(op.levels));
+            }
+            break;
+    }
+}
+
+/// Per-image GEMM epilogue over the in-loop-eligible prefix of a conv
+/// step's tail. Only kBias and kBatchNorm do work here (both are
+/// row-granularity identical between per-image and whole-tensor
+/// application); eligible no-ops (disabled inject, inactive record) are
+/// skipped.
+struct ConvTailEpilogue {
+    const Step* step;
+    std::size_t n_inloop;
+    std::size_t out_spatial;
+
+    static void apply(void* self, float* out_image, std::size_t /*image_index*/) {
+        const auto* e = static_cast<const ConvTailEpilogue*>(self);
+        for (std::size_t i = 0; i < e->n_inloop; ++i) {
+            const EwOp& op = e->step->tail[i];
+            switch (op.kind) {
+                case EwOp::Kind::kBias: {
+                    for (std::size_t oc = 0; oc < e->step->out_channels; ++oc) {
+                        float* row = out_image + oc * e->out_spatial;
+                        const float bv = op.bias[oc];
+                        for (std::size_t j = 0; j < e->out_spatial; ++j) row[j] += bv;
+                    }
+                    break;
+                }
+                case EwOp::Kind::kBatchNorm:
+                    op.bn->normalize_eval(out_image, out_image, 1, e->out_spatial);
+                    break;
+                default:
+                    break;  // eligible no-ops
+            }
+        }
+    }
+};
+
+/// Splits a conv tail at run time into the in-loop prefix (ops that are
+/// bit-identical per image: bias, batch norm, and currently-inactive
+/// inject/record) and the whole-tensor suffix (everything from the first
+/// op whose whole-tensor order matters: active injection consumes its
+/// noise epoch over the full tensor, active recording accumulates a
+/// serial double sum, activations follow). Re-evaluated every run so
+/// toggling an injector or recording after compile stays correct.
+struct TailSplit {
+    std::size_t n_inloop = 0;
+    bool inloop_work = false;
+};
+
+TailSplit split_tail(const Step& step) {
+    TailSplit split;
+    for (const EwOp& op : step.tail) {
+        bool eligible = false;
+        bool work = false;
+        switch (op.kind) {
+            case EwOp::Kind::kBias:
+            case EwOp::Kind::kBatchNorm:
+                eligible = true;
+                work = true;
+                break;
+            case EwOp::Kind::kInject:
+                eligible = !op.injector->enabled();
+                break;
+            case EwOp::Kind::kRecord:
+                eligible = !op.unit->recording();
+                break;
+            default:
+                eligible = false;
+        }
+        if (!eligible) break;
+        ++split.n_inloop;
+        split.inloop_work |= work;
+    }
+    return split;
+}
+
+}  // namespace
+
+Tensor ExecutionPlan::run(const Tensor& input, runtime::EvalContext& ctx) {
+    const Shape& compiled = p_.input_shape;
+    if (input.rank() != compiled.rank()) {
+        throw std::invalid_argument("ExecutionPlan::run: input rank " +
+                                    std::to_string(input.rank()) + " vs compiled " +
+                                    compiled.str());
+    }
+    for (std::size_t d = 1; d < compiled.rank(); ++d) {
+        if (input.dim(d) != compiled.dim(d)) {
+            throw std::invalid_argument("ExecutionPlan::run: input " + input.shape().str() +
+                                        " does not match compiled " + compiled.str());
+        }
+    }
+    const std::size_t batch = input.dim(0);
+    if (batch == 0 || batch > compiled.dim(0)) {
+        throw std::invalid_argument("ExecutionPlan::run: batch " + std::to_string(batch) +
+                                    " exceeds compiled maximum " +
+                                    std::to_string(compiled.dim(0)));
+    }
+
+    runtime::trace::Span span("plan.run");
+    metrics::add(metrics::Counter::kPlanRuns);
+
+    // The plan's entire intermediate footprint: one block, one allocation,
+    // inside the caller's checkpoint/rewind discipline.
+    float* block = ctx.alloc_activation(p_.arena_floats);
+    // The input tensor may be a const borrow; every step only reads it.
+    float* external = const_cast<float*>(input.data());
+
+    auto value_ptr = [&](int id) -> float* {
+        const Value& v = p_.values[id];
+        return v.external ? external : block + v.offset;
+    };
+    auto value_shape = [&](int id) { return at_batch(p_.values[id].shape, batch); };
+
+    for (const Step& step : p_.steps) {
+        switch (step.kind) {
+            case StepKind::kQuantInput: {
+                const float* src = value_ptr(step.in);
+                float* dst = value_ptr(step.out);
+                const std::size_t n = value_shape(step.out).numel();
+                simd::scale_clamp(src, dst, n, step.inv_scale, -1.0f, 1.0f);
+                if (step.bits < 32) {
+                    simd::quantize_signed(dst, dst, n, static_cast<float>(step.levels));
+                }
+                break;
+            }
+            case StepKind::kConv: {
+                const TailSplit split = split_tail(step);
+                ConvTailEpilogue epilogue{&step, split.n_inloop, step.lowering.out_spatial()};
+                nn::conv_eval_run(value_ptr(step.in), batch, step.lowering, step.weight,
+                                  step.out_channels, value_ptr(step.out), ctx,
+                                  step.scratch_owner,
+                                  split.inloop_work ? &ConvTailEpilogue::apply : nullptr,
+                                  split.inloop_work ? &epilogue : nullptr);
+                const Shape out_shape = value_shape(step.out);
+                for (std::size_t i = split.n_inloop; i < step.tail.size(); ++i) {
+                    apply_ew_whole(step.tail[i], value_ptr(step.out), out_shape);
+                }
+                break;
+            }
+            case StepKind::kVmacConv: {
+                step.vmac->forward_planned(value_ptr(step.in), value_shape(step.in),
+                                           value_ptr(step.out), ctx);
+                const Shape out_shape = value_shape(step.out);
+                for (const EwOp& op : step.tail) {
+                    apply_ew_whole(op, value_ptr(step.out), out_shape);
+                }
+                break;
+            }
+            case StepKind::kLinear: {
+                nn::Linear& lin = *step.linear;
+                const std::size_t in_f = lin.in_features();
+                const std::size_t out_f = lin.out_features();
+                (void)ctx.reserve_scratch(&lin, GemmPackBuffers::kPackB,
+                                          packed_b_floats(in_f, out_f));
+                EvalContextPackBuffers pack(ctx, &lin, /*slot_base=*/0);
+                float* dst = value_ptr(step.out);
+                gemm_bt(value_ptr(step.in), step.weight, dst, batch, in_f, out_f, &pack);
+                if (step.bias != nullptr) {
+                    for (std::size_t b = 0; b < batch; ++b) {
+                        float* row = dst + b * out_f;
+                        for (std::size_t j = 0; j < out_f; ++j) row[j] += step.bias[j];
+                    }
+                }
+                const Shape out_shape = value_shape(step.out);
+                for (const EwOp& op : step.tail) {
+                    apply_ew_whole(op, dst, out_shape);
+                }
+                break;
+            }
+            case StepKind::kElementwise: {
+                const float* src = value_ptr(step.in);
+                float* dst = value_ptr(step.out);
+                const Shape shape = value_shape(step.out);
+                const std::size_t n = shape.numel();
+                switch (step.ew.kind) {
+                    case EwOp::Kind::kRelu:
+                        simd::relu(src, dst, n);
+                        break;
+                    case EwOp::Kind::kClippedRelu:
+                        simd::clipped_relu(src, dst, n, step.ew.ceiling);
+                        break;
+                    case EwOp::Kind::kQuantAct:
+                        if (step.ew.bits >= 32) {
+                            simd::clamp(src, dst, n, 0.0f, 1.0f);
+                        } else {
+                            simd::quantize_unit(src, dst, n,
+                                                static_cast<float>(step.ew.levels));
+                        }
+                        break;
+                    case EwOp::Kind::kBatchNorm: {
+                        const std::size_t spatial =
+                            shape.rank() == 4 ? shape.dim(2) * shape.dim(3) : 1;
+                        step.ew.bn->normalize_eval(src, dst, shape.dim(0), spatial);
+                        break;
+                    }
+                    default:
+                        // kInject / kRecord / kBias are in-place-or-copy ops.
+                        if (dst != src) {
+                            std::memcpy(dst, src, n * sizeof(float));
+                        }
+                        apply_ew_whole(step.ew, dst, shape);
+                        break;
+                }
+                break;
+            }
+            case StepKind::kMaxPool: {
+                const Tensor in = Tensor::borrowed(value_shape(step.in),
+                                                   value_ptr(step.in));
+                step.maxpool->pool_eval(in, value_ptr(step.out));
+                break;
+            }
+            case StepKind::kGlobalAvgPool: {
+                const Tensor in = Tensor::borrowed(value_shape(step.in),
+                                                   value_ptr(step.in));
+                nn::GlobalAvgPool::reduce(in, value_ptr(step.out));
+                break;
+            }
+            case StepKind::kResidualAdd: {
+                // Tensor::operator+= is a serial loop; keep the exact
+                // element order of the module walk's `m += shortcut`.
+                float* dst = value_ptr(step.out);
+                const float* src = value_ptr(step.in2);
+                const std::size_t n = value_shape(step.out).numel();
+                for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+                break;
+            }
+        }
+    }
+
+    return Tensor::borrowed(value_shape(p_.output_value), value_ptr(p_.output_value));
+}
+
+}  // namespace ams::compile

@@ -54,6 +54,16 @@ public:
     /// All conv units of this block (3 or 4 with projection), in order.
     [[nodiscard]] std::vector<ConvUnit*> conv_units() override;
 
+    /// Structure accessors for the graph compiler (call order: act_in,
+    /// unit1, act1, unit2, act2, unit3, then projection, then the add).
+    [[nodiscard]] nn::Module& act_in() { return *act_in_; }
+    [[nodiscard]] ConvUnit& unit1() { return *unit1_; }
+    [[nodiscard]] nn::Module& act1() { return *act1_; }
+    [[nodiscard]] ConvUnit& unit2() { return *unit2_; }
+    [[nodiscard]] nn::Module& act2() { return *act2_; }
+    [[nodiscard]] ConvUnit& unit3() { return *unit3_; }
+    [[nodiscard]] ConvUnit* projection() { return projection_.get(); }
+
 private:
     std::unique_ptr<nn::Module> act_in_;
     std::unique_ptr<ConvUnit> unit1_;
@@ -82,6 +92,14 @@ public:
     void load_state(const std::string& prefix, const TensorMap& in) override;
 
     [[nodiscard]] std::vector<ConvUnit*> conv_units() override;
+
+    /// Structure accessors for the graph compiler (call order: act_in,
+    /// unit1, act1, unit2, then projection, then the add).
+    [[nodiscard]] nn::Module& act_in() { return *act_in_; }
+    [[nodiscard]] ConvUnit& unit1() { return *unit1_; }
+    [[nodiscard]] nn::Module& act1() { return *act1_; }
+    [[nodiscard]] ConvUnit& unit2() { return *unit2_; }
+    [[nodiscard]] ConvUnit* projection() { return projection_.get(); }
 
 private:
     std::unique_ptr<nn::Module> act_in_;

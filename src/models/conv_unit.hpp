@@ -66,6 +66,7 @@ public:
     [[nodiscard]] std::vector<nn::Parameter*> bn_parameters() { return bn_.parameters(); }
 
     void set_recording(bool on) { recording_ = on; }
+    [[nodiscard]] bool recording() const { return recording_; }
     [[nodiscard]] ActivationStats& stats() { return stats_; }
 
 private:

@@ -3,35 +3,36 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "tensor/gemm.hpp"
+#include "nn/conv_eval.hpp"
+#include "runtime/eval_context.hpp"
 
 namespace ams::models {
+
+FoldedConv fold_bn_into_conv(const Tensor& weight, nn::BatchNorm2d& bn, float eps) {
+    const std::size_t cout = weight.dim(0);
+    const std::size_t per_filter = weight.size() / cout;
+
+    FoldedConv folded{Tensor(weight.shape()), Tensor(Shape{cout})};
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+        const float inv_std = 1.0f / std::sqrt(bn.running_var()[oc] + eps);
+        const float gamma = bn.gamma().value[oc];
+        const float beta = bn.beta().value[oc];
+        const float mean = bn.running_mean()[oc];
+        const float scale = gamma * inv_std;
+        for (std::size_t i = 0; i < per_filter; ++i) {
+            folded.weight[oc * per_filter + i] = weight[oc * per_filter + i] * scale;
+        }
+        folded.bias[oc] = beta - scale * mean;
+    }
+    return folded;
+}
 
 FoldedConv fold_conv_bn(ConvUnit& unit, float eps) {
     if (unit.injector().enabled()) {
         throw std::invalid_argument(
             "fold_conv_bn: disable the AMS injector before folding (deployment step)");
     }
-    const nn::Conv2d& conv = unit.conv().conv();
-    const nn::BatchNorm2d& bn = unit.bn();
-    const Tensor& w = conv.weight().value;
-    const std::size_t cout = w.dim(0);
-    const std::size_t per_filter = w.size() / cout;
-
-    FoldedConv folded{Tensor(w.shape()), Tensor(Shape{cout})};
-    for (std::size_t oc = 0; oc < cout; ++oc) {
-        const float inv_std =
-            1.0f / std::sqrt(bn.running_var()[oc] + eps);
-        const float gamma = unit.bn().gamma().value[oc];
-        const float beta = unit.bn().beta().value[oc];
-        const float mean = bn.running_mean()[oc];
-        const float scale = gamma * inv_std;
-        for (std::size_t i = 0; i < per_filter; ++i) {
-            folded.weight[oc * per_filter + i] = w[oc * per_filter + i] * scale;
-        }
-        folded.bias[oc] = beta - scale * mean;
-    }
-    return folded;
+    return fold_bn_into_conv(unit.conv().conv().weight().value, unit.bn(), eps);
 }
 
 Tensor apply_folded(const FoldedConv& folded, const Tensor& input, std::size_t stride,
@@ -44,22 +45,32 @@ Tensor apply_folded(const FoldedConv& folded, const Tensor& input, std::size_t s
     ConvGeometry g{folded.weight.dim(1), input.dim(2), input.dim(3), kernel, kernel,
                    stride,               stride,       padding,      padding};
     g.validate();
+    const ConvLowering low(g);
     const std::size_t batch = input.dim(0);
-    const std::size_t out_spatial = g.out_h() * g.out_w();
-    const std::size_t patch = g.patch_size();
-    const std::size_t in_image = g.in_channels * g.in_h * g.in_w;
+    Tensor output(Shape{batch, cout, low.out_h(), low.out_w()});
 
-    Tensor output(Shape{batch, cout, g.out_h(), g.out_w()});
-    std::vector<float> columns(patch * out_spatial);
-    for (std::size_t b = 0; b < batch; ++b) {
-        im2col(input.data() + b * in_image, g, columns.data());
-        gemm(folded.weight.data(), columns.data(),
-             output.data() + b * cout * out_spatial, cout, patch, out_spatial);
-        for (std::size_t oc = 0; oc < cout; ++oc) {
-            float* chan = output.data() + (b * cout + oc) * out_spatial;
-            for (std::size_t i = 0; i < out_spatial; ++i) chan[i] += folded.bias[oc];
+    // The digital bias add, as a per-image GEMM epilogue (same element
+    // order as the legacy serial loop).
+    struct BiasTail {
+        const float* bias;
+        std::size_t cout;
+        std::size_t out_spatial;
+        static void apply(void* self, float* out_image, std::size_t /*b*/) {
+            const auto* tail = static_cast<const BiasTail*>(self);
+            for (std::size_t oc = 0; oc < tail->cout; ++oc) {
+                float* chan = out_image + oc * tail->out_spatial;
+                const float bv = tail->bias[oc];
+                for (std::size_t i = 0; i < tail->out_spatial; ++i) chan[i] += bv;
+            }
         }
-    }
+    } tail{folded.bias.data(), cout, low.out_spatial()};
+
+    // Shared ConvLowering + EvalContext conv path (same executor as
+    // Conv2d::forward(ctx) and the compiled plan); the local context keeps
+    // the verification helper self-contained.
+    runtime::EvalContext ctx;
+    nn::conv_eval_run(input.data(), batch, low, folded.weight.data(), cout, output.data(), ctx,
+                      &folded, &BiasTail::apply, &tail);
     return output;
 }
 

@@ -21,6 +21,13 @@ struct FoldedConv {
     Tensor bias;    ///< {out_channels}
 };
 
+/// The shared fold arithmetic: scales each output-channel filter of
+/// `weight` by gamma[oc] / sqrt(var[oc] + eps) and derives the digital
+/// bias from the running statistics. Both fold_conv_bn and the graph
+/// compiler's fold pass (src/compile, CompileOptions::fold_bn) call this,
+/// so the two paths can never drift.
+[[nodiscard]] FoldedConv fold_bn_into_conv(const Tensor& weight, nn::BatchNorm2d& bn, float eps);
+
 /// Folds `unit`'s batch norm (running statistics) into its convolution
 /// weights. The unit must hold FP32 (latent) weights; for a quantized
 /// deployment the folded weights are re-quantized afterwards, as the

@@ -80,6 +80,19 @@ public:
     [[nodiscard]] std::vector<vmac::ErrorInjector*> injectors();
     [[nodiscard]] vmac::ErrorInjector& fc_injector() { return *fc_injector_; }
 
+    /// Structure accessors for the graph compiler, in forward order:
+    /// quant_input (null in FP32 builds), stem, stem_pool (null unless
+    /// configured), blocks, final_activation, gap, fc_activation (null in
+    /// FP32 builds), fc, then fc_injector().
+    [[nodiscard]] quant::QuantInput* quant_input() { return quant_input_.get(); }
+    [[nodiscard]] ConvUnit& stem() { return *stem_; }
+    [[nodiscard]] nn::MaxPool2d* stem_pool() { return maxpool_.get(); }
+    [[nodiscard]] std::vector<std::unique_ptr<ResidualBlock>>& blocks() { return blocks_; }
+    [[nodiscard]] nn::Module& final_activation() { return *final_act_; }
+    [[nodiscard]] nn::GlobalAvgPool& gap() { return gap_; }
+    [[nodiscard]] quant::QuantAct* fc_activation() { return fc_act_.get(); }
+    [[nodiscard]] quant::QuantLinear& fc() { return *fc_; }
+
     /// Master AMS switch (both conv and FC injectors).
     void set_ams_enabled(bool enabled);
 

@@ -77,8 +77,11 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
 }
 
 void BatchNorm2d::eval_normalize(const Tensor& input, float* out_base) const {
-    const std::size_t batch = input.dim(0);
-    const std::size_t spatial = input.dim(2) * input.dim(3);
+    normalize_eval(input.data(), out_base, input.dim(0), input.dim(2) * input.dim(3));
+}
+
+void BatchNorm2d::normalize_eval(const float* in, float* out, std::size_t batch,
+                                 std::size_t spatial) const {
     const std::size_t image = channels_ * spatial;
     for (std::size_t c = 0; c < channels_; ++c) {
         const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
@@ -86,9 +89,8 @@ void BatchNorm2d::eval_normalize(const Tensor& input, float* out_base) const {
         const float bt = beta_.value[c];
         const float mean = running_mean_[c];
         for (std::size_t b = 0; b < batch; ++b) {
-            const float* chan = input.data() + b * image + c * spatial;
-            float* out = out_base + b * image + c * spatial;
-            simd::bn_normalize(chan, out, spatial, mean, inv_std, g, bt);
+            simd::bn_normalize(in + b * image + c * spatial, out + b * image + c * spatial,
+                               spatial, mean, inv_std, g, bt);
         }
     }
 }

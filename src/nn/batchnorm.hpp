@@ -32,10 +32,21 @@ public:
     void load_state(const std::string& prefix, const TensorMap& in) override;
 
     [[nodiscard]] std::size_t channels() const { return channels_; }
+    [[nodiscard]] float eps() const { return eps_; }
     [[nodiscard]] Parameter& gamma() { return gamma_; }
     [[nodiscard]] Parameter& beta() { return beta_; }
     [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
     [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+
+    /// Raw-pointer eval-mode normalization over `batch` NCHW images of
+    /// `channels() x spatial` each: out = gamma*(x-mean)*inv_std + beta
+    /// from the running statistics. `in == out` is allowed (the SIMD
+    /// primitive is elementwise). This is the hook the compiled-plan
+    /// executor shares with forward(input, ctx): per-channel arithmetic is
+    /// identical for any batch split, so applying it per image inside a
+    /// fused GEMM tail stays bit-identical to the whole-tensor call.
+    void normalize_eval(const float* in, float* out, std::size_t batch,
+                        std::size_t spatial) const;
 
 protected:
     std::vector<const Parameter*> own_parameters() const override;

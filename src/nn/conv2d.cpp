@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "nn/conv_eval.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/trace.hpp"
 #include "tensor/gemm.hpp"
@@ -107,61 +108,32 @@ Tensor Conv2d::forward(const Tensor& input) {
 
 Shape Conv2d::plan(const Shape& in, runtime::EvalContext& ctx) {
     const ConvLowering low = make_lowering(in);
-    const std::size_t batch = in.dim(0);
-    const std::size_t grain = runtime::suggest_grain(batch, 1);
-    const std::size_t n_chunks = (batch + grain - 1) / grain;
-    for (std::size_t c = 0; c < n_chunks; ++c) {
-        reserve_gemm_scratch(ctx, c, low.patch_size(), low.out_spatial());
-    }
-    return Shape{batch, opts_.out_channels, low.out_h(), low.out_w()};
-}
-
-// Per-chunk scratch slots: 4 ids per chunk — the GemmPackBuffers slots
-// (kPackB=1, kTranspose=2, relative to base 4*chunk) plus the im2col
-// column buffer at base+3. kPackA deliberately stays thread-local inside
-// the kernels (written by the worker that owns the chunk).
-void Conv2d::reserve_gemm_scratch(runtime::EvalContext& ctx, std::size_t chunk,
-                                  std::size_t patch, std::size_t out_spatial) const {
-    const int base = static_cast<int>(4 * chunk);
-    (void)ctx.reserve_scratch(this, base + 3, patch * out_spatial);
-    (void)ctx.reserve_scratch(this, base + GemmPackBuffers::kPackB,
-                              packed_b_floats(patch, out_spatial));
+    conv_eval_reserve(ctx, this, in.dim(0), low.patch_size(), low.out_spatial());
+    return Shape{in.dim(0), opts_.out_channels, low.out_h(), low.out_w()};
 }
 
 Tensor Conv2d::forward(const Tensor& input, runtime::EvalContext& ctx) {
     if (training()) return forward(input);  // backward needs the caches
-    runtime::trace::Span span("Conv2d.forward");
     lowering_ = make_lowering(input.shape());
 
     const std::size_t batch = input.dim(0);
-    const std::size_t out_spatial = lowering_.out_spatial();
-    const std::size_t patch = lowering_.patch_size();
     Tensor output =
         arena_output(ctx, Shape{batch, opts_.out_channels, lowering_.out_h(), lowering_.out_w()});
-    const Tensor& w = forward_weight();
-    const std::size_t out_image = opts_.out_channels * out_spatial;
 
-    // Per-chunk column + GEMM-pack scratch comes from the context.
-    // Reservations are made serially before the region runs (re-planning
-    // on a shape change, e.g. the last partial batch); inside the region
-    // reserve_scratch is a pure lookup, which is safe from concurrent
-    // chunks.
-    const std::size_t grain = runtime::suggest_grain(batch, 1);
-    const std::size_t n_chunks = (batch + grain - 1) / grain;
-    for (std::size_t c = 0; c < n_chunks; ++c) {
-        reserve_gemm_scratch(ctx, c, patch, out_spatial);
-    }
-    runtime::parallel_for(0, batch, grain, [&](std::size_t b_begin, std::size_t b_end) {
-        const int base = static_cast<int>(4 * (b_begin / grain));
-        float* columns = ctx.reserve_scratch(this, base + 3, patch * out_spatial);
-        EvalContextPackBuffers pack(ctx, this, base);
-        for (std::size_t b = b_begin; b < b_end; ++b) {
-            lowering_.lower_image(input.data(), b, columns);
-            gemm(w.data(), columns, output.data() + b * out_image, opts_.out_channels, patch,
-                 out_spatial, &pack);
-            if (bias_) add_bias(output.data() + b * out_image, out_spatial);
+    // Local struct (not a lambda): conv_eval_run takes a plain function
+    // pointer so the hot path stays allocation-free.
+    struct BiasTail {
+        const Conv2d* conv;
+        std::size_t out_spatial;
+        static void apply(void* self, float* out_image, std::size_t /*b*/) {
+            const auto* tail = static_cast<const BiasTail*>(self);
+            tail->conv->add_bias(out_image, tail->out_spatial);
         }
-    });
+    } tail{this, lowering_.out_spatial()};
+
+    conv_eval_run(input.data(), batch, lowering_, forward_weight().data(), opts_.out_channels,
+                  output.data(), ctx, this, bias_ ? &BiasTail::apply : nullptr,
+                  bias_ ? &tail : nullptr);
     return output;
 }
 

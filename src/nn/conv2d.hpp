@@ -74,12 +74,6 @@ private:
     /// Adds the bias vector to one image's output channels.
     void add_bias(float* out_image_base, std::size_t out_spatial) const;
 
-    /// Reserves the per-chunk eval scratch (im2col columns + GEMM pack
-    /// buffers) in the context registry. Called from plan() and again
-    /// serially before each forward region (pure lookup at steady state).
-    void reserve_gemm_scratch(runtime::EvalContext& ctx, std::size_t chunk, std::size_t patch,
-                              std::size_t out_spatial) const;
-
     Conv2dOptions opts_;
     Parameter weight_;
     std::optional<Parameter> bias_;

@@ -19,9 +19,15 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
 
-private:
     /// Output shape for `in`; throws on bad rank / window vs input size.
     [[nodiscard]] Shape out_shape(const Shape& in) const;
+
+    /// Eval-only pooling into a caller-provided buffer (no argmax record,
+    /// no module state touched). The compiled-plan executor's hook; the
+    /// loop is the same one forward(input, ctx) runs.
+    void pool_eval(const Tensor& input, float* out) const { pool(input, out, nullptr); }
+
+private:
     /// The pooling loop; writes into `out` and, when `argmax` is nonnull,
     /// records the flat input index of each max for backward.
     void pool(const Tensor& input, float* out, std::size_t* argmax) const;
@@ -43,9 +49,11 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
 
-private:
+    /// The {N,C,H,W} -> {N,C} mean reduction both eval paths share
+    /// (serial, double accumulator per channel).
     static void reduce(const Tensor& input, float* out);
 
+private:
     Shape input_shape_;
 };
 

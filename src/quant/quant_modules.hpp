@@ -52,6 +52,8 @@ public:
     Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
     Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::string name() const override { return "QuantInput"; }
+    [[nodiscard]] float max_abs_input() const { return scale_; }
+    [[nodiscard]] std::size_t bits() const { return bits_; }
 
 private:
     float scale_;

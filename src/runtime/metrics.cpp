@@ -114,6 +114,11 @@ const char* counter_name(Counter counter) {
         case Counter::kServeBatches: return "serve_batches";
         case Counter::kServeBatchImages: return "serve_batch_images";
         case Counter::kServeQueueWaitNs: return "serve_queue_wait_ns";
+        case Counter::kPlanCompiles: return "plan_compiles";
+        case Counter::kPlanRuns: return "plan_runs";
+        case Counter::kPlanLayersFused: return "plan_layers_fused";
+        case Counter::kPlanIntermediatesEliminated: return "plan_intermediates_eliminated";
+        case Counter::kPlanArenaBytesSaved: return "plan_arena_bytes_saved";
         case Counter::kCount: break;
     }
     return "unknown_counter";

@@ -94,6 +94,13 @@ enum class Counter : int {
     kServeBatchImages,    ///< images across all dispatched batches
     kServeQueueWaitNs,    ///< summed enqueue -> dequeue wait, nanoseconds
 
+    // Graph compiler (compile/compiler.cpp)
+    kPlanCompiles,                 ///< ExecutionPlans built
+    kPlanRuns,                     ///< compiled-plan forward passes
+    kPlanLayersFused,              ///< elementwise ops absorbed into step tails
+    kPlanIntermediatesEliminated,  ///< module-walk tensors the plan never materializes
+    kPlanArenaBytesSaved,          ///< module-walk arena bytes minus plan block bytes
+
     kCount
 };
 

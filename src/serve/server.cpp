@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "compile/plan.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/trace.hpp"
 #include "train/evaluate.hpp"
@@ -37,6 +38,10 @@ struct InferenceServer::Instance {
     std::unique_ptr<nn::Module> model;
     runtime::EvalContext ctx;
     std::vector<const float*> gather;  ///< per-batch image pointers
+    /// Compiled dispatch program over `model` (null: module walk). Built
+    /// at construction per CompileMode; shares `ctx` scratch keys with
+    /// the module path, so both stay usable and bit-identical.
+    std::unique_ptr<compile::ExecutionPlan> plan;
 
     Instance(std::unique_ptr<nn::Module> m, std::uint64_t ctx_seed)
         : model(std::move(m)), ctx(ctx_seed) {}
@@ -76,6 +81,19 @@ InferenceServer::InferenceServer(InstanceFactory factory, const Shape& image_sha
         inst.model->set_training(false);
         (void)inst.model->plan(batch_shape, inst.ctx);
         inst.gather.reserve(options_.max_batch);
+        const bool want_compile =
+            options_.compile_mode == CompileMode::kOn ||
+            (options_.compile_mode == CompileMode::kAuto && compile::env_enabled());
+        if (want_compile) {
+            try {
+                inst.plan = std::make_unique<compile::ExecutionPlan>(
+                    compile::compile(*inst.model, batch_shape));
+            } catch (const compile::CompileError&) {
+                // kAuto: unsupported graphs stay on the (bit-identical)
+                // module walk; kOn makes the failure a construction error.
+                if (options_.compile_mode == CompileMode::kOn) throw;
+            }
+        }
     }
     start_workers();
 }
@@ -198,7 +216,10 @@ void InferenceServer::run_batch(std::size_t instance_index, std::vector<Request>
     try {
         const Tensor batch_tensor =
             train::assemble_batch(instance.gather.data(), count, image_shape_, instance.ctx);
-        const Tensor logits = train::forward_batch(*instance.model, batch_tensor, instance.ctx);
+        const Tensor logits =
+            instance.plan != nullptr
+                ? instance.plan->run(batch_tensor, instance.ctx)
+                : train::forward_batch(*instance.model, batch_tensor, instance.ctx);
         if (logits.rank() != 2 || logits.dim(0) != count) {
             throw std::runtime_error("InferenceServer: model produced logits of shape " +
                                      logits.shape().str() + " for a batch of " +

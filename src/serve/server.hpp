@@ -60,6 +60,16 @@
 
 namespace ams::serve {
 
+/// Whether instances execute batches through a compiled ExecutionPlan
+/// (src/compile) instead of the module walk. The two paths are
+/// bit-identical (the compiler's determinism contract), so this is purely
+/// a dispatch/throughput knob.
+enum class CompileMode {
+    kAuto,  ///< compile when AMSNET_COMPILE=on; fall back silently on CompileError
+    kOn,    ///< always compile; construction throws CompileError if unsupported
+    kOff,   ///< always run the module walk
+};
+
 /// Server knobs. Defaults serve a latency-lenient batch-throughput mix.
 struct ServerOptions {
     std::size_t instances = 1;        ///< model replicas == worker threads
@@ -68,6 +78,7 @@ struct ServerOptions {
                                         ///< 0 = never wait (batch whatever
                                         ///< is already queued)
     std::uint64_t seed = 0x5EBFE5EBFE5ULL;  ///< EvalContext seed base
+    CompileMode compile_mode = CompileMode::kAuto;  ///< plan-compiled dispatch
 
     /// Throws std::invalid_argument on degenerate values.
     void validate() const;

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 
+#include "compile/plan.hpp"
 #include "nn/loss.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
@@ -35,7 +37,8 @@ private:
 // bit-identical at any AMSNET_THREADS.
 double one_pass_topk(models::ResNet& model, const Tensor& images,
                      const std::vector<std::size_t>& labels, std::size_t k,
-                     std::size_t batch_size, runtime::EvalContext& ctx) {
+                     std::size_t batch_size, runtime::EvalContext& ctx,
+                     compile::ExecutionPlan* plan) {
     runtime::trace::Span pass_span("evaluate.pass");
     runtime::metrics::add(runtime::metrics::Counter::kEvalPasses);
     const std::size_t n = images.dim(0);
@@ -45,7 +48,10 @@ double one_pass_topk(models::ResNet& model, const Tensor& images,
         runtime::metrics::add(runtime::metrics::Counter::kEvalBatches);
         const std::size_t count = std::min(batch_size, n - start);
         const runtime::TensorArena::Checkpoint cp = ctx.checkpoint();
-        Tensor logits = forward_batch(model, slice_batch(images, start, count, ctx), ctx);
+        Tensor logits =
+            plan != nullptr
+                ? plan->run(slice_batch(images, start, count, ctx), ctx)
+                : forward_batch(model, slice_batch(images, start, count, ctx), ctx);
         const std::vector<std::size_t> batch_labels(labels.begin() + start,
                                                     labels.begin() + start + count);
         hits += nn::topk_accuracy(logits, batch_labels, k) * static_cast<double>(count);
@@ -61,6 +67,22 @@ void plan_for(models::ResNet& model, const Tensor& images, std::size_t batch_siz
               runtime::EvalContext& ctx) {
     const std::size_t first = std::min(batch_size, images.dim(0));
     (void)model.plan(Shape{first, images.dim(1), images.dim(2), images.dim(3)}, ctx);
+}
+
+/// Builds the compiled ExecutionPlan for the steady-state batch when
+/// AMSNET_COMPILE is on; an unsupported graph silently falls back to the
+/// module walk (CompileError is the designed escape hatch, and the two
+/// paths are bit-identical anyway).
+std::optional<compile::ExecutionPlan> maybe_compile(models::ResNet& model, const Tensor& images,
+                                                    std::size_t batch_size) {
+    if (!compile::env_enabled()) return std::nullopt;
+    const std::size_t first = std::min(batch_size, images.dim(0));
+    try {
+        return compile::compile(model,
+                                Shape{first, images.dim(1), images.dim(2), images.dim(3)});
+    } catch (const compile::CompileError&) {
+        return std::nullopt;
+    }
 }
 
 }  // namespace
@@ -114,11 +136,13 @@ EvalResult evaluate_top1(models::ResNet& model, const Tensor& images,
     runtime::EvalContext local;
     runtime::EvalContext& ec = ctx ? *ctx : local;
     plan_for(model, images, batch_size, ec);
+    std::optional<compile::ExecutionPlan> plan = maybe_compile(model, images, batch_size);
 
     EvalResult result;
     result.passes.reserve(passes);
     for (std::size_t p = 0; p < passes; ++p) {
-        result.passes.push_back(one_pass_topk(model, images, labels, 1, batch_size, ec));
+        result.passes.push_back(one_pass_topk(model, images, labels, 1, batch_size, ec,
+                                              plan ? &*plan : nullptr));
     }
     double sum = 0.0;
     for (double a : result.passes) sum += a;
@@ -142,7 +166,8 @@ double evaluate_topk(models::ResNet& model, const Tensor& images,
     runtime::EvalContext local;
     runtime::EvalContext& ec = ctx ? *ctx : local;
     plan_for(model, images, batch_size, ec);
-    return one_pass_topk(model, images, labels, k, batch_size, ec);
+    std::optional<compile::ExecutionPlan> plan = maybe_compile(model, images, batch_size);
+    return one_pass_topk(model, images, labels, k, batch_size, ec, plan ? &*plan : nullptr);
 }
 
 std::vector<double> record_activation_means(models::ResNet& model, const Tensor& images,

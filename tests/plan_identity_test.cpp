@@ -1,0 +1,521 @@
+// The graph compiler's acceptance criterion (DESIGN.md §13): a compiled
+// ExecutionPlan produces logits *bit-identical* to the module walk for
+// every backend, at any thread count, on both SIMD arms. These tests pin
+// that contract across the model variants the paper studies (quant+AMS,
+// FP32, bottleneck, stem-maxpool), all five VMAC datapaths, partial
+// batches, recording mode, post-compile injector toggles, the
+// AMSNET_COMPILE evaluate path, and serve's compiled replicas. The BN
+// fold pass (a deployment-semantics change, opt-in) is checked against
+// the reference fold (models::fold_conv_bn + apply_folded) instead.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "ams/vmac_backend.hpp"
+#include "ams/vmac_conv.hpp"
+#include "compile/plan.hpp"
+#include "data/synthetic_imagenet.hpp"
+#include "models/fold.hpp"
+#include "models/resnet.hpp"
+#include "nn/activations.hpp"
+#include "nn/sequential.hpp"
+#include "runtime/eval_context.hpp"
+#include "runtime/simd.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/server.hpp"
+#include "train/evaluate.hpp"
+
+namespace ams {
+namespace {
+
+/// Runs `make_output()` under a global pool of `threads` executors and
+/// returns the raw floats, restoring the env-default pool afterwards.
+template <typename Fn>
+std::vector<float> with_threads(std::size_t threads, Fn&& make_output) {
+    runtime::ThreadPool::set_global_threads(threads);
+    Tensor out = make_output();
+    std::vector<float> bits(out.data(), out.data() + out.size());
+    runtime::ThreadPool::set_global_threads(runtime::ThreadPool::threads_from_env());
+    return bits;
+}
+
+void expect_bit_identical(const std::vector<float>& a, const std::vector<float>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_FALSE(a.empty());
+    // memcmp, not float ==: bit-identical is the contract.
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+}
+
+/// The core harness: fresh model per run (injector noise epochs advance
+/// per forward, so models are never reused across runs), module walk as
+/// reference, compiled plan as candidate, over {1, 4} threads and both
+/// SIMD arms.
+template <typename MakeModel>
+void expect_plan_matches_module(MakeModel&& make_model, const Tensor& x,
+                                const compile::CompileOptions& copts = {}) {
+    auto module_walk = [&] {
+        auto model = make_model();
+        model->set_training(false);
+        runtime::EvalContext ctx;
+        (void)model->plan(x.shape(), ctx);
+        const Tensor out = model->forward(x, ctx);
+        return Tensor(out);  // deep copy out of the arena before ctx dies
+    };
+    auto planned = [&] {
+        auto model = make_model();
+        model->set_training(false);
+        runtime::EvalContext ctx;
+        (void)model->plan(x.shape(), ctx);
+        compile::ExecutionPlan plan = compile::compile(*model, x.shape(), copts);
+        const Tensor out = plan.run(x, ctx);
+        return Tensor(out);
+    };
+    const simd::Level saved = simd::active_level();
+    for (simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2}) {
+        if (level == simd::Level::kAvx2 && !simd::cpu_supports_avx2_fma()) continue;
+        simd::set_level(level);
+        const std::vector<float> reference = with_threads(1, module_walk);
+        expect_bit_identical(reference, with_threads(1, planned));
+        expect_bit_identical(reference, with_threads(4, planned));
+        expect_bit_identical(reference, with_threads(4, module_walk));
+    }
+    simd::set_level(saved);
+}
+
+models::LayerCommon quant_ams_common() {
+    models::LayerCommon common;
+    common.bits_w = 8;
+    common.bits_x = 8;
+    common.ams_enabled = true;  // stochastic injection: the hard case
+    common.vmac.enob = 4.0;
+    common.vmac.nmult = 8;
+    return common;
+}
+
+Tensor tiny_input(std::uint64_t seed = 31) {
+    Rng rng(seed);
+    Tensor x(Shape{5, 3, 8, 8});  // batch 5: uneven chunks at 4 threads
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    return x;
+}
+
+TEST(PlanIdentityTest, TinyResNetQuantAmsBitIdentical) {
+    const models::ResNetConfig cfg = models::tiny_resnet_config(quant_ams_common());
+    expect_plan_matches_module([&] { return std::make_unique<models::ResNet>(cfg); },
+                               tiny_input());
+}
+
+TEST(PlanIdentityTest, TinyResNetUnfusedPlanBitIdentical) {
+    // fuse=off lowers every elementwise layer as a standalone step with
+    // its own buffer — a different plan, the same bits.
+    const models::ResNetConfig cfg = models::tiny_resnet_config(quant_ams_common());
+    compile::CompileOptions copts;
+    copts.fuse = false;
+    expect_plan_matches_module([&] { return std::make_unique<models::ResNet>(cfg); },
+                               tiny_input(), copts);
+}
+
+TEST(PlanIdentityTest, MiniResNetBottleneckBitIdentical) {
+    // Bottleneck blocks bring identity shortcuts (the pinning path) and
+    // stem stride-2 stages into the lowering.
+    const models::ResNetConfig cfg = models::mini_resnet_config(quant_ams_common());
+    Rng rng(17);
+    Tensor x(Shape{3, 3, 16, 16});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    expect_plan_matches_module([&] { return std::make_unique<models::ResNet>(cfg); }, x);
+}
+
+TEST(PlanIdentityTest, Fp32BaselineBitIdentical) {
+    // FP32 build: no quant_input, plain ReLU activations, latent weights
+    // aliased directly (no compile-time re-quantization).
+    models::LayerCommon common;  // bits 32/32, ams off
+    const models::ResNetConfig cfg = models::tiny_resnet_config(common);
+    expect_plan_matches_module([&] { return std::make_unique<models::ResNet>(cfg); },
+                               tiny_input(5));
+}
+
+TEST(PlanIdentityTest, StemMaxpoolBitIdentical) {
+    models::ResNetConfig cfg = models::tiny_resnet_config(quant_ams_common());
+    cfg.stem_maxpool = true;  // exercises the kMaxPool lowering
+    expect_plan_matches_module([&] { return std::make_unique<models::ResNet>(cfg); },
+                               tiny_input(11));
+}
+
+TEST(PlanIdentityTest, PartialBatchBitIdentical) {
+    // A plan compiled at batch 5 must serve any batch <= 5 with the same
+    // bits as the module walk, including the epoch bookkeeping across a
+    // full-then-partial sequence (the evaluate tail-batch pattern).
+    const models::ResNetConfig cfg = models::tiny_resnet_config(quant_ams_common());
+    const Tensor x5 = tiny_input();
+    const Tensor x3 = Tensor::borrowed(Shape{3, 3, 8, 8}, const_cast<float*>(x5.data()));
+
+    auto module_walk = [&] {
+        models::ResNet model(cfg);
+        model.set_training(false);
+        runtime::EvalContext ctx;
+        (void)model.plan(x5.shape(), ctx);
+        Tensor both(Shape{x5.dim(0) + x3.dim(0), cfg.num_classes});
+        const Tensor full = model.forward(x5, ctx);
+        std::memcpy(both.data(), full.data(), full.size() * sizeof(float));
+        const Tensor tail = model.forward(x3, ctx);
+        std::memcpy(both.data() + full.size(), tail.data(), tail.size() * sizeof(float));
+        return both;
+    };
+    auto planned = [&] {
+        models::ResNet model(cfg);
+        model.set_training(false);
+        runtime::EvalContext ctx;
+        (void)model.plan(x5.shape(), ctx);
+        compile::ExecutionPlan plan = compile::compile(model, x5.shape());
+        Tensor both(Shape{x5.dim(0) + x3.dim(0), cfg.num_classes});
+        const Tensor full = plan.run(x5, ctx);
+        std::memcpy(both.data(), full.data(), full.size() * sizeof(float));
+        const Tensor tail = plan.run(x3, ctx);
+        std::memcpy(both.data() + full.size(), tail.data(), tail.size() * sizeof(float));
+        return both;
+    };
+    expect_bit_identical(with_threads(1, module_walk), with_threads(1, planned));
+    expect_bit_identical(with_threads(4, module_walk), with_threads(4, planned));
+}
+
+TEST(PlanIdentityTest, AllFiveBackendsBitIdentical) {
+    // Every hardware datapath through the kVmacConv lowering, wrapped in
+    // a Sequential with a fusible ReLU tail. bits 9/9 so the partitioned
+    // backend's sign-magnitude chunking (bits-1 divisible by nw/nx) holds.
+    vmac::VmacConfig cfg;
+    cfg.enob = 8.0;
+    cfg.nmult = 8;
+    cfg.bits_w = 9;
+    cfg.bits_x = 9;
+    Rng wrng(11);
+    Tensor w(Shape{4, 3, 3, 3});
+    w.fill_uniform(wrng, -1.0f, 1.0f);
+    Rng xrng(13);
+    Tensor x(Shape{3, 3, 6, 6});
+    x.fill_uniform(xrng, 0.0f, 1.0f);
+
+    for (vmac::BackendKind kind : vmac::all_backend_kinds()) {
+        vmac::BackendOptions bopts;
+        bopts.kind = kind;
+        auto make_model = [&] {
+            auto seq = std::make_unique<nn::Sequential>();
+            seq->emplace<vmac::VmacConv2d>(Tensor(w), 1, 1, cfg, vmac::AnalogOptions{}, bopts,
+                                           Rng(12));
+            seq->emplace<nn::ReLU>();
+            return seq;
+        };
+        SCOPED_TRACE(vmac::backend_kind_name(kind));
+        expect_plan_matches_module(make_model, x);
+    }
+}
+
+TEST(PlanIdentityTest, InjectorToggleAfterCompileBitIdentical) {
+    // The fused tail's inject slot is resolved at *run* time, so flipping
+    // the master AMS switch after compiling must track the module walk.
+    const models::ResNetConfig cfg = models::tiny_resnet_config(quant_ams_common());
+    const Tensor x = tiny_input();
+    auto module_walk = [&] {
+        models::ResNet model(cfg);
+        model.set_training(false);
+        model.set_ams_enabled(false);
+        runtime::EvalContext ctx;
+        (void)model.plan(x.shape(), ctx);
+        const Tensor quiet = model.forward(x, ctx);
+        Tensor both(Shape{2 * quiet.dim(0), quiet.dim(1)});
+        std::memcpy(both.data(), quiet.data(), quiet.size() * sizeof(float));
+        model.set_ams_enabled(true);
+        const Tensor noisy = model.forward(x, ctx);
+        std::memcpy(both.data() + quiet.size(), noisy.data(), noisy.size() * sizeof(float));
+        return both;
+    };
+    auto planned = [&] {
+        models::ResNet model(cfg);
+        model.set_training(false);
+        runtime::EvalContext ctx;
+        (void)model.plan(x.shape(), ctx);
+        compile::ExecutionPlan plan = compile::compile(model, x.shape());
+        model.set_ams_enabled(false);
+        const Tensor quiet = plan.run(x, ctx);
+        Tensor both(Shape{2 * quiet.dim(0), quiet.dim(1)});
+        std::memcpy(both.data(), quiet.data(), quiet.size() * sizeof(float));
+        model.set_ams_enabled(true);
+        const Tensor noisy = plan.run(x, ctx);
+        std::memcpy(both.data() + quiet.size(), noisy.data(), noisy.size() * sizeof(float));
+        return both;
+    };
+    expect_bit_identical(with_threads(1, module_walk), with_threads(1, planned));
+    expect_bit_identical(with_threads(4, module_walk), with_threads(4, planned));
+}
+
+TEST(PlanIdentityTest, RecordingModeMatchesModuleWalk) {
+    // Fig. 6 instrumentation through the compiled path: logits stay
+    // bit-identical and the accumulated per-layer activation means agree
+    // exactly (same serial double summation over the same values).
+    const models::ResNetConfig cfg = models::tiny_resnet_config(quant_ams_common());
+    const Tensor x = tiny_input();
+    std::vector<double> walk_means;
+    std::vector<double> plan_means;
+    auto module_walk = [&] {
+        models::ResNet model(cfg);
+        model.set_training(false);
+        model.set_recording(true);
+        runtime::EvalContext ctx;
+        (void)model.plan(x.shape(), ctx);
+        const Tensor out = model.forward(x, ctx);
+        walk_means = model.activation_means();
+        return Tensor(out);
+    };
+    auto planned = [&] {
+        models::ResNet model(cfg);
+        model.set_training(false);
+        runtime::EvalContext ctx;
+        (void)model.plan(x.shape(), ctx);
+        compile::ExecutionPlan plan = compile::compile(model, x.shape());
+        model.set_recording(true);  // after compile: resolved at run time
+        const Tensor out = plan.run(x, ctx);
+        plan_means = model.activation_means();
+        return Tensor(out);
+    };
+    expect_bit_identical(with_threads(1, module_walk), with_threads(1, planned));
+    ASSERT_EQ(walk_means.size(), plan_means.size());
+    ASSERT_FALSE(walk_means.empty());
+    for (std::size_t i = 0; i < walk_means.size(); ++i) {
+        EXPECT_DOUBLE_EQ(walk_means[i], plan_means[i]) << "conv layer " << i;
+    }
+}
+
+TEST(PlanIdentityTest, FoldedPlanMatchesReferenceFold) {
+    // CompileOptions::fold_bn on a single FP32 ConvUnit must equal the
+    // reference deployment fold (fold_conv_bn + apply_folded) bit for bit
+    // — both sides call models::fold_bn_into_conv and the shared
+    // conv_eval_run executor with a per-channel digital bias epilogue.
+    Rng rng(23);
+    nn::Conv2dOptions opts{3, 8, 3, 1, 1, false};
+    vmac::VmacConfig vcfg;
+    vcfg.enob = 6.0;
+    vcfg.nmult = 8;
+    models::ConvUnit unit(opts, quant::kFloatBits, vcfg, /*ams_enabled=*/false, rng,
+                          vmac::InjectionMode::kLumpedGaussian, /*noise_stream=*/0);
+
+    // Drive the BN running statistics off their init so the fold is
+    // non-trivial.
+    Tensor warm(Shape{4, 3, 8, 8});
+    warm.fill_uniform(rng, -1.0f, 1.0f);
+    unit.set_training(true);
+    (void)unit.forward(warm);
+    warm.fill_uniform(rng, -1.0f, 1.0f);
+    (void)unit.forward(warm);
+    unit.set_training(false);
+
+    Tensor x(Shape{5, 3, 8, 8});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    const models::FoldedConv folded = models::fold_conv_bn(unit, unit.bn().eps());
+    const Tensor reference = models::apply_folded(folded, x, opts.stride, opts.padding);
+
+    compile::CompileOptions copts;
+    copts.fold_bn = true;
+    runtime::EvalContext ctx;
+    (void)unit.plan(x.shape(), ctx);
+    compile::ExecutionPlan plan = compile::compile(unit, x.shape(), copts);
+    const Tensor out = plan.run(x, ctx);
+
+    ASSERT_EQ(out.size(), reference.size());
+    EXPECT_EQ(std::memcmp(out.data(), reference.data(), out.size() * sizeof(float)), 0);
+    // The BN layer vanished from the plan entirely.
+    EXPECT_GE(plan.stats().layers_fused, 1u);
+    for (const compile::Step& step : plan.program().steps) {
+        EXPECT_NE(step.kind, compile::StepKind::kElementwise);
+        for (const compile::EwOp& op : step.tail) {
+            EXPECT_NE(op.kind, compile::EwOp::Kind::kBatchNorm);
+        }
+    }
+}
+
+TEST(PlanIdentityTest, FoldedResNetRunsAndDropsBatchNorm) {
+    // Network-level fold smoke test (quantized weights are re-quantized on
+    // the folded grid, so logits legitimately differ from the module
+    // walk): the plan compiles, runs, and contains no BN work.
+    models::LayerCommon common = quant_ams_common();
+    common.ams_enabled = false;  // folding is a deployment (noise-free) step
+    const models::ResNetConfig cfg = models::tiny_resnet_config(common);
+    models::ResNet model(cfg);
+    model.set_training(false);
+    const Tensor x = tiny_input();
+    compile::CompileOptions copts;
+    copts.fold_bn = true;
+    runtime::EvalContext ctx;
+    (void)model.plan(x.shape(), ctx);
+    compile::ExecutionPlan plan = compile::compile(model, x.shape(), copts);
+    const Tensor out = plan.run(x, ctx);
+    ASSERT_EQ(out.rank(), 2u);
+    EXPECT_EQ(out.dim(0), 5u);
+    EXPECT_EQ(out.dim(1), cfg.num_classes);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(out[i])) << "logit " << i;
+    }
+    for (const compile::Step& step : plan.program().steps) {
+        for (const compile::EwOp& op : step.tail) {
+            EXPECT_NE(op.kind, compile::EwOp::Kind::kBatchNorm);
+        }
+    }
+}
+
+TEST(PlanIdentityTest, PlanArenaSmallerThanModuleWalk) {
+    for (const models::ResNetConfig& cfg :
+         {models::tiny_resnet_config(quant_ams_common()),
+          models::mini_resnet_config(quant_ams_common())}) {
+        models::ResNet model(cfg);
+        model.set_training(false);
+        const Shape in{4, 3, 16, 16};
+        compile::ExecutionPlan fused = compile::compile(model, in);
+        EXPECT_GT(fused.stats().layers_fused, 0u);
+        EXPECT_GT(fused.stats().intermediates_eliminated, 0u);
+        EXPECT_LT(fused.stats().plan_floats, fused.stats().module_walk_floats)
+            << cfg.stages.size() << "-stage config";
+
+        compile::CompileOptions unfused;
+        unfused.fuse = false;
+        compile::ExecutionPlan baseline = compile::compile(model, in, unfused);
+        EXPECT_LE(fused.arena_floats(), baseline.arena_floats());
+    }
+}
+
+TEST(PlanIdentityTest, EvaluateWithCompileEnvMatchesModuleWalk) {
+    data::DatasetOptions dopts;
+    dopts.classes = 4;
+    dopts.train_per_class = 4;
+    dopts.val_per_class = 6;
+    dopts.image_size = 8;
+    dopts.seed = 15;
+    data::SyntheticImageNet ds(dopts);
+    const models::ResNetConfig cfg = models::tiny_resnet_config(quant_ams_common());
+
+    auto passes = [&] {
+        models::ResNet model(cfg);
+        return train::evaluate_top1(model, ds.val_images(), ds.val_labels(), 16, 3).passes;
+    };
+    ::unsetenv("AMSNET_COMPILE");
+    const std::vector<double> walked = passes();
+    ::setenv("AMSNET_COMPILE", "on", 1);
+    const std::vector<double> compiled = passes();
+    ::unsetenv("AMSNET_COMPILE");
+    ASSERT_EQ(walked.size(), compiled.size());
+    for (std::size_t i = 0; i < walked.size(); ++i) {
+        EXPECT_DOUBLE_EQ(walked[i], compiled[i]) << "pass " << i;
+    }
+}
+
+TEST(PlanIdentityTest, CompileRejectsTrainingModeAndBadBatch) {
+    const models::ResNetConfig cfg = models::tiny_resnet_config(quant_ams_common());
+    models::ResNet model(cfg);
+    model.set_training(true);
+    EXPECT_THROW((void)compile::compile(model, Shape{5, 3, 8, 8}), compile::CompileError);
+    model.set_training(false);
+    EXPECT_THROW((void)compile::compile(model, Shape{0, 3, 8, 8}), compile::CompileError);
+
+    compile::ExecutionPlan plan = compile::compile(model, Shape{5, 3, 8, 8});
+    runtime::EvalContext ctx;
+    Tensor oversize(Shape{6, 3, 8, 8});
+    EXPECT_THROW((void)plan.run(oversize, ctx), std::invalid_argument);
+    Tensor wrong_chw(Shape{5, 3, 9, 9});
+    EXPECT_THROW((void)plan.run(wrong_chw, ctx), std::invalid_argument);
+}
+
+// ----- serve-level compiled replicas -----
+
+std::vector<std::vector<float>> serve_logits(models::ResNet& primary, const Tensor& images,
+                                             serve::CompileMode mode) {
+    serve::ServerOptions sopts;
+    sopts.instances = 1;
+    sopts.max_batch = 4;
+    sopts.max_delay_us = 0;
+    sopts.compile_mode = mode;
+    serve::InferenceServer server(
+        primary, Shape{images.dim(1), images.dim(2), images.dim(3)}, sopts);
+    const std::size_t image = images.dim(1) * images.dim(2) * images.dim(3);
+    std::vector<std::future<serve::InferenceResult>> futures;
+    futures.reserve(images.dim(0));
+    for (std::size_t i = 0; i < images.dim(0); ++i) {
+        futures.push_back(server.submit(images.data() + i * image));
+    }
+    std::vector<std::vector<float>> logits;
+    logits.reserve(futures.size());
+    for (auto& f : futures) logits.push_back(f.get().logits);
+    return logits;
+}
+
+TEST(PlanIdentityTest, ServeCompiledReplicaBitIdentical) {
+    // Deterministic configuration (no AMS noise): CompileMode::kOn and
+    // kOff replicas must serve bit-identical logits per image.
+    models::LayerCommon common;
+    common.bits_w = 8;
+    common.bits_x = 8;  // quantized but noise-free => schedule-invariant
+    const models::ResNetConfig cfg = models::tiny_resnet_config(common);
+    models::ResNet primary(cfg);
+    primary.set_training(false);
+    Rng rng(41);
+    Tensor images(Shape{8, 3, 8, 8});
+    images.fill_uniform(rng, -1.0f, 1.0f);
+
+    const auto walked = serve_logits(primary, images, serve::CompileMode::kOff);
+    const auto compiled = serve_logits(primary, images, serve::CompileMode::kOn);
+    ASSERT_EQ(walked.size(), compiled.size());
+    for (std::size_t i = 0; i < walked.size(); ++i) {
+        ASSERT_EQ(walked[i].size(), compiled[i].size());
+        EXPECT_EQ(std::memcmp(walked[i].data(), compiled[i].data(),
+                              walked[i].size() * sizeof(float)),
+                  0)
+            << "image " << i;
+    }
+}
+
+/// A module the compiler cannot lower: deterministic per-image row sums
+/// as two logits. kOn must refuse it at construction; kAuto must serve
+/// it through the module walk.
+class OpaqueModule : public nn::Module {
+public:
+    Tensor forward(const Tensor& input) override {
+        const std::size_t n = input.dim(0);
+        const std::size_t per_image = input.size() / n;
+        Tensor out(Shape{n, 2});
+        for (std::size_t i = 0; i < n; ++i) {
+            float sum = 0.0f;
+            const float* row = input.data() + i * per_image;
+            for (std::size_t j = 0; j < per_image; ++j) sum += row[j];
+            out[i * 2] = sum;
+            out[i * 2 + 1] = -sum;
+        }
+        return out;
+    }
+    Shape plan(const Shape& in, runtime::EvalContext&) override { return Shape{in.dim(0), 2}; }
+    Tensor backward(const Tensor&) override { throw std::logic_error("eval only"); }
+    [[nodiscard]] std::string name() const override { return "OpaqueModule"; }
+};
+
+TEST(PlanIdentityTest, ServeCompileOnRejectsUnsupportedGraph) {
+    serve::ServerOptions sopts;
+    sopts.instances = 1;
+    sopts.compile_mode = serve::CompileMode::kOn;
+    auto factory = [](std::size_t) -> std::unique_ptr<nn::Module> {
+        return std::make_unique<OpaqueModule>();
+    };
+    EXPECT_THROW(serve::InferenceServer(factory, Shape{3, 4, 4}, sopts),
+                 compile::CompileError);
+
+    // kAuto degrades gracefully: same graph, module-walk service.
+    sopts.compile_mode = serve::CompileMode::kAuto;
+    serve::InferenceServer server(factory, Shape{3, 4, 4}, sopts);
+    std::vector<float> image(3 * 4 * 4, 0.25f);
+    auto result = server.submit(image.data()).get();
+    ASSERT_EQ(result.logits.size(), 2u);
+    EXPECT_FLOAT_EQ(result.logits[0], 0.25f * 48.0f);
+    EXPECT_FLOAT_EQ(result.logits[1], -0.25f * 48.0f);
+}
+
+}  // namespace
+}  // namespace ams

@@ -173,6 +173,11 @@ TEST(MetricsTest, MetricsJsonGolden) {
         "  \"serve_batches\": 0,\n"
         "  \"serve_batch_images\": 0,\n"
         "  \"serve_queue_wait_ns\": 0,\n"
+        "  \"plan_compiles\": 0,\n"
+        "  \"plan_runs\": 0,\n"
+        "  \"plan_layers_fused\": 0,\n"
+        "  \"plan_intermediates_eliminated\": 0,\n"
+        "  \"plan_arena_bytes_saved\": 0,\n"
         "  \"arena_high_water_bytes\": 4096,\n"
         "  \"serve_queue_depth_max\": 0\n"
         "}\n";
