@@ -3,17 +3,27 @@
 // GEMMs and the classifier gemm_bt), plus an end-to-end evaluate_top1
 // images/s comparison on the quantized+AMS tiny ResNet.
 //
+// The integer numeric domain (DESIGN.md §14) rides the same harness:
+// GOP/s of the packed int8/int16 code kernels per arm, and the headline
+// acceptance figure — end-to-end quantized eval images/s of the int8
+// ExecutionPlan vs the fp32 fused plan on the mini ResNet, which must
+// reach >= 1.5x for the bench to exit 0 (CI gates on the exit code;
+// AMSNET_BENCH_QUICK=1 shrinks repetition counts).
+//
 // Writes a machine-readable artifact, BENCH_gemm.json (shared
 // amsnet-bench-v1 schema; see core/bench_json.hpp), alongside the usual
 // printed table so CI and later sessions can diff kernel performance
 // without parsing stdout. On hosts without AVX2/FMA the vector rows are
 // omitted and the JSON records "avx2_available": false.
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "compile/plan.hpp"
 #include "core/bench_json.hpp"
 #include "core/report.hpp"
 #include "data/synthetic_imagenet.hpp"
@@ -22,6 +32,7 @@
 #include "runtime/simd.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_int.hpp"
 #include "tensor/tensor.hpp"
 #include "train/evaluate.hpp"
 
@@ -59,9 +70,88 @@ struct GemmRow {
     double avx2_gflops = 0.0;
 };
 
+/// Per-shape GOP/s of the packed integer code kernels (gemm_s8u8 /
+/// gemm_s16), per arm. One "op" is one code multiply-add, so the figures
+/// are directly comparable with the fp32 GFLOP/s rows above.
+struct IntGemmRow {
+    GemmShape shape;
+    double s8u8_scalar_gops = 0.0;
+    double s8u8_avx2_gops = 0.0;
+    double s16_scalar_gops = 0.0;
+    double s16_avx2_gops = 0.0;
+};
+
 double gflops(const GemmShape& s, double seconds) {
     return 2.0 * static_cast<double>(s.m) * static_cast<double>(s.k) *
            static_cast<double>(s.n) / seconds / 1e9;
+}
+
+/// End-to-end eval throughput of the compiled mini-ResNet plan under one
+/// numeric mode: images/s through ExecutionPlan::run on a steady-state
+/// batch (same model/batch/geometry as bench_plan_compile, AMS off so
+/// the per-image work is deterministic).
+struct PlanEval {
+    double fp32_ips = 0.0;
+    double int8_ips = 0.0;
+    double int16_ips = 0.0;
+};
+
+PlanEval measure_plan_eval(bool quick) {
+    const std::size_t batch = 16;
+    const std::size_t reps = quick ? 12 : 60;
+    const std::size_t warmup = quick ? 2 : 5;
+
+    models::LayerCommon common;
+    common.bits_w = 8;
+    common.bits_x = 8;  // quantized, AMS noise off: deterministic work
+    models::ResNet model(models::mini_resnet_config(common));
+    model.set_training(false);
+
+    data::DatasetOptions dopts;
+    dopts.classes = 10;
+    dopts.train_per_class = 1;
+    dopts.val_per_class = 4;
+    dopts.image_size = 16;
+    dopts.seed = 21;
+    data::SyntheticImageNet dataset(dopts);
+    const Tensor& images = dataset.val_images();
+    const Shape in_shape{batch, images.dim(1), images.dim(2), images.dim(3)};
+
+    runtime::EvalContext ctx;
+    (void)model.plan(in_shape, ctx);
+    Tensor x(in_shape);
+    for (std::size_t i = 0; i < batch; ++i) {
+        const std::size_t src = i % images.dim(0);
+        const std::size_t image = images.size() / images.dim(0);
+        std::copy(images.data() + src * image, images.data() + (src + 1) * image,
+                  x.data() + i * image);
+    }
+
+    auto ips_for = [&](GemmIntMode mode) {
+        compile::CompileOptions copts;
+        copts.gemm_int = mode;
+        compile::ExecutionPlan plan = compile::compile(model, in_shape, copts);
+        for (std::size_t i = 0; i < warmup; ++i) {
+            const runtime::TensorArena::Checkpoint cp = ctx.checkpoint();
+            (void)plan.run(x, ctx);
+            ctx.rewind(cp);
+        }
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < reps; ++i) {
+            const runtime::TensorArena::Checkpoint cp = ctx.checkpoint();
+            (void)plan.run(x, ctx);
+            ctx.rewind(cp);
+        }
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        return static_cast<double>(reps * batch) / elapsed;
+    };
+
+    PlanEval out;
+    out.fp32_ips = ips_for(GemmIntMode::kOff);
+    out.int8_ips = ips_for(GemmIntMode::kInt8);
+    out.int16_ips = ips_for(GemmIntMode::kInt16);
+    return out;
 }
 
 double measure_eval_images_per_s() {
@@ -98,6 +188,10 @@ int main() {
                        "infrastructure (no paper figure)");
 
     const bool has_avx2 = simd::cpu_supports_avx2_fma();
+    const bool quick = [] {
+        const char* env = std::getenv("AMSNET_BENCH_QUICK");
+        return env != nullptr && *env != '\0' && *env != '0';
+    }();
     std::cout << "avx2/fma available: " << (has_avx2 ? "yes" : "no")
               << "   default arm: " << simd::level_name(simd::detect_level()) << "\n\n";
 
@@ -113,7 +207,7 @@ int main() {
         Tensor c(Shape{s.m, s.n});
         a.fill_uniform(rng, -1.0f, 1.0f);
         b.fill_uniform(rng, -1.0f, 1.0f);
-        const int reps = s.m * s.k * s.n > (1u << 24) ? 5 : 20;
+        const int reps = quick ? 3 : (s.m * s.k * s.n > (1u << 24) ? 5 : 20);
 
         GemmRow row{s, 0.0, 0.0};
         simd::set_level(simd::Level::kScalar);
@@ -129,6 +223,48 @@ int main() {
         rows.push_back(row);
     }
 
+    // Packed integer code kernels at the same shapes. Operand codes use
+    // the 8-bit DoReFa grid bounds (|a| <= 127, b <= 127), so every
+    // shape here satisfies int_accumulator_safe.
+    std::vector<IntGemmRow> int_rows;
+    for (const GemmShape& s : kShapes) {
+        std::vector<std::int8_t> a8(s.m * s.k);
+        std::vector<std::uint8_t> b8(s.k * s.n);
+        std::vector<std::int16_t> a16(s.m * s.k);
+        std::vector<std::int16_t> b16(s.k * s.n);
+        std::vector<std::int32_t> c32(s.m * s.n);
+        for (std::size_t i = 0; i < a8.size(); ++i) {
+            a8[i] = static_cast<std::int8_t>(static_cast<int>(rng.next_u64() % 255) - 127);
+            a16[i] = a8[i];
+        }
+        for (std::size_t i = 0; i < b8.size(); ++i) {
+            b8[i] = static_cast<std::uint8_t>(rng.next_u64() % 128);
+            b16[i] = b8[i];
+        }
+        const int reps = quick ? 3 : (s.m * s.k * s.n > (1u << 24) ? 5 : 20);
+
+        IntGemmRow row{s, 0.0, 0.0, 0.0, 0.0};
+        simd::set_level(simd::Level::kScalar);
+        row.s8u8_scalar_gops = gflops(
+            s, seconds_of([&] { gemm_s8u8(a8.data(), b8.data(), c32.data(), s.m, s.k, s.n); },
+                          reps));
+        row.s16_scalar_gops = gflops(
+            s, seconds_of([&] { gemm_s16(a16.data(), b16.data(), c32.data(), s.m, s.k, s.n); },
+                          reps));
+        if (has_avx2) {
+            simd::set_level(simd::Level::kAvx2);
+            row.s8u8_avx2_gops = gflops(
+                s,
+                seconds_of([&] { gemm_s8u8(a8.data(), b8.data(), c32.data(), s.m, s.k, s.n); },
+                           reps));
+            row.s16_avx2_gops = gflops(
+                s,
+                seconds_of([&] { gemm_s16(a16.data(), b16.data(), c32.data(), s.m, s.k, s.n); },
+                           reps));
+        }
+        int_rows.push_back(row);
+    }
+
     // End-to-end: images/s through evaluate_top1 on the planned arena
     // path, per arm.
     simd::set_level(simd::Level::kScalar);
@@ -139,6 +275,16 @@ int main() {
         eval_avx2_ips = measure_eval_images_per_s();
     }
     simd::set_level(simd::detect_level());
+
+    // Headline acceptance figure: end-to-end eval images/s of the int8
+    // compiled plan vs the fp32 fused plan on the default arm (the int16
+    // row rides along for reference). Gated below.
+    const PlanEval plan_eval = measure_plan_eval(quick);
+    const double int8_vs_fp32 =
+        plan_eval.fp32_ips > 0.0 ? plan_eval.int8_ips / plan_eval.fp32_ips : 0.0;
+    const double int16_vs_fp32 =
+        plan_eval.fp32_ips > 0.0 ? plan_eval.int16_ips / plan_eval.fp32_ips : 0.0;
+
     runtime::ThreadPool::set_global_threads(runtime::ThreadPool::threads_from_env());
 
     core::Table table({"GEMM (m x k x n)", "scalar GFLOP/s", "avx2 GFLOP/s", "speedup"});
@@ -155,6 +301,31 @@ int main() {
                    has_avx2 ? core::fmt_fixed(eval_avx2_ips / eval_scalar_ips, 2) + "x" : "-"});
     table.print(std::cout);
 
+    std::cout << "\n";
+    core::Table int_table({"int GEMM (m x k x n)", "s8u8 scalar", "s8u8 avx2", "s16 scalar",
+                           "s16 avx2"});
+    for (const IntGemmRow& r : int_rows) {
+        const std::string dims = std::to_string(r.shape.m) + " x " + std::to_string(r.shape.k) +
+                                 " x " + std::to_string(r.shape.n);
+        int_table.add_row({r.shape.tag + (" (" + dims + ")"),
+                           core::fmt_fixed(r.s8u8_scalar_gops, 2),
+                           has_avx2 ? core::fmt_fixed(r.s8u8_avx2_gops, 2) : "-",
+                           core::fmt_fixed(r.s16_scalar_gops, 2),
+                           has_avx2 ? core::fmt_fixed(r.s16_avx2_gops, 2) : "-"});
+    }
+    int_table.print(std::cout);
+    std::cout << "(GOP/s; one op = one code multiply-add, comparable with the "
+                 "fp32 GFLOP/s rows)\n";
+
+    std::cout << "\n";
+    core::Table plan_table({"plan numeric mode", "images/s", "vs fp32"});
+    plan_table.add_row({"fp32 fused", core::fmt_fixed(plan_eval.fp32_ips, 1), "1.00x"});
+    plan_table.add_row({"int8", core::fmt_fixed(plan_eval.int8_ips, 1),
+                        core::fmt_fixed(int8_vs_fp32, 2) + "x"});
+    plan_table.add_row({"int16", core::fmt_fixed(plan_eval.int16_ips, 1),
+                        core::fmt_fixed(int16_vs_fp32, 2) + "x"});
+    plan_table.print(std::cout);
+
     core::BenchReport report("gemm");
     report.record_runtime_env();
     report.config().set("avx2_available", has_avx2);
@@ -170,11 +341,32 @@ int main() {
         row.set("avx2_gflops", r.avx2_gflops);
         row.set("speedup", r.scalar_gflops > 0.0 ? r.avx2_gflops / r.scalar_gflops : 0.0);
     }
+    for (const IntGemmRow& r : int_rows) {
+        core::BenchFields& row = report.add_row();
+        row.set("kind", "gemm_int");
+        row.set("tag", r.shape.tag);
+        row.set("m", r.shape.m);
+        row.set("k", r.shape.k);
+        row.set("n", r.shape.n);
+        row.set("s8u8_scalar_gops", r.s8u8_scalar_gops);
+        row.set("s8u8_avx2_gops", r.s8u8_avx2_gops);
+        row.set("s16_scalar_gops", r.s16_scalar_gops);
+        row.set("s16_avx2_gops", r.s16_avx2_gops);
+    }
     core::BenchFields& eval_row = report.add_row();
     eval_row.set("kind", "evaluate_top1");
     eval_row.set("scalar_images_per_s", eval_scalar_ips);
     eval_row.set("avx2_images_per_s", eval_avx2_ips);
     eval_row.set("speedup", eval_scalar_ips > 0.0 ? eval_avx2_ips / eval_scalar_ips : 0.0);
+    core::BenchFields& plan_row = report.add_row();
+    plan_row.set("kind", "plan_eval");
+    plan_row.set("fp32_images_per_s", plan_eval.fp32_ips);
+    plan_row.set("int8_images_per_s", plan_eval.int8_ips);
+    plan_row.set("int16_images_per_s", plan_eval.int16_ips);
+    plan_row.set("int8_vs_fp32", int8_vs_fp32);
+    plan_row.set("int16_vs_fp32", int16_vs_fp32);
+    report.config().set("quick", quick);
+    report.config().set("int8_vs_fp32_target", 1.5);
     report.capture_runtime_metrics();
     std::cout << "\nSeries written to " << report.write_artifact() << "\n";
 
@@ -183,5 +375,14 @@ int main() {
     } else {
         std::cout << "\nNo AVX2/FMA: only the scalar arm was measured.\n";
     }
-    return 0;
+
+    // Acceptance gate (DESIGN.md §14): the int8 plan must deliver >= 1.5x
+    // the fp32 fused plan's end-to-end eval throughput. Only enforced
+    // where the AVX2 kernels run — on scalar-only hosts the figure is
+    // reported but not gated.
+    const bool int8_ok = !has_avx2 || int8_vs_fp32 >= 1.5;
+    std::cout << "int8 plan vs fp32 fused plan: " << core::fmt_fixed(int8_vs_fp32, 2)
+              << "x (target >= 1.5x" << (has_avx2 ? "" : ", not gated without avx2")
+              << "): " << (int8_ok ? "yes" : "NO") << "\n";
+    return int8_ok ? 0 : 1;
 }

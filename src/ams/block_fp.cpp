@@ -1,0 +1,125 @@
+#include "ams/block_fp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace ams::vmac {
+
+namespace {
+
+/// Block quantum for one operand vector: 2^(e_max - mantissa_bits),
+/// where e_max is the shared (maximum) frexp exponent over the chunk.
+/// Every |v| then encodes as lround(v / quantum) with magnitude
+/// <= 2^mantissa_bits. All-zero chunks get quantum 1 (mantissas are 0).
+double block_quantum(std::span<const double> values, std::size_t mantissa_bits) {
+    double max_abs = 0.0;
+    for (const double v : values) max_abs = std::max(max_abs, std::fabs(v));
+    if (max_abs == 0.0) return 1.0;
+    int e = 0;
+    (void)std::frexp(max_abs, &e);  // max_abs = m * 2^e, m in [0.5, 1)
+    return std::ldexp(1.0, e - static_cast<int>(mantissa_bits));
+}
+
+/// Thread-local mantissa scratch: the simulator runs one chunk at a time
+/// per thread, and clones never share state, so reuse is safe.
+std::vector<std::int64_t>& mantissa_scratch(std::size_t which, std::size_t n) {
+    thread_local std::vector<std::int64_t> bufs[2];
+    bufs[which].resize(n);
+    return bufs[which];
+}
+
+}  // namespace
+
+BlockFpVmac::BlockFpVmac(const VmacConfig& config, std::size_t mantissa_bits_w,
+                         std::size_t mantissa_bits_x, const AnalogOptions& analog)
+    : config_(config), analog_(analog), mw_(mantissa_bits_w), mx_(mantissa_bits_x) {
+    config_.validate();
+    if (mw_ < 2 || mw_ > 30 || mx_ < 2 || mx_ > 30) {
+        throw std::invalid_argument("BlockFpVmac: mantissa bits must be in [2, 30]");
+    }
+    if (analog_.reference_scale <= 0.0) {
+        throw std::invalid_argument("BlockFpVmac: reference_scale must be positive");
+    }
+    if (analog_.multiplier_noise_sigma < 0.0 || analog_.adc_noise_sigma < 0.0) {
+        throw std::invalid_argument("BlockFpVmac: noise sigmas must be non-negative");
+    }
+    quantizer_ = AdcQuantizer(config_.enob, full_scale(), analog_.reference_scale);
+}
+
+double BlockFpVmac::full_scale() const {
+    return config_.accumulation == Accumulation::kSum ? static_cast<double>(config_.nmult)
+                                                      : 1.0;
+}
+
+double BlockFpVmac::dot(std::span<const double> weights, std::span<const double> activations,
+                        Rng& rng) const {
+    if (weights.size() != activations.size()) {
+        throw std::invalid_argument("BlockFpVmac: weight/activation count mismatch");
+    }
+    if (weights.size() > config_.nmult) {
+        throw std::invalid_argument("BlockFpVmac: more operand pairs than nmult");
+    }
+    const std::size_t n = weights.size();
+    const double qw = block_quantum(weights, mw_);
+    const double qx = block_quantum(activations, mx_);
+    std::vector<std::int64_t>& mw_codes = mantissa_scratch(0, n);
+    std::vector<std::int64_t>& mx_codes = mantissa_scratch(1, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        mw_codes[i] = std::llround(weights[i] / qw);
+        mx_codes[i] = std::llround(activations[i] / qx);
+    }
+    // q = qw * qx is a product of powers of two: the mantissa dot scales
+    // back to the value domain exactly (no rounding in the multiply).
+    const double q = qw * qx;
+    double analog_sum;
+    if (analog_.multiplier_noise_sigma > 0.0) {
+        // Thermal noise per D-to-A multiplier output, as in VmacCell.
+        analog_sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            analog_sum += static_cast<double>(mw_codes[i] * mx_codes[i]) * q +
+                          rng.normal(0.0, analog_.multiplier_noise_sigma);
+        }
+    } else {
+        // Exact integer accumulation: |mantissa product| <= 2^(mw+mx)
+        // <= 2^60, and nmult products stay far below the int64 range for
+        // any realistic vector length.
+        std::int64_t acc = 0;
+        for (std::size_t i = 0; i < n; ++i) acc += mw_codes[i] * mx_codes[i];
+        analog_sum = static_cast<double>(acc) * q;
+    }
+    const bool averaging = config_.accumulation == Accumulation::kAverage;
+    if (averaging) analog_sum /= static_cast<double>(config_.nmult);
+    if (analog_.adc_noise_sigma > 0.0) {
+        analog_sum += rng.normal(0.0, analog_.adc_noise_sigma);
+    }
+    const double digital = quantizer_.convert(analog_sum);
+    return averaging ? digital * static_cast<double>(config_.nmult) : digital;
+}
+
+double BlockFpVmac::effective_enob() const {
+    const double lsb = quantizer_.lsb();
+    const double quant_var = lsb * lsb / 12.0;
+    const double avg_div = config_.accumulation == Accumulation::kAverage
+                               ? static_cast<double>(config_.nmult)
+                               : 1.0;
+    // Worst-case mantissa quanta: operands at full scale (|v| <= 1) give
+    // block exponent 1, quantum 2^(1 - m). Per product the mantissa
+    // rounding contributes ~ (qw^2 E[x^2] + qx^2 E[w^2]) / 12, bounded
+    // with E[.^2] <= 1; nmult products accumulate before the (optional)
+    // averaging division.
+    const double qw = std::exp2(1.0 - static_cast<double>(mw_));
+    const double qx = std::exp2(1.0 - static_cast<double>(mx_));
+    const double mant_var = static_cast<double>(config_.nmult) * (qw * qw + qx * qx) / 12.0 /
+                            (avg_div * avg_div);
+    const double mult_var = static_cast<double>(config_.nmult) *
+                            analog_.multiplier_noise_sigma * analog_.multiplier_noise_sigma /
+                            (avg_div * avg_div);
+    const double adc_var = analog_.adc_noise_sigma * analog_.adc_noise_sigma;
+    const double total = quant_var + mant_var + mult_var + adc_var;
+    return effective_enob_from_rms(std::sqrt(total), full_scale());
+}
+
+}  // namespace ams::vmac

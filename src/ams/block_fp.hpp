@@ -1,0 +1,67 @@
+// BlockFpVmac: adaptive block floating-point VMAC datapath.
+//
+// Instead of the cell's fixed sign-magnitude operand grids, each chunk's
+// operand vector shares one block exponent (the max exponent over the
+// chunk, "adaptive" because it follows the data): every value becomes an
+// integer mantissa times a power-of-two quantum, the dot product is an
+// exact integer multiply-accumulate, and the result returns to the
+// analog value domain through two power-of-two scales (exact in IEEE
+// arithmetic). The ADC then converts the analog accumulation exactly as
+// in VmacCell — one conversion per chunk — so the datapath slots into
+// the VmacBackend cost contract with conversions_per_vmac() == 1.
+//
+// Compared to the fixed-grid cell, small-magnitude chunks keep far more
+// relative precision (their block exponent shrinks the quantum), while
+// worst-case full-scale chunks match a (mantissa_bits)-bit fixed grid.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "ams/adc_quantizer.hpp"
+#include "ams/vmac_cell.hpp"
+#include "ams/vmac_config.hpp"
+#include "tensor/rng.hpp"
+
+namespace ams::vmac {
+
+/// One block-floating-point VMAC. Stateless across chunks (clone-safe).
+class BlockFpVmac {
+public:
+    /// `mantissa_bits_*` are the magnitude bits per operand mantissa
+    /// (sign carried separately, like the cell's sign-magnitude codecs).
+    /// Throws std::invalid_argument on invalid config/analog or mantissa
+    /// bits outside [2, 30].
+    BlockFpVmac(const VmacConfig& config, std::size_t mantissa_bits_w,
+                std::size_t mantissa_bits_x, const AnalogOptions& analog);
+
+    /// Digital output for one chunk (<= nmult operand pairs): block
+    /// encode, exact integer dot, optional analog noise, one ADC
+    /// conversion. Mirrors VmacCell::dot's averaging and noise flow.
+    /// Deterministic when both noise sigmas are zero (no rng draws).
+    [[nodiscard]] double dot(std::span<const double> weights,
+                             std::span<const double> activations, Rng& rng) const;
+
+    /// Digital full scale of the analog dot product (as VmacCell).
+    [[nodiscard]] double full_scale() const;
+
+    /// Analytic composite ENOB: ADC quantization + thermal noise +
+    /// worst-case (full-scale block) mantissa quantization variance.
+    /// Adaptive-exponent gains on small-magnitude data are what the
+    /// empirical sweeps measure; this is the conservative floor.
+    [[nodiscard]] double effective_enob() const;
+
+    [[nodiscard]] const VmacConfig& config() const { return config_; }
+    [[nodiscard]] const AnalogOptions& analog() const { return analog_; }
+    [[nodiscard]] std::size_t mantissa_bits_w() const { return mw_; }
+    [[nodiscard]] std::size_t mantissa_bits_x() const { return mx_; }
+
+private:
+    VmacConfig config_;
+    AnalogOptions analog_;
+    std::size_t mw_;
+    std::size_t mx_;
+    AdcQuantizer quantizer_;
+};
+
+}  // namespace ams::vmac

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ams/adc_quantizer.hpp"
+#include "ams/block_fp.hpp"
 #include "runtime/metrics.hpp"
 
 namespace ams::vmac {
@@ -30,6 +31,7 @@ const char* backend_kind_name(BackendKind kind) {
         case BackendKind::kPartitioned: return "partitioned";
         case BackendKind::kDeltaSigma: return "delta_sigma";
         case BackendKind::kReferenceScaled: return "reference_scaled";
+        case BackendKind::kBlockFp: return "block_fp";
     }
     throw std::invalid_argument("backend_kind_name: unknown BackendKind");
 }
@@ -49,8 +51,9 @@ BackendKind parse_backend_kind(std::string_view name) {
 
 const std::vector<BackendKind>& all_backend_kinds() {
     static const std::vector<BackendKind> kinds{
-        BackendKind::kBitExact, BackendKind::kPerVmacNoise, BackendKind::kPartitioned,
-        BackendKind::kDeltaSigma, BackendKind::kReferenceScaled};
+        BackendKind::kBitExact,    BackendKind::kPerVmacNoise,
+        BackendKind::kPartitioned, BackendKind::kDeltaSigma,
+        BackendKind::kReferenceScaled, BackendKind::kBlockFp};
     return kinds;
 }
 
@@ -73,6 +76,14 @@ std::string BackendOptions::str() const {
             break;
         case BackendKind::kReferenceScaled:
             os << "_s" << reference_scale;
+            break;
+        case BackendKind::kBlockFp:
+            // 0 means "derive from the operand widths" (see make_backend).
+            if (block_fp_mantissa_bits > 0) {
+                os << "_m" << block_fp_mantissa_bits;
+            } else {
+                os << "_mauto";
+            }
             break;
         default:
             break;
@@ -279,6 +290,40 @@ private:
     double scale_;
 };
 
+/// Adaptive block floating-point datapath: shared per-chunk exponents,
+/// exact integer mantissa dot, one ADC conversion per chunk.
+class BlockFpBackend final : public VmacBackend {
+public:
+    BlockFpBackend(const VmacConfig& config, std::size_t mantissa_bits_w,
+                   std::size_t mantissa_bits_x, const AnalogOptions& analog)
+        : vmac_(config, mantissa_bits_w, mantissa_bits_x, analog) {}
+
+    double accumulate(std::span<const double> weights, std::span<const double> activations,
+                      Rng& rng) override {
+        count_chunk(runtime::metrics::Counter::kAdcConversionsBlockFp);
+        return vmac_.dot(weights, activations, rng);
+    }
+
+    [[nodiscard]] BackendKind kind() const override { return BackendKind::kBlockFp; }
+    [[nodiscard]] std::size_t conversions_per_vmac() const override { return 1; }
+    [[nodiscard]] ConversionProfile conversion_profile() const override {
+        return {{vmac_.config().enob, 1.0, 0.0}};
+    }
+    /// Analytic worst-case (full-scale block) equivalent; the adaptive
+    /// exponent's data-dependent gains are measured empirically.
+    [[nodiscard]] double effective_enob(std::size_t /*chunks_per_output*/) const override {
+        return vmac_.effective_enob();
+    }
+    [[nodiscard]] std::unique_ptr<VmacBackend> clone() const override {
+        return std::make_unique<BlockFpBackend>(vmac_.config(), vmac_.mantissa_bits_w(),
+                                                vmac_.mantissa_bits_x(), vmac_.analog());
+    }
+    [[nodiscard]] const VmacConfig& config() const override { return vmac_.config(); }
+
+private:
+    BlockFpVmac vmac_;
+};
+
 }  // namespace
 
 std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config, const AnalogOptions& analog,
@@ -306,6 +351,17 @@ std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config, const Analog
             }
             return std::make_unique<ReferenceScaledBackend>(config, analog,
                                                             options.reference_scale);
+        case BackendKind::kBlockFp: {
+            // Default mantissa budget: the cell's sign-magnitude codecs
+            // spend bits - 1 on magnitude; match that per operand.
+            const std::size_t mw = options.block_fp_mantissa_bits > 0
+                                       ? options.block_fp_mantissa_bits
+                                       : config.bits_w - 1;
+            const std::size_t mx = options.block_fp_mantissa_bits > 0
+                                       ? options.block_fp_mantissa_bits
+                                       : config.bits_x - 1;
+            return std::make_unique<BlockFpBackend>(config, mw, mx, analog);
+        }
     }
     throw std::invalid_argument("make_backend: unknown BackendKind");
 }

@@ -34,13 +34,14 @@
 
 namespace ams::vmac {
 
-/// The five hardware datapaths the library can evaluate at network level.
+/// The six hardware datapaths the library can evaluate at network level.
 enum class BackendKind {
     kBitExact,         ///< plain VmacCell: operand codecs + one ADC per chunk
     kPerVmacNoise,     ///< exact partial sums + uniform(-LSB/2, LSB/2) per chunk
     kPartitioned,      ///< Sec. 4 method 1: NW x NX low-res partial conversions
     kDeltaSigma,       ///< Sec. 4 method 2: error recycling, high-res final conversion
     kReferenceScaled,  ///< Sec. 4 method 3: ADC reference shrunk below full scale
+    kBlockFp,          ///< adaptive block floating-point operand encoding
 };
 
 /// Stable lower_snake_case label ("bit_exact", "delta_sigma", ...) used in
@@ -126,6 +127,11 @@ struct BackendOptions {
 
     /// kReferenceScaled: ADC reference relative to the natural full scale.
     double reference_scale = 0.5;
+
+    /// kBlockFp: mantissa magnitude bits per operand; 0 derives them from
+    /// the config's operand widths (bits_w - 1 / bits_x - 1, the same
+    /// magnitude budget as the cell's sign-magnitude codecs).
+    std::size_t block_fp_mantissa_bits = 0;
 
     /// Compact parameter tag ("partitioned_nw2_nx2_p8", "delta_sigma_f12",
     /// ...) for cache keys and CSV labels.

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -60,6 +61,29 @@ const char* ew_name(EwOp::Kind kind) {
         case EwOp::Kind::kQuantAct: return "quant_act";
     }
     return "?";
+}
+
+/// Integer-mode eligibility for one conv GEMM (DESIGN.md §14). int8
+/// requires unsigned activation codes (vpmaddubsw takes one unsigned
+/// operand) and both code magnitudes <= 127; int16 takes either
+/// signedness up to 32767. Both require the int32 accumulator bound
+/// over the patch depth.
+NumericMode resolve_numeric(GemmIntMode mode, std::size_t w_levels,
+                            const quant::QuantGrid& act, std::size_t patch) {
+    const bool acc_ok = int_accumulator_safe(w_levels, act.levels, patch);
+    const bool int8_ok =
+        acc_ok && !act.is_signed && w_levels <= 127 && act.levels <= 127;
+    const bool int16_ok = acc_ok && w_levels <= 32767 && act.levels <= 32767;
+    switch (mode) {
+        case GemmIntMode::kInt8: return int8_ok ? NumericMode::kInt8 : NumericMode::kFp32;
+        case GemmIntMode::kInt16:
+            return int16_ok ? NumericMode::kInt16 : NumericMode::kFp32;
+        case GemmIntMode::kAuto:
+            if (int8_ok) return NumericMode::kInt8;
+            return int16_ok ? NumericMode::kInt16 : NumericMode::kFp32;
+        case GemmIntMode::kOff: break;
+    }
+    return NumericMode::kFp32;
 }
 
 const char* step_name(StepKind kind) {
@@ -132,6 +156,35 @@ private:
 
     bool pinned(int v) const { return pinned_.count(v) != 0; }
 
+    // ----- value grid tracking (integer numeric domain) -----
+    //
+    // grids_[v] describes the grid of value v's *contents at the current
+    // program point*: set when the last write is QuantInput / QuantAct,
+    // cleared when any other write lands on it. Value ids are never
+    // reused, so fresh values can't inherit stale grids.
+
+    const quant::QuantGrid* grid_of(int v) const {
+        const auto it = grids_.find(v);
+        return it == grids_.end() ? nullptr : &it->second;
+    }
+
+    void set_grid(int v, quant::QuantGrid g) { grids_[v] = g; }
+    void clear_grid(int v) { grids_.erase(v); }
+
+    /// Grid effect of one elementwise write onto `v`. kRecord only reads;
+    /// kQuantAct re-establishes the unsigned activation grid; everything
+    /// else (bn, bias, relu, inject, ...) takes the value off-grid. An
+    /// injector may be toggled after compile, so kInject conservatively
+    /// clears even though a tail ending in kQuantAct re-grids anyway.
+    void apply_grid_effect(const EwOp& op, int v) {
+        if (op.kind == EwOp::Kind::kRecord) return;
+        if (op.kind == EwOp::Kind::kQuantAct && op.bits < quant::kFloatBits) {
+            set_grid(v, quant::QuantGrid{op.levels, /*is_signed=*/false});
+            return;
+        }
+        clear_grid(v);
+    }
+
     // ----- owned weight storage -----
 
     const float* own_copy(const Tensor& t) {
@@ -160,6 +213,7 @@ private:
                              has_tail(p_.steps.back().kind) && p_.steps.back().out == cur_ &&
                              !pinned(cur_);
         if (fusible) {
+            apply_grid_effect(op, cur_);
             p_.steps.back().tail.push_back(op);
             if (counts_as_layer(op.kind)) {
                 ++p_.stats.layers_fused;
@@ -182,6 +236,7 @@ private:
             s.out = new_value(shape_of(cur_), label);
         }
         const int out = s.out;
+        apply_grid_effect(s.ew, out);
         push(std::move(s));
         cur_ = out;
     }
@@ -257,6 +312,9 @@ private:
         s.out = new_value(shape_of(cur_), "quant_input");
         p_.stats.module_walk_floats += shape_of(cur_).numel();
         const int out = s.out;
+        if (s.bits < quant::kFloatBits) {
+            set_grid(out, quant::QuantGrid{s.levels, /*is_signed=*/true});
+        }
         push(std::move(s));
         cur_ = out;
     }
@@ -285,6 +343,31 @@ private:
         const Tensor& latent = fold_weight != nullptr ? *fold_weight : conv.weight().value;
         if (bits_w < quant::kFloatBits) {
             s.weight = own_quantized(latent, bits_w);
+            // Integer numeric domain: eligible when this conv's input is
+            // known to sit on a quantization grid that fits the requested
+            // code width. The codes are encoded once here, from the same
+            // owned quantized-float weights the fp32 path multiplies.
+            if (p_.options.gemm_int != GemmIntMode::kOff) {
+                if (const quant::QuantGrid* in_grid = grid_of(cur_)) {
+                    const std::size_t w_levels = quant::magnitude_levels(bits_w);
+                    const NumericMode numeric = resolve_numeric(
+                        p_.options.gemm_int, w_levels, *in_grid, low.patch_size());
+                    if (numeric != NumericMode::kFp32) {
+                        p_.owned_codes.emplace_back(
+                            p_.owned.back().data(), latent.size(),
+                            quant::QuantGrid{w_levels, /*is_signed=*/true},
+                            /*force_wide=*/numeric == NumericMode::kInt16);
+                        const quant::QuantizedView wv = p_.owned_codes.back().view();
+                        s.numeric = numeric;
+                        s.weight_i8 = wv.i8;
+                        s.weight_i16 = wv.i16;
+                        s.act_levels = in_grid->levels;
+                        s.act_signed = in_grid->is_signed;
+                        s.dequant = 1.0f / (static_cast<float>(w_levels) *
+                                            static_cast<float>(in_grid->levels));
+                    }
+                }
+            }
         } else if (fold_weight != nullptr) {
             s.weight = own_copy(latent);
         } else {
@@ -379,6 +462,8 @@ private:
         s.out = new_value(out_shape, "maxpool");
         p_.stats.module_walk_floats += out_shape.numel();
         const int out = s.out;
+        // Max over on-grid values picks one of them, so the grid survives.
+        if (const quant::QuantGrid* g = grid_of(s.in)) set_grid(out, *g);
         push(std::move(s));
         cur_ = out;
     }
@@ -429,6 +514,7 @@ private:
         s.in2 = src;
         s.out = dst;  // the module walk's in-place `m += shortcut`
         s.label = "residual_add";
+        clear_grid(dst);  // a sum of grid points is generally off-grid
         push(std::move(s));
         cur_ = dst;
     }
@@ -570,6 +656,7 @@ private:
     Program p_;
     int cur_ = 0;
     std::set<int> pinned_;  ///< values fusion/in-place must not overwrite
+    std::map<int, quant::QuantGrid> grids_;  ///< value id -> current grid
 };
 
 void dump_tail(std::ostream& os, const std::vector<EwOp>& tail) {
@@ -583,10 +670,20 @@ void dump_tail(std::ostream& os, const std::vector<EwOp>& tail) {
 
 }  // namespace
 
+const char* numeric_mode_name(NumericMode mode) {
+    switch (mode) {
+        case NumericMode::kInt8: return "int8";
+        case NumericMode::kInt16: return "int16";
+        case NumericMode::kFp32: break;
+    }
+    return "fp32";
+}
+
 void ExecutionPlan::dump(std::ostream& os) const {
     os << "plan \"" << p_.root_name << "\" input=" << p_.input_shape.str() << " options{fuse="
        << (p_.options.fuse ? "on" : "off")
-       << " fold_bn=" << (p_.options.fold_bn ? "on" : "off") << "}\n";
+       << " fold_bn=" << (p_.options.fold_bn ? "on" : "off")
+       << " gemm_int=" << gemm_int_mode_name(p_.options.gemm_int) << "}\n";
     os << "values (" << p_.values.size() << ", arena " << p_.arena_floats << " floats):\n";
     for (std::size_t i = 0; i < p_.values.size(); ++i) {
         const Value& v = p_.values[i];
@@ -615,12 +712,14 @@ void ExecutionPlan::dump(std::ostream& os) const {
             case StepKind::kConv: {
                 const ConvGeometry& g = s.lowering.geometry();
                 os << "  cout=" << s.out_channels << " k=" << g.kernel_h << "x" << g.kernel_w
-                   << " s=" << g.stride_h << " p=" << g.pad_h;
+                   << " s=" << g.stride_h << " p=" << g.pad_h
+                   << " numeric=" << numeric_mode_name(s.numeric);
                 break;
             }
             case StepKind::kLinear:
                 os << "  out_features=" << s.out_channels
-                   << (s.bias != nullptr ? " bias" : "");
+                   << (s.bias != nullptr ? " bias" : "")
+                   << " numeric=" << numeric_mode_name(s.numeric);
                 break;
             default:
                 break;

@@ -6,6 +6,7 @@
 // to root.forward(input, ctx).
 #include "compile/plan.hpp"
 
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "nn/conv_eval.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/parallel_for.hpp"
 #include "runtime/simd.hpp"
 #include "runtime/trace.hpp"
 #include "tensor/gemm.hpp"
@@ -87,9 +89,10 @@ void apply_ew_whole(const EwOp& op, float* data, const Shape& shape) {
 }
 
 /// Per-image GEMM epilogue over the in-loop-eligible prefix of a conv
-/// step's tail. Only kBias and kBatchNorm do work here (both are
-/// row-granularity identical between per-image and whole-tensor
-/// application); eligible no-ops (disabled inject, inactive record) are
+/// step's tail. On the fp32 path only kBias and kBatchNorm do work here;
+/// the integer path additionally runs activations in-loop (all are
+/// per-element, so per-image and whole-tensor application coincide
+/// bit-for-bit). Eligible no-ops (disabled inject, inactive record) are
 /// skipped.
 struct ConvTailEpilogue {
     const Step* step;
@@ -98,6 +101,7 @@ struct ConvTailEpilogue {
 
     static void apply(void* self, float* out_image, std::size_t /*image_index*/) {
         const auto* e = static_cast<const ConvTailEpilogue*>(self);
+        const std::size_t n_img = e->step->out_channels * e->out_spatial;
         for (std::size_t i = 0; i < e->n_inloop; ++i) {
             const EwOp& op = e->step->tail[i];
             switch (op.kind) {
@@ -111,6 +115,20 @@ struct ConvTailEpilogue {
                 }
                 case EwOp::Kind::kBatchNorm:
                     op.bn->normalize_eval(out_image, out_image, 1, e->out_spatial);
+                    break;
+                case EwOp::Kind::kRelu:
+                    simd::relu(out_image, out_image, n_img);
+                    break;
+                case EwOp::Kind::kClippedRelu:
+                    simd::clipped_relu(out_image, out_image, n_img, op.ceiling);
+                    break;
+                case EwOp::Kind::kQuantAct:
+                    if (op.bits >= 32) {
+                        simd::clamp(out_image, out_image, n_img, 0.0f, 1.0f);
+                    } else {
+                        simd::quantize_unit(out_image, out_image, n_img,
+                                            static_cast<float>(op.levels));
+                    }
                     break;
                 default:
                     break;  // eligible no-ops
@@ -156,6 +174,145 @@ TailSplit split_tail(const Step& step) {
         split.inloop_work |= work;
     }
     return split;
+}
+
+/// Tail split for integer conv steps. The integer path is already a
+/// toleranced realization (no whole-tensor bit-identity contract to
+/// preserve against the module walk), so the per-element activations —
+/// identical per-image vs whole-tensor — also run in-loop, fused right
+/// after requantization.
+TailSplit split_tail_int(const Step& step) {
+    TailSplit split;
+    for (const EwOp& op : step.tail) {
+        bool eligible = false;
+        bool work = false;
+        switch (op.kind) {
+            case EwOp::Kind::kBias:
+            case EwOp::Kind::kBatchNorm:
+            case EwOp::Kind::kRelu:
+            case EwOp::Kind::kClippedRelu:
+            case EwOp::Kind::kQuantAct:
+                eligible = true;
+                work = true;
+                break;
+            case EwOp::Kind::kInject:
+                eligible = !op.injector->enabled();
+                break;
+            case EwOp::Kind::kRecord:
+                eligible = !op.unit->recording();
+                break;
+        }
+        if (!eligible) break;
+        ++split.n_inloop;
+        split.inloop_work |= work;
+    }
+    return split;
+}
+
+/// Scratch-slot namespace for the integer conv path: far above the fp32
+/// conv's base = 4 * chunk ids, so the two numeric realizations of one
+/// nn::Conv2d never collide in the (owner, slot) scratch registry.
+/// Slot base - 1 holds the step's whole-input code buffer; per chunk,
+/// base + 1 (kPackB) the panel, base + 2 the i32 accumulators, and
+/// base + 3 the code columns — mirroring the fp32 layout.
+constexpr int kIntSlotBase = 1 << 20;
+
+/// Integer realization of one kConv step: encode the input value to grid
+/// codes once, then per image run code-typed im2col, the packed integer
+/// GEMM into an i32 accumulator, and a fused epilogue that requantizes
+/// (one multiply per output) and applies the in-loop tail prefix.
+void run_conv_int(const Step& step, const float* in, float* out, std::size_t batch,
+                  runtime::EvalContext& ctx, const TailSplit& split) {
+    runtime::trace::Span span("Conv2d.forward_int");
+    const ConvLowering& low = step.lowering;
+    const std::size_t patch = low.patch_size();
+    const std::size_t out_spatial = low.out_spatial();
+    const std::size_t out_image = step.out_channels * out_spatial;
+    const std::size_t image = low.image_floats();
+    const bool is8 = step.numeric == NumericMode::kInt8;
+    const std::size_t code_bytes = is8 ? 1 : 2;
+
+    // Encode the whole input value once per run. Element-wise and
+    // chunk-independent, so the batch parallelism is free of ordering
+    // effects.
+    const std::size_t n_in = batch * image;
+    float* codes_f = ctx.reserve_scratch(step.scratch_owner, kIntSlotBase - 1,
+                                         (n_in * code_bytes + 3) / 4);
+    runtime::parallel_for(
+        0, n_in, runtime::suggest_grain(n_in, 4096), [&](std::size_t i0, std::size_t i1) {
+            if (is8) {
+                quant::encode_unit_u8(in + i0, i1 - i0, step.act_levels,
+                                      reinterpret_cast<std::uint8_t*>(codes_f) + i0);
+            } else if (step.act_signed) {
+                quant::encode_signed_i16(in + i0, i1 - i0, step.act_levels,
+                                         reinterpret_cast<std::int16_t*>(codes_f) + i0);
+            } else {
+                quant::encode_unit_u16(in + i0, i1 - i0, step.act_levels,
+                                       reinterpret_cast<std::int16_t*>(codes_f) + i0);
+            }
+        });
+
+    // Pointwise (1x1, stride 1, no padding) convolutions need no im2col
+    // at all: the code image's (C, H*W) layout IS the (patch x
+    // out_spatial) column matrix, so the GEMM reads the encoded input
+    // directly. This covers most convs of a bottleneck-style network.
+    const ConvGeometry& geo = low.geometry();
+    const bool pointwise = geo.kernel_h == 1 && geo.kernel_w == 1 && geo.stride_h == 1 &&
+                           geo.stride_w == 1 && geo.pad_h == 0 && geo.pad_w == 0;
+
+    // Serial reservations, then the same batch-chunk structure as
+    // conv_eval_run with the integer slot namespace.
+    const std::size_t grain = runtime::suggest_grain(batch, 1);
+    const std::size_t n_chunks = (batch + grain - 1) / grain;
+    const std::size_t col_floats = (patch * out_spatial * code_bytes + 3) / 4;
+    const std::size_t panel_floats = is8 ? packed_b_i8_floats(patch, out_spatial)
+                                         : packed_b_i16_floats(patch, out_spatial);
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+        const int base = kIntSlotBase + static_cast<int>(4 * c);
+        if (!pointwise) (void)ctx.reserve_scratch(step.scratch_owner, base + 3, col_floats);
+        (void)ctx.reserve_scratch(step.scratch_owner, base + GemmPackBuffers::kPackB,
+                                  panel_floats);
+        (void)ctx.reserve_scratch(step.scratch_owner, base + 2, out_image);
+    }
+    ConvTailEpilogue epilogue{&step, split.n_inloop, out_spatial};
+    runtime::parallel_for(0, batch, grain, [&](std::size_t b_begin, std::size_t b_end) {
+        const int base = kIntSlotBase + static_cast<int>(4 * (b_begin / grain));
+        float* col_f = pointwise ? nullptr
+                                 : ctx.reserve_scratch(step.scratch_owner, base + 3, col_floats);
+        auto* acc = reinterpret_cast<std::int32_t*>(
+            ctx.reserve_scratch(step.scratch_owner, base + 2, out_image));
+        EvalContextPackBuffers pack(ctx, step.scratch_owner, base);
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+            float* dst = out + b * out_image;
+            if (is8) {
+                const auto* img = reinterpret_cast<const std::uint8_t*>(codes_f) + b * image;
+                const std::uint8_t* cols = img;
+                if (!pointwise) {
+                    im2col_u8(img, geo, reinterpret_cast<std::uint8_t*>(col_f));
+                    cols = reinterpret_cast<const std::uint8_t*>(col_f);
+                }
+                gemm_s8u8(step.weight_i8, cols, acc, step.out_channels, patch, out_spatial,
+                          &pack);
+            } else {
+                const auto* img = reinterpret_cast<const std::int16_t*>(codes_f) + b * image;
+                const std::int16_t* cols = img;
+                if (!pointwise) {
+                    im2col_i16(img, geo, reinterpret_cast<std::int16_t*>(col_f));
+                    cols = reinterpret_cast<const std::int16_t*>(col_f);
+                }
+                gemm_s16(step.weight_i16, cols, acc, step.out_channels, patch, out_spatial,
+                         &pack);
+            }
+            // Fused requantization: the exact int32 dot of codes returns
+            // to the value domain with one multiply per output.
+            for (std::size_t i = 0; i < out_image; ++i) {
+                dst[i] = static_cast<float>(acc[i]) * step.dequant;
+            }
+            if (split.n_inloop > 0) ConvTailEpilogue::apply(&epilogue, dst, b);
+        }
+    });
+    metrics::add(metrics::Counter::kRequantOps,
+                 static_cast<std::uint64_t>(batch) * out_image);
 }
 
 }  // namespace
@@ -208,6 +365,16 @@ Tensor ExecutionPlan::run(const Tensor& input, runtime::EvalContext& ctx) {
                 break;
             }
             case StepKind::kConv: {
+                if (step.numeric != NumericMode::kFp32) {
+                    const TailSplit split = split_tail_int(step);
+                    run_conv_int(step, value_ptr(step.in), value_ptr(step.out), batch, ctx,
+                                 split);
+                    const Shape out_shape = value_shape(step.out);
+                    for (std::size_t i = split.n_inloop; i < step.tail.size(); ++i) {
+                        apply_ew_whole(step.tail[i], value_ptr(step.out), out_shape);
+                    }
+                    break;
+                }
                 const TailSplit split = split_tail(step);
                 ConvTailEpilogue epilogue{&step, split.n_inloop, step.lowering.out_spatial()};
                 nn::conv_eval_run(value_ptr(step.in), batch, step.lowering, step.weight,

@@ -49,7 +49,9 @@
 #include "nn/linear.hpp"
 #include "nn/module.hpp"
 #include "nn/pooling.hpp"
+#include "quant/quantized_view.hpp"
 #include "runtime/eval_context.hpp"
+#include "tensor/gemm_int.hpp"
 #include "tensor/im2col.hpp"
 
 namespace ams::compile {
@@ -71,7 +73,27 @@ struct CompileOptions {
     /// (re-quantized for bits_w < 32) with a digital bias tail. A
     /// deployment-semantics change (EXPERIMENTS.md); off by default.
     bool fold_bn = false;
+    /// Integer numeric domain for eligible conv GEMM steps (DESIGN.md
+    /// §14): when a conv's weights and input both live on DoReFa grids
+    /// that fit the requested code width, the step runs as a packed
+    /// int8/int16 GEMM with requantization fused into its epilogue.
+    /// A *toleranced* numeric realization (per-product rounding differs
+    /// from fp32), so it is off by default and excluded from the
+    /// bit-identity contract. Callers honoring AMSNET_GEMM_INT pass
+    /// env_gemm_int_mode() here.
+    GemmIntMode gemm_int = GemmIntMode::kOff;
 };
+
+/// Numeric realization of a GEMM step (kConv / kLinear). kFp32 is the
+/// bit-identity path; the integer modes multiply quantization codes
+/// exactly in int32 and dequantize once per output.
+enum class NumericMode {
+    kFp32,
+    kInt8,   ///< int8 weight codes x uint8 activation codes
+    kInt16,  ///< int16 weight codes x int16 activation codes
+};
+
+[[nodiscard]] const char* numeric_mode_name(NumericMode mode);
 
 /// One SSA-ish intermediate of the plan: a tensor buffer at a fixed
 /// offset in the plan's single activation block. Shapes are recorded at
@@ -146,6 +168,17 @@ struct Step {
     std::size_t bits = 32;
     std::size_t levels = 1;
 
+    // kConv integer numeric domain (kFp32 for every other step kind).
+    // Weight code pointers alias the plan's owned_codes storage; the
+    // activation grid describes the step's *input* value, which the
+    // executor re-encodes to codes at run time.
+    NumericMode numeric = NumericMode::kFp32;
+    const std::int8_t* weight_i8 = nullptr;    ///< kInt8 weight codes
+    const std::int16_t* weight_i16 = nullptr;  ///< kInt16 weight codes
+    std::size_t act_levels = 0;                ///< input grid levels
+    bool act_signed = false;                   ///< input grid signedness
+    float dequant = 1.0f;                      ///< 1 / (w_levels * act_levels)
+
     EwOp ew;                  ///< kElementwise payload
     std::vector<EwOp> tail;   ///< fused epilogue (kConv / kVmacConv / kLinear)
     std::string label;
@@ -169,6 +202,7 @@ struct Program {
     std::vector<Value> values;
     std::vector<Step> steps;
     std::vector<std::vector<float>> owned;  ///< pre-quantized / folded weights & biases
+    std::vector<quant::QuantizedTensor> owned_codes;  ///< integer-mode weight codes
     std::size_t arena_floats = 0;           ///< one activation block, 16-float aligned slots
     int output_value = -1;
     Stats stats;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "runtime/simd.hpp"
 
@@ -18,16 +19,22 @@ std::size_t magnitude_levels(std::size_t bits) {
     return (std::size_t{1} << (bits - 1)) - 1;
 }
 
+float checked_levels(std::size_t levels, const char* where) {
+    if (levels == 0) {
+        throw std::invalid_argument(std::string(where) + ": levels must be > 0");
+    }
+    return static_cast<float>(levels);
+}
+
 float quantize_unit(float x, std::size_t levels) {
-    if (levels == 0) throw std::invalid_argument("quantize_unit: levels must be > 0");
+    const float n = checked_levels(levels, "quantize_unit");
     const float clamped = std::clamp(x, 0.0f, 1.0f);
-    const float n = static_cast<float>(levels);
     return std::round(clamped * n) / n;
 }
 
 void quantize_unit_inplace(Tensor& t, std::size_t levels) {
-    if (levels == 0) throw std::invalid_argument("quantize_unit_inplace: levels must be > 0");
-    simd::quantize_unit(t.data(), t.data(), t.size(), static_cast<float>(levels));
+    const float n = checked_levels(levels, "quantize_unit_inplace");
+    simd::quantize_unit(t.data(), t.data(), t.size(), n);
 }
 
 DorefaWeights dorefa_quantize_weights(const Tensor& w, std::size_t bits) {

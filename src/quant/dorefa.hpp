@@ -26,6 +26,11 @@ inline constexpr std::size_t kFloatBits = 32;
 /// represent magnitude).
 [[nodiscard]] std::size_t magnitude_levels(std::size_t bits);
 
+/// Validates a grid level count and returns it as the float the grid math
+/// needs. Every entry point that takes `levels` funnels through this one
+/// check. Throws std::invalid_argument("<where>: levels must be > 0").
+[[nodiscard]] float checked_levels(std::size_t levels, const char* where);
+
 /// Uniform quantization of x in [0,1] to `levels` steps:
 /// round(levels * x) / levels. Values outside [0,1] are clamped first.
 [[nodiscard]] float quantize_unit(float x, std::size_t levels);

@@ -94,6 +94,8 @@ const char* counter_name(Counter counter) {
         case Counter::kGemmCalls: return "gemm_calls";
         case Counter::kGemmFlops: return "gemm_flops";
         case Counter::kGemmPackGrowths: return "gemm_pack_growths";
+        case Counter::kGemmIntCalls: return "gemm_int_calls";
+        case Counter::kRequantOps: return "requant_ops";
         case Counter::kParallelRegions: return "parallel_regions";
         case Counter::kParallelChunks: return "parallel_chunks";
         case Counter::kAdcConversionsBitExact: return "adc_conversions_bit_exact";
@@ -102,6 +104,7 @@ const char* counter_name(Counter counter) {
         case Counter::kAdcConversionsDeltaSigma: return "adc_conversions_delta_sigma";
         case Counter::kAdcConversionsReferenceScaled:
             return "adc_conversions_reference_scaled";
+        case Counter::kAdcConversionsBlockFp: return "adc_conversions_block_fp";
         case Counter::kVmacChunks: return "vmac_chunks";
         case Counter::kVmacOutputs: return "vmac_outputs";
         case Counter::kInjectedSamples: return "injected_samples";

@@ -57,9 +57,11 @@ void set_level(Level level);
 /// group to keep exported files diffable.
 enum class Counter : int {
     // GEMM entry points (tensor/gemm.cpp)
-    kGemmCalls = 0,       ///< calls through any of the four entry points
-    kGemmFlops,           ///< 2*M*K*N per call
+    kGemmCalls = 0,       ///< calls through any of the four fp32 entry points
+    kGemmFlops,           ///< 2*M*K*N per call (fp32 and integer alike)
     kGemmPackGrowths,     ///< pack/transpose scratch buffer growths
+    kGemmIntCalls,        ///< calls through the integer entry points (tensor/gemm_int.cpp)
+    kRequantOps,          ///< int32 accumulators requantized back to a float grid
 
     // Parallel runtime (runtime/parallel_for.cpp)
     kParallelRegions,     ///< parallel_for regions dispatched to the pool
@@ -73,6 +75,7 @@ enum class Counter : int {
     kAdcConversionsPartitioned,
     kAdcConversionsDeltaSigma,
     kAdcConversionsReferenceScaled,
+    kAdcConversionsBlockFp,
     kVmacChunks,          ///< accumulate() calls over all backends
     kVmacOutputs,         ///< output accumulators finished
 

@@ -20,6 +20,9 @@ void bn_normalize_avx2(const float* in, float* out, std::size_t n, float mean, f
                        float gamma, float beta);
 void quantize_unit_avx2(const float* in, float* out, std::size_t n, float levels);
 void quantize_signed_avx2(const float* in, float* out, std::size_t n, float levels);
+void encode_unit_u8_avx2(const float* in, std::uint8_t* out, std::size_t n, float levels);
+void encode_unit_u16_avx2(const float* in, std::int16_t* out, std::size_t n, float levels);
+void encode_signed_i16_avx2(const float* in, std::int16_t* out, std::size_t n, float levels);
 }  // namespace detail
 
 bool cpu_supports_avx2_fma() {
@@ -30,18 +33,34 @@ bool cpu_supports_avx2_fma() {
 #endif
 }
 
+bool cpu_supports_sse41() {
+#if defined(AMSNET_HAVE_SSE41)
+    return __builtin_cpu_supports("ssse3") && __builtin_cpu_supports("sse4.1");
+#else
+    return false;
+#endif
+}
+
+namespace {
+/// Best supported level not above `request`.
+Level clamp_supported(Level request) {
+    if (level_at_least(request, Level::kAvx2) && cpu_supports_avx2_fma()) return Level::kAvx2;
+    if (level_at_least(request, Level::kSse41) && cpu_supports_sse41()) return Level::kSse41;
+    return Level::kScalar;
+}
+}  // namespace
+
 Level detect_level() {
     if (const char* env = std::getenv("AMSNET_SIMD"); env != nullptr && *env != '\0') {
         if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
             std::strcmp(env, "0") == 0) {
             return Level::kScalar;
         }
-        if (std::strcmp(env, "avx2") == 0) {
-            return cpu_supports_avx2_fma() ? Level::kAvx2 : Level::kScalar;
-        }
+        if (std::strcmp(env, "sse41") == 0) return clamp_supported(Level::kSse41);
+        if (std::strcmp(env, "avx2") == 0) return clamp_supported(Level::kAvx2);
         // Unrecognized value: fall through to auto-detection.
     }
-    return cpu_supports_avx2_fma() ? Level::kAvx2 : Level::kScalar;
+    return clamp_supported(Level::kAvx2);
 }
 
 namespace {
@@ -53,14 +72,12 @@ std::atomic<Level>& level_slot() {
 
 Level active_level() { return level_slot().load(std::memory_order_relaxed); }
 
-void set_level(Level level) {
-    if (level == Level::kAvx2 && !cpu_supports_avx2_fma()) level = Level::kScalar;
-    level_slot().store(level, std::memory_order_relaxed);
-}
+void set_level(Level level) { level_slot().store(clamp_supported(level), std::memory_order_relaxed); }
 
 const char* level_name(Level level) {
     switch (level) {
         case Level::kAvx2: return "avx2";
+        case Level::kSse41: return "sse41";
         case Level::kScalar: break;
     }
     return "scalar";
@@ -130,6 +147,38 @@ void quantize_signed(const float* in, float* out, std::size_t n, float levels) {
     for (std::size_t i = 0; i < n; ++i) {
         const float mag = std::round(std::fabs(in[i]) * levels) / levels;
         out[i] = std::copysign(mag, in[i]);
+    }
+}
+
+void encode_unit_u8(const float* in, std::uint8_t* out, std::size_t n, float levels) {
+#if defined(AMSNET_HAVE_AVX2)
+    if (active_level() == Level::kAvx2) return detail::encode_unit_u8_avx2(in, out, n, levels);
+#endif
+    const long hi = static_cast<long>(levels);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(std::clamp(std::lround(in[i] * levels), 0L, hi));
+    }
+}
+
+void encode_unit_u16(const float* in, std::int16_t* out, std::size_t n, float levels) {
+#if defined(AMSNET_HAVE_AVX2)
+    if (active_level() == Level::kAvx2) return detail::encode_unit_u16_avx2(in, out, n, levels);
+#endif
+    const long hi = static_cast<long>(levels);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::int16_t>(std::clamp(std::lround(in[i] * levels), 0L, hi));
+    }
+}
+
+void encode_signed_i16(const float* in, std::int16_t* out, std::size_t n, float levels) {
+#if defined(AMSNET_HAVE_AVX2)
+    if (active_level() == Level::kAvx2) {
+        return detail::encode_signed_i16_avx2(in, out, n, levels);
+    }
+#endif
+    const long hi = static_cast<long>(levels);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::int16_t>(std::clamp(std::lround(in[i] * levels), -hi, hi));
     }
 }
 

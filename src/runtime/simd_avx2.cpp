@@ -8,6 +8,8 @@
 // Tails are handled with masked loads/stores so every element — body or
 // remainder — goes through the same vector expression; results are
 // independent of n's divisibility and of how callers chunk ranges.
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -107,6 +109,100 @@ void quantize_signed_avx2(const float* in, float* out, std::size_t n, float leve
             _mm256_div_ps(_mm256_floor_ps(_mm256_fmadd_ps(ax, vn, half)), vn);
         return _mm256_or_ps(mag, _mm256_and_ps(x, sign_mask));
     });
+}
+
+namespace {
+
+/// Exact std::lround of each lane (|t| far below 2^31): cvtps_epi32
+/// rounds half-to-even under the default MXCSR mode, so the only lanes
+/// that can disagree with lround's half-away-from-zero are exact .5
+/// ties. t - float(r) is computed exactly there (Sterbenz), so comparing
+/// it against +/-0.5 identifies precisely the ties that rounded toward
+/// zero, and one lane-masked add pushes them outward.
+inline __m256i lround_epi32(__m256 t) {
+    const __m256i r = _mm256_cvtps_epi32(t);
+    const __m256 d = _mm256_sub_ps(t, _mm256_cvtepi32_ps(r));
+    const __m256 zero = _mm256_setzero_ps();
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256 nhalf = _mm256_set1_ps(-0.5f);
+    const __m256 up = _mm256_and_ps(_mm256_cmp_ps(d, half, _CMP_EQ_OQ),
+                                    _mm256_cmp_ps(t, zero, _CMP_GT_OQ));
+    const __m256 dn = _mm256_and_ps(_mm256_cmp_ps(d, nhalf, _CMP_EQ_OQ),
+                                    _mm256_cmp_ps(t, zero, _CMP_LT_OQ));
+    return _mm256_add_epi32(_mm256_sub_epi32(r, _mm256_castps_si256(up)),
+                            _mm256_castps_si256(dn));
+}
+
+/// clamp(lround(x * levels), lo, hi) per lane, clamped in the integer
+/// domain exactly like the scalar arm.
+inline __m256i encode_epi32(__m256 x, __m256 vn, __m256i lo, __m256i hi) {
+    const __m256i r = lround_epi32(_mm256_mul_ps(x, vn));
+    return _mm256_min_epi32(_mm256_max_epi32(r, lo), hi);
+}
+
+}  // namespace
+
+void encode_unit_u8_avx2(const float* in, std::uint8_t* out, std::size_t n, float levels) {
+    const __m256 vn = _mm256_set1_ps(levels);
+    const __m256i lo = _mm256_setzero_si256();
+    const __m256i hi = _mm256_set1_epi32(static_cast<std::int32_t>(levels));
+    // Lane order after packs/packus interleaves the four source vectors'
+    // 128-bit halves; one cross-lane dword permute restores i-order.
+    const __m256i fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i a = encode_epi32(_mm256_loadu_ps(in + i), vn, lo, hi);
+        const __m256i b = encode_epi32(_mm256_loadu_ps(in + i + 8), vn, lo, hi);
+        const __m256i c = encode_epi32(_mm256_loadu_ps(in + i + 16), vn, lo, hi);
+        const __m256i d = encode_epi32(_mm256_loadu_ps(in + i + 24), vn, lo, hi);
+        const __m256i w = _mm256_packus_epi16(_mm256_packs_epi32(a, b),
+                                              _mm256_packs_epi32(c, d));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_permutevar8x32_epi32(w, fix));
+    }
+    const long hil = static_cast<long>(levels);
+    for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(std::clamp(std::lround(in[i] * levels), 0L, hil));
+    }
+}
+
+namespace {
+
+/// Shared body of the two int16 encoders (they differ only in the clamp
+/// floor). packs_epi32 saturates to int16, but every lane is already
+/// clamped to the grid range, so it only narrows.
+template <typename LoadLo>
+inline void encode_i16_avx2(const float* in, std::int16_t* out, std::size_t n, float levels,
+                            __m256i lo, LoadLo scalar_tail) {
+    const __m256 vn = _mm256_set1_ps(levels);
+    const __m256i hi = _mm256_set1_epi32(static_cast<std::int32_t>(levels));
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i a = encode_epi32(_mm256_loadu_ps(in + i), vn, lo, hi);
+        const __m256i b = encode_epi32(_mm256_loadu_ps(in + i + 8), vn, lo, hi);
+        const __m256i w = _mm256_permute4x64_epi64(_mm256_packs_epi32(a, b), 0b11011000);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), w);
+    }
+    for (; i < n; ++i) out[i] = scalar_tail(in[i]);
+}
+
+}  // namespace
+
+void encode_unit_u16_avx2(const float* in, std::int16_t* out, std::size_t n, float levels) {
+    const long hil = static_cast<long>(levels);
+    encode_i16_avx2(in, out, n, levels, _mm256_setzero_si256(), [levels, hil](float x) {
+        return static_cast<std::int16_t>(std::clamp(std::lround(x * levels), 0L, hil));
+    });
+}
+
+void encode_signed_i16_avx2(const float* in, std::int16_t* out, std::size_t n, float levels) {
+    const long hil = static_cast<long>(levels);
+    encode_i16_avx2(in, out, n, levels,
+                    _mm256_set1_epi32(-static_cast<std::int32_t>(levels)),
+                    [levels, hil](float x) {
+                        return static_cast<std::int16_t>(
+                            std::clamp(std::lround(x * levels), -hil, hil));
+                    });
 }
 
 }  // namespace ams::simd::detail

@@ -85,9 +85,11 @@ InferenceServer::InferenceServer(InstanceFactory factory, const Shape& image_sha
             options_.compile_mode == CompileMode::kOn ||
             (options_.compile_mode == CompileMode::kAuto && compile::env_enabled());
         if (want_compile) {
+            compile::CompileOptions copts;
+            copts.gemm_int = env_gemm_int_mode();  // AMSNET_GEMM_INT (off by default)
             try {
                 inst.plan = std::make_unique<compile::ExecutionPlan>(
-                    compile::compile(*inst.model, batch_shape));
+                    compile::compile(*inst.model, batch_shape, copts));
             } catch (const compile::CompileError&) {
                 // kAuto: unsupported graphs stay on the (bit-identical)
                 // module walk; kOn makes the failure a construction error.

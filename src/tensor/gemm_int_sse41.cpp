@@ -1,0 +1,124 @@
+// 128-bit integer GEMM arms (SSSE3 pmaddubsw / SSE2 pmaddwd), compiled
+// with -mssse3 -msse4.1 and only ever called behind cpu_supports_sse41().
+//
+// int8 microkernel (4 rows x 8 columns x 4 k per step):
+//   * B panel block: 32 bytes = 8 columns x 4 k-codes (pack_b_i8);
+//     one XMM load covers columns 0-3, the next columns 4-7.
+//   * A strip: 4 k-codes per row, broadcast with _mm_set1_epi32.
+//   * pmaddubsw(b, a) multiplies unsigned B bytes by signed A bytes and
+//     sums adjacent pairs into i16 — never saturating because both code
+//     magnitudes are <= 127 (2 * 127^2 < 2^15). pmaddwd against 1s then
+//     folds the two i16 halves into one i32 per column: each instruction
+//     pair contributes a column's 4-k partial dot, accumulated exactly.
+//
+// int16 microkernel (4 rows x 8 columns x 2 k per step): pmaddwd on
+// (column-interleaved B, broadcast A k-pair) directly yields one i32 per
+// column; |codes| <= 32767 means the -32768 * -32768 overflow case of
+// pmaddwd cannot occur.
+//
+// All arithmetic is exact integer addition, so any row partition and any
+// of the three arms produce bit-identical accumulators.
+#include <smmintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/gemm_int.hpp"
+
+namespace ams::kernels {
+
+namespace {
+
+/// Thread-local A-strip scratch: kIntMr rows of round_up(k, 4) int8
+/// codes (the i16 variant needs 2x the bytes; one helper serves both).
+float* strip_scratch(std::size_t bytes) {
+    return tls_pack_buffers().ensure(GemmPackBuffers::kPackA, (bytes + 3) / 4);
+}
+
+inline void store_cols(std::int32_t* crow, const __m128i lo, const __m128i hi,
+                       std::size_t cols) {
+    if (cols == kIntNr) {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(crow), lo);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + 4), hi);
+        return;
+    }
+    alignas(16) std::int32_t tmp[kIntNr];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), lo);
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp + 4), hi);
+    std::memcpy(crow, tmp, cols * sizeof(std::int32_t));
+}
+
+}  // namespace
+
+void gemm_s8u8_rows_sse41(const std::int8_t* a, const std::uint8_t* panel, std::int32_t* c,
+                          std::size_t row_begin, std::size_t row_end, std::size_t k,
+                          std::size_t n) {
+    const std::size_t k4 = round_up_pow2(k, 4);
+    const std::size_t blocks = k4 / 4;
+    const std::size_t groups = (n + kIntNr - 1) / kIntNr;
+    auto* strip = reinterpret_cast<std::int8_t*>(strip_scratch(kIntMr * k4));
+    const __m128i ones = _mm_set1_epi16(1);
+    for (std::size_t i0 = row_begin; i0 < row_end; i0 += kIntMr) {
+        const std::size_t rows = std::min(kIntMr, row_end - i0);
+        pack_a_i8(a + i0 * k, rows, k, strip);
+        const auto* strip32 = reinterpret_cast<const std::int32_t*>(strip);
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::uint8_t* bp = panel + g * k4 * kIntNr;
+            __m128i acc[kIntMr][2];
+            for (auto& row_acc : acc) row_acc[0] = row_acc[1] = _mm_setzero_si128();
+            for (std::size_t kb = 0; kb < blocks; ++kb) {
+                const __m128i b0 =
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + kb * 32));
+                const __m128i b1 =
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + kb * 32 + 16));
+                for (std::size_t r = 0; r < kIntMr; ++r) {
+                    const __m128i av = _mm_set1_epi32(strip32[kb * kIntMr + r]);
+                    acc[r][0] = _mm_add_epi32(
+                        acc[r][0], _mm_madd_epi16(_mm_maddubs_epi16(b0, av), ones));
+                    acc[r][1] = _mm_add_epi32(
+                        acc[r][1], _mm_madd_epi16(_mm_maddubs_epi16(b1, av), ones));
+                }
+            }
+            const std::size_t cols = std::min(kIntNr, n - g * kIntNr);
+            for (std::size_t r = 0; r < rows; ++r) {
+                store_cols(c + (i0 + r) * n + g * kIntNr, acc[r][0], acc[r][1], cols);
+            }
+        }
+    }
+}
+
+void gemm_s16_rows_sse41(const std::int16_t* a, const std::int16_t* panel, std::int32_t* c,
+                         std::size_t row_begin, std::size_t row_end, std::size_t k,
+                         std::size_t n) {
+    const std::size_t k2 = round_up_pow2(k, 2);
+    const std::size_t blocks = k2 / 2;
+    const std::size_t groups = (n + kIntNr - 1) / kIntNr;
+    auto* strip = reinterpret_cast<std::int16_t*>(strip_scratch(kIntMr * k2 * 2));
+    for (std::size_t i0 = row_begin; i0 < row_end; i0 += kIntMr) {
+        const std::size_t rows = std::min(kIntMr, row_end - i0);
+        pack_a_i16(a + i0 * k, rows, k, strip);
+        const auto* strip32 = reinterpret_cast<const std::int32_t*>(strip);
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::int16_t* bp = panel + g * k2 * kIntNr;
+            __m128i acc[kIntMr][2];
+            for (auto& row_acc : acc) row_acc[0] = row_acc[1] = _mm_setzero_si128();
+            for (std::size_t kb = 0; kb < blocks; ++kb) {
+                const __m128i b0 =
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + kb * 16));
+                const __m128i b1 =
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + kb * 16 + 8));
+                for (std::size_t r = 0; r < kIntMr; ++r) {
+                    const __m128i av = _mm_set1_epi32(strip32[kb * kIntMr + r]);
+                    acc[r][0] = _mm_add_epi32(acc[r][0], _mm_madd_epi16(b0, av));
+                    acc[r][1] = _mm_add_epi32(acc[r][1], _mm_madd_epi16(b1, av));
+                }
+            }
+            const std::size_t cols = std::min(kIntNr, n - g * kIntNr);
+            for (std::size_t r = 0; r < rows; ++r) {
+                store_cols(c + (i0 + r) * n + g * kIntNr, acc[r][0], acc[r][1], cols);
+            }
+        }
+    }
+}
+
+}  // namespace ams::kernels

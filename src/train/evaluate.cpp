@@ -77,9 +77,12 @@ std::optional<compile::ExecutionPlan> maybe_compile(models::ResNet& model, const
                                                     std::size_t batch_size) {
     if (!compile::env_enabled()) return std::nullopt;
     const std::size_t first = std::min(batch_size, images.dim(0));
+    compile::CompileOptions options;
+    options.gemm_int = env_gemm_int_mode();  // AMSNET_GEMM_INT (off by default)
     try {
         return compile::compile(model,
-                                Shape{first, images.dim(1), images.dim(2), images.dim(3)});
+                                Shape{first, images.dim(1), images.dim(2), images.dim(3)},
+                                options);
     } catch (const compile::CompileError&) {
         return std::nullopt;
     }

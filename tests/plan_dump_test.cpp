@@ -37,12 +37,12 @@ std::unique_ptr<models::ConvUnit> make_unit() {
 }
 
 constexpr const char* kGoldenDump =
-    "plan \"ConvUnit\" input=[2, 3, 8, 8] options{fuse=on fold_bn=off}\n"
+    "plan \"ConvUnit\" input=[2, 3, 8, 8] options{fuse=on fold_bn=off gemm_int=off}\n"
     "values (2, arena 512 floats):\n"
     "  v0: [2, 3, 8, 8] external \"input\"\n"
     "  v1: [2, 4, 8, 8] @0 \"conv_unit\" (output)\n"
     "steps (1):\n"
-    "  s0: conv v0 -> v1  cout=4 k=3x3 s=1 p=1 tail=[inject record bn]\n"
+    "  s0: conv v0 -> v1  cout=4 k=3x3 s=1 p=1 numeric=fp32 tail=[inject record bn]\n"
     "stats: steps=1 layers_fused=2 intermediates_eliminated=2 module_walk_floats=1536 "
     "plan_floats=512\n";
 

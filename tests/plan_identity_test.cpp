@@ -183,7 +183,7 @@ TEST(PlanIdentityTest, PartialBatchBitIdentical) {
     expect_bit_identical(with_threads(4, module_walk), with_threads(4, planned));
 }
 
-TEST(PlanIdentityTest, AllFiveBackendsBitIdentical) {
+TEST(PlanIdentityTest, AllBackendsBitIdentical) {
     // Every hardware datapath through the kVmacConv lowering, wrapped in
     // a Sequential with a fusible ReLU tail. bits 9/9 so the partitioned
     // backend's sign-magnitude chunking (bits-1 divisible by nw/nx) holds.
@@ -399,11 +399,22 @@ TEST(PlanIdentityTest, EvaluateWithCompileEnvMatchesModuleWalk) {
         models::ResNet model(cfg);
         return train::evaluate_top1(model, ds.val_images(), ds.val_labels(), 16, 3).passes;
     };
+    // The integer GEMM path is a toleranced realization, not part of the
+    // bit-identity contract — pin it off for this comparison (the CI int8
+    // shard exports AMSNET_GEMM_INT=int8 globally).
+    const char* saved_gemm_int = ::getenv("AMSNET_GEMM_INT");
+    const std::string saved_gemm_int_value = saved_gemm_int ? saved_gemm_int : "";
+    ::setenv("AMSNET_GEMM_INT", "off", 1);
     ::unsetenv("AMSNET_COMPILE");
     const std::vector<double> walked = passes();
     ::setenv("AMSNET_COMPILE", "on", 1);
     const std::vector<double> compiled = passes();
     ::unsetenv("AMSNET_COMPILE");
+    if (saved_gemm_int) {
+        ::setenv("AMSNET_GEMM_INT", saved_gemm_int_value.c_str(), 1);
+    } else {
+        ::unsetenv("AMSNET_GEMM_INT");
+    }
     ASSERT_EQ(walked.size(), compiled.size());
     for (std::size_t i = 0; i < walked.size(); ++i) {
         EXPECT_DOUBLE_EQ(walked[i], compiled[i]) << "pass " << i;
@@ -462,8 +473,18 @@ TEST(PlanIdentityTest, ServeCompiledReplicaBitIdentical) {
     Tensor images(Shape{8, 3, 8, 8});
     images.fill_uniform(rng, -1.0f, 1.0f);
 
+    // Serve's compile path reads AMSNET_GEMM_INT; the integer realization
+    // is toleranced, so pin it off for this bit-identity check.
+    const char* saved_gemm_int = ::getenv("AMSNET_GEMM_INT");
+    const std::string saved_gemm_int_value = saved_gemm_int ? saved_gemm_int : "";
+    ::setenv("AMSNET_GEMM_INT", "off", 1);
     const auto walked = serve_logits(primary, images, serve::CompileMode::kOff);
     const auto compiled = serve_logits(primary, images, serve::CompileMode::kOn);
+    if (saved_gemm_int) {
+        ::setenv("AMSNET_GEMM_INT", saved_gemm_int_value.c_str(), 1);
+    } else {
+        ::unsetenv("AMSNET_GEMM_INT");
+    }
     ASSERT_EQ(walked.size(), compiled.size());
     for (std::size_t i = 0; i < walked.size(); ++i) {
         ASSERT_EQ(walked[i].size(), compiled[i].size());

@@ -1,0 +1,155 @@
+// The integer carrier for the DoReFa grids: bit-exact code round-trips,
+// narrow/wide storage selection (and force_wide for the int16 GEMM
+// path), the encode helpers the compiler and executor share, and the
+// straight-to-codes weight transform against the float DoReFa path.
+#include "quant/quantized_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "quant/dorefa.hpp"
+#include "tensor/rng.hpp"
+
+namespace ams::quant {
+namespace {
+
+std::vector<float> grid_values(const QuantGrid& grid) {
+    std::vector<float> v;
+    const float levels = static_cast<float>(grid.levels);
+    const long lo = grid.is_signed ? -static_cast<long>(grid.levels) : 0;
+    for (long k = lo; k <= static_cast<long>(grid.levels); ++k) {
+        v.push_back(static_cast<float>(k) / levels);
+    }
+    return v;
+}
+
+TEST(QuantizedViewTest, GridScaleAndStorageSelection) {
+    EXPECT_FLOAT_EQ((QuantGrid{127, true}.scale()), 1.0f / 127.0f);
+    EXPECT_FLOAT_EQ((QuantGrid{255, false}.scale()), 1.0f / 255.0f);
+
+    EXPECT_TRUE(grid_fits_8bit(QuantGrid{127, true}));
+    EXPECT_FALSE(grid_fits_8bit(QuantGrid{128, true}));  // i8 magnitude cap
+    EXPECT_TRUE(grid_fits_8bit(QuantGrid{255, false}));
+    EXPECT_FALSE(grid_fits_8bit(QuantGrid{256, false}));
+}
+
+TEST(QuantizedViewTest, OnGridRoundTripIsBitExact) {
+    for (const QuantGrid grid : {QuantGrid{127, true}, QuantGrid{255, false},
+                                 QuantGrid{1023, true}, QuantGrid{32767, false}}) {
+        const std::vector<float> values = grid_values(grid);
+        QuantizedTensor q(values.data(), values.size(), grid);
+        ASSERT_EQ(q.size(), values.size());
+        EXPECT_EQ(q.grid(), grid);
+
+        std::vector<float> back(values.size());
+        q.dequantize_into(back.data());
+        // memcmp: decode(encode(x)) == x is a bit-level contract.
+        EXPECT_EQ(std::memcmp(back.data(), values.data(), values.size() * sizeof(float)), 0)
+            << "levels=" << grid.levels << " signed=" << grid.is_signed;
+    }
+}
+
+TEST(QuantizedViewTest, ViewExposesExactlyOneCodePointer) {
+    const std::vector<float> unit{0.0f, 1.0f / 127.0f, 1.0f};
+    {
+        QuantizedTensor q(unit.data(), unit.size(), QuantGrid{127, false});
+        const QuantizedView v = q.view();
+        ASSERT_NE(v.u8, nullptr);
+        EXPECT_EQ(v.i8, nullptr);
+        EXPECT_EQ(v.i16, nullptr);
+        EXPECT_FALSE(v.wide());
+        EXPECT_EQ(v.u8[0], 0);
+        EXPECT_EQ(v.u8[1], 1);
+        EXPECT_EQ(v.u8[2], 127);
+    }
+    {
+        const std::vector<float> signed_vals{-1.0f, 0.0f, 1.0f};
+        QuantizedTensor q(signed_vals.data(), signed_vals.size(), QuantGrid{127, true});
+        const QuantizedView v = q.view();
+        ASSERT_NE(v.i8, nullptr);
+        EXPECT_EQ(v.u8, nullptr);
+        EXPECT_EQ(v.i8[0], -127);
+        EXPECT_EQ(v.i8[2], 127);
+    }
+    {
+        QuantizedTensor q(unit.data(), unit.size(), QuantGrid{1023, false});
+        EXPECT_TRUE(q.view().wide());
+    }
+}
+
+TEST(QuantizedViewTest, ForceWideKeepsI16ForNarrowGrids) {
+    const std::vector<float> values{-1.0f, -64.0f / 127.0f, 0.0f, 1.0f};
+    const QuantGrid grid{127, true};
+    QuantizedTensor q(values.data(), values.size(), grid, /*force_wide=*/true);
+    const QuantizedView v = q.view();
+    ASSERT_TRUE(v.wide());
+    EXPECT_EQ(v.i8, nullptr);
+    EXPECT_EQ(v.i16[0], -127);
+    EXPECT_EQ(v.i16[1], -64);
+    EXPECT_EQ(v.i16[3], 127);
+
+    // Same decode either way.
+    std::vector<float> back(values.size());
+    q.dequantize_into(back.data());
+    EXPECT_EQ(std::memcmp(back.data(), values.data(), values.size() * sizeof(float)), 0);
+}
+
+TEST(QuantizedViewTest, OffGridInputsClampAndRoundToNearestCode) {
+    const std::vector<float> values{-2.0f, 2.0f, 0.5f};
+    QuantizedTensor q(values.data(), values.size(), QuantGrid{127, true});
+    const QuantizedView v = q.view();
+    EXPECT_EQ(v.i8[0], -127);  // clamped
+    EXPECT_EQ(v.i8[1], 127);
+    EXPECT_EQ(v.i8[2], 64);  // lround(0.5 * 127) = 64
+}
+
+TEST(QuantizedViewTest, EncodeHelpersMatchLround) {
+    Rng rng(7);
+    std::vector<float> unit(257);
+    for (float& x : unit) x = static_cast<float>(rng.uniform(0.0, 1.0));
+    std::vector<float> signed_vals(257);
+    for (float& x : signed_vals) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    std::vector<std::uint8_t> u8(unit.size());
+    encode_unit_u8(unit.data(), unit.size(), 127, u8.data());
+    std::vector<std::int16_t> u16(unit.size());
+    encode_unit_u16(unit.data(), unit.size(), 1023, u16.data());
+    std::vector<std::int16_t> i16(signed_vals.size());
+    encode_signed_i16(signed_vals.data(), signed_vals.size(), 32767, i16.data());
+
+    for (std::size_t i = 0; i < unit.size(); ++i) {
+        EXPECT_EQ(u8[i], std::lround(unit[i] * 127.0f));
+        EXPECT_EQ(u16[i], std::lround(unit[i] * 1023.0f));
+        EXPECT_EQ(i16[i], std::lround(signed_vals[i] * 32767.0f));
+    }
+}
+
+TEST(QuantizedViewTest, DorefaWeightsQMatchesFloatPath) {
+    Rng rng(11);
+    Tensor w(Shape{4, 3, 3, 3});
+    w.fill_uniform(rng, -1.5f, 1.5f);
+
+    for (const std::size_t bits : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+        const QuantizedTensor q = dorefa_quantize_weights_q(w, bits);
+        EXPECT_EQ(q.grid().levels, magnitude_levels(bits));
+        EXPECT_TRUE(q.grid().is_signed);
+        ASSERT_EQ(q.size(), w.size());
+
+        std::vector<float> reference(w.size());
+        dorefa_quantize_weights_into(w, bits, reference.data());
+        std::vector<float> decoded(w.size());
+        q.dequantize_into(decoded.data());
+        // Exact float equality, not memcmp: integer code 0 has no sign,
+        // so the float path's -0.0 (negative weight rounding to zero)
+        // decodes as +0.0. Every other grid point must match bit-level.
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            EXPECT_EQ(decoded[i], reference[i]) << "bits=" << bits << " i=" << i;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ams::quant

@@ -26,6 +26,15 @@
 namespace ams::serve {
 namespace {
 
+// Serve's replica compiles read AMSNET_GEMM_INT, and every test here
+// checks bit-identity against the fp32 module walk — pin the toleranced
+// integer realization off for the whole binary (the CI int8 shard
+// exports AMSNET_GEMM_INT=int8 globally).
+const bool kPinGemmIntOff = [] {
+    ::setenv("AMSNET_GEMM_INT", "off", 1);
+    return true;
+}();
+
 data::DatasetOptions tiny_data() {
     data::DatasetOptions o;
     o.classes = 4;

@@ -1,6 +1,6 @@
 // Observability subsystem acceptance tests: span nesting/ordering across
 // pool threads, counter aggregation, exporter schema goldens, the
-// conversion-counter <-> ConversionProfile cross-check for all five VMAC
+// conversion-counter <-> ConversionProfile cross-check for all six VMAC
 // backends, and the no-allocation guarantee for counters mode on the
 // planned inference path. Global operator new is overridden in this
 // binary (alloc_count_test pattern) so the allocation claim is measured,
@@ -154,6 +154,8 @@ TEST(MetricsTest, MetricsJsonGolden) {
         "  \"gemm_calls\": 2,\n"
         "  \"gemm_flops\": 768,\n"
         "  \"gemm_pack_growths\": 0,\n"
+        "  \"gemm_int_calls\": 0,\n"
+        "  \"requant_ops\": 0,\n"
         "  \"parallel_regions\": 0,\n"
         "  \"parallel_chunks\": 0,\n"
         "  \"adc_conversions_bit_exact\": 9,\n"
@@ -161,6 +163,7 @@ TEST(MetricsTest, MetricsJsonGolden) {
         "  \"adc_conversions_partitioned\": 0,\n"
         "  \"adc_conversions_delta_sigma\": 0,\n"
         "  \"adc_conversions_reference_scaled\": 0,\n"
+        "  \"adc_conversions_block_fp\": 0,\n"
         "  \"vmac_chunks\": 0,\n"
         "  \"vmac_outputs\": 0,\n"
         "  \"injected_samples\": 0,\n"
@@ -335,6 +338,11 @@ std::vector<BackendCase> conversion_cases() {
         o.kind = vmac::BackendKind::kReferenceScaled;
         o.reference_scale = 0.5;
         cases.push_back({o, metrics::Counter::kAdcConversionsReferenceScaled});
+    }
+    {
+        vmac::BackendOptions o;
+        o.kind = vmac::BackendKind::kBlockFp;
+        cases.push_back({o, metrics::Counter::kAdcConversionsBlockFp});
     }
     return cases;
 }

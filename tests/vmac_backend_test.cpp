@@ -29,7 +29,7 @@ TEST(VmacBackendTest, KindNamesRoundTrip) {
     for (BackendKind kind : all_backend_kinds()) {
         EXPECT_EQ(parse_backend_kind(backend_kind_name(kind)), kind);
     }
-    EXPECT_EQ(all_backend_kinds().size(), 5u);
+    EXPECT_EQ(all_backend_kinds().size(), 6u);
     try {
         (void)parse_backend_kind("not_a_backend");
         FAIL() << "expected std::invalid_argument";
@@ -59,6 +59,12 @@ TEST(VmacBackendTest, OptionsStrTagsAreDistinctPerConfiguration) {
     d.kind = BackendKind::kReferenceScaled;
     d.reference_scale = 0.25;
     EXPECT_EQ(d.str(), "reference_scaled_s0.25");
+
+    BackendOptions e;
+    e.kind = BackendKind::kBlockFp;
+    EXPECT_EQ(e.str(), "block_fp_mauto");
+    e.block_fp_mantissa_bits = 6;
+    EXPECT_EQ(e.str(), "block_fp_m6");
 }
 
 TEST(VmacBackendTest, ConversionCountsMatchDatapaths) {
@@ -256,6 +262,90 @@ TEST(VmacBackendTest, PartitionedRejectsNonDivisibleOperandBits) {
     opts.kind = BackendKind::kPartitioned;
     // Default 8-bit operands have 7 magnitude bits — not divisible by 2.
     EXPECT_THROW((void)make_backend(cfg(8.0, 8, 8), {}, opts), std::invalid_argument);
+}
+
+TEST(VmacBackendTest, BlockFpExactOnRepresentableOperandsAcrossScales) {
+    // Operands that are multiples of 2^-5 encode exactly whenever the
+    // mantissa budget covers 5 fractional bits below the block exponent
+    // — at *any* magnitude scale, because the block exponent follows the
+    // data. The noise-free datapath then reduces to the shared ADC
+    // conversion of the exact dot, and burns no rng draws.
+    const VmacConfig c = cfg(8.0);
+    BackendOptions opts;
+    opts.kind = BackendKind::kBlockFp;
+    opts.block_fp_mantissa_bits = 8;
+    const auto backend = make_backend(c, {}, opts);
+    const AdcQuantizer quantizer(c.enob, /*full_scale=*/8.0, /*reference_scale=*/1.0);
+
+    Rng data_rng(47);
+    Rng rng_a(51), rng_b(51);
+    std::vector<double> w(8), x(8);
+    for (const double scale : {1.0, 1.0 / 64.0, 1.0 / 4096.0}) {
+        for (int t = 0; t < 25; ++t) {
+            double exact = 0.0;
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                w[i] = static_cast<double>(static_cast<int>(data_rng.uniform(-32.0, 33.0))) /
+                       32.0 * scale;
+                x[i] = static_cast<double>(static_cast<int>(data_rng.uniform(0.0, 33.0))) /
+                       32.0 * scale;
+                exact += w[i] * x[i];
+            }
+            EXPECT_DOUBLE_EQ(backend->accumulate(w, x, rng_a), quantizer.convert(exact))
+                << "scale=" << scale;
+        }
+    }
+    // Deterministic when noise-free: rng untouched (plan bit-identity
+    // across thread counts depends on this).
+    EXPECT_DOUBLE_EQ(backend->finish_output(rng_a), 0.0);
+    EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64());
+}
+
+TEST(VmacBackendTest, BlockFpContractAndEffectiveEnob) {
+    const VmacConfig c = cfg(8.0, 8, 9);
+    BackendOptions opts;
+    opts.kind = BackendKind::kBlockFp;
+    const auto backend = make_backend(c, {}, opts);
+    EXPECT_EQ(backend->kind(), BackendKind::kBlockFp);
+    EXPECT_EQ(backend->conversions_per_vmac(), 1u);
+    const ConversionProfile profile = backend->conversion_profile();
+    ASSERT_EQ(profile.size(), 1u);
+    EXPECT_DOUBLE_EQ(profile[0].enob, 8.0);
+    EXPECT_DOUBLE_EQ(profile[0].per_chunk, 1.0);
+    EXPECT_DOUBLE_EQ(profile[0].per_output, 0.0);
+
+    // Clone preserves behavior (stateless datapath).
+    const auto cloned = backend->clone();
+    std::vector<double> w(8), x(8);
+    Rng data_rng(53);
+    random_operands(w, x, data_rng);
+    Rng rng_a(57), rng_b(57);
+    EXPECT_DOUBLE_EQ(cloned->accumulate(w, x, rng_a), backend->accumulate(w, x, rng_b));
+
+    // Worst-case analytic ENOB: more mantissa bits approach the pure-ADC
+    // resolution from below; a starved mantissa dominates the budget.
+    auto enob_for = [&](std::size_t bits) {
+        BackendOptions o;
+        o.kind = BackendKind::kBlockFp;
+        o.block_fp_mantissa_bits = bits;
+        return make_backend(c, {}, o)->effective_enob(1);
+    };
+    EXPECT_NEAR(enob_for(24), 8.0, 0.05);
+    EXPECT_LT(enob_for(4), enob_for(12));
+    EXPECT_LT(enob_for(12), enob_for(24));
+    EXPECT_LE(enob_for(24), 8.0);
+}
+
+TEST(VmacBackendTest, BlockFpRejectsInvalidMantissaBits) {
+    BackendOptions opts;
+    opts.kind = BackendKind::kBlockFp;
+    opts.block_fp_mantissa_bits = 1;  // below the [2, 30] floor
+    EXPECT_THROW((void)make_backend(cfg(8.0), {}, opts), std::invalid_argument);
+    opts.block_fp_mantissa_bits = 31;
+    EXPECT_THROW((void)make_backend(cfg(8.0), {}, opts), std::invalid_argument);
+    // Derived default (bits - 1 magnitude bits) stays in range for the
+    // operand widths the models use.
+    opts.block_fp_mantissa_bits = 0;
+    EXPECT_NO_THROW((void)make_backend(cfg(8.0, 8, 8), {}, opts));
 }
 
 }  // namespace
