@@ -1,0 +1,247 @@
+// amsnet_sweep: sharded, resumable design-space sweep campaigns.
+//
+//   # quick Fig. 8-style grid on 4 worker processes
+//   ./examples/amsnet_sweep --quick --workers 4 --run-dir /tmp/sweep
+//
+//   # same campaign, resumed after a crash (completed points replay)
+//   ./examples/amsnet_sweep --quick --workers 4 --run-dir /tmp/sweep
+//
+//   # manual sharding across machines sharing a filesystem:
+//   ./examples/amsnet_sweep --quick --shard 0/2 --run-dir /nfs/sweep
+//   ./examples/amsnet_sweep --quick --shard 1/2 --run-dir /nfs/sweep
+//   ./examples/amsnet_sweep --quick --merge-only --run-dir /nfs/sweep
+//
+// The run directory holds the campaign manifest, one JSONL journal per
+// shard, per-shard metrics ledgers, and (once every point is journaled)
+// the merged amsnet-bench-v1 report — byte-identical regardless of
+// worker count or resume history. See DESIGN.md §15.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sweep/coordinator.hpp"
+#include "sweep/worker.hpp"
+
+using namespace ams;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item = text.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!item.empty()) out.push_back(item);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+sweep::SweepGrid quick_grid() {
+    sweep::SweepGrid grid;
+    grid.backends = {vmac::BackendKind::kBitExact, vmac::BackendKind::kPerVmacNoise};
+    grid.enobs = {4.5, 5.5, 6.5, 7.5};
+    grid.seeds = {11, 23};
+    grid.base.dataset.classes = 6;
+    grid.base.dataset.train_per_class = 32;
+    grid.base.dataset.val_per_class = 12;
+    grid.base.dataset.image_size = 12;
+    grid.base.eval_passes = 3;
+    grid.base.batch_size = 32;
+    grid.base.fp32_train.epochs = 3;
+    grid.base.fp32_train.batch_size = 32;
+    grid.base.retrain.epochs = 2;
+    grid.base.retrain.batch_size = 32;
+    return grid;
+}
+
+sweep::SweepGrid standard_grid() {
+    sweep::SweepGrid grid;
+    grid.base = core::ExperimentOptions::standard();
+    grid.backends = {vmac::BackendKind::kBitExact, vmac::BackendKind::kPerVmacNoise,
+                     vmac::BackendKind::kPartitioned, vmac::BackendKind::kDeltaSigma};
+    grid.enobs = {4.5, 5.0, 5.5, 6.0, 6.5, 7.0, 8.0};
+    grid.seeds = {grid.base.dataset.seed};
+    return grid;
+}
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--quick] [--run-dir DIR] [--workers N | --shard I/N]\n"
+                 "          [--merge-only] [--threads-per-worker N] [--cache-dir DIR]\n"
+                 "          [--enobs a,b,...] [--seeds a,b,...] [--backends a,b,...]\n"
+                 "          [--nmults a,b,...] [--eval-only-off] [--retrain-off] [-v]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Worker re-invocations dispatch before any CLI parsing.
+    if (const int rc = sweep::maybe_worker_main(argc, argv); rc >= 0) return rc;
+
+    bool quick = false;
+    bool merge_only = false;
+    bool verbose = false;
+    long shard_index = -1;
+    std::size_t shard_count = 0;
+    sweep::CoordinatorOptions options;
+    options.run_dir = "sweep-run";
+    std::string enobs_arg, seeds_arg, backends_arg, nmults_arg, cache_dir;
+    bool eval_only = true;
+    bool retrain = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--run-dir") {
+            options.run_dir = next();
+        } else if (arg == "--workers") {
+            options.workers = std::stoul(next());
+        } else if (arg == "--shard") {
+            const std::string spec = next();
+            const std::size_t slash = spec.find('/');
+            if (slash == std::string::npos) return usage(argv[0]);
+            shard_index = std::stol(spec.substr(0, slash));
+            shard_count = std::stoul(spec.substr(slash + 1));
+            if (shard_count == 0 || shard_index < 0 ||
+                static_cast<std::size_t>(shard_index) >= shard_count) {
+                return usage(argv[0]);
+            }
+        } else if (arg == "--merge-only") {
+            merge_only = true;
+        } else if (arg == "--threads-per-worker") {
+            options.threads_per_worker = std::stoul(next());
+        } else if (arg == "--cache-dir") {
+            cache_dir = next();
+        } else if (arg == "--enobs") {
+            enobs_arg = next();
+        } else if (arg == "--seeds") {
+            seeds_arg = next();
+        } else if (arg == "--backends") {
+            backends_arg = next();
+        } else if (arg == "--nmults") {
+            nmults_arg = next();
+        } else if (arg == "--eval-only-off") {
+            eval_only = false;
+        } else if (arg == "--retrain-off") {
+            retrain = false;
+        } else if (arg == "--kill-worker") {
+            // Fault-injection hook for the resume-smoke CI job: I:N kills
+            // worker I after it journals N points.
+            const std::string spec = next();
+            const std::size_t colon = spec.find(':');
+            if (colon == std::string::npos) return usage(argv[0]);
+            options.kill_shard = std::stoi(spec.substr(0, colon));
+            options.kill_after_points = std::stoul(spec.substr(colon + 1));
+        } else if (arg == "-v" || arg == "--verbose") {
+            verbose = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    options.verbose = verbose;
+
+    try {
+        sweep::SweepGrid grid = quick ? quick_grid() : standard_grid();
+        if (!enobs_arg.empty()) {
+            grid.enobs.clear();
+            for (const std::string& t : split_csv(enobs_arg)) grid.enobs.push_back(std::stod(t));
+        }
+        if (!seeds_arg.empty()) {
+            grid.seeds.clear();
+            for (const std::string& t : split_csv(seeds_arg)) grid.seeds.push_back(std::stoull(t));
+        }
+        if (!backends_arg.empty()) {
+            grid.backends.clear();
+            for (const std::string& t : split_csv(backends_arg)) {
+                grid.backends.push_back(vmac::parse_backend_kind(t));
+            }
+        }
+        if (!nmults_arg.empty()) {
+            grid.nmults.clear();
+            for (const std::string& t : split_csv(nmults_arg)) grid.nmults.push_back(std::stoull(t));
+        }
+        grid.eval_only = eval_only;
+        grid.retrain = retrain;
+        if (!cache_dir.empty()) {
+            grid.base.cache_dir = cache_dir;
+        } else if (grid.base.cache_dir.empty()) {
+            grid.base.cache_dir = options.run_dir + "/cache";
+        }
+
+        if (merge_only) {
+            const sweep::Manifest manifest =
+                sweep::read_manifest(sweep::manifest_path(options.run_dir));
+            const std::string report =
+                sweep::merged_report_json(manifest.grid, sweep::replay_run_dir(options.run_dir));
+            std::cout << report;
+            return 0;
+        }
+
+        if (shard_count > 0) {
+            // Manual sharding: compute index % N == I of the grid
+            // in-process; another invocation (or --merge-only) merges.
+            std::filesystem::create_directories(options.run_dir);
+            const std::string mpath = sweep::manifest_path(options.run_dir);
+            if (!std::filesystem::exists(mpath)) {
+                sweep::write_manifest(mpath, grid, shard_count);
+            } else if (sweep::read_manifest(mpath).grid.content_hash() != grid.content_hash()) {
+                std::fprintf(stderr, "run dir holds a different campaign\n");
+                return 1;
+            }
+            const std::vector<sweep::WorkItem> items = sweep::enumerate_grid(grid);
+            std::vector<bool> done(items.size(), false);
+            for (const sweep::PointRecord& r : sweep::replay_run_dir(options.run_dir)) {
+                if (r.index < items.size()) done[r.index] = true;
+            }
+            std::vector<sweep::WorkItem> mine;
+            for (const sweep::WorkItem& item : items) {
+                if (item.index % shard_count == static_cast<std::size_t>(shard_index) &&
+                    !done[item.index]) {
+                    mine.push_back(item);
+                }
+            }
+            sweep::JournalWriter journal(sweep::journal_path(
+                options.run_dir, static_cast<std::size_t>(shard_index)));
+            sweep::run_items(grid, mine, static_cast<std::size_t>(shard_index), journal);
+            std::cout << "shard " << shard_index << "/" << shard_count << ": computed "
+                      << mine.size() << " point(s) into " << journal.path() << "\n";
+            return 0;
+        }
+
+        const sweep::SweepOutcome outcome = sweep::run_sweep(grid, options);
+        std::cout << "sweep: " << outcome.total << " points — " << outcome.replayed
+                  << " replayed, " << outcome.computed << " computed, " << outcome.stolen
+                  << " stolen";
+        if (outcome.workers_failed > 0) {
+            std::cout << ", " << outcome.workers_failed << " worker(s) failed";
+        }
+        std::cout << "\n";
+        if (outcome.complete) {
+            std::cout << "merged report: " << outcome.report_path << "\n";
+            return 0;
+        }
+        std::cout << "incomplete — re-run the same command to resume\n";
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "amsnet_sweep: %s\n", e.what());
+        return 1;
+    }
+}

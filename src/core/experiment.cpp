@@ -95,6 +95,88 @@ std::string ExperimentEnv::base_key() const {
     return os.str();
 }
 
+namespace {
+
+// Canonical serialization of one training schedule into a content key.
+// Every field that steers fit() is included; forgetting one here is the
+// stale-cache bug the content hash exists to prevent.
+void add_schedule(train::CacheKey& key, const std::string& prefix,
+                  const train::TrainOptions& t) {
+    key.add(prefix + ".epochs", t.epochs);
+    key.add(prefix + ".batch_size", t.batch_size);
+    key.add(prefix + ".patience", t.patience);
+    key.add(prefix + ".grad_bits", t.grad_bits);
+    key.add(prefix + ".shuffle_seed", std::uint64_t{t.shuffle_seed});
+    key.add(prefix + ".lr", static_cast<double>(t.sgd.lr));
+    key.add(prefix + ".momentum", static_cast<double>(t.sgd.momentum));
+    key.add(prefix + ".weight_decay", static_cast<double>(t.sgd.weight_decay));
+}
+
+}  // namespace
+
+train::CacheKey ExperimentEnv::fp32_cache_key() const {
+    const std::string legacy = base_key() + "_fp32";
+    train::CacheKey key;
+    key.label(legacy).legacy(legacy);
+    key.add("schema", "amsnet-ckpt-key-v1");
+    key.add("arch", "mini_resnet");
+    key.add("model_seed", std::uint64_t{42});
+    key.add("data.classes", options_.dataset.classes);
+    key.add("data.train_per_class", options_.dataset.train_per_class);
+    key.add("data.val_per_class", options_.dataset.val_per_class);
+    key.add("data.image_size", options_.dataset.image_size);
+    key.add("data.channels", options_.dataset.channels);
+    key.add("data.noise_sigma", static_cast<double>(options_.dataset.noise_sigma));
+    key.add("data.seed", std::uint64_t{options_.dataset.seed});
+    key.add("phase", "fp32");
+    add_schedule(key, "fp32_train", options_.fp32_train);
+    return key;
+}
+
+train::CacheKey ExperimentEnv::quantized_cache_key(std::size_t bits_w,
+                                                   std::size_t bits_x) const {
+    std::ostringstream legacy;
+    legacy << base_key() << "_q_w" << bits_w << "_x" << bits_x;
+    train::CacheKey key;
+    key.label(legacy.str()).legacy(legacy.str());
+    key.add("schema", "amsnet-ckpt-key-v1");
+    key.add("parent", fp32_cache_key().hex());
+    key.add("phase", "quant");
+    key.add("bits_w", bits_w);
+    key.add("bits_x", bits_x);
+    add_schedule(key, "retrain", options_.retrain);
+    return key;
+}
+
+train::CacheKey ExperimentEnv::ams_cache_key(std::size_t bits_w, std::size_t bits_x,
+                                             const vmac::VmacConfig& vmac_cfg,
+                                             const std::vector<models::LayerGroup>& frozen,
+                                             const std::string& key_tag) const {
+    std::ostringstream legacy;
+    legacy << base_key() << "_ams_w" << bits_w << "_x" << bits_x << "_enob" << vmac_cfg.enob
+           << "_nm" << vmac_cfg.nmult;
+    if (!key_tag.empty()) legacy << "_b" << key_tag;
+    for (models::LayerGroup g : frozen) legacy << "_f" << static_cast<int>(g);
+
+    train::CacheKey key;
+    key.label(legacy.str()).legacy(legacy.str());
+    key.add("schema", "amsnet-ckpt-key-v1");
+    key.add("parent", quantized_cache_key(bits_w, bits_x).hex());
+    key.add("phase", "ams");
+    key.add("bits_w", bits_w);
+    key.add("bits_x", bits_x);
+    key.add("vmac.enob", vmac_cfg.enob);
+    key.add("vmac.nmult", vmac_cfg.nmult);
+    key.add("vmac.accumulation",
+            vmac_cfg.accumulation == vmac::Accumulation::kSum ? "sum" : "avg");
+    key.add("backend", key_tag.empty() ? std::string("default") : key_tag);
+    std::ostringstream frozen_tag;
+    for (models::LayerGroup g : frozen) frozen_tag << static_cast<int>(g) << ",";
+    key.add("frozen", frozen_tag.str());
+    add_schedule(key, "retrain", options_.retrain);
+    return key;
+}
+
 TensorMap ExperimentEnv::train_from(const TensorMap* init_state,
                                     const models::LayerCommon& common,
                                     const train::TrainOptions& train_opts,
@@ -118,35 +200,28 @@ TensorMap ExperimentEnv::train_from(const TensorMap* init_state,
 }
 
 TensorMap ExperimentEnv::fp32_state() {
-    const std::string key = base_key() + "_fp32";
-    return train::cached_state(options_.cache_dir, key, [this] {
+    return train::cached_state(options_.cache_dir, fp32_cache_key(), [this] {
         return train_from(nullptr, fp32_common(), options_.fp32_train, {}, "fp32");
     });
 }
 
 TensorMap ExperimentEnv::quantized_state(std::size_t bits_w, std::size_t bits_x) {
-    std::ostringstream key;
-    key << base_key() << "_q_w" << bits_w << "_x" << bits_x;
-    return train::cached_state(options_.cache_dir, key.str(), [this, bits_w, bits_x] {
-        const TensorMap fp32 = fp32_state();
-        return train_from(&fp32, quant_common(bits_w, bits_x), options_.retrain, {},
-                          "quant_w" + std::to_string(bits_w) + "x" + std::to_string(bits_x));
-    });
+    return train::cached_state(
+        options_.cache_dir, quantized_cache_key(bits_w, bits_x), [this, bits_w, bits_x] {
+            const TensorMap fp32 = fp32_state();
+            return train_from(&fp32, quant_common(bits_w, bits_x), options_.retrain, {},
+                              "quant_w" + std::to_string(bits_w) + "x" +
+                                  std::to_string(bits_x));
+        });
 }
 
 TensorMap ExperimentEnv::ams_retrained_state(std::size_t bits_w, std::size_t bits_x,
                                              const vmac::VmacConfig& vmac_cfg,
                                              const std::vector<models::LayerGroup>& frozen,
                                              const std::string& key_tag) {
-    std::ostringstream key;
-    key << base_key() << "_ams_w" << bits_w << "_x" << bits_x << "_enob" << vmac_cfg.enob
-        << "_nm" << vmac_cfg.nmult;
-    if (!key_tag.empty()) key << "_b" << key_tag;
-    for (models::LayerGroup g : frozen) {
-        key << "_f" << static_cast<int>(g);
-    }
     return train::cached_state(
-        options_.cache_dir, key.str(), [this, bits_w, bits_x, &vmac_cfg, &frozen] {
+        options_.cache_dir, ams_cache_key(bits_w, bits_x, vmac_cfg, frozen, key_tag),
+        [this, bits_w, bits_x, &vmac_cfg, &frozen] {
             const TensorMap quant = quantized_state(bits_w, bits_x);
             return train_from(&quant, ams_common(bits_w, bits_x, vmac_cfg), options_.retrain,
                               frozen, "ams_enob" + std::to_string(vmac_cfg.enob));
@@ -160,6 +235,53 @@ train::EvalResult ExperimentEnv::evaluate_state(const TensorMap& state,
     model->load_state("", state);
     return train::evaluate_top1(*model, dataset_.val_images(), dataset_.val_labels(),
                                 options_.batch_size, options_.eval_passes, ctx);
+}
+
+ExperimentEnv::EnobSweepPoint ExperimentEnv::compute_enob_point(
+    std::size_t bits_w, std::size_t bits_x, double enob, const EnobSweepOptions& sweep,
+    const TensorMap& quant, runtime::EvalContext* ctx) {
+    char tag[runtime::trace::Event::kTagCapacity + 1];
+    tag[0] = '\0';
+    if (runtime::metrics::spans_enabled()) {
+        std::snprintf(tag, sizeof(tag), "enob=%.3g", enob);
+    }
+    runtime::trace::Span point_span("ams_enob_sweep.point", tag);
+    vmac::VmacConfig cfg;
+    cfg.enob = enob;
+    cfg.nmult = sweep.nmult;
+    EnobSweepPoint point;
+    point.enob = enob;
+
+    // Map the grid resolution through the hardware backend: the
+    // injected network-level error uses the backend's equivalent
+    // monolithic ENOB (Eq. 2 equivalence). The default bit-exact
+    // backend keeps the historical identity mapping and keys.
+    std::string key_tag;
+    if (sweep.backend.kind == vmac::BackendKind::kBitExact) {
+        point.effective_enob = enob;
+    } else {
+        vmac::BackendOptions bopts = sweep.backend;
+        vmac::VmacConfig backend_cfg = cfg;
+        backend_cfg.bits_w = bits_w;
+        backend_cfg.bits_x = bits_x;
+        if (bopts.kind == vmac::BackendKind::kPartitioned) {
+            bopts.partition.enob_partial = enob;
+        }
+        const auto backend = vmac::make_backend(backend_cfg, sweep.analog, bopts);
+        point.effective_enob =
+            std::clamp(backend->effective_enob(sweep.backend_ref_chunks), 0.5, 32.0);
+        key_tag = bopts.str();
+        cfg.enob = point.effective_enob;
+    }
+
+    if (sweep.eval_only) {
+        point.eval_only = evaluate_state(quant, ams_common(bits_w, bits_x, cfg), ctx);
+    }
+    if (sweep.retrain) {
+        const TensorMap state = ams_retrained_state(bits_w, bits_x, cfg, {}, key_tag);
+        point.retrained = evaluate_state(state, ams_common(bits_w, bits_x, cfg), ctx);
+    }
+    return point;
 }
 
 std::vector<ExperimentEnv::EnobSweepPoint> ExperimentEnv::ams_enob_sweep(
@@ -184,47 +306,7 @@ std::vector<ExperimentEnv::EnobSweepPoint> ExperimentEnv::ams_enob_sweep(
         // so every later point in the chunk evaluates allocation-free.
         runtime::EvalContext ctx;
         for (std::size_t p = p_begin; p < p_end; ++p) {
-            char tag[runtime::trace::Event::kTagCapacity + 1];
-            tag[0] = '\0';
-            if (runtime::metrics::spans_enabled()) {
-                std::snprintf(tag, sizeof(tag), "enob=%.3g", enobs[p]);
-            }
-            runtime::trace::Span point_span("ams_enob_sweep.point", tag);
-            vmac::VmacConfig cfg;
-            cfg.enob = enobs[p];
-            cfg.nmult = sweep.nmult;
-            EnobSweepPoint& point = points[p];
-            point.enob = enobs[p];
-
-            // Map the grid resolution through the hardware backend: the
-            // injected network-level error uses the backend's equivalent
-            // monolithic ENOB (Eq. 2 equivalence). The default bit-exact
-            // backend keeps the historical identity mapping and keys.
-            std::string key_tag;
-            if (sweep.backend.kind == vmac::BackendKind::kBitExact) {
-                point.effective_enob = enobs[p];
-            } else {
-                vmac::BackendOptions bopts = sweep.backend;
-                vmac::VmacConfig backend_cfg = cfg;
-                backend_cfg.bits_w = bits_w;
-                backend_cfg.bits_x = bits_x;
-                if (bopts.kind == vmac::BackendKind::kPartitioned) {
-                    bopts.partition.enob_partial = enobs[p];
-                }
-                const auto backend = vmac::make_backend(backend_cfg, sweep.analog, bopts);
-                point.effective_enob =
-                    std::clamp(backend->effective_enob(sweep.backend_ref_chunks), 0.5, 32.0);
-                key_tag = bopts.str();
-                cfg.enob = point.effective_enob;
-            }
-
-            if (sweep.eval_only) {
-                point.eval_only = evaluate_state(quant, ams_common(bits_w, bits_x, cfg), &ctx);
-            }
-            if (sweep.retrain) {
-                const TensorMap state = ams_retrained_state(bits_w, bits_x, cfg, {}, key_tag);
-                point.retrained = evaluate_state(state, ams_common(bits_w, bits_x, cfg), &ctx);
-            }
+            points[p] = compute_enob_point(bits_w, bits_x, enobs[p], sweep, quant, &ctx);
         }
     });
     return points;

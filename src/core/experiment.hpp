@@ -123,9 +123,35 @@ public:
         return ams_enob_sweep(bits_w, bits_x, enobs, EnobSweepOptions{});
     }
 
+    /// Computes one sweep point — the loop body of ams_enob_sweep,
+    /// exposed so the multi-process sweep orchestrator (src/sweep) runs
+    /// the exact same code per point. `quant` is the shared quantized
+    /// prerequisite state (quantized_state(bits_w, bits_x)). Results are
+    /// position-deterministic: independent of thread count, of which
+    /// process computes the point, and of what ran before it.
+    [[nodiscard]] EnobSweepPoint compute_enob_point(std::size_t bits_w, std::size_t bits_x,
+                                                    double enob, const EnobSweepOptions& sweep,
+                                                    const TensorMap& quant,
+                                                    runtime::EvalContext* ctx = nullptr);
+
     /// Key prefix identifying the dataset + model architecture, used to
     /// build cache keys.
     [[nodiscard]] std::string base_key() const;
+
+    // ----- content-addressed cache keys -----
+    // Each key canonically serializes every input that affects the
+    // trained state (dataset, architecture, quant bits, backend tag,
+    // frozen groups, full training schedule) plus the parent phase's
+    // hash, so any upstream config change re-keys the whole lineage.
+    // The matching legacy string key is attached for in-place migration
+    // of pre-content-hash cache directories.
+    [[nodiscard]] train::CacheKey fp32_cache_key() const;
+    [[nodiscard]] train::CacheKey quantized_cache_key(std::size_t bits_w,
+                                                      std::size_t bits_x) const;
+    [[nodiscard]] train::CacheKey ams_cache_key(
+        std::size_t bits_w, std::size_t bits_x, const vmac::VmacConfig& vmac_cfg,
+        const std::vector<models::LayerGroup>& frozen = {},
+        const std::string& key_tag = "") const;
 
 private:
     ExperimentOptions options_;

@@ -111,6 +111,8 @@ const char* counter_name(Counter counter) {
         case Counter::kCheckpointDiskHits: return "checkpoint_disk_hits";
         case Counter::kCheckpointMemoHits: return "checkpoint_memo_hits";
         case Counter::kCheckpointMisses: return "checkpoint_misses";
+        case Counter::kCheckpointCorruptRecovered: return "checkpoint_corrupt_recovered";
+        case Counter::kCheckpointLegacyMigrations: return "checkpoint_legacy_migrations";
         case Counter::kEvalPasses: return "eval_passes";
         case Counter::kEvalBatches: return "eval_batches";
         case Counter::kServeRequests: return "serve_requests";
@@ -122,6 +124,10 @@ const char* counter_name(Counter counter) {
         case Counter::kPlanLayersFused: return "plan_layers_fused";
         case Counter::kPlanIntermediatesEliminated: return "plan_intermediates_eliminated";
         case Counter::kPlanArenaBytesSaved: return "plan_arena_bytes_saved";
+        case Counter::kSweepPointsCompleted: return "sweep_points_completed";
+        case Counter::kSweepPointsSkipped: return "sweep_points_skipped";
+        case Counter::kSweepPointsStolen: return "sweep_points_stolen";
+        case Counter::kSweepWorkersSpawned: return "sweep_workers_spawned";
         case Counter::kCount: break;
     }
     return "unknown_counter";

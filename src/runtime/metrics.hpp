@@ -86,6 +86,8 @@ enum class Counter : int {
     kCheckpointDiskHits,  ///< states served from an on-disk .amsckpt
     kCheckpointMemoHits,  ///< states served from the in-process memo
     kCheckpointMisses,    ///< states produced (trained) on demand
+    kCheckpointCorruptRecovered,   ///< torn/corrupt entries recomputed, not propagated
+    kCheckpointLegacyMigrations,   ///< legacy-named entries adopted under content hashes
 
     // Evaluation protocol (train/evaluate.cpp)
     kEvalPasses,          ///< full validation passes
@@ -103,6 +105,12 @@ enum class Counter : int {
     kPlanLayersFused,              ///< elementwise ops absorbed into step tails
     kPlanIntermediatesEliminated,  ///< module-walk tensors the plan never materializes
     kPlanArenaBytesSaved,          ///< module-walk arena bytes minus plan block bytes
+
+    // Sweep orchestration (sweep/coordinator.cpp, sweep/worker.cpp)
+    kSweepPointsCompleted,  ///< grid points computed and journaled by this process
+    kSweepPointsSkipped,    ///< points replayed from journals instead of recomputed
+    kSweepPointsStolen,     ///< resumed points reassigned away from their original shard
+    kSweepWorkersSpawned,   ///< worker processes forked by the coordinator
 
     kCount
 };

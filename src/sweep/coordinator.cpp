@@ -1,0 +1,368 @@
+#include "sweep/coordinator.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "core/bench_json.hpp"
+#include "core/experiment.hpp"
+#include "runtime/metrics.hpp"
+#include "sweep/worker.hpp"
+
+extern char** environ;
+
+namespace ams::sweep {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::size_t count_journal_lines(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return 0;
+    std::size_t lines = 0;
+    char buffer[4096];
+    while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+        for (std::streamsize i = 0; i < in.gcount(); ++i) {
+            if (buffer[i] == '\n') ++lines;
+        }
+        if (!in) break;
+    }
+    return lines;
+}
+
+struct WorkerProc {
+    pid_t pid = -1;
+    std::size_t shard = 0;
+    bool exited = false;
+    int status = 0;
+};
+
+/// fork + execve of `exe --amsnet-sweep-worker run_dir shard`. Everything
+/// the child needs (argv, envp) is built BEFORE fork: the coordinator
+/// may carry live pool threads, so only async-signal-safe calls are
+/// legal between fork and exec.
+pid_t spawn_worker(const std::string& exe, const std::string& run_dir, std::size_t shard,
+                   std::size_t threads_per_worker) {
+    const std::string shard_text = std::to_string(shard);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(exe.c_str()));
+    argv.push_back(const_cast<char*>("--amsnet-sweep-worker"));
+    argv.push_back(const_cast<char*>(run_dir.c_str()));
+    argv.push_back(const_cast<char*>(shard_text.c_str()));
+    argv.push_back(nullptr);
+
+    std::vector<std::string> env_store;
+    std::vector<char*> envp;
+    const std::string threads_entry =
+        "AMSNET_THREADS=" + std::to_string(threads_per_worker);
+    for (char** e = environ; *e != nullptr; ++e) {
+        if (threads_per_worker > 0 && std::strncmp(*e, "AMSNET_THREADS=", 15) == 0) continue;
+        envp.push_back(*e);
+    }
+    if (threads_per_worker > 0) {
+        env_store.push_back(threads_entry);
+        envp.push_back(const_cast<char*>(env_store.back().c_str()));
+    }
+    envp.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid < 0) throw std::runtime_error("run_sweep: fork failed");
+    if (pid == 0) {
+        execve(exe.c_str(), argv.data(), envp.data());
+        _exit(127);  // exec failed; async-signal-safe exit only
+    }
+    return pid;
+}
+
+void write_items_file(const std::string& path, const std::vector<std::size_t>& indices) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) throw std::runtime_error("run_sweep: cannot open " + tmp);
+        for (std::size_t index : indices) out << index << "\n";
+        if (!out.flush()) throw std::runtime_error("run_sweep: write failed for " + tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) throw std::runtime_error("run_sweep: rename failed: " + ec.message());
+}
+
+}  // namespace
+
+std::string self_exe_path() {
+    char buffer[4096];
+    const ssize_t n = readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+    if (n <= 0) throw std::runtime_error("self_exe_path: readlink(/proc/self/exe) failed");
+    buffer[n] = '\0';
+    return std::string(buffer);
+}
+
+std::vector<PointRecord> replay_run_dir(const std::string& run_dir) {
+    std::vector<PointRecord> records;
+    if (!fs::exists(run_dir)) return records;
+    std::vector<std::string> paths;
+    for (const auto& entry : fs::directory_iterator(run_dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("shard-", 0) == 0 && name.size() > 6 &&
+            name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+            paths.push_back(entry.path().string());
+        }
+    }
+    // Directory iteration order is unspecified; sort so replay (and any
+    // duplicate-resolution by position) is deterministic.
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& path : paths) {
+        std::size_t dropped = 0;
+        std::vector<PointRecord> shard_records = replay_journal(path, &dropped);
+        if (dropped > 0) {
+            std::fprintf(stderr, "[sweep] %s: dropped %zu truncated/garbled line(s)\n",
+                         path.c_str(), dropped);
+        }
+        for (PointRecord& record : shard_records) records.push_back(std::move(record));
+    }
+    return records;
+}
+
+std::string merged_report_json(const SweepGrid& grid, const std::vector<PointRecord>& records) {
+    const std::vector<WorkItem> items = enumerate_grid(grid);
+    std::vector<const PointRecord*> by_index(items.size(), nullptr);
+    for (const PointRecord& record : records) {
+        if (record.index >= items.size()) {
+            throw std::runtime_error("merged_report_json: record index " +
+                                     std::to_string(record.index) + " out of range");
+        }
+        if (record.point_id != items[record.index].point_id) {
+            throw std::runtime_error("merged_report_json: point id mismatch at index " +
+                                     std::to_string(record.index) + ": journal says '" +
+                                     record.point_id + "', grid says '" +
+                                     items[record.index].point_id + "'");
+        }
+        by_index[record.index] = &record;  // duplicates: results are
+                                           // deterministic, any copy works
+    }
+    std::size_t missing = 0;
+    for (const PointRecord* record : by_index) {
+        if (record == nullptr) ++missing;
+    }
+    if (missing > 0) {
+        throw std::runtime_error("merged_report_json: " + std::to_string(missing) +
+                                 " of " + std::to_string(items.size()) + " points missing");
+    }
+
+    // The report must be a pure function of (grid, results): no
+    // record_runtime_env / capture_runtime_metrics (those are run-local
+    // and would break cross-run byte identity); shard ids stay in the
+    // journals only.
+    core::BenchReport report("sweep_grid");
+    report.config().set("grid_hash", grid.content_hash());
+    report.config().set("points", static_cast<std::uint64_t>(items.size()));
+    report.config().set("bits_w", static_cast<std::uint64_t>(grid.bits_w));
+    report.config().set("bits_x", static_cast<std::uint64_t>(grid.bits_x));
+    report.config().set("eval_only", grid.eval_only);
+    report.config().set("retrain", grid.retrain);
+    report.config().set("eval_passes", static_cast<std::uint64_t>(grid.base.eval_passes));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const WorkItem& item = items[i];
+        const core::ExperimentEnv::EnobSweepPoint& point = by_index[i]->point;
+        core::BenchFields& row = report.add_row();
+        row.set("index", static_cast<std::uint64_t>(item.index));
+        row.set("point_id", item.point_id);
+        row.set("backend", vmac::backend_kind_name(item.backend));
+        row.set("seed", static_cast<std::uint64_t>(item.seed));
+        row.set("nmult", static_cast<std::uint64_t>(item.nmult));
+        row.set("enob", point.enob);
+        row.set("effective_enob", point.effective_enob);
+        if (grid.eval_only) {
+            row.set("eval_only_mean", point.eval_only.mean);
+            row.set("eval_only_stddev", point.eval_only.stddev);
+        }
+        if (grid.retrain) {
+            row.set("retrained_mean", point.retrained.mean);
+            row.set("retrained_stddev", point.retrained.stddev);
+        }
+    }
+    std::ostringstream os;
+    report.write(os);
+    return os.str();
+}
+
+SweepOutcome run_sweep(const SweepGrid& grid, const CoordinatorOptions& options) {
+    if (options.run_dir.empty()) throw std::invalid_argument("run_sweep: empty run_dir");
+    grid.validate();
+    fs::create_directories(options.run_dir);
+
+    // Manifest: pin the campaign on first use, verify on resume.
+    const std::string mpath = manifest_path(options.run_dir);
+    const std::size_t first_attempt_workers = std::max<std::size_t>(options.workers, 1);
+    Manifest manifest;
+    if (fs::exists(mpath)) {
+        manifest = read_manifest(mpath);
+        if (manifest.grid.content_hash() != grid.content_hash()) {
+            throw std::runtime_error(
+                "run_sweep: run_dir " + options.run_dir +
+                " holds a different campaign (grid hash mismatch); refusing to resume");
+        }
+    } else {
+        write_manifest(mpath, grid, first_attempt_workers);
+        manifest.grid = grid;
+        manifest.workers = first_attempt_workers;
+    }
+
+    const std::vector<WorkItem> items = enumerate_grid(grid);
+    SweepOutcome outcome;
+    outcome.total = items.size();
+
+    // Replay: the done-set is whatever any previous attempt journaled.
+    std::vector<bool> done(items.size(), false);
+    for (const PointRecord& record : replay_run_dir(options.run_dir)) {
+        if (record.index < items.size() && record.point_id == items[record.index].point_id &&
+            !done[record.index]) {
+            done[record.index] = true;
+            ++outcome.replayed;
+        }
+    }
+    runtime::metrics::add(runtime::metrics::Counter::kSweepPointsSkipped, outcome.replayed);
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (!done[i]) pending.push_back(i);
+    }
+    if (options.verbose) {
+        std::fprintf(stderr, "[sweep] %zu points: %zu journaled, %zu pending, %zu worker(s)\n",
+                     items.size(), outcome.replayed, pending.size(), options.workers);
+    }
+
+    if (!pending.empty()) {
+        // Train shared prerequisites once so concurrent workers find warm
+        // checkpoints instead of racing to produce them.
+        if (options.materialize_prerequisites) {
+            std::vector<std::uint64_t> seeds;
+            for (std::size_t index : pending) {
+                if (std::find(seeds.begin(), seeds.end(), items[index].seed) == seeds.end()) {
+                    seeds.push_back(items[index].seed);
+                }
+            }
+            for (std::uint64_t seed : seeds) {
+                core::ExperimentEnv env(grid.options_for_seed(seed));
+                (void)env.quantized_state(grid.bits_w, grid.bits_x);
+            }
+        }
+
+        if (options.workers == 0) {
+            // In-process: one logical shard, no fork.
+            std::vector<WorkItem> mine;
+            for (std::size_t index : pending) mine.push_back(items[index]);
+            JournalWriter journal(journal_path(options.run_dir, 0));
+            run_items(grid, mine, 0, journal);
+            outcome.computed = mine.size();
+        } else {
+            // Partition round-robin over the pending list. On a fresh run
+            // with the manifest's worker count this reproduces the
+            // original owner (index % workers); on resume, reassignments
+            // are steals.
+            std::vector<std::vector<std::size_t>> shards(options.workers);
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                const std::size_t shard = i % options.workers;
+                shards[shard].push_back(pending[i]);
+                if (pending[i] % manifest.workers != shard && outcome.replayed > 0) {
+                    ++outcome.stolen;
+                }
+            }
+            runtime::metrics::add(runtime::metrics::Counter::kSweepPointsStolen, outcome.stolen);
+
+            const std::string exe = options.exe.empty() ? self_exe_path() : options.exe;
+            std::vector<WorkerProc> procs;
+            for (std::size_t shard = 0; shard < options.workers; ++shard) {
+                if (shards[shard].empty()) continue;
+                write_items_file(items_path(options.run_dir, shard), shards[shard]);
+                WorkerProc proc;
+                proc.shard = shard;
+                proc.pid = spawn_worker(exe, options.run_dir, shard, options.threads_per_worker);
+                procs.push_back(proc);
+                runtime::metrics::add(runtime::metrics::Counter::kSweepWorkersSpawned);
+            }
+
+            bool kill_pending = options.kill_shard >= 0;
+            std::size_t live = procs.size();
+            while (live > 0) {
+                for (WorkerProc& proc : procs) {
+                    if (proc.exited) continue;
+                    int status = 0;
+                    const pid_t r = waitpid(proc.pid, &status, WNOHANG);
+                    if (r == proc.pid) {
+                        proc.exited = true;
+                        proc.status = status;
+                        --live;
+                        const bool failed = !WIFEXITED(status) || WEXITSTATUS(status) != 0;
+                        if (failed) ++outcome.workers_failed;
+                        if (options.verbose || failed) {
+                            std::fprintf(stderr, "[sweep] shard %zu exited (%s %d)\n",
+                                         proc.shard, WIFSIGNALED(status) ? "signal" : "status",
+                                         WIFSIGNALED(status) ? WTERMSIG(status)
+                                                             : WEXITSTATUS(status));
+                        }
+                    }
+                }
+                if (kill_pending) {
+                    const std::size_t shard = static_cast<std::size_t>(options.kill_shard);
+                    for (WorkerProc& proc : procs) {
+                        if (proc.shard != shard || proc.exited) continue;
+                        if (count_journal_lines(journal_path(options.run_dir, shard)) >=
+                            options.kill_after_points) {
+                            kill(proc.pid, SIGKILL);
+                            kill_pending = false;
+                        }
+                    }
+                }
+                if (live > 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            }
+        }
+    }
+
+    // Post-run accounting and merge, purely from the journals.
+    std::vector<PointRecord> records = replay_run_dir(options.run_dir);
+    std::vector<bool> now_done(items.size(), false);
+    for (const PointRecord& record : records) {
+        if (record.index < items.size() && record.point_id == items[record.index].point_id) {
+            now_done[record.index] = true;
+        }
+    }
+    std::size_t completed = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (now_done[i]) ++completed;
+    }
+    if (options.workers != 0) outcome.computed = completed - outcome.replayed;
+    outcome.complete = completed == items.size();
+    if (outcome.complete) {
+        const std::string report = merged_report_json(grid, records);
+        const std::string path = options.run_dir + "/report.json";
+        const std::string tmp = path + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+            if (!out) throw std::runtime_error("run_sweep: cannot open " + tmp);
+            out << report;
+            if (!out.flush()) throw std::runtime_error("run_sweep: write failed for " + tmp);
+        }
+        std::error_code ec;
+        fs::rename(tmp, path, ec);
+        if (ec) throw std::runtime_error("run_sweep: rename failed: " + ec.message());
+        outcome.report_path = path;
+    }
+    return outcome;
+}
+
+}  // namespace ams::sweep

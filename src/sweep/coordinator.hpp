@@ -1,0 +1,83 @@
+// Sweep coordinator: shards a grid across worker processes, resumes
+// crashed campaigns from their journals, and merges shards into one
+// deterministic report.
+//
+// Protocol (DESIGN.md §15):
+//   1. The run directory's manifest pins the grid (hash-checked on
+//      resume: a coordinator refuses to "resume" a different campaign).
+//   2. Every completed point lives in some shard-<i>.jsonl journal.
+//      Replay of all journals yields the done-set; the pending set is
+//      the enumeration-order difference, partitioned round-robin across
+//      the requested workers. A resumed point landing on a different
+//      shard than its original (index % first-attempt workers) counts
+//      as stolen.
+//   3. Workers are fork+execve re-invocations of this binary
+//      (--amsnet-sweep-worker) — exec, not bare fork, because the
+//      coordinator may have live pool threads. Each gets
+//      AMSNET_THREADS=<threads_per_worker>.
+//   4. When every point is journaled, the merged report is built purely
+//      from the parsed records in enumeration order; it is therefore a
+//      function of (grid, results) only — byte-identical across worker
+//      counts, resume histories, and run directories.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/grid.hpp"
+#include "sweep/journal.hpp"
+
+namespace ams::sweep {
+
+struct CoordinatorOptions {
+    std::string run_dir;
+    /// Worker processes to spawn; 0 computes in-process (no fork).
+    std::size_t workers = 0;
+    /// Binary to re-exec as workers; empty uses /proc/self/exe. The
+    /// binary must call maybe_worker_main() first in main().
+    std::string exe;
+    /// AMSNET_THREADS for each worker (0 leaves the inherited value).
+    std::size_t threads_per_worker = 1;
+    /// Train each pending seed's fp32 -> quantized prerequisites once
+    /// in-process before fanning out, so N workers sharing a seed don't
+    /// race to train the same checkpoints.
+    bool materialize_prerequisites = true;
+    /// Fault-injection hook (tests, bench): SIGKILL worker `kill_shard`
+    /// once its journal holds `kill_after_points` lines. -1 disables.
+    int kill_shard = -1;
+    std::size_t kill_after_points = 1;
+    bool verbose = false;
+};
+
+struct SweepOutcome {
+    std::size_t total = 0;     ///< grid points in the campaign
+    std::size_t replayed = 0;  ///< served from journals (skipped)
+    std::size_t computed = 0;  ///< newly journaled by this invocation
+    std::size_t stolen = 0;    ///< resumed points reassigned across shards
+    int workers_failed = 0;    ///< workers exiting nonzero or signaled
+    bool complete = false;     ///< every point journaled; report written
+    std::string report_path;   ///< merged report (when complete)
+};
+
+/// Runs (or resumes) a campaign. Creates run_dir and its manifest on
+/// first use; on resume verifies the manifest matches `grid` (throws
+/// std::runtime_error on mismatch). Returns with complete=false when
+/// killed/failed workers left points pending — call again to resume.
+SweepOutcome run_sweep(const SweepGrid& grid, const CoordinatorOptions& options);
+
+/// All journal records in run_dir (every shard-*.jsonl, truncated
+/// trailing lines dropped).
+[[nodiscard]] std::vector<PointRecord> replay_run_dir(const std::string& run_dir);
+
+/// The merged amsnet-bench-v1 report: a pure function of the grid and
+/// the journaled results, rendered in enumeration order. Throws
+/// std::runtime_error if any point is missing or a record's point id
+/// disagrees with the grid's enumeration.
+[[nodiscard]] std::string merged_report_json(const SweepGrid& grid,
+                                             const std::vector<PointRecord>& records);
+
+/// Absolute path of the running binary (/proc/self/exe).
+[[nodiscard]] std::string self_exe_path();
+
+}  // namespace ams::sweep

@@ -1,0 +1,290 @@
+#include "sweep/grid.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "train/cache_key.hpp"
+
+namespace ams::sweep {
+
+namespace {
+
+std::string join_doubles(const std::vector<double>& values) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += train::exact_double(values[i]);
+    }
+    return out;
+}
+
+template <typename T>
+std::string join_ints(const std::vector<T>& values) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += std::to_string(values[i]);
+    }
+    return out;
+}
+
+std::string join_backends(const std::vector<vmac::BackendKind>& kinds) {
+    std::string out;
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += vmac::backend_kind_name(kinds[i]);
+    }
+    return out;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(text);
+    while (std::getline(is, item, ',')) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+// Adds every hash-relevant grid field to `key`. Shared by content_hash()
+// and the manifest writer so the two serializations cannot drift.
+void add_grid_fields(train::CacheKey& key, const SweepGrid& g) {
+    key.add("schema", "amsnet-sweep-grid-v1");
+    key.add("bits_w", g.bits_w);
+    key.add("bits_x", g.bits_x);
+    key.add("backends", join_backends(g.backends));
+    key.add("enobs", join_doubles(g.enobs));
+    key.add("seeds", join_ints(g.seeds));
+    key.add("nmults", join_ints(g.nmults));
+    key.add("eval_only", g.eval_only);
+    key.add("retrain", g.retrain);
+    key.add("backend_ref_chunks", g.backend_ref_chunks);
+    key.add("data.classes", g.base.dataset.classes);
+    key.add("data.train_per_class", g.base.dataset.train_per_class);
+    key.add("data.val_per_class", g.base.dataset.val_per_class);
+    key.add("data.image_size", g.base.dataset.image_size);
+    key.add("data.channels", g.base.dataset.channels);
+    key.add("data.noise_sigma", static_cast<double>(g.base.dataset.noise_sigma));
+    key.add("eval_passes", g.base.eval_passes);
+    key.add("batch_size", g.base.batch_size);
+    const auto schedule = [&key](const std::string& prefix, const train::TrainOptions& t) {
+        key.add(prefix + ".epochs", t.epochs);
+        key.add(prefix + ".batch_size", t.batch_size);
+        key.add(prefix + ".patience", t.patience);
+        key.add(prefix + ".grad_bits", t.grad_bits);
+        key.add(prefix + ".shuffle_seed", std::uint64_t{t.shuffle_seed});
+        key.add(prefix + ".lr", static_cast<double>(t.sgd.lr));
+        key.add(prefix + ".momentum", static_cast<double>(t.sgd.momentum));
+        key.add(prefix + ".weight_decay", static_cast<double>(t.sgd.weight_decay));
+    };
+    schedule("fp32_train", g.base.fp32_train);
+    schedule("retrain", g.base.retrain);
+}
+
+}  // namespace
+
+std::string SweepGrid::content_hash() const {
+    train::CacheKey key;
+    add_grid_fields(key, *this);
+    return key.hex();
+}
+
+void SweepGrid::validate() const {
+    if (backends.empty()) throw std::invalid_argument("SweepGrid: no backends");
+    if (enobs.empty()) throw std::invalid_argument("SweepGrid: no enobs");
+    if (seeds.empty()) throw std::invalid_argument("SweepGrid: no seeds");
+    if (nmults.empty()) throw std::invalid_argument("SweepGrid: no nmults");
+    if (!eval_only && !retrain) {
+        throw std::invalid_argument("SweepGrid: nothing to measure (eval_only and retrain off)");
+    }
+}
+
+core::ExperimentOptions SweepGrid::options_for_seed(std::uint64_t seed) const {
+    core::ExperimentOptions o = base;
+    o.dataset.seed = seed;
+    return o;
+}
+
+core::ExperimentEnv::EnobSweepOptions SweepGrid::sweep_options(vmac::BackendKind backend,
+                                                               std::size_t nmult) const {
+    core::ExperimentEnv::EnobSweepOptions sweep;
+    sweep.nmult = nmult;
+    sweep.eval_only = eval_only;
+    sweep.retrain = retrain;
+    sweep.backend.kind = backend;
+    sweep.backend_ref_chunks = backend_ref_chunks;
+    return sweep;
+}
+
+std::vector<WorkItem> enumerate_grid(const SweepGrid& grid) {
+    grid.validate();
+    std::vector<WorkItem> items;
+    items.reserve(grid.seeds.size() * grid.backends.size() * grid.nmults.size() *
+                  grid.enobs.size());
+    for (std::uint64_t seed : grid.seeds) {
+        for (vmac::BackendKind backend : grid.backends) {
+            for (std::size_t nmult : grid.nmults) {
+                for (double enob : grid.enobs) {
+                    WorkItem item;
+                    item.index = items.size();
+                    item.backend = backend;
+                    item.enob = enob;
+                    item.seed = seed;
+                    item.nmult = nmult;
+                    item.point_id = std::string(vmac::backend_kind_name(backend)) + ":e" +
+                                    train::exact_double(enob) + ":s" + std::to_string(seed) +
+                                    ":n" + std::to_string(nmult);
+                    items.push_back(std::move(item));
+                }
+            }
+        }
+    }
+    return items;
+}
+
+void write_manifest(const std::string& path, const SweepGrid& grid, std::size_t workers) {
+    grid.validate();
+    std::ostringstream os;
+    os << "amsnet-sweep-manifest-v1\n";
+    os << "grid_hash " << grid.content_hash() << "\n";
+    os << "workers " << workers << "\n";
+    os << "bits_w " << grid.bits_w << "\n";
+    os << "bits_x " << grid.bits_x << "\n";
+    os << "backends " << join_backends(grid.backends) << "\n";
+    os << "enobs " << join_doubles(grid.enobs) << "\n";
+    os << "seeds " << join_ints(grid.seeds) << "\n";
+    os << "nmults " << join_ints(grid.nmults) << "\n";
+    os << "eval_only " << (grid.eval_only ? 1 : 0) << "\n";
+    os << "retrain " << (grid.retrain ? 1 : 0) << "\n";
+    os << "backend_ref_chunks " << grid.backend_ref_chunks << "\n";
+    os << "data.classes " << grid.base.dataset.classes << "\n";
+    os << "data.train_per_class " << grid.base.dataset.train_per_class << "\n";
+    os << "data.val_per_class " << grid.base.dataset.val_per_class << "\n";
+    os << "data.image_size " << grid.base.dataset.image_size << "\n";
+    os << "data.channels " << grid.base.dataset.channels << "\n";
+    os << "data.noise_sigma " << train::exact_double(grid.base.dataset.noise_sigma) << "\n";
+    os << "eval_passes " << grid.base.eval_passes << "\n";
+    os << "batch_size " << grid.base.batch_size << "\n";
+    const auto schedule = [&os](const char* prefix, const train::TrainOptions& t) {
+        os << prefix << ".epochs " << t.epochs << "\n";
+        os << prefix << ".batch_size " << t.batch_size << "\n";
+        os << prefix << ".patience " << t.patience << "\n";
+        os << prefix << ".grad_bits " << t.grad_bits << "\n";
+        os << prefix << ".shuffle_seed " << t.shuffle_seed << "\n";
+        os << prefix << ".lr " << train::exact_double(t.sgd.lr) << "\n";
+        os << prefix << ".momentum " << train::exact_double(t.sgd.momentum) << "\n";
+        os << prefix << ".weight_decay " << train::exact_double(t.sgd.weight_decay) << "\n";
+    };
+    schedule("fp32_train", grid.base.fp32_train);
+    schedule("retrain", grid.base.retrain);
+    os << "cache_dir " << grid.base.cache_dir << "\n";
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) throw std::runtime_error("write_manifest: cannot open " + tmp);
+        out << os.str();
+        if (!out.flush()) throw std::runtime_error("write_manifest: write failed for " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) throw std::runtime_error("write_manifest: rename failed: " + ec.message());
+}
+
+Manifest read_manifest(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("read_manifest: cannot open " + path);
+    std::string header;
+    if (!std::getline(in, header) || header != "amsnet-sweep-manifest-v1") {
+        throw std::runtime_error("read_manifest: bad header in " + path);
+    }
+    std::map<std::string, std::string> fields;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        const std::size_t space = line.find(' ');
+        // A key with no value (e.g. empty cache_dir) is legal.
+        if (space == std::string::npos) {
+            fields[line] = "";
+        } else {
+            fields[line.substr(0, space)] = line.substr(space + 1);
+        }
+    }
+    const auto get = [&fields, &path](const std::string& key) -> const std::string& {
+        auto it = fields.find(key);
+        if (it == fields.end()) {
+            throw std::runtime_error("read_manifest: missing field '" + key + "' in " + path);
+        }
+        return it->second;
+    };
+    const auto get_u64 = [&get](const std::string& key) {
+        return static_cast<std::uint64_t>(std::stoull(get(key)));
+    };
+    const auto get_size = [&get](const std::string& key) {
+        return static_cast<std::size_t>(std::stoull(get(key)));
+    };
+
+    Manifest m;
+    m.workers = get_size("workers");
+    SweepGrid& g = m.grid;
+    g.bits_w = get_size("bits_w");
+    g.bits_x = get_size("bits_x");
+    g.backends.clear();
+    for (const std::string& name : split_list(get("backends"))) {
+        g.backends.push_back(vmac::parse_backend_kind(name));
+    }
+    g.enobs.clear();
+    for (const std::string& text : split_list(get("enobs"))) {
+        g.enobs.push_back(train::parse_exact_double(text));
+    }
+    g.seeds.clear();
+    for (const std::string& text : split_list(get("seeds"))) {
+        g.seeds.push_back(static_cast<std::uint64_t>(std::stoull(text)));
+    }
+    g.nmults.clear();
+    for (const std::string& text : split_list(get("nmults"))) {
+        g.nmults.push_back(static_cast<std::size_t>(std::stoull(text)));
+    }
+    g.eval_only = get("eval_only") == "1";
+    g.retrain = get("retrain") == "1";
+    g.backend_ref_chunks = get_size("backend_ref_chunks");
+    g.base.dataset.classes = get_size("data.classes");
+    g.base.dataset.train_per_class = get_size("data.train_per_class");
+    g.base.dataset.val_per_class = get_size("data.val_per_class");
+    g.base.dataset.image_size = get_size("data.image_size");
+    g.base.dataset.channels = get_size("data.channels");
+    g.base.dataset.noise_sigma =
+        static_cast<float>(train::parse_exact_double(get("data.noise_sigma")));
+    g.base.dataset.seed = g.seeds.front();
+    g.base.eval_passes = get_size("eval_passes");
+    g.base.batch_size = get_size("batch_size");
+    const auto schedule = [&](const std::string& prefix, train::TrainOptions& t) {
+        t.epochs = get_size(prefix + ".epochs");
+        t.batch_size = get_size(prefix + ".batch_size");
+        t.patience = get_size(prefix + ".patience");
+        t.grad_bits = get_size(prefix + ".grad_bits");
+        t.shuffle_seed = get_u64(prefix + ".shuffle_seed");
+        t.sgd.lr = static_cast<float>(train::parse_exact_double(get(prefix + ".lr")));
+        t.sgd.momentum =
+            static_cast<float>(train::parse_exact_double(get(prefix + ".momentum")));
+        t.sgd.weight_decay =
+            static_cast<float>(train::parse_exact_double(get(prefix + ".weight_decay")));
+    };
+    schedule("fp32_train", g.base.fp32_train);
+    schedule("retrain", g.base.retrain);
+    g.base.cache_dir = get("cache_dir");
+    g.base.verbose = false;
+
+    if (g.content_hash() != get("grid_hash")) {
+        throw std::runtime_error("read_manifest: grid hash mismatch in " + path +
+                                 " (manifest does not round-trip)");
+    }
+    return m;
+}
+
+}  // namespace ams::sweep

@@ -1,0 +1,96 @@
+// Design-space sweep grid: the work manifest of a sharded campaign.
+//
+// A SweepGrid names every axis of a Fig. 8-style design-space map — the
+// hardware backends, the swept converter resolutions (ENOB), the dataset
+// seeds ("chip"/data variants for Monte-Carlo fleets), and the VMAC
+// vector lengths — plus the full experiment configuration (dataset
+// sizes, training schedules) the points are measured under. Its
+// enumeration is position-deterministic: the same grid always produces
+// the same ordered list of WorkItems with the same point ids, which is
+// what lets N worker processes each compute a disjoint slice and lets a
+// crashed campaign resume by set-difference against its journals.
+//
+// The grid's content hash (train::CacheKey over a canonical field
+// serialization, same machinery as the checkpoint cache) identifies the
+// *scientific* content only — run-local knobs (cache directory, verbose)
+// are excluded — so a resume can verify it is continuing the same
+// campaign, and two run directories with different scratch paths still
+// produce byte-identical merged reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ams/vmac_backend.hpp"
+#include "core/experiment.hpp"
+
+namespace ams::sweep {
+
+struct SweepGrid {
+    std::size_t bits_w = 8;
+    std::size_t bits_x = 8;
+    std::vector<vmac::BackendKind> backends{vmac::BackendKind::kBitExact};
+    std::vector<double> enobs;
+    /// Dataset seeds: one full fp32 -> quantized -> AMS pipeline per
+    /// seed (the Monte-Carlo "chips" axis). base.dataset.seed is
+    /// overridden per point by this axis.
+    std::vector<std::uint64_t> seeds;
+    std::vector<std::size_t> nmults{8};
+    bool eval_only = true;
+    bool retrain = true;
+    std::size_t backend_ref_chunks = 8;
+    /// Dataset sizes, schedules, eval protocol, and the (run-local)
+    /// checkpoint cache directory.
+    core::ExperimentOptions base;
+
+    /// Hex hash of the canonical grid serialization (excludes cache_dir,
+    /// verbose, and base.dataset.seed — the seed axis supersedes it).
+    [[nodiscard]] std::string content_hash() const;
+
+    /// Throws std::invalid_argument on an empty axis.
+    void validate() const;
+
+    /// The experiment configuration for one seed of the grid.
+    [[nodiscard]] core::ExperimentOptions options_for_seed(std::uint64_t seed) const;
+
+    /// The per-point sweep options for one (backend, nmult) cell.
+    [[nodiscard]] core::ExperimentEnv::EnobSweepOptions sweep_options(
+        vmac::BackendKind backend, std::size_t nmult) const;
+};
+
+/// One grid point, in enumeration order.
+struct WorkItem {
+    std::size_t index = 0;  ///< position in enumeration order
+    vmac::BackendKind backend = vmac::BackendKind::kBitExact;
+    double enob = 0.0;
+    std::uint64_t seed = 0;
+    std::size_t nmult = 8;
+    /// Stable human-readable id ("bit_exact:e4.5:s11:n8") used as the
+    /// journal's completed-point key.
+    std::string point_id;
+};
+
+/// Deterministic enumeration: seeds (outermost) x backends x nmults x
+/// enobs. Ordering is part of the resume/merge contract — changing it
+/// invalidates existing journals (which is why journals also carry the
+/// point id, so a mismatch is detected rather than silently misfiled).
+[[nodiscard]] std::vector<WorkItem> enumerate_grid(const SweepGrid& grid);
+
+/// The run directory's durable record of the campaign.
+struct Manifest {
+    SweepGrid grid;
+    /// Worker count of the first attempt; defines the "original shard"
+    /// of every item (index % workers) for the steal accounting.
+    std::size_t workers = 1;
+};
+
+/// Writes the manifest (atomic temp + rename).
+void write_manifest(const std::string& path, const SweepGrid& grid, std::size_t workers);
+
+/// Parses a manifest written by write_manifest. Round-trips every field
+/// exactly (doubles via 17-significant-digit text). Throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] Manifest read_manifest(const std::string& path);
+
+}  // namespace ams::sweep

@@ -1,0 +1,196 @@
+#include "sweep/journal.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "train/cache_key.hpp"
+
+namespace ams::sweep {
+
+namespace {
+
+// Hand-rolled reader for the journal's fixed, machine-written JSON
+// shape. Not a general JSON parser: field order is fixed by
+// journal_line, which is the only writer.
+class LineReader {
+public:
+    explicit LineReader(const std::string& text) : text_(text) {}
+
+    bool literal(const char* expect) {
+        const std::size_t n = std::strlen(expect);
+        if (text_.compare(pos_, n, expect) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool unsigned_int(std::uint64_t& out) {
+        std::size_t end = pos_;
+        while (end < text_.size() && text_[end] >= '0' && text_[end] <= '9') ++end;
+        if (end == pos_) return false;
+        out = std::stoull(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return true;
+    }
+
+    bool number(double& out) {
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) || text_[end] == '-' ||
+                text_[end] == '+' || text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E')) {
+            ++end;
+        }
+        if (end == pos_) return false;
+        try {
+            out = train::parse_exact_double(text_.substr(pos_, end - pos_));
+        } catch (const std::exception&) {
+            return false;
+        }
+        pos_ = end;
+        return true;
+    }
+
+    // Journal strings (point ids) never contain escapes.
+    bool quoted(std::string& out) {
+        if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+        const std::size_t close = text_.find('"', pos_ + 1);
+        if (close == std::string::npos) return false;
+        out = text_.substr(pos_ + 1, close - pos_ - 1);
+        pos_ = close + 1;
+        return true;
+    }
+
+    bool number_array(std::vector<double>& out) {
+        out.clear();
+        if (!literal("[")) return false;
+        if (literal("]")) return true;
+        while (true) {
+            double v = 0.0;
+            if (!number(v)) return false;
+            out.push_back(v);
+            if (literal("]")) return true;
+            if (!literal(",")) return false;
+        }
+    }
+
+    [[nodiscard]] bool at_end() const { return pos_ == text_.size(); }
+
+private:
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+void append_eval(std::string& out, const char* name, const train::EvalResult& r) {
+    out += "\"";
+    out += name;
+    out += "\":{\"mean\":";
+    out += train::exact_double(r.mean);
+    out += ",\"stddev\":";
+    out += train::exact_double(r.stddev);
+    out += ",\"passes\":[";
+    for (std::size_t i = 0; i < r.passes.size(); ++i) {
+        if (i != 0) out += ",";
+        out += train::exact_double(r.passes[i]);
+    }
+    out += "]}";
+}
+
+bool parse_eval(LineReader& in, const char* name, train::EvalResult& r) {
+    std::string open = std::string("\"") + name + "\":{\"mean\":";
+    if (!in.literal(open.c_str())) return false;
+    if (!in.number(r.mean)) return false;
+    if (!in.literal(",\"stddev\":")) return false;
+    if (!in.number(r.stddev)) return false;
+    if (!in.literal(",\"passes\":")) return false;
+    if (!in.number_array(r.passes)) return false;
+    return in.literal("}");
+}
+
+}  // namespace
+
+std::string journal_line(const PointRecord& record) {
+    std::string out = "{\"index\":";
+    out += std::to_string(record.index);
+    out += ",\"shard\":";
+    out += std::to_string(record.shard);
+    out += ",\"point_id\":\"";
+    out += record.point_id;
+    out += "\",\"enob\":";
+    out += train::exact_double(record.point.enob);
+    out += ",\"effective_enob\":";
+    out += train::exact_double(record.point.effective_enob);
+    out += ",";
+    append_eval(out, "eval_only", record.point.eval_only);
+    out += ",";
+    append_eval(out, "retrained", record.point.retrained);
+    out += "}";
+    return out;
+}
+
+bool parse_journal_line(const std::string& line, PointRecord& out) {
+    LineReader in(line);
+    std::uint64_t index = 0;
+    std::uint64_t shard = 0;
+    if (!in.literal("{\"index\":")) return false;
+    if (!in.unsigned_int(index)) return false;
+    if (!in.literal(",\"shard\":")) return false;
+    if (!in.unsigned_int(shard)) return false;
+    if (!in.literal(",\"point_id\":")) return false;
+    if (!in.quoted(out.point_id)) return false;
+    if (!in.literal(",\"enob\":")) return false;
+    if (!in.number(out.point.enob)) return false;
+    if (!in.literal(",\"effective_enob\":")) return false;
+    if (!in.number(out.point.effective_enob)) return false;
+    if (!in.literal(",")) return false;
+    if (!parse_eval(in, "eval_only", out.point.eval_only)) return false;
+    if (!in.literal(",")) return false;
+    if (!parse_eval(in, "retrained", out.point.retrained)) return false;
+    if (!in.literal("}")) return false;
+    if (!in.at_end()) return false;
+    out.index = static_cast<std::size_t>(index);
+    out.shard = static_cast<std::size_t>(shard);
+    return true;
+}
+
+JournalWriter::JournalWriter(const std::string& path) : path_(path) {
+    file_ = std::fopen(path.c_str(), "ab");
+    if (file_ == nullptr) {
+        throw std::runtime_error("JournalWriter: cannot open " + path);
+    }
+}
+
+JournalWriter::~JournalWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+}
+
+void JournalWriter::append(const PointRecord& record) {
+    const std::string line = journal_line(record) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0) {
+        throw std::runtime_error("JournalWriter: write failed for " + path_);
+    }
+}
+
+std::vector<PointRecord> replay_journal(const std::string& path, std::size_t* dropped) {
+    std::vector<PointRecord> records;
+    std::size_t bad = 0;
+    std::ifstream in(path);
+    if (in) {
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty()) continue;
+            PointRecord record;
+            if (parse_journal_line(line, record)) {
+                records.push_back(std::move(record));
+            } else {
+                ++bad;
+            }
+        }
+    }
+    if (dropped != nullptr) *dropped = bad;
+    return records;
+}
+
+}  // namespace ams::sweep

@@ -1,0 +1,67 @@
+// Per-shard completion journals: the sweep's crash-resume substrate.
+//
+// Each worker appends one JSON line per completed grid point to its own
+// `shard-<i>.jsonl`. A line is written and flushed only after the point
+// is fully computed, so on restart the coordinator replays every journal
+// in the run directory, treats the union of parsed lines as "done", and
+// reissues only the set-difference. A crash mid-write leaves at most one
+// truncated trailing line, which replay drops (the point recomputes —
+// results are deterministic, so the rewrite is identical).
+//
+// All doubles are rendered with 17 significant digits so a replayed
+// record is bit-identical to the in-process original; the merged report
+// is built purely from journal records, which is what makes a resumed
+// or multi-process run byte-identical to a single-process one.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sweep/grid.hpp"
+
+namespace ams::sweep {
+
+/// One journaled grid-point result.
+struct PointRecord {
+    std::size_t index = 0;   ///< position in enumerate_grid order
+    std::size_t shard = 0;   ///< shard that computed it
+    std::string point_id;    ///< WorkItem::point_id (consistency check)
+    core::ExperimentEnv::EnobSweepPoint point;
+};
+
+/// Renders one record as a single JSON line (no trailing newline).
+[[nodiscard]] std::string journal_line(const PointRecord& record);
+
+/// Parses a line written by journal_line. Returns false (without
+/// throwing) on truncated or malformed input — replay tolerance.
+[[nodiscard]] bool parse_journal_line(const std::string& line, PointRecord& out);
+
+/// Append-mode journal writer. Each append() writes one line and
+/// flushes, so a completed point survives a SIGKILL immediately after.
+class JournalWriter {
+public:
+    /// Opens `path` in append mode (creating it if absent). Throws
+    /// std::runtime_error on failure.
+    explicit JournalWriter(const std::string& path);
+    ~JournalWriter();
+    JournalWriter(const JournalWriter&) = delete;
+    JournalWriter& operator=(const JournalWriter&) = delete;
+
+    void append(const PointRecord& record);
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+    std::FILE* file_ = nullptr;
+};
+
+/// Parses every well-formed line of `path` (missing file => empty;
+/// truncated/garbled lines are skipped and counted in *dropped).
+[[nodiscard]] std::vector<PointRecord> replay_journal(const std::string& path,
+                                                      std::size_t* dropped = nullptr);
+
+}  // namespace ams::sweep

@@ -1,0 +1,107 @@
+#include "sweep/worker.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "runtime/eval_context.hpp"
+#include "runtime/metrics.hpp"
+
+namespace ams::sweep {
+
+std::string journal_path(const std::string& run_dir, std::size_t shard) {
+    return run_dir + "/shard-" + std::to_string(shard) + ".jsonl";
+}
+
+std::string items_path(const std::string& run_dir, std::size_t shard) {
+    return run_dir + "/shard-" + std::to_string(shard) + ".items";
+}
+
+std::string metrics_path(const std::string& run_dir, std::size_t shard) {
+    return run_dir + "/shard-" + std::to_string(shard) + ".metrics.json";
+}
+
+std::string manifest_path(const std::string& run_dir) {
+    return run_dir + "/manifest.txt";
+}
+
+void run_items(const SweepGrid& grid, const std::vector<WorkItem>& items, std::size_t shard,
+               JournalWriter& journal) {
+    // Group by seed so each seed's fp32 -> quantized prerequisite chain
+    // is materialized once. Enumeration order is seed-outermost, so the
+    // grouping preserves per-seed point order (stable map iteration).
+    std::map<std::uint64_t, std::vector<const WorkItem*>> by_seed;
+    for (const WorkItem& item : items) {
+        by_seed[item.seed].push_back(&item);
+    }
+    for (const auto& [seed, seed_items] : by_seed) {
+        core::ExperimentEnv env(grid.options_for_seed(seed));
+        const TensorMap quant = env.quantized_state(grid.bits_w, grid.bits_x);
+        // One eval context per seed: arenas warm up on the first point
+        // and later points evaluate allocation-free.
+        runtime::EvalContext ctx;
+        for (const WorkItem* item : seed_items) {
+            PointRecord record;
+            record.index = item->index;
+            record.shard = shard;
+            record.point_id = item->point_id;
+            record.point =
+                env.compute_enob_point(grid.bits_w, grid.bits_x, item->enob,
+                                       grid.sweep_options(item->backend, item->nmult), quant, &ctx);
+            journal.append(record);
+            runtime::metrics::add(runtime::metrics::Counter::kSweepPointsCompleted);
+        }
+    }
+}
+
+int worker_main(const std::string& run_dir, std::size_t shard) {
+    try {
+        // Workers always keep a counter ledger: the per-shard metrics
+        // file is part of the run directory's record. Counter adds never
+        // feed back into computed values, so this cannot perturb results.
+        if (!runtime::metrics::counters_enabled()) {
+            runtime::metrics::set_level(runtime::metrics::Level::kCounters);
+        }
+        const Manifest manifest = read_manifest(manifest_path(run_dir));
+        const std::vector<WorkItem> all = enumerate_grid(manifest.grid);
+
+        std::ifstream in(items_path(run_dir, shard));
+        if (!in) {
+            std::fprintf(stderr, "[sweep worker %zu] missing %s\n", shard,
+                         items_path(run_dir, shard).c_str());
+            return 1;
+        }
+        std::vector<WorkItem> mine;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty()) continue;
+            const std::size_t index = std::stoull(line);
+            if (index >= all.size()) {
+                std::fprintf(stderr, "[sweep worker %zu] item index %zu out of range\n", shard,
+                             index);
+                return 1;
+            }
+            mine.push_back(all[index]);
+        }
+
+        JournalWriter journal(journal_path(run_dir, shard));
+        run_items(manifest.grid, mine, shard, journal);
+        runtime::metrics::write_metrics_file(metrics_path(run_dir, shard));
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "[sweep worker %zu] fatal: %s\n", shard, e.what());
+        return 1;
+    }
+}
+
+int maybe_worker_main(int argc, char** argv) {
+    if (argc != 4 || std::strcmp(argv[1], "--amsnet-sweep-worker") != 0) return -1;
+    return worker_main(argv[2], static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10)));
+}
+
+}  // namespace ams::sweep

@@ -1,0 +1,49 @@
+// Sweep worker: computes one shard's slice of the grid.
+//
+// A worker is either an in-process call (run_items, used by the
+// coordinator's workers=0 mode and by tests) or a forked child of the
+// coordinator re-exec'ing this binary with
+//   --amsnet-sweep-worker <run_dir> <shard>
+// (worker_main, entered through maybe_worker_main before any other CLI
+// parsing). Either way the per-point computation is exactly
+// ExperimentEnv::compute_enob_point — the same code path as the
+// in-process ams_enob_sweep — so a sharded campaign's numbers are
+// bit-identical to a single-process run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/grid.hpp"
+#include "sweep/journal.hpp"
+
+namespace ams::sweep {
+
+/// Computes `items` (grouped by seed so each fp32/quantized prerequisite
+/// pipeline is materialized once), appending a journal record per
+/// completed point. Safe to call with items from any mix of shards; the
+/// records carry `shard` as their computing shard.
+void run_items(const SweepGrid& grid, const std::vector<WorkItem>& items, std::size_t shard,
+               JournalWriter& journal);
+
+/// Entry point of a forked worker process: reads the run directory's
+/// manifest and its shard item file (`shard-<i>.items`), computes the
+/// listed points into `shard-<i>.jsonl`, and writes the process's
+/// counter ledger to `shard-<i>.metrics.json`. Returns a process exit
+/// code (0 on success).
+int worker_main(const std::string& run_dir, std::size_t shard);
+
+/// Dispatch hook for binaries that can host a worker: when argv is a
+/// `--amsnet-sweep-worker <run_dir> <shard>` invocation, runs the worker
+/// and returns its exit code (>= 0); otherwise returns -1 and the caller
+/// proceeds with its own CLI. Call first in main().
+int maybe_worker_main(int argc, char** argv);
+
+/// Filename helpers shared by coordinator and worker.
+[[nodiscard]] std::string journal_path(const std::string& run_dir, std::size_t shard);
+[[nodiscard]] std::string items_path(const std::string& run_dir, std::size_t shard);
+[[nodiscard]] std::string metrics_path(const std::string& run_dir, std::size_t shard);
+[[nodiscard]] std::string manifest_path(const std::string& run_dir);
+
+}  // namespace ams::sweep

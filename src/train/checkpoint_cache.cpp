@@ -1,7 +1,11 @@
 #include "train/checkpoint_cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -12,11 +16,15 @@ namespace ams::train {
 
 namespace {
 
+namespace fs = std::filesystem;
+
 // Concurrent sweep points (core::ExperimentEnv::ams_enob_sweep) may ask
 // for the same checkpoint — most often a shared fp32/quantized
 // prerequisite with AMSNET_NO_CACHE=1. Serialize produce+save per cache
-// path so two threads never train into or write the same file at once;
-// distinct keys stay fully concurrent.
+// path so two threads never train into the same file at once; distinct
+// keys stay fully concurrent. (Cross-process writers are instead made
+// safe by the atomic rename publish: last writer wins with an identical,
+// never-torn file.)
 std::mutex g_registry_mu;
 std::unordered_map<std::string, std::shared_ptr<std::mutex>>& key_registry() {
     static std::unordered_map<std::string, std::shared_ptr<std::mutex>> registry;
@@ -34,11 +42,47 @@ std::shared_ptr<std::mutex> key_mutex(const std::string& path) {
 // (ams_enob_sweep points) share prerequisite keys: without this memo the
 // key mutex merely serializes them and each worker retrains the same
 // state from scratch. The memo makes the first producer authoritative for
-// the process while still never trusting pre-existing disk files.
+// the process while still never trusting pre-existing disk files. Keyed
+// by the full cache path — for content-addressed keys that embeds the
+// config hash, so a config change can never hit a stale memo entry.
 std::mutex g_memo_mu;
 std::unordered_map<std::string, TensorMap>& state_memo() {
     static std::unordered_map<std::string, TensorMap> memo;
     return memo;
+}
+
+bool cache_reads_enabled() {
+    const char* no_cache = std::getenv("AMSNET_NO_CACHE");
+    return no_cache == nullptr || std::string(no_cache) != "1";
+}
+
+// Loads `path` if it parses, else logs and reports a recoverable miss.
+// `torn` distinguishes "file exists but is corrupt" for the counter.
+bool try_load(const fs::path& path, TensorMap& out) {
+    if (!fs::exists(path)) return false;
+    try {
+        out = load_tensor_map_file(path.string());
+        return true;
+    } catch (const std::exception& e) {
+        // A killed pre-atomic-rename writer (or bit rot) left a torn
+        // entry. Recompute instead of failing the sweep.
+        runtime::metrics::add(runtime::metrics::Counter::kCheckpointCorruptRecovered);
+        std::cerr << "[checkpoint_cache] corrupt entry " << path.string() << " (" << e.what()
+                  << "); recomputing\n";
+        return false;
+    }
+}
+
+TensorMap produce_and_publish(const fs::path& path, const std::function<TensorMap()>& produce,
+                              bool memoize) {
+    runtime::metrics::add(runtime::metrics::Counter::kCheckpointMisses);
+    TensorMap state = produce();
+    save_state_atomic(path.string(), state);
+    if (memoize) {
+        std::lock_guard<std::mutex> memo_lock(g_memo_mu);
+        state_memo()[path.string()] = state;
+    }
+    return state;
 }
 
 }  // namespace
@@ -61,27 +105,41 @@ std::string default_cache_dir() {
     return "amsnet_cache";
 }
 
+void save_state_atomic(const std::string& path, const TensorMap& state) {
+    static std::atomic<std::uint64_t> seq{0};
+    const fs::path target(path);
+    fs::path tmp = target;
+    tmp += ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+           std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+    try {
+        save_tensor_map_file(tmp.string(), state);
+        // rename(2) atomically replaces the target on the same
+        // filesystem: readers see the old complete file or the new
+        // complete file, never a partial write.
+        fs::rename(tmp, target);
+    } catch (...) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        throw;
+    }
+}
+
 TensorMap cached_state(const std::string& cache_dir, const std::string& key,
                        const std::function<TensorMap()>& produce) {
-    namespace fs = std::filesystem;
     fs::create_directories(cache_dir);
     const fs::path path = fs::path(cache_dir) / (sanitize_cache_key(key) + ".amsckpt");
 
     const std::shared_ptr<std::mutex> mu = key_mutex(path.string());
     std::lock_guard<std::mutex> lock(*mu);
 
-    const char* no_cache = std::getenv("AMSNET_NO_CACHE");
-    const bool read_cache = (no_cache == nullptr || std::string(no_cache) != "1");
-    if (read_cache && fs::exists(path)) {
-        try {
-            TensorMap state = load_tensor_map_file(path.string());
+    const bool read_cache = cache_reads_enabled();
+    if (read_cache) {
+        TensorMap state;
+        if (try_load(path, state)) {
             runtime::metrics::add(runtime::metrics::Counter::kCheckpointDiskHits);
             return state;
-        } catch (const std::exception&) {
-            // Corrupt or stale-format checkpoint: fall through and rebuild.
         }
-    }
-    if (!read_cache) {
+    } else {
         std::lock_guard<std::mutex> memo_lock(g_memo_mu);
         auto it = state_memo().find(path.string());
         if (it != state_memo().end()) {
@@ -89,14 +147,47 @@ TensorMap cached_state(const std::string& cache_dir, const std::string& key,
             return it->second;
         }
     }
-    runtime::metrics::add(runtime::metrics::Counter::kCheckpointMisses);
-    TensorMap state = produce();
-    save_tensor_map_file(path.string(), state);
-    if (!read_cache) {
+    return produce_and_publish(path, produce, /*memoize=*/!read_cache);
+}
+
+TensorMap cached_state(const std::string& cache_dir, const CacheKey& key,
+                       const std::function<TensorMap()>& produce) {
+    fs::create_directories(cache_dir);
+    const fs::path path = fs::path(cache_dir) / key.filename();
+
+    const std::shared_ptr<std::mutex> mu = key_mutex(path.string());
+    std::lock_guard<std::mutex> lock(*mu);
+
+    const bool read_cache = cache_reads_enabled();
+    if (read_cache) {
+        TensorMap state;
+        if (try_load(path, state)) {
+            runtime::metrics::add(runtime::metrics::Counter::kCheckpointDiskHits);
+            return state;
+        }
+        // Migration shim: a cache directory written before content
+        // addressing holds this entry under its legacy name. Adopt it
+        // under the content-hash name (the legacy file stays, so mixed
+        // old/new builds keep working against one directory).
+        if (!key.legacy_key().empty()) {
+            const fs::path legacy_path =
+                fs::path(cache_dir) / (sanitize_cache_key(key.legacy_key()) + ".amsckpt");
+            if (try_load(legacy_path, state)) {
+                save_state_atomic(path.string(), state);
+                runtime::metrics::add(runtime::metrics::Counter::kCheckpointLegacyMigrations);
+                runtime::metrics::add(runtime::metrics::Counter::kCheckpointDiskHits);
+                return state;
+            }
+        }
+    } else {
         std::lock_guard<std::mutex> memo_lock(g_memo_mu);
-        state_memo()[path.string()] = state;
+        auto it = state_memo().find(path.string());
+        if (it != state_memo().end()) {
+            runtime::metrics::add(runtime::metrics::Counter::kCheckpointMemoHits);
+            return it->second;
+        }
     }
-    return state;
+    return produce_and_publish(path, produce, /*memoize=*/!read_cache);
 }
 
 }  // namespace ams::train

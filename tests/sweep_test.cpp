@@ -1,0 +1,233 @@
+// Sweep orchestration (src/sweep): grid enumeration and manifest
+// round-trips, journal parse tolerance, and the headline merge
+// determinism guarantees — a 1-process campaign, a multi-worker
+// campaign, and a kill-one-worker-then-resume campaign must all produce
+// byte-identical merged reports.
+//
+// This binary is itself the worker executable the coordinator re-execs
+// (the custom main dispatches --amsnet-sweep-worker before gtest), which
+// is exactly how amsnet_sweep and bench_sweep_shard host their workers.
+#include "sweep/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "sweep/grid.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/worker.hpp"
+#include "train/cache_key.hpp"
+
+namespace ams::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+SweepGrid tiny_grid(const std::string& cache_dir) {
+    SweepGrid grid;
+    grid.backends = {vmac::BackendKind::kBitExact};
+    grid.enobs = {4.5, 5.5, 6.5, 7.5};
+    grid.seeds = {3};
+    grid.base.dataset.classes = 4;
+    grid.base.dataset.train_per_class = 16;
+    grid.base.dataset.val_per_class = 8;
+    grid.base.dataset.image_size = 8;
+    grid.base.eval_passes = 2;
+    grid.base.batch_size = 16;
+    grid.base.fp32_train.epochs = 1;
+    grid.base.fp32_train.batch_size = 16;
+    grid.base.fp32_train.patience = 0;
+    grid.base.retrain.epochs = 1;
+    grid.base.retrain.batch_size = 16;
+    grid.base.retrain.patience = 0;
+    grid.base.cache_dir = cache_dir;
+    return grid;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/// ctest runs test binaries concurrently (-j): every test gets a
+/// pid-scoped scratch root so parallel runs never share directories.
+class SweepTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        root_ = (fs::temp_directory_path() / ("amsnet_sweep_test_" + std::to_string(getpid())))
+                    .string();
+        fs::remove_all(root_);
+        fs::create_directories(root_);
+    }
+    void TearDown() override { fs::remove_all(root_); }
+    std::string root_;
+};
+
+TEST_F(SweepTest, EnumerationIsDeterministicAndSeedOutermost) {
+    SweepGrid grid = tiny_grid(root_ + "/cache");
+    grid.seeds = {3, 9};
+    grid.enobs = {4.5, 6.5};
+    const std::vector<WorkItem> a = enumerate_grid(grid);
+    const std::vector<WorkItem> b = enumerate_grid(grid);
+    ASSERT_EQ(a.size(), 4u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].index, i);
+        EXPECT_EQ(a[i].point_id, b[i].point_id);
+    }
+    // seeds outermost: first both enobs of seed 3, then seed 9.
+    EXPECT_EQ(a[0].point_id, "bit_exact:e4.5:s3:n8");
+    EXPECT_EQ(a[1].point_id, "bit_exact:e6.5:s3:n8");
+    EXPECT_EQ(a[2].point_id, "bit_exact:e4.5:s9:n8");
+    EXPECT_EQ(a[3].point_id, "bit_exact:e6.5:s9:n8");
+}
+
+TEST_F(SweepTest, ContentHashIgnoresRunLocalKnobsOnly) {
+    SweepGrid a = tiny_grid(root_ + "/cache-a");
+    SweepGrid b = tiny_grid(root_ + "/cache-b");
+    b.base.verbose = true;
+    EXPECT_EQ(a.content_hash(), b.content_hash());  // run-local knobs excluded
+
+    SweepGrid c = tiny_grid(root_ + "/cache-a");
+    c.base.retrain.epochs = 2;
+    EXPECT_NE(a.content_hash(), c.content_hash());  // schedule is scientific content
+    SweepGrid d = tiny_grid(root_ + "/cache-a");
+    d.enobs.push_back(8.0);
+    EXPECT_NE(a.content_hash(), d.content_hash());
+}
+
+TEST_F(SweepTest, ManifestRoundTripsExactly) {
+    SweepGrid grid = tiny_grid(root_ + "/cache");
+    grid.enobs = {4.5, 1.0 / 3.0, 6.25};  // includes a non-terminating decimal
+    grid.base.retrain.sgd.lr = 0.0037f;
+    const std::string path = root_ + "/manifest.txt";
+    write_manifest(path, grid, 3);
+    const Manifest m = read_manifest(path);
+    EXPECT_EQ(m.workers, 3u);
+    EXPECT_EQ(m.grid.content_hash(), grid.content_hash());
+    ASSERT_EQ(m.grid.enobs.size(), 3u);
+    EXPECT_EQ(m.grid.enobs[1], 1.0 / 3.0);  // exact, not approximate
+    EXPECT_EQ(m.grid.base.retrain.sgd.lr, 0.0037f);
+}
+
+TEST_F(SweepTest, ManifestRejectsGarbage) {
+    const std::string path = root_ + "/manifest.txt";
+    std::ofstream(path) << "not a manifest\n";
+    EXPECT_THROW((void)read_manifest(path), std::runtime_error);
+    EXPECT_THROW((void)read_manifest(root_ + "/nonexistent.txt"), std::runtime_error);
+}
+
+TEST_F(SweepTest, JournalLineRoundTripsExactDoubles) {
+    PointRecord record;
+    record.index = 7;
+    record.shard = 2;
+    record.point_id = "bit_exact:e4.5:s3:n8";
+    record.point.enob = 4.5;
+    record.point.effective_enob = 1.0 / 3.0;
+    record.point.eval_only = {0.1234567890123456789, 0.01, {0.1, 0.2}};
+    record.point.retrained = {2.0 / 3.0, 0.0, {2.0 / 3.0}};
+    PointRecord parsed;
+    ASSERT_TRUE(parse_journal_line(journal_line(record), parsed));
+    EXPECT_EQ(parsed.index, record.index);
+    EXPECT_EQ(parsed.shard, record.shard);
+    EXPECT_EQ(parsed.point_id, record.point_id);
+    EXPECT_EQ(parsed.point.effective_enob, record.point.effective_enob);
+    EXPECT_EQ(parsed.point.eval_only.mean, record.point.eval_only.mean);
+    EXPECT_EQ(parsed.point.eval_only.passes, record.point.eval_only.passes);
+    EXPECT_EQ(parsed.point.retrained.mean, record.point.retrained.mean);
+    // Re-rendering the parsed record reproduces the line byte-for-byte.
+    EXPECT_EQ(journal_line(parsed), journal_line(record));
+}
+
+TEST_F(SweepTest, ReplayDropsTruncatedTrailingLine) {
+    PointRecord record;
+    record.point_id = "p";
+    record.point.eval_only.passes = {0.5};
+    const std::string good = journal_line(record);
+    const std::string path = root_ + "/shard-0.jsonl";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << good << "\n" << good << "\n"
+            << good.substr(0, good.size() / 2);  // killed mid-write
+    }
+    std::size_t dropped = 0;
+    const std::vector<PointRecord> records = replay_journal(path, &dropped);
+    EXPECT_EQ(records.size(), 2u);
+    EXPECT_EQ(dropped, 1u);
+    EXPECT_TRUE(replay_journal(root_ + "/missing.jsonl", &dropped).empty());
+    EXPECT_EQ(dropped, 0u);
+}
+
+TEST_F(SweepTest, MergedReportRequiresEveryPoint) {
+    SweepGrid grid = tiny_grid(root_ + "/cache");
+    const std::vector<WorkItem> items = enumerate_grid(grid);
+    std::vector<PointRecord> records;
+    for (const WorkItem& item : items) {
+        PointRecord r;
+        r.index = item.index;
+        r.point_id = item.point_id;
+        r.point.enob = item.enob;
+        records.push_back(r);
+    }
+    EXPECT_FALSE(merged_report_json(grid, records).empty());
+    records.pop_back();
+    EXPECT_THROW((void)merged_report_json(grid, records), std::runtime_error);
+    records.push_back(records.front());
+    records.back().index = items.size() - 1;  // right slot, wrong point id
+    EXPECT_THROW((void)merged_report_json(grid, records), std::runtime_error);
+}
+
+// The headline guarantee (ISSUE acceptance): a 4-enob campaign computed
+// (a) in-process, (b) by 2 worker processes, and (c) by 2 workers with
+// one SIGKILLed mid-grid then resumed, merges to byte-identical reports.
+TEST_F(SweepTest, MergeIsByteIdenticalAcrossWorkersAndKillResume) {
+    const auto campaign = [&](const std::string& name, std::size_t workers, int kill_shard) {
+        SweepGrid grid = tiny_grid(root_ + "/" + name + "-cache");
+        CoordinatorOptions options;
+        options.run_dir = root_ + "/" + name;
+        options.workers = workers;
+        options.threads_per_worker = 1;
+        options.kill_shard = kill_shard;
+        options.kill_after_points = 1;
+        SweepOutcome outcome = run_sweep(grid, options);
+        if (!outcome.complete) {
+            options.kill_shard = -1;
+            const SweepOutcome resumed = run_sweep(grid, options);
+            EXPECT_GT(resumed.replayed, 0u);
+            outcome = resumed;
+        }
+        EXPECT_TRUE(outcome.complete);
+        return read_file(outcome.report_path);
+    };
+
+    const std::string in_process = campaign("p0", 0, -1);
+    ASSERT_FALSE(in_process.empty());
+    EXPECT_EQ(campaign("p2", 2, -1), in_process);
+    EXPECT_EQ(campaign("pkill", 2, 1), in_process);
+}
+
+TEST_F(SweepTest, ResumeRefusesDifferentCampaign) {
+    SweepGrid grid = tiny_grid(root_ + "/cache");
+    write_manifest(manifest_path(root_), grid, 1);
+    SweepGrid other = grid;
+    other.enobs.push_back(8.0);
+    CoordinatorOptions options;
+    options.run_dir = root_;
+    EXPECT_THROW((void)run_sweep(other, options), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ams::sweep
+
+// Worker re-invocations (the coordinator exec's this binary with
+// --amsnet-sweep-worker) must dispatch before gtest sees argv. Defining
+// main here wins over gtest_main's (only linked when main is unresolved).
+int main(int argc, char** argv) {
+    if (const int rc = ams::sweep::maybe_worker_main(argc, argv); rc >= 0) return rc;
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -170,6 +170,8 @@ TEST(MetricsTest, MetricsJsonGolden) {
         "  \"checkpoint_disk_hits\": 0,\n"
         "  \"checkpoint_memo_hits\": 0,\n"
         "  \"checkpoint_misses\": 0,\n"
+        "  \"checkpoint_corrupt_recovered\": 0,\n"
+        "  \"checkpoint_legacy_migrations\": 0,\n"
         "  \"eval_passes\": 0,\n"
         "  \"eval_batches\": 0,\n"
         "  \"serve_requests\": 0,\n"
@@ -181,6 +183,10 @@ TEST(MetricsTest, MetricsJsonGolden) {
         "  \"plan_layers_fused\": 0,\n"
         "  \"plan_intermediates_eliminated\": 0,\n"
         "  \"plan_arena_bytes_saved\": 0,\n"
+        "  \"sweep_points_completed\": 0,\n"
+        "  \"sweep_points_skipped\": 0,\n"
+        "  \"sweep_points_stolen\": 0,\n"
+        "  \"sweep_workers_spawned\": 0,\n"
         "  \"arena_high_water_bytes\": 4096,\n"
         "  \"serve_queue_depth_max\": 0\n"
         "}\n";
