@@ -77,7 +77,13 @@ int usage(const char* argv0) {
                  "usage: %s [--quick] [--run-dir DIR] [--workers N | --shard I/N]\n"
                  "          [--merge-only] [--threads-per-worker N] [--cache-dir DIR]\n"
                  "          [--enobs a,b,...] [--seeds a,b,...] [--backends a,b,...]\n"
-                 "          [--nmults a,b,...] [--eval-only-off] [--retrain-off] [-v]\n",
+                 "          [--nmults a,b,...] [--eval-only-off] [--retrain-off] [-v]\n"
+                 "          [--chips a,b,...] [--drift-times a,b,...] [--chip N]\n"
+                 "          [--offset-sigma X] [--drift-nu X] [--drift-t0 X]\n"
+                 "          [--drift-nu-sigma X] [--ir-alpha X]\n"
+                 "Variability defaults come from AMSNET_CHIP / AMSNET_OFFSET_SIGMA /\n"
+                 "AMSNET_DRIFT_NU / AMSNET_DRIFT_T / AMSNET_DRIFT_T0 /\n"
+                 "AMSNET_DRIFT_NU_SIGMA / AMSNET_IR_ALPHA; flags override.\n",
                  argv0);
     return 2;
 }
@@ -96,8 +102,12 @@ int main(int argc, char** argv) {
     sweep::CoordinatorOptions options;
     options.run_dir = "sweep-run";
     std::string enobs_arg, seeds_arg, backends_arg, nmults_arg, cache_dir;
+    std::string chips_arg, drift_times_arg;
     bool eval_only = true;
     bool retrain = true;
+    // Chip-population (Monte-Carlo fleet) template: environment first,
+    // CLI flags override field by field.
+    vmac::DeviceProfile variation = vmac::device_profile_from_env();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -142,6 +152,22 @@ int main(int argc, char** argv) {
             eval_only = false;
         } else if (arg == "--retrain-off") {
             retrain = false;
+        } else if (arg == "--chips") {
+            chips_arg = next();
+        } else if (arg == "--drift-times") {
+            drift_times_arg = next();
+        } else if (arg == "--chip") {
+            variation.chip_seed = std::stoull(next());
+        } else if (arg == "--offset-sigma") {
+            variation.cell_offset_sigma = std::stod(next());
+        } else if (arg == "--drift-nu") {
+            variation.drift_nu = std::stod(next());
+        } else if (arg == "--drift-t0") {
+            variation.drift_t0 = std::stod(next());
+        } else if (arg == "--drift-nu-sigma") {
+            variation.drift_nu_sigma = std::stod(next());
+        } else if (arg == "--ir-alpha") {
+            variation.ir_drop_alpha = std::stod(next());
         } else if (arg == "--kill-worker") {
             // Fault-injection hook for the resume-smoke CI job: I:N kills
             // worker I after it journals N points.
@@ -180,6 +206,15 @@ int main(int argc, char** argv) {
         }
         grid.eval_only = eval_only;
         grid.retrain = retrain;
+        grid.variation = variation;
+        if (!chips_arg.empty()) {
+            for (const std::string& t : split_csv(chips_arg)) grid.chips.push_back(std::stoull(t));
+        }
+        if (!drift_times_arg.empty()) {
+            for (const std::string& t : split_csv(drift_times_arg)) {
+                grid.drift_times.push_back(std::stod(t));
+            }
+        }
         if (!cache_dir.empty()) {
             grid.base.cache_dir = cache_dir;
         } else if (grid.base.cache_dir.empty()) {

@@ -9,6 +9,8 @@
 #include <iostream>
 #include <string>
 
+#include "ams/device_profile.hpp"
+#include "ams/vmac_backend.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "energy/adc_energy.hpp"
@@ -35,20 +37,31 @@ int main(int argc, char** argv) {
               << core::fmt_mean_std(base.mean, base.stddev) << "\n";
 
     // 3. Same weights on AMS hardware: additive error per Eq. 2 at every
-    //    conv and FC output.
+    //    conv and FC output. AMSNET_CHIP / AMSNET_OFFSET_SIGMA /
+    //    AMSNET_DRIFT_* / AMSNET_IR_ALPHA pin a fabricated chip instance
+    //    (DESIGN.md §16); unset they leave the historical pure-Gaussian
+    //    model (and its cache keys) untouched.
     vmac::VmacConfig vmac_cfg;
     vmac_cfg.enob = enob;
     vmac_cfg.nmult = nmult;
-    const train::EvalResult ams =
-        env.evaluate_state(quantized, env.ams_common(8, 8, vmac_cfg));
+    const vmac::DeviceProfile chip = vmac::device_profile_from_env();
+    std::string chip_tag;
+    if (chip.active()) {
+        vmac::BackendOptions tagged;
+        tagged.variation = chip;
+        chip_tag = tagged.str();
+        std::cout << "Device profile: " << chip.str() << "\n";
+    }
+    const train::EvalResult ams = env.evaluate_state(
+        quantized, env.ams_common(8, 8, vmac_cfg, vmac::InjectionMode::kLumpedGaussian, chip));
     std::cout << "Top-1 on AMS hardware (eval-only injection): "
               << core::fmt_mean_std(ams.mean, ams.stddev) << "  (loss "
               << core::fmt_pct(base.mean - ams.mean) << ")\n";
 
     // 4. Retrain with the error in the loop: batch norm recovers accuracy.
-    const TensorMap retrained = env.ams_retrained_state(8, 8, vmac_cfg);
-    const train::EvalResult rec =
-        env.evaluate_state(retrained, env.ams_common(8, 8, vmac_cfg));
+    const TensorMap retrained = env.ams_retrained_state(8, 8, vmac_cfg, {}, chip_tag, chip);
+    const train::EvalResult rec = env.evaluate_state(
+        retrained, env.ams_common(8, 8, vmac_cfg, vmac::InjectionMode::kLumpedGaussian, chip));
     std::cout << "Top-1 after retraining with AMS error:    "
               << core::fmt_mean_std(rec.mean, rec.stddev) << "  (recovered "
               << core::fmt_pct(rec.mean - ams.mean) << ")\n";

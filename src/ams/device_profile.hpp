@@ -1,0 +1,81 @@
+// DeviceProfile: the per-chip variability knobs shared by the two
+// injection seams (the DeviceVariation backend decorator and the
+// network-level ErrorInjector).
+//
+// A "chip" is one fabricated instance of the accelerator: all of its
+// static non-idealities are pure functions of (chip_seed, error family,
+// cell position), derived through the counter-based RngStream splitter —
+// never from mutable generator state — so a chip's realization is
+// bit-identical at any thread count, across clone()d per-worker
+// backends, and across processes of a sharded Monte-Carlo fleet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ams::vmac {
+
+/// Per-chip device variability: static programming offsets, conductance
+/// drift, and column-correlated IR drop. Default-constructed profiles are
+/// inactive (exact pass-through everywhere they are consumed).
+struct DeviceProfile {
+    /// Chip identity: the root of every per-cell derivation. Two chips
+    /// with different seeds have statistically independent realizations.
+    std::uint64_t chip_seed = 0;
+
+    /// Std-dev of the per-cell static output-referred offset, in the
+    /// dot-product's units (the scale where |w·x| <= 1 per chunk). Drawn
+    /// once per (chip, cell), frozen thereafter.
+    double cell_offset_sigma = 0.0;
+
+    /// Conductance drift: G(t) = G0 * (t / t0)^-nu (PCM-style power-law
+    /// decay). drift_time <= 0 or nu == 0 disables the family.
+    double drift_nu = 0.0;    ///< population drift exponent
+    double drift_time = 0.0;  ///< time since programming, units of t0
+    double drift_t0 = 1.0;    ///< normalization time (gain is 1 at t = t0)
+    /// Per-cell spread of the drift exponent: nu_c = nu + nu_sigma * z(c).
+    double drift_nu_sigma = 0.0;
+
+    /// Column-correlated IR drop: cells far from the driver see a supply
+    /// sag, modeled as gain 1 - alpha * min(1, cell / ref_cells). This is
+    /// a structured (position-keyed, not random) error family.
+    double ir_drop_alpha = 0.0;
+    std::size_t ir_drop_ref_cells = 64;
+
+    /// True when any error family is switched on.
+    [[nodiscard]] bool active() const;
+    /// True when the drift family contributes (time and an exponent set).
+    [[nodiscard]] bool has_drift() const;
+
+    /// Population-mean drift gain (t/t0)^-nu; 1 when drift is inactive.
+    [[nodiscard]] double drift_gain() const;
+    /// Drift gain for a specific exponent (per-cell spread applied).
+    [[nodiscard]] double drift_gain_for(double nu) const;
+
+    /// Unit-normal deviate for (chip_seed, family, stream, cell) — a pure
+    /// function, safe to evaluate concurrently from any tile or worker.
+    [[nodiscard]] double cell_normal(std::uint64_t family, std::uint64_t stream,
+                                     std::uint64_t cell) const;
+
+    /// Compact tag ("chip7_off0.02_t64nu0.2") for cache keys, point ids,
+    /// and CSV labels. Only active families contribute fields.
+    [[nodiscard]] std::string str() const;
+
+    /// Throws std::invalid_argument on non-physical settings (negative
+    /// sigma, negative time, zero t0, IR-drop alpha outside [0, 1)).
+    void validate() const;
+};
+
+/// Derivation families for cell_normal (distinct RNG subtrees).
+inline constexpr std::uint64_t kFamilyCellOffset = 1;  ///< backend decorator offsets
+inline constexpr std::uint64_t kFamilyDriftNu = 2;     ///< per-cell drift exponents
+inline constexpr std::uint64_t kFamilyLayerOffset = 3; ///< network-level channel offsets
+
+/// Reads AMSNET_CHIP / AMSNET_OFFSET_SIGMA / AMSNET_DRIFT_NU /
+/// AMSNET_DRIFT_T / AMSNET_DRIFT_T0 / AMSNET_DRIFT_NU_SIGMA /
+/// AMSNET_IR_ALPHA into a profile (unset variables keep defaults).
+/// Throws std::invalid_argument if the result fails validate().
+[[nodiscard]] DeviceProfile device_profile_from_env();
+
+}  // namespace ams::vmac

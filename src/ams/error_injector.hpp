@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "ams/device_profile.hpp"
 #include "ams/error_model.hpp"
 #include "nn/module.hpp"
 #include "runtime/rng_stream.hpp"
@@ -36,9 +38,12 @@ public:
     /// this injector follows. `rng` seeds the per-tile noise streams
     /// (fixed tiles of the output tensor, one derived stream per tile per
     /// forward pass), so injection is bit-identical at any AMSNET_THREADS.
-    /// Throws std::invalid_argument on bad config.
+    /// `device` adds the lumped chip-level statics of a DeviceProfile on
+    /// top of the stochastic Eq. 2 noise (see inject_inplace); inactive
+    /// by default. Throws std::invalid_argument on bad config/profile.
     ErrorInjector(VmacConfig config, std::size_t n_tot, Rng rng,
-                  InjectionMode mode = InjectionMode::kLumpedGaussian);
+                  InjectionMode mode = InjectionMode::kLumpedGaussian,
+                  const DeviceProfile& device = {});
 
     Tensor forward(const Tensor& input) override;
     Tensor forward(const Tensor& input, runtime::EvalContext& ctx) override;
@@ -59,6 +64,9 @@ public:
     /// Std-dev of the injected error (Eq. 2); the "dashes" of Fig. 6.
     [[nodiscard]] double error_stddev() const;
 
+    /// The chip-level statics applied before the stochastic noise.
+    [[nodiscard]] const DeviceProfile& device() const { return device_; }
+
     /// Adds one forward pass worth of noise to `data[0..count)` in place,
     /// consuming one noise epoch. This is the raw hook both forward
     /// overloads and the compiled-plan executor share: the per-tile stream
@@ -66,12 +74,32 @@ public:
     /// identical to the module walk for the same buffer contents. Callers
     /// must honor the enabled() switch themselves (a disabled injector on
     /// the module path copies without consuming an epoch).
-    void inject_inplace(float* data, std::size_t count);
+    ///
+    /// With an active DeviceProfile a deterministic chip pre-pass runs
+    /// first: data = drift_gain * data + sigma_out * field[channel],
+    /// where `field` holds frozen unit normals keyed by (chip, layer,
+    /// output channel) and sigma_out = sqrt(ceil(Ntot/Nmult)) *
+    /// cell_offset_sigma lumps the column's per-cell offsets, mirroring a
+    /// weight-stationary crossbar where every spatial position of one
+    /// output channel reuses the same physical column. `batch`/`channels`
+    /// describe the buffer's leading dims (the forward overloads derive
+    /// them from the tensor shape; rank-1 buffers use 1/1). The pre-pass
+    /// is position-keyed and RNG-state-free, so it preserves the
+    /// thread-count invariance and module-vs-plan identity. Backward
+    /// stays the identity (straight-through estimation): retraining sees
+    /// the statics in the forward loss only, which is exactly the robust
+    /// retraining recipe of the STE-extension paper.
+    void inject_inplace(float* data, std::size_t count, std::size_t batch = 1,
+                        std::size_t channels = 1);
 
 private:
     /// Adds one forward pass worth of noise to `out` in place, consuming
     /// one noise epoch. Shared by both forward overloads.
     void inject(Tensor& out);
+
+    /// The deterministic chip pre-pass described at inject_inplace().
+    void apply_device_field(float* data, std::size_t count, std::size_t batch,
+                            std::size_t channels);
 
     VmacConfig config_;
     std::size_t n_tot_;
@@ -79,6 +107,8 @@ private:
     std::uint64_t forward_count_ = 0;  ///< distinct streams per forward pass
     InjectionMode mode_;
     bool enabled_ = true;
+    DeviceProfile device_;              ///< inactive by default
+    std::vector<double> offset_field_;  ///< frozen per-channel unit normals
 };
 
 }  // namespace ams::vmac

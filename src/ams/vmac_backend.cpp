@@ -1,11 +1,14 @@
 #include "ams/vmac_backend.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 #include "ams/adc_quantizer.hpp"
 #include "ams/block_fp.hpp"
+#include "ams/device_variation.hpp"
 #include "runtime/metrics.hpp"
 
 namespace ams::vmac {
@@ -88,6 +91,7 @@ std::string BackendOptions::str() const {
         default:
             break;
     }
+    if (variation.active()) os << "_" << variation.str();
     return os.str();
 }
 
@@ -326,8 +330,11 @@ private:
 
 }  // namespace
 
-std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config, const AnalogOptions& analog,
-                                          const BackendOptions& options) {
+namespace {
+
+std::unique_ptr<VmacBackend> make_bare_backend(const VmacConfig& config,
+                                               const AnalogOptions& analog,
+                                               const BackendOptions& options) {
     switch (options.kind) {
         case BackendKind::kBitExact:
             return std::make_unique<BitExactBackend>(config, analog);
@@ -366,9 +373,52 @@ std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config, const Analog
     throw std::invalid_argument("make_backend: unknown BackendKind");
 }
 
+}  // namespace
+
+std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config, const AnalogOptions& analog,
+                                          const BackendOptions& options) {
+    // An active device profile decorates the datapath; an inactive one is
+    // a structural no-op (with_variation returns the bare backend), so the
+    // default path is bit-identical to — in fact is — the historical one.
+    std::unique_ptr<VmacBackend> backend =
+        with_variation(make_bare_backend(config, analog, options), options.variation);
+    // Debug builds re-check the clone() isolation contract on every
+    // factory call: the decorator amplifies any latent state aliasing.
+    assert(verify_clone_isolation(*backend));
+    return backend;
+}
+
 std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config,
                                           const AnalogOptions& analog) {
     return make_backend(config, analog, BackendOptions{});
+}
+
+bool verify_clone_isolation(const VmacBackend& backend) {
+    // Probe chunks must not leak into the process-wide conversion ledger
+    // (trace_test cross-checks those counters exactly).
+    const runtime::metrics::Level saved = runtime::metrics::level();
+    runtime::metrics::set_level(runtime::metrics::Level::kOff);
+
+    const std::size_t n = std::min<std::size_t>(backend.config().nmult, 4);
+    const std::vector<double> w(n, 0.5);
+    const std::vector<double> x(n, 0.25);
+    const auto run = [&](VmacBackend& b, std::uint64_t seed, std::size_t chunks) {
+        Rng rng(seed);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < chunks; ++i) acc += b.accumulate(w, x, rng);
+        acc += b.finish_output(rng);
+        return acc;
+    };
+
+    const auto active = backend.clone();   // the clone being perturbed
+    const auto observed = backend.clone(); // must not notice
+    (void)run(*active, 0xA11CEu, 3);
+    const double with_sibling_activity = run(*observed, 0xB0B5EEDu, 2);
+    const double fresh = run(*backend.clone(), 0xB0B5EEDu, 2);
+
+    runtime::metrics::set_level(saved);
+    // Bit-identical or the clones shared mutable state.
+    return with_sibling_activity == fresh;
 }
 
 }  // namespace ams::vmac

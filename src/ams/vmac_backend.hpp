@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "ams/delta_sigma.hpp"
+#include "ams/device_profile.hpp"
 #include "ams/partitioned.hpp"
 #include "ams/vmac_cell.hpp"
 
@@ -105,7 +106,15 @@ public:
     /// be performed for evaluation only").
     [[nodiscard]] virtual bool trainable() const { return false; }
 
-    /// Fresh copy with reset per-output state.
+    /// Fresh copy with reset per-output state. Contract: the clone owns
+    /// ALL of its mutable state — per-output residuals, scratch buffers,
+    /// lazily materialized device realizations, and any RNG state. Two
+    /// clones fed identical chunk streams (with independently seeded
+    /// Rngs) must produce bit-identical outputs, and activity on one
+    /// clone must never perturb another: parallel engines clone one
+    /// backend per worker and rely on this isolation for thread-count
+    /// invariance. make_backend() asserts the property in debug builds
+    /// via verify_clone_isolation().
     [[nodiscard]] virtual std::unique_ptr<VmacBackend> clone() const = 0;
 
     [[nodiscard]] virtual const VmacConfig& config() const = 0;
@@ -133,8 +142,16 @@ struct BackendOptions {
     /// magnitude budget as the cell's sign-magnitude codecs).
     std::size_t block_fp_mantissa_bits = 0;
 
+    /// Per-chip device variability (static offsets, drift, IR drop)
+    /// layered over the selected datapath by make_backend via the
+    /// DeviceVariation decorator. The default (inactive) profile leaves
+    /// the datapath untouched — and untagged, so historical cache keys
+    /// and CSV labels are preserved.
+    DeviceProfile variation{};
+
     /// Compact parameter tag ("partitioned_nw2_nx2_p8", "delta_sigma_f12",
-    /// ...) for cache keys and CSV labels.
+    /// ...) for cache keys and CSV labels; an active variation profile
+    /// appends its own tag ("..._chip7_off0.02_t64nu0.2").
     [[nodiscard]] std::string str() const;
 };
 
@@ -147,5 +164,15 @@ struct BackendOptions {
 /// Convenience: plain bit-exact backend (the pre-refactor datapath).
 [[nodiscard]] std::unique_ptr<VmacBackend> make_backend(const VmacConfig& config,
                                                         const AnalogOptions& analog = {});
+
+/// Checks the clone() isolation contract on a backend: clones twice,
+/// drives chunks through one clone, and verifies a second clone still
+/// reproduces a fresh clone's fixed-seed output bit-for-bit (shared
+/// mutable RNG or residual state would diverge it). Pure apart from
+/// temporarily forcing the metrics level off so probe chunks never touch
+/// the conversion ledger — callers running concurrent *instrumented*
+/// work should not interleave with it (debug-build factory asserts and
+/// tests, in practice). Returns true iff the contract holds.
+[[nodiscard]] bool verify_clone_isolation(const VmacBackend& backend);
 
 }  // namespace ams::vmac

@@ -55,7 +55,13 @@ void apply_ew_whole(const EwOp& op, float* data, const Shape& shape) {
             // A disabled injector is skipped entirely: in place there is
             // nothing to copy, and no noise epoch is consumed — exactly
             // the module path, which copies without consuming an epoch.
-            if (op.injector->enabled()) op.injector->inject_inplace(data, n);
+            if (op.injector->enabled()) {
+                // Pass the leading dims so the chip-field pre-pass keys
+                // offsets per output channel, identically to the module
+                // walk's shape-aware inject().
+                op.injector->inject_inplace(data, n, shape.rank() > 0 ? shape.dim(0) : 1,
+                                            shape.rank() > 1 ? shape.dim(1) : 1);
+            }
             break;
         case EwOp::Kind::kRecord:
             if (op.unit->recording()) {

@@ -71,13 +71,15 @@ models::LayerCommon ExperimentEnv::quant_common(std::size_t bits_w, std::size_t 
 
 models::LayerCommon ExperimentEnv::ams_common(std::size_t bits_w, std::size_t bits_x,
                                               const vmac::VmacConfig& vmac_cfg,
-                                              vmac::InjectionMode mode) const {
+                                              vmac::InjectionMode mode,
+                                              const vmac::DeviceProfile& device) const {
     models::LayerCommon c;
     c.bits_w = bits_w;
     c.bits_x = bits_x;
     c.ams_enabled = true;
     c.vmac = vmac_cfg;
     c.mode = mode;
+    c.device = device;
     return c;
 }
 
@@ -218,13 +220,25 @@ TensorMap ExperimentEnv::quantized_state(std::size_t bits_w, std::size_t bits_x)
 TensorMap ExperimentEnv::ams_retrained_state(std::size_t bits_w, std::size_t bits_x,
                                              const vmac::VmacConfig& vmac_cfg,
                                              const std::vector<models::LayerGroup>& frozen,
-                                             const std::string& key_tag) {
+                                             const std::string& key_tag,
+                                             const vmac::DeviceProfile& device) {
+    if (device.active() && key_tag.empty()) {
+        // A silent key collision with the pure-Gaussian lineage would
+        // serve chip-retrained weights to chip-free callers (and vice
+        // versa) — refuse rather than corrupt the cache.
+        throw std::invalid_argument(
+            "ams_retrained_state: an active DeviceProfile requires a key_tag "
+            "encoding it (e.g. BackendOptions::str())");
+    }
     return train::cached_state(
         options_.cache_dir, ams_cache_key(bits_w, bits_x, vmac_cfg, frozen, key_tag),
-        [this, bits_w, bits_x, &vmac_cfg, &frozen] {
+        [this, bits_w, bits_x, &vmac_cfg, &frozen, &device] {
             const TensorMap quant = quantized_state(bits_w, bits_x);
-            return train_from(&quant, ams_common(bits_w, bits_x, vmac_cfg), options_.retrain,
-                              frozen, "ams_enob" + std::to_string(vmac_cfg.enob));
+            return train_from(&quant,
+                              ams_common(bits_w, bits_x, vmac_cfg,
+                                         vmac::InjectionMode::kLumpedGaussian, device),
+                              options_.retrain, frozen,
+                              "ams_enob" + std::to_string(vmac_cfg.enob));
         });
 }
 
@@ -257,7 +271,8 @@ ExperimentEnv::EnobSweepPoint ExperimentEnv::compute_enob_point(
     // monolithic ENOB (Eq. 2 equivalence). The default bit-exact
     // backend keeps the historical identity mapping and keys.
     std::string key_tag;
-    if (sweep.backend.kind == vmac::BackendKind::kBitExact) {
+    const vmac::DeviceProfile& device = sweep.backend.variation;
+    if (sweep.backend.kind == vmac::BackendKind::kBitExact && !device.active()) {
         point.effective_enob = enob;
     } else {
         vmac::BackendOptions bopts = sweep.backend;
@@ -267,19 +282,36 @@ ExperimentEnv::EnobSweepPoint ExperimentEnv::compute_enob_point(
         if (bopts.kind == vmac::BackendKind::kPartitioned) {
             bopts.partition.enob_partial = enob;
         }
+        // The (possibly variation-decorated) backend reports the composed
+        // equivalent ENOB — the figure the reports carry.
         const auto backend = vmac::make_backend(backend_cfg, sweep.analog, bopts);
         point.effective_enob =
             std::clamp(backend->effective_enob(sweep.backend_ref_chunks), 0.5, 32.0);
         key_tag = bopts.str();
-        cfg.enob = point.effective_enob;
+        if (device.active()) {
+            // The injected *stochastic* Gaussian uses the bare datapath's
+            // equivalent only: the chip statics (offset field, drift
+            // gain) are applied explicitly by the injectors' device
+            // pre-pass, so folding them into the Gaussian too would
+            // count them twice.
+            vmac::BackendOptions bare = bopts;
+            bare.variation = {};
+            const auto inner = vmac::make_backend(backend_cfg, sweep.analog, bare);
+            cfg.enob = std::clamp(inner->effective_enob(sweep.backend_ref_chunks), 0.5, 32.0);
+        } else {
+            cfg.enob = point.effective_enob;
+        }
     }
 
+    const auto common = [&] {
+        return ams_common(bits_w, bits_x, cfg, vmac::InjectionMode::kLumpedGaussian, device);
+    };
     if (sweep.eval_only) {
-        point.eval_only = evaluate_state(quant, ams_common(bits_w, bits_x, cfg), ctx);
+        point.eval_only = evaluate_state(quant, common(), ctx);
     }
     if (sweep.retrain) {
-        const TensorMap state = ams_retrained_state(bits_w, bits_x, cfg, {}, key_tag);
-        point.retrained = evaluate_state(state, ams_common(bits_w, bits_x, cfg), ctx);
+        const TensorMap state = ams_retrained_state(bits_w, bits_x, cfg, {}, key_tag, device);
+        point.retrained = evaluate_state(state, common(), ctx);
     }
     return point;
 }

@@ -50,9 +50,13 @@ public:
     // ----- model variant factories -----
     [[nodiscard]] models::LayerCommon fp32_common() const;
     [[nodiscard]] models::LayerCommon quant_common(std::size_t bits_w, std::size_t bits_x) const;
+    /// `device` layers a chip's static non-idealities (offsets/drift)
+    /// into every injector; the inactive default preserves the
+    /// historical pure-Gaussian model.
     [[nodiscard]] models::LayerCommon ams_common(
         std::size_t bits_w, std::size_t bits_x, const vmac::VmacConfig& vmac_cfg,
-        vmac::InjectionMode mode = vmac::InjectionMode::kLumpedGaussian) const;
+        vmac::InjectionMode mode = vmac::InjectionMode::kLumpedGaussian,
+        const vmac::DeviceProfile& device = {}) const;
     [[nodiscard]] std::unique_ptr<models::ResNet> make_model(
         const models::LayerCommon& common) const;
 
@@ -69,10 +73,15 @@ public:
     /// fixed during retraining (Table 2); they still forward/backward.
     /// `key_tag` (e.g. vmac::BackendOptions::str()) distinguishes cache
     /// entries whose injected error was derived from a non-default
-    /// hardware backend; empty keeps the historical key.
+    /// hardware backend; empty keeps the historical key. `device` puts a
+    /// chip's statics into the retraining loop (STE robust retraining) —
+    /// pass a key_tag that encodes the profile (BackendOptions::str()
+    /// does) so chips get distinct cache lineages chained off the same
+    /// fp32/quantized parents.
     [[nodiscard]] TensorMap ams_retrained_state(
         std::size_t bits_w, std::size_t bits_x, const vmac::VmacConfig& vmac_cfg,
-        const std::vector<models::LayerGroup>& frozen = {}, const std::string& key_tag = "");
+        const std::vector<models::LayerGroup>& frozen = {}, const std::string& key_tag = "",
+        const vmac::DeviceProfile& device = {});
 
     // ----- evaluation -----
     /// Loads `state` into a fresh model of the given variant and runs the
@@ -103,6 +112,11 @@ public:
         /// equivalence via VmacBackend::effective_enob), and retrain cache
         /// keys gain a BackendOptions::str() tag. The default (bit-exact)
         /// reproduces the historical sweep bit-for-bit, keys included.
+        /// backend.variation carries the per-point chip profile of a
+        /// Monte-Carlo fleet: its statics are applied by the injectors'
+        /// device pre-pass (and by the decorated backend at chunk level),
+        /// while the stochastic Gaussian keeps the bare datapath's
+        /// equivalent ENOB — see compute_enob_point.
         vmac::BackendOptions backend{};
         /// Chunks per output accumulator assumed when amortizing stateful
         /// backends' per-output conversions into the effective ENOB.

@@ -29,7 +29,8 @@ std::unique_ptr<ConvUnit> make_unit(std::size_t in, std::size_t out, std::size_t
                                     std::size_t stride, const LayerCommon& common, Rng& rng,
                                     std::uint64_t stream) {
     return std::make_unique<ConvUnit>(conv_opts(in, out, kernel, stride), common.bits_w,
-                                      common.vmac, common.ams_enabled, rng, common.mode, stream);
+                                      common.vmac, common.ams_enabled, rng, common.mode, stream,
+                                      common.device);
 }
 
 }  // namespace

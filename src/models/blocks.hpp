@@ -15,6 +15,9 @@ struct LayerCommon {
     vmac::VmacConfig vmac;    ///< ENOB / Nmult for the injectors
     bool ams_enabled = false;
     vmac::InjectionMode mode = vmac::InjectionMode::kLumpedGaussian;
+    /// Per-chip statics (offsets/drift) layered into every injector;
+    /// inactive by default, so legacy builds are untouched.
+    vmac::DeviceProfile device{};
 };
 
 /// Creates the activation used throughout a build: QuantAct(bits_x) for

@@ -4,10 +4,11 @@ namespace ams::models {
 
 ConvUnit::ConvUnit(const nn::Conv2dOptions& opts, std::size_t bits_w,
                    const vmac::VmacConfig& vmac_cfg, bool ams_enabled, Rng& rng,
-                   vmac::InjectionMode mode, std::uint64_t noise_stream)
+                   vmac::InjectionMode mode, std::uint64_t noise_stream,
+                   const vmac::DeviceProfile& device)
     : conv_(opts, bits_w, rng),
       injector_(vmac_cfg, opts.in_channels * opts.kernel * opts.kernel,
-                rng.split(noise_stream), mode),
+                rng.split(noise_stream), mode, device),
       bn_(opts.out_channels) {
     injector_.set_enabled(ams_enabled);
 }

@@ -42,9 +42,10 @@ private:
 class ConvUnit : public nn::Module {
 public:
     /// `vmac` provides ENOB/Nmult; `ams_enabled` can be toggled later.
+    /// `device` adds chip-level statics to the injector (inactive default).
     ConvUnit(const nn::Conv2dOptions& opts, std::size_t bits_w, const vmac::VmacConfig& vmac,
              bool ams_enabled, Rng& rng, vmac::InjectionMode mode,
-             std::uint64_t noise_stream);
+             std::uint64_t noise_stream, const vmac::DeviceProfile& device = {});
 
     Tensor forward(const Tensor& input) override;
     Shape plan(const Shape& in, runtime::EvalContext& ctx) override;

@@ -40,7 +40,7 @@ ResNet::ResNet(const ResNetConfig& config) : config_(config) {
     stem_opts.padding = config.stem_kernel / 2;
     stem_ = std::make_unique<ConvUnit>(stem_opts, config.common.bits_w, config.common.vmac,
                                        config.common.ams_enabled, rng, config.common.mode,
-                                       /*noise_stream=*/1);
+                                       /*noise_stream=*/1, config.common.device);
     if (config.stem_maxpool) {
         maxpool_ = std::make_unique<nn::MaxPool2d>(3, 2, 1);
     }
@@ -68,7 +68,8 @@ ResNet::ResNet(const ResNetConfig& config) : config_(config) {
     fc_ = std::make_unique<quant::QuantLinear>(in_ch, config.num_classes, config.common.bits_w,
                                                rng, /*bias=*/true);
     fc_injector_ = std::make_unique<vmac::ErrorInjector>(
-        config.common.vmac, fc_->n_tot(), rng.split(0xFC), config.common.mode);
+        config.common.vmac, fc_->n_tot(), rng.split(0xFC), config.common.mode,
+        config.common.device);
     fc_injector_->set_enabled(config.common.ams_enabled);
     apply_last_layer_policy();
 }

@@ -128,6 +128,8 @@ const char* counter_name(Counter counter) {
         case Counter::kSweepPointsSkipped: return "sweep_points_skipped";
         case Counter::kSweepPointsStolen: return "sweep_points_stolen";
         case Counter::kSweepWorkersSpawned: return "sweep_workers_spawned";
+        case Counter::kVariationChunks: return "variation_chunks";
+        case Counter::kVariationFieldSamples: return "variation_field_samples";
         case Counter::kCount: break;
     }
     return "unknown_counter";

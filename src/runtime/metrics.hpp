@@ -112,6 +112,10 @@ enum class Counter : int {
     kSweepPointsStolen,     ///< resumed points reassigned away from their original shard
     kSweepWorkersSpawned,   ///< worker processes forked by the coordinator
 
+    // Device variability (ams/device_variation.cpp, ams/error_injector.cpp)
+    kVariationChunks,        ///< chunks routed through a DeviceVariation decorator
+    kVariationFieldSamples,  ///< outputs perturbed by the network-level chip field
+
     kCount
 };
 

@@ -175,6 +175,14 @@ std::string merged_report_json(const SweepGrid& grid, const std::vector<PointRec
     report.config().set("eval_only", grid.eval_only);
     report.config().set("retrain", grid.retrain);
     report.config().set("eval_passes", static_cast<std::uint64_t>(grid.base.eval_passes));
+    // Variability campaign header, gated so legacy reports stay
+    // byte-identical (same rule as the grid hash and manifest).
+    if (grid.variation_active()) {
+        report.config().set("chips", static_cast<std::uint64_t>(grid.chips.size()));
+        report.config().set("drift_times",
+                            static_cast<std::uint64_t>(grid.drift_times.size()));
+        report.config().set("variation", grid.variation.str());
+    }
     for (std::size_t i = 0; i < items.size(); ++i) {
         const WorkItem& item = items[i];
         const core::ExperimentEnv::EnobSweepPoint& point = by_index[i]->point;
@@ -184,6 +192,8 @@ std::string merged_report_json(const SweepGrid& grid, const std::vector<PointRec
         row.set("backend", vmac::backend_kind_name(item.backend));
         row.set("seed", static_cast<std::uint64_t>(item.seed));
         row.set("nmult", static_cast<std::uint64_t>(item.nmult));
+        if (grid.has_chips()) row.set("chip", static_cast<std::uint64_t>(item.chip));
+        if (grid.has_drift_times()) row.set("drift_time", item.drift_time);
         row.set("enob", point.enob);
         row.set("effective_enob", point.effective_enob);
         if (grid.eval_only) {

@@ -84,6 +84,20 @@ void add_grid_fields(train::CacheKey& key, const SweepGrid& g) {
     };
     schedule("fp32_train", g.base.fp32_train);
     schedule("retrain", g.base.retrain);
+    // Variability axes are hashed only when in play, so every legacy
+    // grid's content hash (and pinned manifest) is preserved verbatim.
+    if (g.variation_active()) {
+        key.add("chips", join_ints(g.chips));
+        key.add("drift_times", join_doubles(g.drift_times));
+        key.add("variation.chip_seed", std::uint64_t{g.variation.chip_seed});
+        key.add("variation.cell_offset_sigma", g.variation.cell_offset_sigma);
+        key.add("variation.drift_nu", g.variation.drift_nu);
+        key.add("variation.drift_time", g.variation.drift_time);
+        key.add("variation.drift_t0", g.variation.drift_t0);
+        key.add("variation.drift_nu_sigma", g.variation.drift_nu_sigma);
+        key.add("variation.ir_drop_alpha", g.variation.ir_drop_alpha);
+        key.add("variation.ir_drop_ref_cells", g.variation.ir_drop_ref_cells);
+    }
 }
 
 }  // namespace
@@ -101,6 +115,14 @@ void SweepGrid::validate() const {
     if (nmults.empty()) throw std::invalid_argument("SweepGrid: no nmults");
     if (!eval_only && !retrain) {
         throw std::invalid_argument("SweepGrid: nothing to measure (eval_only and retrain off)");
+    }
+    variation.validate();
+    for (double t : drift_times) {
+        if (t < 0.0) throw std::invalid_argument("SweepGrid: negative drift time");
+    }
+    if (has_drift_times() && variation.drift_nu == 0.0 && variation.drift_nu_sigma == 0.0) {
+        throw std::invalid_argument(
+            "SweepGrid: drift_times axis needs variation.drift_nu (or nu_sigma) set");
     }
 }
 
@@ -121,25 +143,57 @@ core::ExperimentEnv::EnobSweepOptions SweepGrid::sweep_options(vmac::BackendKind
     return sweep;
 }
 
+core::ExperimentEnv::EnobSweepOptions SweepGrid::sweep_options(const WorkItem& item) const {
+    core::ExperimentEnv::EnobSweepOptions sweep = sweep_options(item.backend, item.nmult);
+    if (variation_active()) {
+        vmac::DeviceProfile profile = variation;
+        profile.chip_seed = item.chip;
+        profile.drift_time = item.drift_time;
+        sweep.backend.variation = profile;
+    }
+    return sweep;
+}
+
 std::vector<WorkItem> enumerate_grid(const SweepGrid& grid) {
     grid.validate();
+    // Absent axes collapse to the variation template's own coordinates,
+    // so the loop structure (and legacy ordering) is uniform.
+    const std::vector<std::uint64_t> chip_axis =
+        grid.has_chips() ? grid.chips
+                         : std::vector<std::uint64_t>{grid.variation.chip_seed};
+    const std::vector<double> time_axis =
+        grid.has_drift_times() ? grid.drift_times
+                               : std::vector<double>{grid.variation.drift_time};
     std::vector<WorkItem> items;
-    items.reserve(grid.seeds.size() * grid.backends.size() * grid.nmults.size() *
-                  grid.enobs.size());
+    items.reserve(grid.seeds.size() * chip_axis.size() * grid.backends.size() *
+                  grid.nmults.size() * grid.enobs.size() * time_axis.size());
     for (std::uint64_t seed : grid.seeds) {
-        for (vmac::BackendKind backend : grid.backends) {
-            for (std::size_t nmult : grid.nmults) {
-                for (double enob : grid.enobs) {
-                    WorkItem item;
-                    item.index = items.size();
-                    item.backend = backend;
-                    item.enob = enob;
-                    item.seed = seed;
-                    item.nmult = nmult;
-                    item.point_id = std::string(vmac::backend_kind_name(backend)) + ":e" +
-                                    train::exact_double(enob) + ":s" + std::to_string(seed) +
-                                    ":n" + std::to_string(nmult);
-                    items.push_back(std::move(item));
+        for (std::uint64_t chip : chip_axis) {
+            for (vmac::BackendKind backend : grid.backends) {
+                for (std::size_t nmult : grid.nmults) {
+                    for (double enob : grid.enobs) {
+                        for (double drift_time : time_axis) {
+                            WorkItem item;
+                            item.index = items.size();
+                            item.backend = backend;
+                            item.enob = enob;
+                            item.seed = seed;
+                            item.nmult = nmult;
+                            item.chip = chip;
+                            item.drift_time = drift_time;
+                            item.point_id =
+                                std::string(vmac::backend_kind_name(backend)) + ":e" +
+                                train::exact_double(enob) + ":s" + std::to_string(seed) +
+                                ":n" + std::to_string(nmult);
+                            if (grid.has_chips()) {
+                                item.point_id += ":c" + std::to_string(chip);
+                            }
+                            if (grid.has_drift_times()) {
+                                item.point_id += ":t" + train::exact_double(drift_time);
+                            }
+                            items.push_back(std::move(item));
+                        }
+                    }
                 }
             }
         }
@@ -182,6 +236,24 @@ void write_manifest(const std::string& path, const SweepGrid& grid, std::size_t 
     };
     schedule("fp32_train", grid.base.fp32_train);
     schedule("retrain", grid.base.retrain);
+    // Same gate as add_grid_fields: legacy manifests stay byte-identical,
+    // and the reader keys the whole block on variation.chip_seed.
+    if (grid.variation_active()) {
+        os << "chips " << join_ints(grid.chips) << "\n";
+        os << "drift_times " << join_doubles(grid.drift_times) << "\n";
+        os << "variation.chip_seed " << grid.variation.chip_seed << "\n";
+        os << "variation.cell_offset_sigma "
+           << train::exact_double(grid.variation.cell_offset_sigma) << "\n";
+        os << "variation.drift_nu " << train::exact_double(grid.variation.drift_nu) << "\n";
+        os << "variation.drift_time " << train::exact_double(grid.variation.drift_time)
+           << "\n";
+        os << "variation.drift_t0 " << train::exact_double(grid.variation.drift_t0) << "\n";
+        os << "variation.drift_nu_sigma "
+           << train::exact_double(grid.variation.drift_nu_sigma) << "\n";
+        os << "variation.ir_drop_alpha "
+           << train::exact_double(grid.variation.ir_drop_alpha) << "\n";
+        os << "variation.ir_drop_ref_cells " << grid.variation.ir_drop_ref_cells << "\n";
+    }
     os << "cache_dir " << grid.base.cache_dir << "\n";
 
     const std::string tmp = path + ".tmp";
@@ -277,6 +349,29 @@ Manifest read_manifest(const std::string& path) {
     };
     schedule("fp32_train", g.base.fp32_train);
     schedule("retrain", g.base.retrain);
+    // Variation block: present iff the campaign used the variability
+    // axes (see write_manifest). Pre-PR 10 manifests simply lack it.
+    if (fields.count("variation.chip_seed") != 0) {
+        g.chips.clear();
+        for (const std::string& text : split_list(get("chips"))) {
+            g.chips.push_back(static_cast<std::uint64_t>(std::stoull(text)));
+        }
+        g.drift_times.clear();
+        for (const std::string& text : split_list(get("drift_times"))) {
+            g.drift_times.push_back(train::parse_exact_double(text));
+        }
+        g.variation.chip_seed = get_u64("variation.chip_seed");
+        g.variation.cell_offset_sigma =
+            train::parse_exact_double(get("variation.cell_offset_sigma"));
+        g.variation.drift_nu = train::parse_exact_double(get("variation.drift_nu"));
+        g.variation.drift_time = train::parse_exact_double(get("variation.drift_time"));
+        g.variation.drift_t0 = train::parse_exact_double(get("variation.drift_t0"));
+        g.variation.drift_nu_sigma =
+            train::parse_exact_double(get("variation.drift_nu_sigma"));
+        g.variation.ir_drop_alpha =
+            train::parse_exact_double(get("variation.ir_drop_alpha"));
+        g.variation.ir_drop_ref_cells = get_size("variation.ir_drop_ref_cells");
+    }
     g.base.cache_dir = get("cache_dir");
     g.base.verbose = false;
 

@@ -27,6 +27,8 @@
 
 namespace ams::sweep {
 
+struct WorkItem;
+
 struct SweepGrid {
     std::size_t bits_w = 8;
     std::size_t bits_x = 8;
@@ -40,6 +42,26 @@ struct SweepGrid {
     bool eval_only = true;
     bool retrain = true;
     std::size_t backend_ref_chunks = 8;
+
+    /// Device-variability axes of a chip-population (Monte-Carlo fleet)
+    /// campaign. `variation` is the amplitude template (offset sigma,
+    /// drift exponent, IR drop) shared by every point; the `chips` axis
+    /// overrides its chip_seed per point (one frozen realization per
+    /// fabricated chip) and the `drift_times` axis overrides its
+    /// drift_time (accuracy vs time since programming). All empty /
+    /// inactive by default: legacy grids hash, enumerate, and report
+    /// byte-identically to PR 9.
+    std::vector<std::uint64_t> chips{};
+    std::vector<double> drift_times{};
+    vmac::DeviceProfile variation{};
+
+    [[nodiscard]] bool has_chips() const { return !chips.empty(); }
+    [[nodiscard]] bool has_drift_times() const { return !drift_times.empty(); }
+    /// True when any variability axis or amplitude is in play; gates the
+    /// variation fields in the content hash, manifest, and report.
+    [[nodiscard]] bool variation_active() const {
+        return variation.active() || has_chips() || has_drift_times();
+    }
     /// Dataset sizes, schedules, eval protocol, and the (run-local)
     /// checkpoint cache directory.
     core::ExperimentOptions base;
@@ -57,6 +79,12 @@ struct SweepGrid {
     /// The per-point sweep options for one (backend, nmult) cell.
     [[nodiscard]] core::ExperimentEnv::EnobSweepOptions sweep_options(
         vmac::BackendKind backend, std::size_t nmult) const;
+
+    /// The full per-point sweep options, chip/drift axes applied: the
+    /// variation template's chip_seed / drift_time are overridden by the
+    /// item's coordinates. This is what workers must use — the
+    /// (backend, nmult) overload above ignores the variability axes.
+    [[nodiscard]] core::ExperimentEnv::EnobSweepOptions sweep_options(const WorkItem& item) const;
 };
 
 /// One grid point, in enumeration order.
@@ -66,15 +94,24 @@ struct WorkItem {
     double enob = 0.0;
     std::uint64_t seed = 0;
     std::size_t nmult = 8;
-    /// Stable human-readable id ("bit_exact:e4.5:s11:n8") used as the
+    /// Variability coordinates: the chip whose frozen realization this
+    /// point evaluates, and its drift time. When the grid has no
+    /// chips/drift_times axis these echo the variation template (0/0 for
+    /// legacy grids) and do not appear in the point id.
+    std::uint64_t chip = 0;
+    double drift_time = 0.0;
+    /// Stable human-readable id ("bit_exact:e4.5:s11:n8", chip fleets
+    /// append ":c<chip>" and drift axes ":t<time>") used as the
     /// journal's completed-point key.
     std::string point_id;
 };
 
-/// Deterministic enumeration: seeds (outermost) x backends x nmults x
-/// enobs. Ordering is part of the resume/merge contract — changing it
-/// invalidates existing journals (which is why journals also carry the
-/// point id, so a mismatch is detected rather than silently misfiled).
+/// Deterministic enumeration: seeds (outermost) x chips x backends x
+/// nmults x enobs x drift_times. Ordering is part of the resume/merge
+/// contract — changing it invalidates existing journals (which is why
+/// journals also carry the point id, so a mismatch is detected rather
+/// than silently misfiled). Grids without variability axes enumerate
+/// exactly as before PR 10.
 [[nodiscard]] std::vector<WorkItem> enumerate_grid(const SweepGrid& grid);
 
 /// The run directory's durable record of the campaign.

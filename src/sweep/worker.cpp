@@ -50,9 +50,8 @@ void run_items(const SweepGrid& grid, const std::vector<WorkItem>& items, std::s
             record.index = item->index;
             record.shard = shard;
             record.point_id = item->point_id;
-            record.point =
-                env.compute_enob_point(grid.bits_w, grid.bits_x, item->enob,
-                                       grid.sweep_options(item->backend, item->nmult), quant, &ctx);
+            record.point = env.compute_enob_point(grid.bits_w, grid.bits_x, item->enob,
+                                                  grid.sweep_options(*item), quant, &ctx);
             journal.append(record);
             runtime::metrics::add(runtime::metrics::Counter::kSweepPointsCompleted);
         }

@@ -18,10 +18,15 @@
 #include "runtime/rng_stream.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
+#include "stat_test_utils.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ams {
 namespace {
+
+using stattest::chi_square_vs_normal;
+using stattest::sample_mean;
+using stattest::sample_variance;
 
 constexpr std::size_t kSamples = 20000;
 
@@ -42,52 +47,6 @@ std::vector<double> draw_noise(vmac::InjectionMode mode, std::size_t n_tot,
     std::vector<double> samples(n);
     for (std::size_t i = 0; i < n; ++i) samples[i] = static_cast<double>(out.data()[i]);
     return samples;
-}
-
-double sample_mean(const std::vector<double>& xs) {
-    double s = 0.0;
-    for (double x : xs) s += x;
-    return s / static_cast<double>(xs.size());
-}
-
-double sample_variance(const std::vector<double>& xs) {
-    const double m = sample_mean(xs);
-    double s = 0.0;
-    for (double x : xs) s += (x - m) * (x - m);
-    return s / static_cast<double>(xs.size() - 1);
-}
-
-/// Standard normal CDF.
-double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
-
-/// Chi-square statistic of `xs` against N(0, sigma): 16 equal-width bins
-/// on [-2 sigma, 2 sigma] plus two tail bins (every expected count is
-/// > 450 at n = 20000, far above the >= 5 validity rule). 17 degrees of
-/// freedom; the 99.9th percentile of chi2_17 is 40.8.
-double chi_square_vs_normal(const std::vector<double>& xs, double sigma) {
-    constexpr int kInterior = 16;
-    constexpr double kEdge = 2.0;
-    std::vector<double> edges;  // z-space bin edges, tails implied
-    for (int i = 0; i <= kInterior; ++i) {
-        edges.push_back(-kEdge + 2.0 * kEdge * i / kInterior);
-    }
-    std::vector<double> expected;
-    expected.push_back(phi(edges.front()));
-    for (int i = 0; i < kInterior; ++i) expected.push_back(phi(edges[i + 1]) - phi(edges[i]));
-    expected.push_back(1.0 - phi(edges.back()));
-
-    std::vector<double> observed(expected.size(), 0.0);
-    for (double x : xs) {
-        const double z = x / sigma;
-        const auto it = std::upper_bound(edges.begin(), edges.end(), z);
-        observed[static_cast<std::size_t>(it - edges.begin())] += 1.0;
-    }
-    double chi2 = 0.0;
-    for (std::size_t b = 0; b < expected.size(); ++b) {
-        const double e = expected[b] * static_cast<double>(xs.size());
-        chi2 += (observed[b] - e) * (observed[b] - e) / e;
-    }
-    return chi2;
 }
 
 TEST(NoiseDistributionTest, LumpedGaussianPassesChiSquareGof) {
@@ -150,13 +109,7 @@ TEST(NoiseDistributionTest, RngStreamSplitsAreUniform) {
         Rng rng = streams.stream(id);
         std::vector<double> us(n);
         for (double& u : us) u = rng.uniform();
-        std::sort(us.begin(), us.end());
-        double d = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            const double lo = static_cast<double>(i) / n;
-            const double hi = static_cast<double>(i + 1) / n;
-            d = std::max({d, us[i] - lo, hi - us[i]});
-        }
+        const double d = stattest::ks_statistic_uniform(std::move(us));
         EXPECT_LT(d * std::sqrt(static_cast<double>(n)), 1.95) << "stream " << id;
     }
 }
@@ -167,23 +120,15 @@ TEST(NoiseDistributionTest, AdjacentRngStreamsAreUncorrelated) {
     for (std::uint64_t id : {0ull, 1ull, 2ull}) {
         Rng a = streams.stream(id);
         Rng b = streams.stream(id + 1);
-        double sxy = 0.0, sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0;
+        std::vector<double> xs(n), ys(n);
         for (std::size_t i = 0; i < n; ++i) {
-            const double x = a.uniform();
-            const double y = b.uniform();
-            sx += x;
-            sy += y;
-            sxx += x * x;
-            syy += y * y;
-            sxy += x * y;
+            xs[i] = a.uniform();
+            ys[i] = b.uniform();
         }
-        const double nd = static_cast<double>(n);
-        const double cov = sxy / nd - (sx / nd) * (sy / nd);
-        const double vx = sxx / nd - (sx / nd) * (sx / nd);
-        const double vy = syy / nd - (sy / nd) * (sy / nd);
-        const double r = cov / std::sqrt(vx * vy);
+        const double r = stattest::pearson_correlation(xs, ys);
         // 4 / sqrt(n) ~ 0.09: a four-sigma band around zero correlation.
-        EXPECT_LT(std::fabs(r), 4.0 / std::sqrt(nd)) << "streams " << id << "," << id + 1;
+        EXPECT_LT(std::fabs(r), 4.0 / std::sqrt(static_cast<double>(n)))
+            << "streams " << id << "," << id + 1;
     }
 }
 

@@ -1,0 +1,102 @@
+// Shared statistical acceptance machinery for the distribution tests
+// (noise_distribution_test, device_variation_test). Every helper is a
+// pure function of its sample vector, so tests stay deterministic under
+// fixed seeds; the thresholds quoted in the doc comments are the
+// alpha = 0.001 acceptance bands the tests assert against.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ams::stattest {
+
+inline double sample_mean(const std::vector<double>& xs) {
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+inline double sample_variance(const std::vector<double>& xs) {
+    const double m = sample_mean(xs);
+    double s = 0.0;
+    for (double x : xs) s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size() - 1);
+}
+
+/// Standard normal CDF.
+inline double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Chi-square statistic of `xs` against N(0, sigma): 16 equal-width bins
+/// on [-2 sigma, 2 sigma] plus two tail bins (every expected count is
+/// > 450 at n = 20000, far above the >= 5 validity rule). 17 degrees of
+/// freedom; the 99.9th percentile of chi2_17 is 40.8.
+inline double chi_square_vs_normal(const std::vector<double>& xs, double sigma) {
+    constexpr int kInterior = 16;
+    constexpr double kEdge = 2.0;
+    std::vector<double> edges;  // z-space bin edges, tails implied
+    for (int i = 0; i <= kInterior; ++i) {
+        edges.push_back(-kEdge + 2.0 * kEdge * i / kInterior);
+    }
+    std::vector<double> expected;
+    expected.push_back(phi(edges.front()));
+    for (int i = 0; i < kInterior; ++i) expected.push_back(phi(edges[i + 1]) - phi(edges[i]));
+    expected.push_back(1.0 - phi(edges.back()));
+
+    std::vector<double> observed(expected.size(), 0.0);
+    for (double x : xs) {
+        const double z = x / sigma;
+        const auto it = std::upper_bound(edges.begin(), edges.end(), z);
+        observed[static_cast<std::size_t>(it - edges.begin())] += 1.0;
+    }
+    double chi2 = 0.0;
+    for (std::size_t b = 0; b < expected.size(); ++b) {
+        const double e = expected[b] * static_cast<double>(xs.size());
+        chi2 += (observed[b] - e) * (observed[b] - e) / e;
+    }
+    return chi2;
+}
+
+/// Kolmogorov-Smirnov statistic of `xs` against Uniform[0, 1).
+/// D * sqrt(n) < 1.95 is the alpha = 0.001 acceptance band.
+inline double ks_statistic_uniform(std::vector<double> xs) {
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    double d = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double lo = static_cast<double>(i) / static_cast<double>(n);
+        const double hi = static_cast<double>(i + 1) / static_cast<double>(n);
+        d = std::max({d, xs[i] - lo, hi - xs[i]});
+    }
+    return d;
+}
+
+/// KS statistic of `xs` against N(0, sigma) via the probability integral
+/// transform. Same D * sqrt(n) < 1.95 band as the uniform test.
+inline double ks_statistic_normal(const std::vector<double>& xs, double sigma) {
+    std::vector<double> us;
+    us.reserve(xs.size());
+    for (double x : xs) us.push_back(phi(x / sigma));
+    return ks_statistic_uniform(std::move(us));
+}
+
+/// Pearson correlation of two equal-length samples. |r| < 4 / sqrt(n)
+/// is a four-sigma band around zero for independent draws.
+inline double pearson_correlation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
+    const double nd = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        syy += ys[i] * ys[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double cov = sxy / nd - (sx / nd) * (sy / nd);
+    const double vx = sxx / nd - (sx / nd) * (sx / nd);
+    const double vy = syy / nd - (sy / nd) * (sy / nd);
+    return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace ams::stattest

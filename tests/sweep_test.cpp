@@ -220,6 +220,105 @@ TEST_F(SweepTest, ResumeRefusesDifferentCampaign) {
     EXPECT_THROW((void)run_sweep(other, options), std::runtime_error);
 }
 
+// ----- PR 10: device-variability (chips / drift) axes -----------------
+
+SweepGrid chip_fleet_grid(const std::string& cache_dir) {
+    SweepGrid grid = tiny_grid(cache_dir);
+    grid.enobs = {4.5};
+    grid.chips = {1, 2};
+    grid.drift_times = {0.0, 32.0};
+    grid.variation.cell_offset_sigma = 0.02;
+    grid.variation.drift_nu = 0.1;
+    return grid;
+}
+
+TEST_F(SweepTest, ChipAxesExtendPointIdsWithoutTouchingLegacyIds) {
+    // Legacy grids enumerate exactly as before PR 10: no chip/time
+    // suffix, no field creep in the content hash.
+    SweepGrid legacy = tiny_grid(root_ + "/cache");
+    const std::string legacy_hash = legacy.content_hash();
+    EXPECT_EQ(enumerate_grid(legacy)[0].point_id, "bit_exact:e4.5:s3:n8");
+    legacy.variation.chip_seed = 5;  // template id alone is inactive
+    EXPECT_EQ(legacy.content_hash(), legacy_hash);
+
+    SweepGrid fleet = chip_fleet_grid(root_ + "/cache");
+    EXPECT_NE(fleet.content_hash(), legacy_hash);
+    const std::vector<WorkItem> items = enumerate_grid(fleet);
+    // seeds > chips > backends > nmults > enobs > drift_times.
+    ASSERT_EQ(items.size(), 4u);
+    EXPECT_EQ(items[0].point_id, "bit_exact:e4.5:s3:n8:c1:t0");
+    EXPECT_EQ(items[1].point_id, "bit_exact:e4.5:s3:n8:c1:t32");
+    EXPECT_EQ(items[2].point_id, "bit_exact:e4.5:s3:n8:c2:t0");
+    EXPECT_EQ(items[3].point_id, "bit_exact:e4.5:s3:n8:c2:t32");
+    EXPECT_EQ(items[3].chip, 2u);
+    EXPECT_EQ(items[3].drift_time, 32.0);
+    // The worker-facing options carry the item's chip coordinates.
+    const auto opts = fleet.sweep_options(items[3]);
+    EXPECT_EQ(opts.backend.variation.chip_seed, 2u);
+    EXPECT_EQ(opts.backend.variation.drift_time, 32.0);
+    EXPECT_EQ(opts.backend.variation.cell_offset_sigma, 0.02);
+}
+
+TEST_F(SweepTest, VariationManifestRoundTripsExactly) {
+    SweepGrid grid = chip_fleet_grid(root_ + "/cache");
+    grid.drift_times = {0.0, 1.0 / 3.0};  // non-terminating decimal
+    grid.variation.drift_nu_sigma = 0.0125;
+    grid.variation.ir_drop_alpha = 0.05;
+    const std::string path = root_ + "/manifest.txt";
+    write_manifest(path, grid, 2);
+    const Manifest m = read_manifest(path);
+    EXPECT_EQ(m.grid.content_hash(), grid.content_hash());
+    ASSERT_EQ(m.grid.chips.size(), 2u);
+    EXPECT_EQ(m.grid.drift_times[1], 1.0 / 3.0);  // exact, not approximate
+    EXPECT_EQ(m.grid.variation.cell_offset_sigma, 0.02);
+    EXPECT_EQ(m.grid.variation.drift_nu_sigma, 0.0125);
+    EXPECT_EQ(m.grid.variation.ir_drop_alpha, 0.05);
+
+    // Legacy manifests stay byte-free of variation fields.
+    write_manifest(path, tiny_grid(root_ + "/cache"), 2);
+    EXPECT_EQ(read_file(path).find("variation."), std::string::npos);
+}
+
+TEST_F(SweepTest, ResumeRefusesDifferentChipFleet) {
+    SweepGrid grid = chip_fleet_grid(root_ + "/cache");
+    write_manifest(manifest_path(root_), grid, 1);
+    SweepGrid other = grid;
+    other.chips = {1, 3};  // same shape, different fabricated population
+    CoordinatorOptions options;
+    options.run_dir = root_;
+    EXPECT_THROW((void)run_sweep(other, options), std::runtime_error);
+}
+
+TEST_F(SweepTest, ChipFleetMergeIsByteIdenticalAcrossWorkersAndKillResume) {
+    const auto campaign = [&](const std::string& name, std::size_t workers, int kill_shard) {
+        SweepGrid grid = chip_fleet_grid(root_ + "/" + name + "-cache");
+        CoordinatorOptions options;
+        options.run_dir = root_ + "/" + name;
+        options.workers = workers;
+        options.threads_per_worker = 1;
+        options.kill_shard = kill_shard;
+        options.kill_after_points = 1;
+        SweepOutcome outcome = run_sweep(grid, options);
+        if (!outcome.complete) {
+            options.kill_shard = -1;
+            const SweepOutcome resumed = run_sweep(grid, options);
+            EXPECT_GT(resumed.replayed, 0u);
+            outcome = resumed;
+        }
+        EXPECT_TRUE(outcome.complete);
+        return read_file(outcome.report_path);
+    };
+
+    const std::string in_process = campaign("c0", 0, -1);
+    ASSERT_FALSE(in_process.empty());
+    // Chip rows present, with their coordinates.
+    EXPECT_NE(in_process.find("\"chip\":"), std::string::npos);
+    EXPECT_NE(in_process.find("\"drift_time\":"), std::string::npos);
+    EXPECT_NE(in_process.find(":c2:t32"), std::string::npos);
+    EXPECT_EQ(campaign("c2", 2, -1), in_process);
+    EXPECT_EQ(campaign("ckill", 2, 1), in_process);
+}
+
 }  // namespace
 }  // namespace ams::sweep
 

@@ -187,6 +187,8 @@ TEST(MetricsTest, MetricsJsonGolden) {
         "  \"sweep_points_skipped\": 0,\n"
         "  \"sweep_points_stolen\": 0,\n"
         "  \"sweep_workers_spawned\": 0,\n"
+        "  \"variation_chunks\": 0,\n"
+        "  \"variation_field_samples\": 0,\n"
         "  \"arena_high_water_bytes\": 4096,\n"
         "  \"serve_queue_depth_max\": 0\n"
         "}\n";

@@ -204,6 +204,27 @@ TEST(VmacBackendTest, CloneResetsDeltaSigmaState) {
     EXPECT_DOUBLE_EQ(cloned->finish_output(rng_a), fresh->finish_output(rng_b));
 }
 
+TEST(VmacBackendTest, EveryDatapathSatisfiesTheCloneIsolationContract) {
+    // Regression for the clone() contract make_backend asserts in debug
+    // builds: clones own ALL mutable state (residuals, scratch, RNGs), so
+    // driving one clone never perturbs another. Runs the checker
+    // explicitly because release builds compile the factory assert out.
+    const VmacConfig c = cfg(8.0, 8, 9);  // 8 magnitude bits: partitionable
+    BackendOptions opts;
+    for (BackendKind kind : all_backend_kinds()) {
+        opts.kind = kind;
+        const auto backend = make_backend(c, {}, opts);
+        EXPECT_TRUE(verify_clone_isolation(*backend)) << backend_kind_name(kind);
+    }
+    // The device-variability decorator must preserve the property (its
+    // lazily materialized cell realization is per-instance state).
+    opts.kind = BackendKind::kPerVmacNoise;
+    opts.variation.chip_seed = 11;
+    opts.variation.cell_offset_sigma = 0.03;
+    const auto dev = make_backend(c, {}, opts);
+    EXPECT_TRUE(verify_clone_isolation(*dev));
+}
+
 TEST(VmacBackendTest, PartitionedAnalyticEnobMatchesMeasurement) {
     const VmacConfig c = cfg(8.0, 8, 9);
     BackendOptions opts;
